@@ -1,0 +1,76 @@
+"""Experiment E9: the price of silence.
+
+Compares the paper's silent gatherer against the classic talking-model
+strategy (instant label exchange, known team size — an idealized lower
+bound) and a lazy-random-walk gatherer.  The claim under test is
+qualitative: the silent algorithm pays a *polynomial* factor for
+emulating communication with movement, not an exponential one.
+"""
+
+from __future__ import annotations
+
+from common import publish
+
+from repro.analysis import ResultTable, fit_power_law
+from repro.baselines import run_random_walk_gather, run_talking_gather
+from repro.core import run_gather_known
+from repro.graphs import ring
+
+SIZES = (4, 6, 8, 10)
+
+
+def test_e9_silence_overhead(benchmark):
+    table = ResultTable(
+        "E9: silent vs talking vs random walk (labels 1, 2; ring)",
+        ["n", "silent", "talking", "random walk", "overhead"],
+    )
+
+    def workload():
+        rows = []
+        for n in SIZES:
+            graph = ring(n, seed=1)
+            silent = run_gather_known(graph, [1, 2], n)
+            talking = run_talking_gather(graph, [1, 2], n)
+            walk = run_random_walk_gather(graph, [1, 2], n)
+            rows.append(
+                (n, silent.round, talking.round, walk.round,
+                 silent.round / talking.round)
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(row[0], row[1], row[2], row[3], f"{row[4]:.0f}x")
+        assert row[4] >= 1.0, "talking can only be faster"
+    overhead_fit = fit_power_law(SIZES, [r[4] for r in rows])
+    extra = (
+        f"overhead factor ~ n^{overhead_fit.slope:.2f}: the price of "
+        "silence is polynomial (every transmitted bit costs five graph "
+        "tours), never exponential"
+    )
+    publish("e9_silence_overhead", table, extra)
+    assert overhead_fit.slope <= 4.0
+
+
+def test_e9b_three_agents(benchmark):
+    table = ResultTable(
+        "E9b: three agents (labels 1, 2, 3; ring)",
+        ["n", "silent", "talking", "overhead"],
+    )
+
+    def workload():
+        rows = []
+        # Size bounds picked from the certified sampled set (6, 8, 10).
+        for n, n_bound in ((5, 6), (7, 8), (9, 10)):
+            graph = ring(n, seed=3)
+            silent = run_gather_known(graph, [1, 2, 3], n_bound)
+            talking = run_talking_gather(graph, [1, 2, 3], n_bound)
+            rows.append((n, silent.round, talking.round))
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(
+            row[0], row[1], row[2], f"{row[1] / row[2]:.0f}x"
+        )
+    publish("e9b_three_agents", table)

@@ -1,0 +1,110 @@
+"""Experiment E4: the Communicate movement modem (Lemma 3.1).
+
+Measures what the lemma promises: the call lasts *exactly*
+``5 i T(EXPLO(N))`` rounds, delivers the lexicographically smallest
+offered code word to every group member and counts its holders.
+Also reports the effective "bit rate" of the modem — rounds of
+movement spent per bit transmitted.
+"""
+
+from __future__ import annotations
+
+from common import publish
+
+from repro.analysis import ResultTable
+from repro.core.communicate import communicate, communicate_duration
+from repro.core.labels import code
+from repro.core.parameters import KnownBoundParameters
+from repro.explore.uxs import UXSProvider
+from repro.graphs import star_graph
+from repro.sim import AgentSpec, Simulation
+from repro.sim.agent import move
+
+
+def _run_group(words: list[str], bits: int, n_extra: int = 0):
+    """Gather a group at a star centre and run one Communicate call."""
+    k = len(words)
+    graph = star_graph(k + 1 + n_extra)
+    provider = UXSProvider()
+    provider.verify_for_graph(graph.n, graph)
+    params = KnownBoundParameters(graph.n, provider)
+    results = {}
+
+    def make(idx, word):
+        def program(ctx):
+            yield from move(ctx, 0)
+            out = yield from communicate(ctx, params, bits, word, True)
+            results[idx] = (out.string, out.count, ctx.obs.round)
+            return None
+
+        return program
+
+    specs = [
+        AgentSpec(i + 1, i + 1, make(i, w), wake_round=0)
+        for i, w in enumerate(words)
+    ]
+    sim = Simulation(graph, specs)
+    sim.run()
+    return params, results, sim
+
+
+def test_e4_exact_duration_and_delivery(benchmark):
+    table = ResultTable(
+        "E4: Communicate(i, s, true) - duration and delivery",
+        ["group", "i (bits)", "duration", "5iT", "sigma", "holders"],
+    )
+
+    cases = [
+        (["0001", "1101"], 4),
+        (["0001", "1101"], 8),
+        ([code("10"), code("1"), code("11")], 6),
+        ([code("0"), code("0"), code("1"), code("1")], 12),
+        ([code(""), code("111")], 8),
+    ]
+
+    def workload():
+        rows = []
+        for words, bits in cases:
+            params, results, _sim = _run_group(words, bits)
+            durations = {r[2] - 1 for r in results.values()}
+            assert len(durations) == 1
+            duration = durations.pop()
+            expected = communicate_duration(params, bits)
+            assert duration == expected, "Lemma 3.1 exact-duration claim"
+            strings = {r[0] for r in results.values()}
+            counts = {r[1] for r in results.values()}
+            assert len(strings) == 1 and len(counts) == 1
+            sigma = min(w for w in words if len(w) <= bits)
+            assert strings.pop() == sigma + "1" * (bits - len(sigma))
+            rows.append(
+                (f"k={len(words)}", bits, duration, expected,
+                 sigma, counts.pop())
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    publish("e4_communicate", table)
+
+
+def test_e4b_modem_bit_rate(benchmark):
+    """Rounds per transmitted bit as the size bound grows."""
+    table = ResultTable(
+        "E4b: movement-modem cost per bit",
+        ["N", "T(EXPLO)", "rounds per bit (5T)"],
+    )
+
+    def workload():
+        rows = []
+        for n in (2, 3, 4, 5, 8, 10):
+            params = KnownBoundParameters(n)
+            rows.append((n, params.t_explo, 5 * params.t_explo))
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    publish("e4b_modem_rate", table)
+    # Transmitting one bit costs five graph tours: linear in T(EXPLO).
+    assert all(r[2] == 5 * r[1] for r in rows)

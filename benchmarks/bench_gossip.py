@@ -1,0 +1,109 @@
+"""Experiment E8: gossiping (Theorem 5.1).
+
+Theorem 5.1: with a known size bound, GossipKnownUpperbound is
+polynomial in N, in the smallest-label length and in the largest
+message length.  Both sweeps are measured here; the gossip phase is
+isolated from the gathering prefix by differencing against a run with
+empty messages.
+"""
+
+from __future__ import annotations
+
+from common import publish
+
+from repro.analysis import ResultTable, fit_power_law
+from repro.core import run_gossip_known
+from repro.graphs import ring, single_edge
+
+MESSAGE_LENGTHS = (2, 4, 8, 16, 32)
+SIZES = (4, 6, 8, 10)
+
+
+def test_e8_scaling_in_message_length(benchmark):
+    table = ResultTable(
+        "E8: gossip time vs message length (2 agents, 2-node graph)",
+        ["|M| (bits)", "total round", "gossip rounds"],
+    )
+
+    def workload():
+        base = run_gossip_known(single_edge(), [1, 2], ["", ""], 2)
+        rows = []
+        for length in MESSAGE_LENGTHS:
+            m1 = "10" * (length // 2)
+            m2 = "01" * (length // 2)
+            report = run_gossip_known(single_edge(), [1, 2], [m1, m2], 2)
+            rows.append((length, report.round, report.round - base.round))
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    fit = fit_power_law(MESSAGE_LENGTHS, [r[2] for r in rows])
+    extra = (
+        f"power-law fit: gossip rounds ~ |M|^{fit.slope:.2f} "
+        f"(r^2 = {fit.r_squared:.3f}) - polynomial, as Theorem 5.1 claims"
+    )
+    publish("e8_gossip_message_length", table, extra)
+    assert fit.slope <= 3.0
+    assert fit.r_squared >= 0.9
+
+
+def test_e8b_scaling_in_n(benchmark):
+    table = ResultTable(
+        "E8b: gossip time vs size bound N (ring, messages 8 bits)",
+        ["N", "total round", "events"],
+    )
+
+    def workload():
+        rows = []
+        for n in SIZES:
+            report = run_gossip_known(
+                ring(n, seed=1), [1, 2], ["10101010", "01010101"], n
+            )
+            rows.append((n, report.round, report.events))
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    fit = fit_power_law(SIZES, [r[1] for r in rows])
+    publish(
+        "e8b_gossip_scaling_n",
+        table,
+        f"power-law fit: round ~ N^{fit.slope:.2f} (r^2 = {fit.r_squared:.3f})",
+    )
+    assert fit.slope <= 4.5
+
+
+def test_e8c_multiset_workloads(benchmark):
+    """Duplicate and skewed message multisets are delivered exactly."""
+    table = ResultTable(
+        "E8c: message multiset workloads (ring(4), N = 4)",
+        ["messages", "round", "distinct delivered"],
+    )
+
+    def workload():
+        cases = [
+            ["1", "1", "1", "1"],
+            ["0", "1", "0", "1"],
+            ["", "111111", "10", ""],
+            ["1100", "0011", "1100", "0011"],
+        ]
+        rows = []
+        for messages in cases:
+            report = run_gossip_known(
+                ring(4, seed=1), [1, 2, 3, 4], messages, 4
+            )
+            expected: dict[str, int] = {}
+            for m in messages:
+                expected[m] = expected.get(m, 0) + 1
+            assert report.messages == expected
+            rows.append(
+                (str(messages), report.round, len(report.messages))
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    publish("e8c_gossip_multisets", table)

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each experiment prints its result table (visible with ``pytest -s``)
+and writes it to ``benchmarks/_results/<name>.txt`` so the numbers in
+``EXPERIMENTS.md`` can be regenerated and diffed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import ResultTable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+def publish(name: str, table: ResultTable, extra: str = "") -> str:
+    """Print the table and persist it under ``_results/``."""
+    text = table.render()
+    if extra:
+        text = text + "\n" + extra
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

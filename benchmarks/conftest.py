@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+import pathlib
+
+# Make `common` importable regardless of the invocation directory.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

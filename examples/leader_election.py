@@ -1,0 +1,49 @@
+"""Leader election without communication (Theorem 3.1 by-product).
+
+Gathering in the paper does more than co-locate the team: on the way,
+exactly one agent's label becomes common knowledge - a leader.  The
+elected label is the one whose transformed code wins the movement-
+encoded transmissions, which is *not* necessarily the smallest label:
+it is a deterministic function of the configuration.
+
+This example elects leaders across wake-up schedules and verifies the
+election is unanimous and stable under wake-up perturbations.
+
+Run::
+
+    python examples/leader_election.py
+"""
+
+from repro import run_gather_known, star_graph
+from repro.analysis import ResultTable
+
+network = star_graph(5, seed=3)
+labels = [6, 11, 13, 20]
+starts = [1, 2, 3, 4]
+
+table = ResultTable(
+    "leader election on a 5-star, agents (6, 11, 13, 20)",
+    ["wake schedule", "leader", "round", "phases"],
+)
+
+schedules = [
+    ("all at round 0", [0, 0, 0, 0]),
+    ("staggered 0/9/21/40", [0, 9, 21, 40]),
+    ("two dormant", [0, None, 0, None]),
+    ("only one awake", [0, None, None, None]),
+]
+
+leaders = set()
+for name, wake in schedules:
+    report = run_gather_known(
+        network, labels, 6, start_nodes=starts, wake_rounds=wake
+    )
+    leaders.add(report.leader)
+    table.add_row(name, report.leader, report.round, report.phases)
+
+table.emit()
+
+assert len(leaders) == 1, "the election must not depend on wake-ups here"
+print(f"unanimous, schedule-independent leader: agent {leaders.pop()}")
+print("(every agent finished knowing this label - leader election")
+print("solved in a model where agents cannot even see each other)")

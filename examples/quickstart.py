@@ -1,0 +1,42 @@
+"""Quickstart: silent gathering on a ring.
+
+Three software agents are dropped on a 6-node ring network.  They
+cannot send messages, cannot see each other's labels, cannot mark
+nodes — each one only ever knows *how many* agents stand at its
+current node.  They share one piece of knowledge: the network has at
+most N = 8 nodes.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import ring, run_gather_known
+
+# The network: anonymous 6-ring with arbitrary local port numbers.
+network = ring(6, seed=42)
+
+# Three agents with distinct labels; the adversary wakes agent 5 at
+# round 0, agent 9 at round 17, and leaves agent 12 asleep until some
+# agent walks across its starting node.
+report = run_gather_known(
+    network,
+    labels=[5, 9, 12],
+    n_bound=8,
+    start_nodes=[0, 2, 5],
+    wake_rounds=[0, 17, None],
+)
+
+print("Silent gathering on a 6-ring (N = 8)")
+print("-" * 44)
+print(f"gathered          : yes (validated)")
+print(f"declaration round : {report.round}")
+print(f"meeting node      : {report.node} (simulator id)")
+print(f"elected leader    : agent {report.leader}")
+print(f"phases used       : {report.phases}")
+print(f"total moves       : {report.total_moves}")
+print(f"simulator events  : {report.events}")
+print()
+print("Every agent declared in the same round at the same node and")
+print("finished knowing the same leader label - without exchanging")
+print("a single bit of conventional communication.")

@@ -1,0 +1,46 @@
+"""The price of silence: weak model vs. the traditional model.
+
+The paper's question is whether gathering *needs* the classical
+assumption that co-located agents can talk.  The answer is no — but
+emulating communication with movements costs time.  This example
+quantifies that cost: the same gathering task is solved by
+
+* ``GatherKnownUpperBound`` (the paper's silent algorithm),
+* the classic merge-and-follow-the-minimum strategy in the talking
+  model (idealized: instant label exchange, known team size), and
+* a lazy-random-walk gatherer in the talking model.
+
+Run::
+
+    python examples/silent_vs_talking.py
+"""
+
+from repro import ring, run_gather_known
+from repro.analysis import ResultTable
+from repro.baselines import run_random_walk_gather, run_talking_gather
+
+table = ResultTable(
+    "gathering time, 2 agents with labels (1, 2)",
+    ["n", "N", "silent (paper)", "talking", "random walk", "overhead"],
+)
+
+for n, n_bound in ((4, 4), (6, 6), (8, 8), (10, 10)):
+    graph = ring(n, seed=1)
+    silent = run_gather_known(graph, [1, 2], n_bound)
+    talking = run_talking_gather(graph, [1, 2], n_bound)
+    walk = run_random_walk_gather(graph, [1, 2], n_bound)
+    table.add_row(
+        n,
+        n_bound,
+        silent.round,
+        talking.round,
+        walk.round,
+        f"{silent.round / talking.round:.0f}x",
+    )
+
+table.emit()
+
+print("The silent algorithm pays a polynomial factor for emulating")
+print("every bit of communication with whole-graph tours - but it")
+print("needs no radios, no label visibility and no team size, and")
+print("its guarantee is deterministic, unlike the random walk.")

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires ``bdist_wheel`` on this toolchain; the
+classic ``python setup.py develop`` path (or ``pip install -e .
+--no-build-isolation`` on newer toolchains) works with this shim.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro: a reproduction of "Want to Gather? No Need to Chatter!"
+
+Bouchard, Dieudonne and Pelc (PODC 2020) show that mobile agents in an
+anonymous network can gather, elect a leader and even gossip
+*deterministically* while being unable to communicate: the only signal
+an agent ever receives is the number of agents standing at its node.
+
+This package provides:
+
+* the network and simulation substrate (:mod:`repro.graphs`,
+  :mod:`repro.sim`) — an event-driven synchronous-round simulator with
+  an arbitrary-precision clock;
+* the exploration/rendezvous primitives the paper builds on
+  (:mod:`repro.explore`): ``EXPLO``, ``TZ`` and ``EST``;
+* the paper's algorithms (:mod:`repro.core`):
+  ``GatherKnownUpperBound``, ``GatherUnknownUpperBound``, ``Gossip``
+  and the leader-election by-product;
+* baselines in the traditional talking model
+  (:mod:`repro.baselines`) and scaling analysis helpers
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import ring, run_gather_known
+    report = run_gather_known(ring(6), labels=[5, 9, 12], n_bound=8)
+    print(report.round, report.leader)
+"""
+
+from .graphs import (
+    GraphError,
+    PortGraph,
+    complete_graph,
+    family_for_size,
+    grid_graph,
+    hypercube,
+    lollipop,
+    oriented_ring,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    ring,
+    single_edge,
+    star_graph,
+)
+from .explore import UXSProvider, UniversalityError
+from .sim import (
+    AgentSpec,
+    BudgetExceededError,
+    DeadlockError,
+    Simulation,
+    SimulationError,
+    SimulationResult,
+)
+from .core import (
+    Configuration,
+    DovetailOmega,
+    GatherOutcome,
+    GatherReport,
+    GossipOutcome,
+    GossipReport,
+    InfeasibleHypothesisError,
+    KnownBoundParameters,
+    RunValidationError,
+    TwoNodeDenseOmega,
+    UnknownBoundSchedule,
+    UnknownGatherReport,
+    run_gather_known,
+    run_gather_unknown,
+    run_gossip_known,
+    run_gossip_unknown,
+    run_leader_election,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PortGraph",
+    "GraphError",
+    "single_edge",
+    "ring",
+    "oriented_ring",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "hypercube",
+    "random_tree",
+    "random_connected_graph",
+    "lollipop",
+    "family_for_size",
+    "UXSProvider",
+    "UniversalityError",
+    "Simulation",
+    "SimulationResult",
+    "AgentSpec",
+    "SimulationError",
+    "DeadlockError",
+    "BudgetExceededError",
+    "KnownBoundParameters",
+    "GatherOutcome",
+    "GossipOutcome",
+    "GatherReport",
+    "GossipReport",
+    "RunValidationError",
+    "run_gather_known",
+    "run_gossip_known",
+    "run_leader_election",
+    "run_gather_unknown",
+    "run_gossip_unknown",
+    "Configuration",
+    "DovetailOmega",
+    "TwoNodeDenseOmega",
+    "UnknownBoundSchedule",
+    "UnknownGatherReport",
+    "InfeasibleHypothesisError",
+    "__version__",
+]

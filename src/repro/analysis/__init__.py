@@ -1,0 +1,33 @@
+"""Scaling analysis and reporting helpers for the benchmarks."""
+
+from .fitting import (
+    FitResult,
+    fit_exponential,
+    fit_power_law,
+    growth_ratios,
+    is_polynomial_growth,
+)
+from .stats import RunStats, summarize_runs
+from .sweeps import (
+    SweepPoint,
+    label_length_sweep,
+    message_length_sweep,
+    size_sweep,
+)
+from .tables import ResultTable, format_big
+
+__all__ = [
+    "SweepPoint",
+    "size_sweep",
+    "label_length_sweep",
+    "message_length_sweep",
+    "RunStats",
+    "summarize_runs",
+    "FitResult",
+    "fit_power_law",
+    "fit_exponential",
+    "growth_ratios",
+    "is_polynomial_growth",
+    "ResultTable",
+    "format_big",
+]

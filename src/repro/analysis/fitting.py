@@ -1,0 +1,95 @@
+"""Scaling-law estimation for the complexity experiments.
+
+The paper's theorems assert polynomial (or exponential) growth of
+gathering/gossip time in various parameters.  The benchmark harness
+measures a sweep and summarises it with a fitted exponent:
+
+* :func:`fit_power_law` — least-squares slope in log-log space, i.e.
+  the empirical exponent of ``y ~ C * x**alpha``;
+* :func:`fit_exponential` — slope in semi-log space, i.e. the rate of
+  ``y ~ C * base**x``;
+* :func:`growth_ratios` — successive ratios, the raw evidence.
+
+Implemented without numpy so the core library stays dependency-free;
+closed-form simple linear regression is all that is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class FitResult:
+    """Result of a least-squares line fit in transformed space."""
+
+    __slots__ = ("slope", "intercept", "r_squared")
+
+    def __init__(self, slope: float, intercept: float, r_squared: float) -> None:
+        self.slope = slope
+        self.intercept = intercept
+        self.r_squared = r_squared
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FitResult(slope={self.slope:.3f}, "
+            f"intercept={self.intercept:.3f}, r2={self.r_squared:.3f})"
+        )
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    n = len(xs)
+    if n < 2 or len(ys) != n:
+        raise ValueError("need at least two aligned samples")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("x values are all equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    if ss_tot == 0:
+        r_squared = 1.0
+    else:
+        ss_res = sum(
+            (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+        )
+        r_squared = 1.0 - ss_res / ss_tot
+    return FitResult(slope, intercept, r_squared)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ~ C * x**alpha``; ``slope`` is the exponent alpha."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive samples")
+    return _linear_fit(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+
+
+def fit_exponential(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ~ C * e**(r x)``; ``slope`` is the rate ``r``."""
+    if any(y <= 0 for y in ys):
+        raise ValueError("exponential fit needs positive y samples")
+    return _linear_fit(list(xs), [math.log(y) for y in ys])
+
+
+def growth_ratios(ys: Sequence[float]) -> list[float]:
+    """Successive ratios ``y[i+1] / y[i]``."""
+    if any(y == 0 for y in ys[:-1]):
+        raise ValueError("zero sample in ratio denominator")
+    return [ys[i + 1] / ys[i] for i in range(len(ys) - 1)]
+
+
+def is_polynomial_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_exponent: float,
+    min_r_squared: float = 0.9,
+) -> bool:
+    """Heuristic check: does the sweep look like x**alpha with alpha
+    below ``max_exponent`` and a credible fit?"""
+    fit = fit_power_law(xs, ys)
+    return fit.slope <= max_exponent and fit.r_squared >= min_r_squared

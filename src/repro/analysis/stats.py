@@ -1,0 +1,63 @@
+"""Summary statistics for randomized (Las-Vegas) runs.
+
+The deterministic algorithms need a single run; the randomized
+baselines and the randomized-silent extension need distributional
+summaries over seeds.  Pure-Python implementations keep the core
+library dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+
+class RunStats:
+    """Distribution summary of a repeated measurement."""
+
+    __slots__ = ("count", "mean", "median", "minimum", "maximum", "stdev", "p95")
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        if not samples:
+            raise ValueError("need at least one sample")
+        ordered = sorted(samples)
+        n = len(ordered)
+        self.count = n
+        self.minimum = ordered[0]
+        self.maximum = ordered[-1]
+        self.mean = sum(ordered) / n
+        mid = n // 2
+        if n % 2 == 1:
+            self.median = ordered[mid]
+        else:
+            self.median = (ordered[mid - 1] + ordered[mid]) / 2
+        if n > 1:
+            variance = sum((x - self.mean) ** 2 for x in ordered) / (n - 1)
+            self.stdev = math.sqrt(variance)
+        else:
+            self.stdev = 0.0
+        # Nearest-rank 95th percentile.
+        rank = max(0, math.ceil(0.95 * n) - 1)
+        self.p95 = ordered[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"RunStats(n={self.count}, mean={self.mean:.1f}, "
+            f"median={self.median:.1f}, p95={self.p95:.1f})"
+        )
+
+
+def summarize_runs(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+) -> RunStats:
+    """Run ``run(seed)`` for every seed and summarize the results.
+
+    Example::
+
+        stats = summarize_runs(
+            lambda s: run_randomized_silent_gather(g, [1, 2], seed=s).round,
+            range(20),
+        )
+    """
+    return RunStats([run(seed) for seed in seeds])

@@ -1,0 +1,113 @@
+"""Reusable parameter-sweep drivers for complexity studies.
+
+The benchmark modules and the ``scaling_study`` example share these
+drivers: each returns a list of :class:`SweepPoint` records, ready for
+:func:`repro.analysis.fitting.fit_power_law` and
+:class:`repro.analysis.tables.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.gather_known import smallest_label_length
+from ..core.runs import run_gather_known, run_gossip_known
+from ..graphs.generators import ring
+from ..graphs.port_graph import PortGraph
+
+
+class SweepPoint:
+    """One measurement of a sweep."""
+
+    __slots__ = ("x", "round", "moves", "events", "detail")
+
+    def __init__(
+        self, x: int, round_: int, moves: int, events: int, detail: str
+    ) -> None:
+        self.x = x
+        self.round = round_
+        self.moves = moves
+        self.events = events
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SweepPoint(x={self.x}, round={self.round})"
+
+
+def size_sweep(
+    sizes: Sequence[int],
+    labels: list[int] | None = None,
+    graph_factory: Callable[[int], PortGraph] | None = None,
+) -> list[SweepPoint]:
+    """Gathering time vs. the size bound N (Theorem 3.1, E2).
+
+    ``graph_factory(n)`` builds the size-``n`` instance (default ring).
+    """
+    labels = labels if labels is not None else [1, 2]
+    factory = graph_factory if graph_factory is not None else (
+        lambda n: ring(n, seed=1)
+    )
+    points = []
+    for n in sizes:
+        graph = factory(n)
+        if len(labels) == 2:
+            starts = [0, graph.n - 1]
+        else:
+            starts = None  # default placement on nodes 0..k-1
+        report = run_gather_known(graph, labels, n, start_nodes=starts)
+        points.append(
+            SweepPoint(
+                n, report.round, report.total_moves, report.events,
+                f"labels={labels}",
+            )
+        )
+    return points
+
+
+def label_length_sweep(
+    bit_lengths: Sequence[int],
+    n_bound: int = 4,
+    graph: PortGraph | None = None,
+) -> list[SweepPoint]:
+    """Gathering time vs. smallest-label bit length (Theorem 3.1, E3)."""
+    graph = graph if graph is not None else ring(4, seed=1)
+    points = []
+    for bits in bit_lengths:
+        small = 1 << (bits - 1)
+        labels = [small, small + 1]
+        assert smallest_label_length(labels) == bits
+        report = run_gather_known(graph, labels, n_bound)
+        points.append(
+            SweepPoint(
+                bits, report.round, report.total_moves, report.events,
+                f"labels={labels}",
+            )
+        )
+    return points
+
+
+def message_length_sweep(
+    lengths: Sequence[int],
+    graph: PortGraph | None = None,
+    n_bound: int = 2,
+) -> list[SweepPoint]:
+    """Gossip time vs. message length (Theorem 5.1, E8)."""
+    from ..graphs.generators import single_edge
+
+    graph = graph if graph is not None else single_edge()
+    base = run_gossip_known(graph, [1, 2], ["", ""], n_bound)
+    points = []
+    for length in lengths:
+        m1 = ("10" * ((length + 1) // 2))[:length]
+        m2 = ("01" * ((length + 1) // 2))[:length]
+        report = run_gossip_known(graph, [1, 2], [m1, m2], n_bound)
+        points.append(
+            SweepPoint(
+                length,
+                report.round - base.round,
+                0,
+                report.events,
+                "gossip-phase rounds (gathering prefix subtracted)",
+            )
+        )
+    return points

@@ -1,0 +1,81 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every experiment in ``benchmarks/`` prints its rows through
+:class:`ResultTable` so that the output of ``pytest benchmarks/
+--benchmark-only`` can be diffed against the records in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_big(value: int | float) -> str:
+    """Human-readable big integers: exact below 10**7, ~10^e above.
+
+    Works for integers of *any* size (the unknown-bound clocks exceed
+    10**2000, beyond CPython's default int-to-str conversion limit),
+    using bit-length arithmetic instead of full decimal conversion.
+    """
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if -(10**7) < value < 10**7:
+        return str(value)
+    magnitude = abs(value)
+    # Lower-bound estimate of floor(log10), then correct upwards.
+    exponent = (magnitude.bit_length() - 1) * 30103 // 100000
+    while magnitude // 10**exponent >= 10:
+        exponent += 1
+    lead = str(magnitude // 10 ** (exponent - 3))  # 4 leading digits
+    mantissa = f"{lead[0]}.{lead[1:]}"
+    sign = "-" if value < 0 else ""
+    return f"{sign}{mantissa}e{exponent}"
+
+
+class ResultTable:
+    """Fixed-column ASCII table accumulated row by row."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values) -> None:
+        """Append one row; values are stringified via format_big."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(
+            [
+                v if isinstance(v, str) else format_big(v)
+                for v in values
+            ]
+        )
+
+    def render(self) -> str:
+        """The table as a string."""
+        widths = [
+            max(len(col), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        """Print with surrounding blank lines (pytest -s friendly)."""
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,10 @@
+"""Baselines in the traditional (talking) model, for comparison."""
+
+from .random_walk import run_random_walk_gather
+from .talking import TalkingReport, run_talking_gather
+
+__all__ = [
+    "run_talking_gather",
+    "run_random_walk_gather",
+    "TalkingReport",
+]

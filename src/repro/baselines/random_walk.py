@@ -1,0 +1,92 @@
+"""Randomized gathering baseline (talking model, coin-flip walks).
+
+A second reference point: groups perform pseudorandom walks (the
+classical randomized rendezvous strategy) and merge on meeting, again
+with the traditional model's instant information exchange.  Walks are
+derived from a deterministic hash of ``(group leader, round, seed)``,
+so members of a group compute identical moves without coordination and
+runs are reproducible.
+
+Gathering of the *whole* team is declared when a group of size ``k``
+forms.  Expected time is polynomial on the benchmark families but, in
+contrast to the paper's algorithms, there is no deterministic
+guarantee — which is precisely the comparison the benchmark draws.
+"""
+
+from __future__ import annotations
+
+from ..explore.explo import explo
+from ..explore.uxs import UXSProvider
+from ..graphs.port_graph import PortGraph
+from ..sim.agent import AgentContext, declare, move, wait
+from ..sim.scheduler import AgentSpec, Simulation
+from .talking import TalkingReport, _OracleHandle
+
+
+def _pseudo_step(leader: int, round_: int, seed: int, degree: int) -> int | None:
+    """Deterministic lazy-walk step shared by all members of a group.
+
+    Returns a port, or ``None`` for "stay put".  Laziness breaks the
+    lock-step parity that would otherwise let two groups swap along an
+    edge forever on bipartite graphs.
+    """
+    x = (leader * 0x9E3779B1 + round_ * 0x85EBCA77 + seed * 0xC2B2AE3D) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 0x2545F491) & 0xFFFFFFFF
+    x ^= x >> 13
+    if x & 1:
+        return None
+    return (x >> 1) % degree
+
+
+def run_random_walk_gather(
+    graph: PortGraph,
+    labels: list[int],
+    n_bound: int,
+    start_nodes: list[int] | None = None,
+    provider: UXSProvider | None = None,
+    seed: int = 0,
+    max_events: int | None = 20_000_000,
+) -> TalkingReport:
+    """Randomized-walk gathering in the talking model.
+
+    Same idealizations as :func:`repro.baselines.talking.
+    run_talking_gather` (known team size, simultaneous wake-up).
+    """
+    if start_nodes is None:
+        start_nodes = list(range(len(labels)))
+    if len(labels) < 2 or len(labels) > graph.n:
+        raise ValueError("need 2..n agents")
+    uxs = provider if provider is not None else UXSProvider()
+    uxs.verify_for_graph(n_bound, graph)
+    team_size = len(labels)
+    oracle = _OracleHandle()
+    t_explo = uxs.explo_duration(n_bound)
+
+    def program(ctx: AgentContext):
+        yield from explo(ctx, uxs, n_bound)
+        yield from wait(ctx, t_explo)
+        # From here local time is even (t_explo = 2L) and every
+        # iteration consumes exactly 2 rounds: all groups step on even
+        # rounds and stand still on odd rounds, so a meeting observed
+        # at an even round is stable and merges before anyone moves.
+        while True:
+            group = oracle.labels_here(ctx.label)
+            if len(group) == team_size:
+                yield from declare(ctx, min(group))
+            port = _pseudo_step(
+                min(group), ctx.local_time(), seed, ctx.degree()
+            )
+            if port is None:
+                yield from wait(ctx, 2)
+            else:
+                yield from move(ctx, port)
+                yield from wait(ctx, 1)
+
+    specs = [
+        AgentSpec(label, node, program, wake_round=0)
+        for label, node in zip(labels, start_nodes)
+    ]
+    sim = Simulation(graph, specs, max_events=max_events)
+    oracle.sim = sim
+    return TalkingReport(sim.run(), labels)

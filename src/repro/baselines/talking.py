@@ -1,0 +1,146 @@
+"""Gathering baseline in the *traditional* (talking) model.
+
+The paper's Section 1.2 describes the model every previous gathering
+algorithm assumed: co-located agents can exchange all currently
+available information — in particular they see each other's labels.
+This baseline implements the classic merge-and-follow-the-minimum
+strategy in that model, as the reference point for the cost-of-silence
+experiment (E9 in DESIGN.md):
+
+* phase 0: ``EXPLO(N)`` + wait (wake everybody, as in Algorithm 3);
+* every agent runs ``TZ`` parameterised by the smallest label of its
+  current *group*; groups with distinct minima meet within ``P(N, l)``
+  rounds, merge instantly (talking!), adopt the joint minimum and
+  restart;
+* an agent declares as soon as its group contains the whole team.
+
+Idealizations (this baseline is a *lower* bound on the talking model,
+making the measured silence overhead an upper bound):
+
+* agents are told the team size ``k`` (so termination detection is
+  free; the paper's weak model pays for it with whole phases);
+* merging, leader adoption and re-synchronization are instantaneous.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import transformed_label
+from ..core.parameters import KnownBoundParameters
+from ..explore.explo import explo
+from ..explore.tz import tz
+from ..explore.uxs import UXSProvider
+from ..graphs.port_graph import PortGraph
+from ..sim.agent import AgentContext, WatchTriggered, declare, wait
+from ..sim.scheduler import AgentSpec, Simulation, SimulationResult
+from ..sim.ops import SimulationError
+
+
+class TalkingReport:
+    """Validated result of a talking-baseline run."""
+
+    __slots__ = ("sim_result", "round", "node", "leader", "events", "total_moves")
+
+    def __init__(self, sim_result: SimulationResult, labels: list[int]) -> None:
+        self.sim_result = sim_result
+        if not sim_result.gathered():
+            raise SimulationError(
+                f"baseline failed to gather: {sim_result.outcomes}"
+            )
+        self.round = sim_result.declaration_round()
+        self.node = sim_result.meeting_node()
+        leaders = {p for p in sim_result.payloads()}
+        if leaders != {min(labels)}:
+            raise SimulationError(
+                f"baseline leader mismatch: {leaders} vs {min(labels)}"
+            )
+        self.leader = min(labels)
+        self.events = sim_result.events
+        self.total_moves = sim_result.total_moves
+
+
+class _OracleHandle:
+    """Late-bound reference to the simulation's talking capability."""
+
+    def __init__(self) -> None:
+        self.sim: Simulation | None = None
+
+    def labels_here(self, label: int) -> list[int]:
+        return self.sim.colocated_labels(label)
+
+
+def _talking_program(
+    params: KnownBoundParameters,
+    team_size: int,
+    oracle: _OracleHandle,
+):
+    provider = params.provider
+    n_bound = params.n_bound
+    t_explo = params.t_explo
+
+    block = 6 * t_explo
+
+    def program(ctx: AgentContext):
+        # Wake everyone, then let the late risers finish their tour.
+        yield from explo(ctx, provider, n_bound)
+        yield from wait(ctx, t_explo)
+        while True:
+            group = oracle.labels_here(ctx.label)
+            if len(group) == team_size:
+                yield from declare(ctx, min(group))
+            stream = transformed_label(min(group))
+            c = ctx.curcard()
+            try:
+                # Align to the global block grid (everyone woke in
+                # round 0), then run one TZ block anchored at the
+                # global block index: all groups compare the same
+                # stream position, so distinct minima force a meeting.
+                misaligned = ctx.local_time() % block
+                if misaligned:
+                    yield from wait(ctx, block - misaligned, ("gt", c))
+                yield from tz(
+                    ctx,
+                    provider,
+                    n_bound,
+                    stream,
+                    block,
+                    watch=("gt", c),
+                    block_offset=ctx.local_time() // block,
+                )
+                # Block over with no meeting: re-read the group (a
+                # merge elsewhere may have changed other groups).
+            except WatchTriggered:
+                # Someone arrived (or we walked into them): merge by
+                # falling through to re-read the co-located labels.
+                pass
+
+    return program
+
+
+def run_talking_gather(
+    graph: PortGraph,
+    labels: list[int],
+    n_bound: int,
+    start_nodes: list[int] | None = None,
+    provider: UXSProvider | None = None,
+    max_events: int | None = 100_000_000,
+) -> TalkingReport:
+    """Run the talking-model baseline (simultaneous wake-up).
+
+    Returns a :class:`TalkingReport`; the declaration round is the
+    quantity the silence-overhead experiment compares against.
+    """
+    if start_nodes is None:
+        start_nodes = list(range(len(labels)))
+    if len(labels) < 2 or len(labels) > graph.n:
+        raise ValueError("need 2..n agents")
+    params = KnownBoundParameters(n_bound, provider)
+    params.provider.verify_for_graph(n_bound, graph)
+    oracle = _OracleHandle()
+    program = _talking_program(params, len(labels), oracle)
+    specs = [
+        AgentSpec(label, node, program, wake_round=0)
+        for label, node in zip(labels, start_nodes)
+    ]
+    sim = Simulation(graph, specs, max_events=max_events)
+    oracle.sim = sim
+    return TalkingReport(sim.run(), labels)

@@ -1,0 +1,98 @@
+"""The paper's algorithms: gathering, leader election, gossiping."""
+
+from .communicate import CommunicateResult, communicate, communicate_duration
+from .configurations import (
+    Configuration,
+    DovetailOmega,
+    OmegaLimit,
+    TwoNodeDenseOmega,
+)
+from .gather_known import (
+    PhaseBudgetError,
+    gather_known_core,
+    gather_known_program,
+    smallest_label_length,
+)
+from .gather_unknown import (
+    HypothesisBudgetError,
+    ScheduleOverrunError,
+    gather_unknown_core,
+    gather_unknown_program,
+)
+from .gossip import gossip, gossip_round_bound
+from .messages import (
+    TextGossipReport,
+    bits_to_text,
+    run_text_gossip,
+    text_to_bits,
+)
+from .labels import (
+    CodecError,
+    binary_length,
+    code,
+    decode,
+    find_code_prefix,
+    label_from_transmission,
+    to_binary,
+    transformed_label,
+)
+from .parameters import KnownBoundParameters
+from .results import GatherOutcome, GossipOutcome
+from .runs import (
+    GatherReport,
+    GossipReport,
+    RunValidationError,
+    UnknownGatherReport,
+    run_gather_known,
+    run_gather_unknown,
+    run_gossip_known,
+    run_gossip_unknown,
+    run_leader_election,
+)
+from .unknown_parameters import InfeasibleHypothesisError, UnknownBoundSchedule
+
+__all__ = [
+    "Configuration",
+    "DovetailOmega",
+    "TwoNodeDenseOmega",
+    "OmegaLimit",
+    "UnknownBoundSchedule",
+    "InfeasibleHypothesisError",
+    "gather_unknown_core",
+    "gather_unknown_program",
+    "HypothesisBudgetError",
+    "ScheduleOverrunError",
+    "UnknownGatherReport",
+    "run_gather_unknown",
+    "run_gossip_unknown",
+    "text_to_bits",
+    "bits_to_text",
+    "run_text_gossip",
+    "TextGossipReport",
+    "code",
+    "decode",
+    "to_binary",
+    "binary_length",
+    "transformed_label",
+    "find_code_prefix",
+    "label_from_transmission",
+    "CodecError",
+    "KnownBoundParameters",
+    "communicate",
+    "communicate_duration",
+    "CommunicateResult",
+    "gather_known_core",
+    "gather_known_program",
+    "smallest_label_length",
+    "PhaseBudgetError",
+    "gossip",
+    "gossip_round_bound",
+    "GatherOutcome",
+    "GossipOutcome",
+    "GatherReport",
+    "GossipReport",
+    "RunValidationError",
+    "run_gather_known",
+    "run_gossip_known",
+    "run_leader_election",
+]

@@ -1,0 +1,89 @@
+"""``Communicate`` (Algorithm 4): the movement modem.
+
+A group of co-located agents exchanges a binary string without any
+message passing.  The call ``communicate(ctx, params, i, s, flag)``
+lasts exactly ``5 * i * T(EXPLO(N))`` rounds and is organised in ``i``
+steps of ``5 * T(EXPLO(N))`` rounds each.  In step ``j``:
+
+* agents still *participating* whose string has bit ``0`` at position
+  ``j`` perform ``[wait T | EXPLO | wait 3T]`` — they leave on a tour
+  while everyone else stands still;
+* all other agents perform ``[wait 3T | EXPLO | wait T]`` and read,
+  from the smallest ``CurCard`` seen on their own tour, whether a
+  subgroup left in the first window (their tour visits a node away
+  from the meeting point, where only their own subgroup is present).
+
+Bit by bit this computes the lexicographically smallest participating
+code word sigma and the number of agents holding exactly sigma —
+Lemma 3.1, verified directly by ``tests/test_communicate.py``.
+"""
+
+from __future__ import annotations
+
+from ..explore.explo import explo
+from ..sim.agent import AgentContext, wait
+from .parameters import KnownBoundParameters
+
+
+class CommunicateResult:
+    """Return value ``(l, k)`` of Algorithm 4."""
+
+    __slots__ = ("string", "count")
+
+    def __init__(self, string: str, count: int) -> None:
+        self.string = string
+        self.count = count
+
+    def __iter__(self):
+        yield self.string
+        yield self.count
+
+
+def communicate(
+    ctx: AgentContext,
+    params: KnownBoundParameters,
+    i: int,
+    s: str,
+    flag: bool,
+):
+    """Execute ``Communicate(i, s, bool)`` (Algorithm 4).
+
+    Parameters mirror the paper: ``i`` is the number of transmitted
+    bits, ``s`` the agent's code word, ``flag`` whether the agent
+    offers ``s`` for transmission at all (always true for gathering;
+    the gossip algorithm clears it once its message is known).
+    """
+    if i < 1:
+        raise ValueError("Communicate needs a positive bit count")
+    t_explo = params.t_explo
+    provider = params.provider
+    n_bound = params.n_bound
+    c = ctx.curcard()
+    k = 1
+    bits: list[str] = []
+    participate = flag and len(s) <= i
+    for j in range(1, i + 1):
+        if participate and j <= len(s) and s[j - 1] == "0":
+            yield from wait(ctx, t_explo)
+            stats = yield from explo(ctx, provider, n_bound)
+            yield from wait(ctx, 3 * t_explo)
+            bits.append("0")
+            if c > 1:
+                k = stats.min_curcard
+        else:
+            yield from wait(ctx, 3 * t_explo)
+            stats = yield from explo(ctx, provider, n_bound)
+            yield from wait(ctx, t_explo)
+            c_away = stats.min_curcard
+            if c == 1 or c_away == c:
+                bits.append("1")
+            else:
+                bits.append("0")
+                participate = False
+                k = c - c_away
+    return CommunicateResult("".join(bits), k)
+
+
+def communicate_duration(params: KnownBoundParameters, i: int) -> int:
+    """Exact duration of ``Communicate(i, ., .)``: ``5 i T(EXPLO(N))``."""
+    return 5 * i * params.t_explo

@@ -1,0 +1,116 @@
+"""``GatherKnownUpperBound`` (Algorithm 3 of the paper).
+
+Agents know a common upper bound ``N`` on the network size.  The
+algorithm alternates *merge attempts* (synchronized EXPLO tours that
+force distinct groups to meet or prove their mutual invisibility) with
+*label transmission* (``Communicate``) and *targeted rendezvous*
+(``TZ`` on the transmitted label).  An agent declares gathering once a
+full phase passes with its group intact and a complete label learned.
+
+The phase-``i`` body is a line-by-line translation of Algorithm 3; the
+pseudo-code's two interruptible begin-end blocks map onto
+``try/except WatchTriggered`` with a ``CurCard > c`` watch.
+"""
+
+from __future__ import annotations
+
+from ..explore.explo import explo
+from ..explore.tz import tz
+from ..sim.agent import AgentContext, WatchTriggered, declare, wait, wait_stable
+from .communicate import communicate
+from .labels import label_from_transmission, to_binary, transformed_label
+from .parameters import KnownBoundParameters
+from .results import GatherOutcome
+
+
+class PhaseBudgetError(RuntimeError):
+    """The algorithm exceeded its proven phase bound — a bug, not a model
+    outcome; raised so tests fail loudly instead of looping forever."""
+
+
+def gather_known_core(
+    ctx: AgentContext,
+    params: KnownBoundParameters,
+    max_phases: int | None = None,
+):
+    """Run Algorithm 3 until the declaration condition holds.
+
+    This generator *returns* the :class:`GatherOutcome` instead of
+    declaring, so that leader election and gossiping can run on top of
+    it; use :func:`gather_known_program` for the plain gathering agent.
+    """
+    t_explo = params.t_explo
+    provider = params.provider
+    n_bound = params.n_bound
+    my_code = transformed_label(ctx.label)
+
+    # Phase 0 (lines 2-3): wake everyone, then let late risers finish.
+    yield from explo(ctx, provider, n_bound)
+    yield from wait(ctx, t_explo)
+
+    i = 1
+    while True:
+        if max_phases is not None and i > max_phases:
+            raise PhaseBudgetError(
+                f"agent {ctx.label} exceeded the phase budget {max_phases}"
+            )
+        c = ctx.curcard()
+        lam = 0
+        watch = ("gt", c)
+        # Lines 8-14: merge attempt, interruptible on CurCard > c.
+        try:
+            yield from wait(ctx, params.d(i), watch)
+            yield from explo(ctx, provider, n_bound, watch)
+            yield from wait(ctx, t_explo, watch)
+            yield from explo(ctx, provider, n_bound, watch)
+            met_new_agents = False
+        except WatchTriggered:
+            met_new_agents = True
+        if met_new_agents:
+            # Line 16: re-synchronize all merged groups.
+            yield from wait_stable(ctx, params.d(i + 1))
+        else:
+            # Lines 18-22: transmit/receive i bits of the smallest code.
+            result = yield from communicate(ctx, params, i, my_code, True)
+            decoded = label_from_transmission(result.string)
+            if decoded is not None:
+                lam = decoded
+            # Lines 23-29: rendezvous on the learned label.
+            try:
+                yield from wait(ctx, t_explo, watch)
+                yield from tz(
+                    ctx,
+                    provider,
+                    n_bound,
+                    transformed_label(lam),
+                    params.d(i),
+                    watch,
+                )
+                yield from wait(ctx, t_explo, watch)
+                yield from explo(ctx, provider, n_bound, watch)
+            except WatchTriggered:
+                yield from wait_stable(ctx, params.d(i + 1))
+        # Line 34.
+        yield from wait(ctx, params.d(i + 1))
+        # Lines 35-37: group unchanged for the whole phase and a full
+        # label was learned -> everyone is here; declare.
+        if ctx.curcard() == c and lam != 0:
+            return GatherOutcome(label=ctx.label, leader=lam, phase=i)
+        i += 1
+
+
+def gather_known_program(
+    params: KnownBoundParameters, max_phases: int | None = None
+):
+    """Program factory for a plain ``GatherKnownUpperBound`` agent."""
+
+    def program(ctx: AgentContext):
+        outcome = yield from gather_known_core(ctx, params, max_phases)
+        yield from declare(ctx, outcome)
+
+    return program
+
+
+def smallest_label_length(labels: list[int]) -> int:
+    """``l``: binary length of the smallest label (complexity parameter)."""
+    return len(to_binary(min(labels)))

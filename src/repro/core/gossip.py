@@ -1,0 +1,70 @@
+"""``Gossip`` (Algorithm 12): full information exchange by movement.
+
+Preconditions (established by either gathering algorithm): all agents
+are together at one node, start in the same round, and share the
+parameters (in particular the size bound behind ``T(EXPLO(N))``).
+
+Messages are binary strings; as in the paper each message is shipped
+as ``code(M)`` so transmissions are self-delimiting.  The agents
+repeatedly call ``Communicate`` with a growing bit budget ``j``; each
+time the returned string ends in a code terminator they have jointly
+learned the lexicographically smallest not-yet-delivered message and
+how many agents carry it, and the holders stop offering theirs.  The
+loop ends when the counted deliveries reach the group cardinality.
+"""
+
+from __future__ import annotations
+
+from ..sim.agent import AgentContext
+from .communicate import communicate
+from .labels import code, decode
+from .parameters import KnownBoundParameters
+
+
+def gossip(
+    ctx: AgentContext,
+    params: KnownBoundParameters,
+    message: str,
+):
+    """Run Algorithm 12; returns ``{message: holder_count}``.
+
+    ``message`` is the agent's own binary-string input (possibly
+    empty; possibly equal to other agents' messages).
+    """
+    if set(message) - {"0", "1"}:
+        raise ValueError(f"message must be a binary string, got {message!r}")
+    coded = code(message)
+    total = ctx.curcard()
+    delivered = 0
+    j = 2
+    offering = True
+    learned: dict[str, int] = {}
+    while delivered != total:
+        result = yield from communicate(ctx, params, j, coded, offering)
+        if result.string.endswith("01"):
+            learned[decode(result.string)] = result.count
+            delivered += result.count
+            j = 2
+            if result.string == coded:
+                offering = False
+        else:
+            j += 2
+    return learned
+
+
+def gossip_round_bound(
+    params: KnownBoundParameters,
+    num_messages: int,
+    max_message_length: int,
+) -> int:
+    """Crude closed-form bound on gossip duration (Theorem 5.1 shape).
+
+    Each distinct message of coded length ``s`` costs the escalation
+    ``sum_{j=2,4..s} 5 j T(EXPLO(N)) <= 5 s^2 T``; with at most
+    ``num_messages`` distinct messages of coded length at most
+    ``2 * max_message_length + 2`` the total is polynomial in all
+    three parameters.
+    """
+    s_max = 2 * max_message_length + 2
+    per_message = 5 * s_max * s_max * params.t_explo
+    return num_messages * per_message

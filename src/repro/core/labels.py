@@ -1,0 +1,99 @@
+"""Label transformation: the ``code``/``decode`` functions of Section 2.
+
+``code`` doubles every bit and appends the terminator ``01``::
+
+    code("")    = "01"
+    code("101") = "11001101"
+
+Proposition 2.1 of the paper gives the three properties everything
+else leans on:
+
+* ``|code(s)|`` is even;
+* ``code(s)[z, z+1] == "01"`` at an odd (1-indexed) position ``z`` iff
+  ``z + 1 == |code(s)|`` — i.e. the terminator is the *only* aligned
+  ``01`` pair;
+* no ``code`` string is a prefix of another.
+
+These make the movement-encoded transmissions self-delimiting: a
+receiver scanning aligned bit pairs recognises the first ``01`` as the
+end of a full code word (Algorithm 3, lines 20-22).
+"""
+
+from __future__ import annotations
+
+
+class CodecError(ValueError):
+    """Raised when decoding a malformed code string."""
+
+
+def to_binary(value: int) -> str:
+    """Binary representation without prefix; ``0 -> "0"``."""
+    if value < 0:
+        raise ValueError("labels and transmitted values are non-negative")
+    return format(value, "b")
+
+
+def binary_length(value: int) -> int:
+    """Length of the binary representation of ``value``."""
+    return len(to_binary(value))
+
+
+def code(s: str) -> str:
+    """The paper's ``code`` function on a binary string."""
+    if set(s) - {"0", "1"}:
+        raise ValueError(f"not a binary string: {s!r}")
+    doubled = "".join(ch + ch for ch in s)
+    return doubled + "01"
+
+
+def decode(t: str) -> str:
+    """Inverse of :func:`code`; validates the structure."""
+    if len(t) < 2 or len(t) % 2 != 0:
+        raise CodecError(f"bad code length: {t!r}")
+    if t[-2:] != "01":
+        raise CodecError(f"missing 01 terminator: {t!r}")
+    body = t[:-2]
+    out = []
+    for i in range(0, len(body), 2):
+        pair = body[i : i + 2]
+        if pair[0] != pair[1]:
+            raise CodecError(f"unpaired bits at position {i}: {t!r}")
+        out.append(pair[0])
+    return "".join(out)
+
+
+def transformed_label(label: int) -> str:
+    """``code`` of the binary representation of an integer label."""
+    return code(to_binary(label))
+
+
+def find_code_prefix(stream: str) -> str | None:
+    """First aligned ``01`` pair terminates a code word; return it.
+
+    ``stream`` is the string assembled by ``Communicate``; the paper
+    (Algorithm 3 line 20) looks for an odd 1-indexed ``z`` with
+    ``stream[z, z+1] == "01"``, i.e. an even 0-indexed offset here.
+    Returns the code-word prefix, or ``None`` if no terminator occurs.
+    """
+    for k in range(0, len(stream) - 1, 2):
+        if stream[k] == "0" and stream[k + 1] == "1":
+            return stream[: k + 2]
+    return None
+
+
+def label_from_transmission(stream: str) -> int | None:
+    """Decode the leading code word of a transmission into an integer.
+
+    Returns ``None`` when the stream carries no complete code word
+    (e.g. it is all-ones padding) or the prefix is malformed.
+    """
+    prefix = find_code_prefix(stream)
+    if prefix is None:
+        return None
+    try:
+        bits = decode(prefix)
+    except CodecError:
+        return None
+    if not bits:
+        return None
+    return int(bits, 2)

@@ -1,0 +1,70 @@
+"""Convenience codecs: gossiping arbitrary text, not just bit strings.
+
+The paper's gossip algorithm moves binary strings.  Downstream users
+usually hold structured payloads; these helpers provide a canonical
+UTF-8 <-> bits mapping and a text-level wrapper around
+:func:`repro.core.runs.run_gossip_known`, so "mute robots exchange
+sensor readings" is a one-liner.
+"""
+
+from __future__ import annotations
+
+from ..explore.uxs import UXSProvider
+from ..graphs.port_graph import PortGraph
+from .runs import GossipReport, run_gossip_known
+
+
+def text_to_bits(text: str) -> str:
+    """UTF-8 encode ``text`` as a binary string (8 bits per byte)."""
+    return "".join(format(byte, "08b") for byte in text.encode("utf-8"))
+
+
+def bits_to_text(bits: str) -> str:
+    """Inverse of :func:`text_to_bits`."""
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit length {len(bits)} is not a whole byte")
+    if set(bits) - {"0", "1"}:
+        raise ValueError("not a binary string")
+    data = bytes(int(bits[i : i + 8], 2) for i in range(0, len(bits), 8))
+    return data.decode("utf-8")
+
+
+class TextGossipReport:
+    """Text-level view of a gossip run."""
+
+    __slots__ = ("report", "texts", "round")
+
+    def __init__(self, report: GossipReport) -> None:
+        self.report = report
+        self.texts = {
+            bits_to_text(bits): count
+            for bits, count in report.messages.items()
+        }
+        self.round = report.round
+
+
+def run_text_gossip(
+    graph: PortGraph,
+    labels: list[int],
+    texts: list[str],
+    n_bound: int,
+    start_nodes: list[int] | None = None,
+    wake_rounds: list[int | None] | None = None,
+    provider: UXSProvider | None = None,
+) -> TextGossipReport:
+    """Gossip UTF-8 strings through the movement modem.
+
+    Every agent ends up knowing the exact multiset of texts.  Note the
+    modem's price: each *bit* costs five graph tours, so texts should
+    be short on large graphs (see benchmark E4b).
+    """
+    report = run_gossip_known(
+        graph,
+        labels,
+        [text_to_bits(t) for t in texts],
+        n_bound,
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
+        provider=provider,
+    )
+    return TextGossipReport(report)

@@ -1,0 +1,56 @@
+"""Outcome payloads produced by the algorithm programs."""
+
+from __future__ import annotations
+
+
+class GatherOutcome:
+    """Per-agent result of a gathering algorithm.
+
+    ``leader`` is the elected label (the paper's leader-election
+    by-product): every agent finishes with the same value, which is
+    the label of one of the agents.
+    """
+
+    __slots__ = ("label", "leader", "phase", "size")
+
+    def __init__(
+        self,
+        label: int,
+        leader: int,
+        phase: int,
+        size: int | None = None,
+    ) -> None:
+        self.label = label
+        self.leader = leader
+        self.phase = phase
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"GatherOutcome(label={self.label}, leader={self.leader}, "
+            f"phase={self.phase}, size={self.size})"
+        )
+
+
+class GossipOutcome:
+    """Per-agent result of a gossip algorithm.
+
+    ``messages`` maps each distinct message (a binary string) to the
+    number of agents whose input message it was; ``gather`` carries
+    the preceding gathering outcome when gossip ran on top of it.
+    """
+
+    __slots__ = ("label", "messages", "gather")
+
+    def __init__(
+        self,
+        label: int,
+        messages: dict[str, int],
+        gather: GatherOutcome | None = None,
+    ) -> None:
+        self.label = label
+        self.messages = messages
+        self.gather = gather
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"GossipOutcome(label={self.label}, messages={self.messages})"

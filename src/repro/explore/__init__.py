@@ -1,0 +1,35 @@
+"""Exploration and rendezvous primitives (EXPLO, TZ, EST)."""
+
+from .explo import ExploStats, explo
+from .est import ESTResult, est, est_budget, est_plus
+from .tz import BLOCK_SLOTS, tz, tz_schedule_bits
+from .uxs import (
+    UniversalityError,
+    UXSProvider,
+    generate_sequence,
+    is_universal_for,
+    nodes_visited,
+    search_sequence,
+    verify_exhaustive,
+    walk_ports,
+)
+
+__all__ = [
+    "explo",
+    "ExploStats",
+    "tz",
+    "tz_schedule_bits",
+    "BLOCK_SLOTS",
+    "est",
+    "est_plus",
+    "est_budget",
+    "ESTResult",
+    "UXSProvider",
+    "UniversalityError",
+    "generate_sequence",
+    "is_universal_for",
+    "nodes_visited",
+    "walk_ports",
+    "search_sequence",
+    "verify_exhaustive",
+]

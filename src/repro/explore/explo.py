@@ -1,0 +1,78 @@
+"""The procedure ``EXPLO(N)`` of Section 2.
+
+``EXPLO(N)`` lasts exactly ``T(EXPLO(N)) = 2 * L`` rounds, where ``L``
+is the length of the exploration sequence for size ``N``:
+
+* the *effective part* (first ``L`` rounds) follows the universal
+  exploration sequence and visits every node of any graph of size at
+  most ``N``;
+* the *backtrack part* (last ``L`` rounds) retraces the traversed
+  edges in reverse order, returning the agent to its starting node.
+
+The generator below is written against :class:`~repro.sim.agent.
+AgentContext` only — it steers by the observed degree and entry port,
+never by node identity, exactly as the model allows.
+"""
+
+from __future__ import annotations
+
+from ..sim.agent import AgentContext, move
+from ..sim.ops import Watch
+from .uxs import UXSProvider, first_exit_port, next_exit_port
+
+
+class ExploStats:
+    """Statistics of one EXPLO execution.
+
+    ``min_curcard`` is the smallest ``CurCard`` observed during the
+    execution — the quantity lines 17 and 24 of Algorithm 4
+    (``Communicate``) read off.
+    """
+
+    __slots__ = ("min_curcard", "rounds")
+
+    def __init__(self, min_curcard: int, rounds: int) -> None:
+        self.min_curcard = min_curcard
+        self.rounds = rounds
+
+
+def explo(
+    ctx: AgentContext,
+    provider: UXSProvider,
+    n: int,
+    watch: Watch | None = None,
+    limit: int | None = None,
+):
+    """Execute ``EXPLO(n)`` (optionally only its first ``limit`` rounds).
+
+    A ``limit`` smaller than ``2 * L`` truncates the instruction stream
+    mid-procedure (the agent may end away from its start); this is how
+    ``TZ`` executes "for D_i consecutive rounds".
+
+    Raises :class:`~repro.sim.agent.WatchTriggered` as soon as the
+    watch fires on any arrival observation.
+    """
+    sequence = provider.sequence(n)
+    length = len(sequence)
+    total = 2 * length if limit is None else min(limit, 2 * length)
+    min_card = ctx.curcard()
+    entries: list[int] = []
+    entry: int | None = None
+    effective = min(length, total)
+    for i in range(effective):
+        degree = ctx.degree()
+        if entry is None:
+            port = first_exit_port(degree, sequence[i])
+        else:
+            port = next_exit_port(entry, sequence[i], degree)
+        obs = yield from move(ctx, port, watch)
+        entry = obs.entry_port
+        entries.append(entry)
+        if obs.curcard < min_card:
+            min_card = obs.curcard
+    remaining = total - effective
+    for e in list(reversed(entries))[:remaining]:
+        obs = yield from move(ctx, e, watch)
+        if obs.curcard < min_card:
+            min_card = obs.curcard
+    return ExploStats(min_card, total)

@@ -1,0 +1,101 @@
+"""The rendezvous procedure ``TZ(L)``.
+
+The paper borrows Ta-Shma and Zwick's rendezvous procedure [37] as a
+black box: two agents running ``TZ`` with distinct integer parameters
+meet within a polynomial number of rounds.  ``GatherKnownUpperBound``
+only ever invokes it between groups whose starts differ by at most
+``T(EXPLO(N)) / 2`` rounds and whose parameters are bounded by the
+phase index (Lemma 3.2 / Claim 3.4 of the paper), which admits the
+following much simpler certified construction.
+
+Construction
+------------
+Let ``s = code(bin(L))`` (the prefix-free transformed label).  Time is
+divided into *blocks* of ``6 * T`` rounds, ``T = T(EXPLO(N))``.  In
+block ``j`` the agent reads bit ``b = s[j mod |s|]`` and executes::
+
+    b = 1:   EXPLO(N) | wait T | wait T | wait T | wait T | wait T
+    b = 0:   wait T   | wait T | EXPLO(N) | wait T | wait T | wait T
+
+Guarantee (verified by tests/test_tz.py): two groups running ``TZ``
+with distinct parameters, started at most ``T/2`` rounds apart, share a
+node within ``P(N, i) = 6 * T * ((i + 4)**2 + 4)`` rounds of the later
+start, whenever both transformed labels have length at most ``i + 4``.
+
+*Why the bits eventually differ*: distinct ``code`` strings can never
+be powers of a common word (an interior aligned ``01`` at an odd
+position would contradict Proposition 2.1), so by Fine and Wilf their
+periodic expansions differ at some index ``j* < |s_A| * |s_B|``.
+
+*Why differing bits force a meeting*: the exploring slot of either
+schedule is flanked by stationary slots so that, for any start offset
+``delta`` with ``|delta| <= T``, the *entire* exploration window of the
+bit-1 agent falls inside a stationary window of the bit-0 agent (or
+vice versa); the effective part of EXPLO then walks through the
+stationary group's node.
+"""
+
+from __future__ import annotations
+
+from ..sim.agent import AgentContext, wait
+from ..sim.ops import Watch
+from .explo import explo
+from .uxs import UXSProvider
+
+# Slot layouts per bit; "E" = EXPLO(N), "W" = wait T(EXPLO(N)) rounds.
+_SLOTS_ONE = ("E", "W", "W", "W", "W", "W")
+_SLOTS_ZERO = ("W", "W", "E", "W", "W", "W")
+
+BLOCK_SLOTS = 6
+
+
+def tz_schedule_bits(transformed_label: str, blocks: int) -> str:
+    """The periodic bit stream driving the block schedule (for tests)."""
+    return "".join(
+        transformed_label[j % len(transformed_label)] for j in range(blocks)
+    )
+
+
+def tz(
+    ctx: AgentContext,
+    provider: UXSProvider,
+    n: int,
+    transformed_label: str,
+    duration: int,
+    watch: Watch | None = None,
+    block_offset: int = 0,
+):
+    """Run the ``TZ`` schedule for exactly ``duration`` rounds.
+
+    ``transformed_label`` must be a non-empty binary string (callers
+    pass ``code(bin(L))``).  The stream is truncated mid-slot when the
+    budget runs out, exactly like the paper's "execute TZ(lambda) for
+    D_i consecutive rounds".
+
+    ``block_offset`` shifts the bit-stream index: block ``j`` reads bit
+    ``(block_offset + j) mod |s|``.  The gathering algorithm always
+    uses 0 (groups start TZ near-simultaneously); the talking baseline
+    anchors the index to a global block grid so that groups restarting
+    at different times still compare stream positions alignedly.
+    """
+    if not transformed_label or set(transformed_label) - {"0", "1"}:
+        raise ValueError("transformed label must be a non-empty binary string")
+    slot = provider.explo_duration(n)
+    if slot == 0:
+        yield from wait(ctx, duration, watch)
+        return
+    used = 0
+    j = block_offset
+    while used < duration:
+        bit = transformed_label[j % len(transformed_label)]
+        layout = _SLOTS_ONE if bit == "1" else _SLOTS_ZERO
+        for action in layout:
+            if used >= duration:
+                break
+            chunk = min(slot, duration - used)
+            if action == "E":
+                yield from explo(ctx, provider, n, watch=watch, limit=chunk)
+            else:
+                yield from wait(ctx, chunk, watch)
+            used += chunk
+        j += 1

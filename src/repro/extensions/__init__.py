@@ -1,0 +1,11 @@
+"""Exploratory extensions beyond the paper (see module docstrings)."""
+
+from .randomized_silent import (
+    RandomizedSilentReport,
+    run_randomized_silent_gather,
+)
+
+__all__ = [
+    "run_randomized_silent_gather",
+    "RandomizedSilentReport",
+]

@@ -1,0 +1,103 @@
+"""Extension: randomized gathering in the weak model (open problem).
+
+The paper's conclusion poses an open question: can randomization buy
+polynomial-time gathering *without any a-priori knowledge* in the weak
+model?  This module explores the neighbouring point in the design
+space that is easy to settle empirically: agents that cannot
+communicate (weak model — only ``CurCard``), know nothing about the
+graph, but *do* know the team size ``k``.
+
+Algorithm ``RandomizedSilentGather(k)``:
+
+* every agent performs a lazy pseudorandom walk (one step per two
+  rounds, seeded by its own label, so the team stays desynchronised);
+* after every observation an agent checks ``CurCard == k``; the first
+  round in which the whole team coincides, *every* agent sees it
+  simultaneously and declares.
+
+This is Las-Vegas: termination is almost-sure but only the observation
+of ``CurCard == k`` is used, staying strictly inside the weak model.
+The benchmark compares its expected time against the deterministic
+algorithms; its exponential degradation in ``k`` (simultaneous
+coincidence of independent walks) illustrates why the paper's
+deterministic machinery earns its complexity.
+"""
+
+from __future__ import annotations
+
+from ..explore.uxs import UXSProvider
+from ..graphs.port_graph import PortGraph
+from ..sim.agent import AgentContext, WatchTriggered, declare, move, wait
+from ..sim.ops import SimulationError
+from ..sim.scheduler import AgentSpec, Simulation, SimulationResult
+
+
+def _pseudo_step(label: int, round_: int, seed: int, degree: int) -> int | None:
+    """Lazy step: None = stay; otherwise a port.  Per-agent stream."""
+    x = (label * 0x9E3779B1 + round_ * 0x85EBCA77 + seed * 0xC2B2AE3D) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) & 0xFFFFFFFF
+    x ^= x >> 13
+    if x & 1:
+        return None
+    return (x >> 1) % degree
+
+
+class RandomizedSilentReport:
+    """Validated result of a randomized silent gathering run."""
+
+    __slots__ = ("sim_result", "round", "node", "events", "total_moves")
+
+    def __init__(self, sim_result: SimulationResult) -> None:
+        self.sim_result = sim_result
+        if not sim_result.gathered():
+            raise SimulationError(
+                f"randomized gather failed: {sim_result.outcomes}"
+            )
+        self.round = sim_result.declaration_round()
+        self.node = sim_result.meeting_node()
+        self.events = sim_result.events
+        self.total_moves = sim_result.total_moves
+
+
+def run_randomized_silent_gather(
+    graph: PortGraph,
+    labels: list[int],
+    start_nodes: list[int] | None = None,
+    seed: int = 0,
+    max_events: int | None = 30_000_000,
+) -> RandomizedSilentReport:
+    """Gather with CurCard only, knowing just the team size.
+
+    All agents wake simultaneously (the lazy walk needs no further
+    synchronisation).  Termination is almost-sure; ``max_events``
+    bounds pathological streaks.
+    """
+    if start_nodes is None:
+        start_nodes = list(range(len(labels)))
+    if len(labels) < 2 or len(labels) > graph.n:
+        raise ValueError("need 2..n agents")
+    team_size = len(labels)
+
+    def program(ctx: AgentContext):
+        while True:
+            if ctx.curcard() == team_size:
+                yield from declare(ctx, team_size)
+            port = _pseudo_step(
+                ctx.label, ctx.local_time(), seed, ctx.degree()
+            )
+            try:
+                if port is None:
+                    yield from wait(ctx, 2, watch=("eq", team_size))
+                else:
+                    yield from move(ctx, port, watch=("eq", team_size))
+                    yield from wait(ctx, 1, watch=("eq", team_size))
+            except WatchTriggered:
+                yield from declare(ctx, team_size)
+
+    specs = [
+        AgentSpec(label, node, program, wake_round=0)
+        for label, node in zip(labels, start_nodes)
+    ]
+    sim = Simulation(graph, specs, max_events=max_events)
+    return RandomizedSilentReport(sim.run())

@@ -1,0 +1,49 @@
+"""Anonymous port-labelled graph substrate."""
+
+from .port_graph import GraphError, PortGraph, iter_all_walks
+from .generators import (
+    complete_graph,
+    family_for_size,
+    grid_graph,
+    hypercube,
+    lollipop,
+    oriented_ring,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    ring,
+    single_edge,
+    star_graph,
+)
+from .enumerate_graphs import (
+    count_port_graphs,
+    iter_all_port_graphs,
+    iter_connected_edge_sets,
+    iter_port_labelings,
+)
+from .isomorphism import are_isomorphic, configurations_match, find_isomorphism
+
+__all__ = [
+    "GraphError",
+    "PortGraph",
+    "iter_all_walks",
+    "single_edge",
+    "ring",
+    "oriented_ring",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "hypercube",
+    "random_tree",
+    "random_connected_graph",
+    "lollipop",
+    "family_for_size",
+    "iter_all_port_graphs",
+    "iter_connected_edge_sets",
+    "iter_port_labelings",
+    "count_port_graphs",
+    "are_isomorphic",
+    "find_isomorphism",
+    "configurations_match",
+]

@@ -1,0 +1,96 @@
+"""Exhaustive enumeration of small port-labelled connected graphs.
+
+Two consumers:
+
+* UXS verification (:mod:`repro.explore.uxs`) checks a candidate
+  exploration sequence against *every* connected port-labelled graph of
+  size up to 4 — this is what makes the sequence a certified universal
+  exploration sequence for those sizes.
+* The configuration enumeration Ω of ``GatherUnknownUpperBound``
+  (:mod:`repro.core.configurations`) draws its underlying graphs from
+  here.
+
+The enumeration works on labelled nodes ``0..n-1`` (an over-count of
+the anonymous graphs, which is harmless for both consumers: coverage of
+a super-family is still coverage, and Ω may repeat isomorphic
+configurations without affecting correctness — the paper only requires
+every configuration to occur at least once).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Iterator
+
+from .port_graph import GraphError, PortGraph
+
+
+def _connected(n: int, pairs: tuple[tuple[int, int], ...]) -> bool:
+    seen = {0}
+    frontier = [0]
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in pairs:
+        adj[u].append(v)
+        adj[v].append(u)
+    while frontier:
+        u = frontier.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return len(seen) == n
+
+
+def iter_connected_edge_sets(n: int) -> Iterator[tuple[tuple[int, int], ...]]:
+    """All connected simple edge sets on labelled nodes ``0..n-1``."""
+    if n == 1:
+        yield ()
+        return
+    all_pairs = list(combinations(range(n), 2))
+    for size in range(n - 1, len(all_pairs) + 1):
+        for subset in combinations(all_pairs, size):
+            if _connected(n, subset):
+                yield subset
+
+
+def iter_port_labelings(
+    n: int, pairs: tuple[tuple[int, int], ...]
+) -> Iterator[PortGraph]:
+    """All port assignments of an edge set, as :class:`PortGraph`."""
+    incident: list[list[int]] = [[] for _ in range(n)]
+    for idx, (u, v) in enumerate(pairs):
+        incident[u].append(idx)
+        incident[v].append(idx)
+    per_node_orders = [list(permutations(inc)) for inc in incident]
+
+    def rec(node: int, port_of: list[dict[int, int]]) -> Iterator[PortGraph]:
+        if node == n:
+            edges = [
+                (u, port_of[u][idx], v, port_of[v][idx])
+                for idx, (u, v) in enumerate(pairs)
+            ]
+            try:
+                yield PortGraph(n, edges)
+            except GraphError:  # pragma: no cover - construction is valid
+                raise
+            return
+        for order in per_node_orders[node]:
+            port_of[node] = {edge_idx: p for p, edge_idx in enumerate(order)}
+            yield from rec(node + 1, port_of)
+
+    yield from rec(0, [{} for _ in range(n)])
+
+
+def iter_all_port_graphs(n: int) -> Iterator[PortGraph]:
+    """Every connected simple port-labelled graph on ``n`` labelled nodes.
+
+    Counts grow quickly (K4 alone has 6^4 labelings); intended for
+    n <= 4.
+    """
+    for pairs in iter_connected_edge_sets(n):
+        yield from iter_port_labelings(n, pairs)
+
+
+def count_port_graphs(n: int) -> int:
+    """Number of enumerated port graphs of size ``n`` (for tests)."""
+    return sum(1 for _ in iter_all_port_graphs(n))

@@ -1,0 +1,191 @@
+"""Generators for the graph families used in tests and benchmarks.
+
+All generators return :class:`~repro.graphs.port_graph.PortGraph`
+instances.  Port numbers can be assigned canonically (deterministic,
+convenient for reasoning in tests) or shuffled with a seeded RNG to
+model the adversarial local port numbering of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from .port_graph import GraphError, PortGraph
+
+
+def _build_from_pairs(
+    n: int,
+    pairs: Iterable[tuple[int, int]],
+    rng: random.Random | None = None,
+) -> PortGraph:
+    """Assign ports to an undirected edge list and build the graph.
+
+    Ports at each node are handed out in the order edges appear; if
+    ``rng`` is given the per-node port orderings are permuted, which
+    yields an arbitrary (adversarial) local numbering.
+    """
+    incident: list[list[int]] = [[] for _ in range(n)]
+    pair_list = list(pairs)
+    for idx, (u, v) in enumerate(pair_list):
+        incident[u].append(idx)
+        incident[v].append(idx)
+    port_of: list[dict[int, int]] = [{} for _ in range(n)]
+    for node in range(n):
+        order = list(incident[node])
+        if rng is not None:
+            rng.shuffle(order)
+        for port, edge_idx in enumerate(order):
+            port_of[node][edge_idx] = port
+    edges = []
+    for idx, (u, v) in enumerate(pair_list):
+        edges.append((u, port_of[u][idx], v, port_of[v][idx]))
+    return PortGraph(n, edges)
+
+
+def single_edge() -> PortGraph:
+    """The unique 2-node graph: one edge with port 0 at each end."""
+    return PortGraph(2, [(0, 0, 1, 0)])
+
+
+def ring(n: int, seed: int | None = None) -> PortGraph:
+    """Cycle on ``n`` nodes (n >= 3)."""
+    if n < 3:
+        raise GraphError("a ring needs at least 3 nodes")
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def oriented_ring(n: int) -> PortGraph:
+    """Ring where port 0 is always clockwise and port 1 anticlockwise.
+
+    This is the canonical symmetric ring from the paper's introduction
+    (the configuration in which two identical simultaneous agents can
+    never gather deterministically).
+    """
+    if n < 3:
+        raise GraphError("a ring needs at least 3 nodes")
+    edges = [(i, 0, (i + 1) % n, 1) for i in range(n)]
+    return PortGraph(n, edges)
+
+
+def path_graph(n: int, seed: int | None = None) -> PortGraph:
+    """Simple path on ``n`` nodes."""
+    if n < 2:
+        raise GraphError("a path needs at least 2 nodes")
+    pairs = [(i, i + 1) for i in range(n - 1)]
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def star_graph(n: int, seed: int | None = None) -> PortGraph:
+    """Star with centre node 0 and ``n - 1`` leaves."""
+    if n < 2:
+        raise GraphError("a star needs at least 2 nodes")
+    pairs = [(0, i) for i in range(1, n)]
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def complete_graph(n: int, seed: int | None = None) -> PortGraph:
+    """Clique on ``n`` nodes."""
+    if n < 2:
+        raise GraphError("a clique needs at least 2 nodes")
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def grid_graph(rows: int, cols: int, seed: int | None = None) -> PortGraph:
+    """rows x cols grid."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise GraphError("grid needs at least 2 nodes")
+    n = rows * cols
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                pairs.append((v, v + 1))
+            if r + 1 < rows:
+                pairs.append((v, v + cols))
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def hypercube(dim: int) -> PortGraph:
+    """dim-dimensional hypercube; port i flips bit i."""
+    if dim < 1:
+        raise GraphError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for bit in range(dim):
+            u = v ^ (1 << bit)
+            if v < u:
+                edges.append((v, bit, u, bit))
+    return PortGraph(n, edges)
+
+
+def random_tree(n: int, seed: int = 0) -> PortGraph:
+    """Uniform-ish random tree via random attachment."""
+    if n < 2:
+        raise GraphError("a tree needs at least 2 nodes")
+    rng = random.Random(seed)
+    pairs = [(rng.randrange(i), i) for i in range(1, n)]
+    return _build_from_pairs(n, pairs, rng)
+
+
+def random_connected_graph(
+    n: int, extra_edge_prob: float = 0.3, seed: int = 0
+) -> PortGraph:
+    """Random connected graph: a random tree plus extra random edges."""
+    if n < 2:
+        raise GraphError("need at least 2 nodes")
+    rng = random.Random(seed)
+    pairs: set[tuple[int, int]] = set()
+    for i in range(1, n):
+        j = rng.randrange(i)
+        pairs.add((j, i))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in pairs and rng.random() < extra_edge_prob:
+                pairs.add((i, j))
+    return _build_from_pairs(n, sorted(pairs), rng)
+
+
+def lollipop(clique_size: int, tail_length: int, seed: int | None = None
+             ) -> PortGraph:
+    """Clique with a path attached: a classical hard case for cover time."""
+    if clique_size < 3 or tail_length < 1:
+        raise GraphError("lollipop needs clique >= 3 and tail >= 1")
+    n = clique_size + tail_length
+    pairs = [
+        (i, j)
+        for i in range(clique_size)
+        for j in range(i + 1, clique_size)
+    ]
+    pairs.append((0, clique_size))
+    for i in range(clique_size, n - 1):
+        pairs.append((i, i + 1))
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def family_for_size(n: int, seed: int = 0) -> list[tuple[str, PortGraph]]:
+    """A representative family of graphs of size exactly ``n``.
+
+    Used by benchmark sweeps so that every size is exercised on several
+    topologies.
+    """
+    family: list[tuple[str, PortGraph]] = []
+    if n == 2:
+        return [("edge", single_edge())]
+    family.append(("ring", ring(n, seed=seed)))
+    family.append(("path", path_graph(n, seed=seed)))
+    family.append(("star", star_graph(n, seed=seed)))
+    family.append(("clique", complete_graph(n, seed=seed)))
+    family.append(("tree", random_tree(n, seed=seed)))
+    family.append(("random", random_connected_graph(n, seed=seed)))
+    return family

@@ -1,0 +1,290 @@
+"""Anonymous port-labelled graphs: the network substrate of the paper.
+
+The paper models the network as an undirected connected graph whose
+nodes are anonymous but whose edges carry *port numbers*: the edges
+incident to a node ``v`` of degree ``d`` are locally numbered
+``0 .. d-1``, independently at each endpoint (Section 1.2 of the
+paper).  An agent at a node sees only the node's degree and, after a
+move, the port through which it entered.
+
+:class:`PortGraph` stores this structure.  Node identifiers
+(``0 .. n-1``) exist only for the simulator's bookkeeping; the agent
+algorithms never observe them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+
+class GraphError(ValueError):
+    """Raised when a port-labelled graph is malformed."""
+
+
+class PortGraph:
+    """An undirected connected graph with local port numbers.
+
+    The adjacency structure maps ``(node, port) -> (neighbour,
+    entry_port)`` where ``entry_port`` is the port number of the same
+    edge at the neighbour's side.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, pu, v, pv)`` tuples: an undirected edge
+        between ``u`` and ``v``, numbered ``pu`` at ``u`` and ``pv``
+        at ``v``.
+    allow_multi:
+        Permit parallel edges and self-loops (used by some quotient
+        constructions in tests).  The paper's configurations are
+        simple graphs, which is the default.
+    """
+
+    __slots__ = ("n", "_adj", "_edges", "allow_multi")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int, int, int]],
+        allow_multi: bool = False,
+    ) -> None:
+        if n < 1:
+            raise GraphError("a graph needs at least one node")
+        self.n = n
+        self.allow_multi = allow_multi
+        self._edges: list[tuple[int, int, int, int]] = []
+        port_maps: list[dict[int, tuple[int, int]]] = [{} for _ in range(n)]
+        seen_pairs: set[tuple[int, int]] = set()
+        for u, pu, v, pv in edges:
+            self._check_endpoint(u, pu)
+            self._check_endpoint(v, pv)
+            if u == v and not allow_multi:
+                raise GraphError(f"self-loop at node {u}")
+            if not allow_multi:
+                pair = (min(u, v), max(u, v))
+                if pair in seen_pairs:
+                    raise GraphError(f"parallel edge between {u} and {v}")
+                seen_pairs.add(pair)
+            if pu in port_maps[u]:
+                raise GraphError(f"port {pu} reused at node {u}")
+            if u == v and pu == pv:
+                raise GraphError(f"self-loop at {u} must use two ports")
+            port_maps[u][pu] = (v, pv)
+            if v != u or pv != pu:
+                if pv in port_maps[v]:
+                    raise GraphError(f"port {pv} reused at node {v}")
+                port_maps[v][pv] = (u, pu)
+            self._edges.append((u, pu, v, pv))
+        self._adj: list[list[tuple[int, int]]] = []
+        for node, ports in enumerate(port_maps):
+            degree = len(ports)
+            if degree == 0 and n > 1:
+                raise GraphError(f"node {node} is isolated")
+            if set(ports) != set(range(degree)):
+                raise GraphError(
+                    f"ports at node {node} are {sorted(ports)}; expected "
+                    f"0..{degree - 1}"
+                )
+            self._adj.append([ports[p] for p in range(degree)])
+        if not self._is_connected():
+            raise GraphError("graph is not connected")
+
+    @staticmethod
+    def _check_endpoint(u: int, pu: int) -> None:
+        if pu < 0:
+            raise GraphError(f"negative port {pu} at node {u}")
+
+    def _is_connected(self) -> bool:
+        if self.n == 1:
+            return True
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            u = queue.popleft()
+            for v, _ in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return len(seen) == self.n
+
+    # ------------------------------------------------------------------
+    # Read-only structure accessors.
+    # ------------------------------------------------------------------
+
+    def degree(self, node: int) -> int:
+        """Number of ports (incident edges) at ``node``."""
+        return len(self._adj[node])
+
+    def neighbor(self, node: int, port: int) -> tuple[int, int]:
+        """Return ``(neighbour, entry_port)`` across ``port`` of ``node``."""
+        return self._adj[node][port]
+
+    def step(self, node: int, port: int) -> int:
+        """Return only the neighbour across ``port`` of ``node``."""
+        return self._adj[node][port][0]
+
+    def nodes(self) -> range:
+        """Iterate node identifiers."""
+        return range(self.n)
+
+    def edges(self) -> list[tuple[int, int, int, int]]:
+        """Return the edge list as given at construction (copy)."""
+        return list(self._edges)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    def max_degree(self) -> int:
+        """Largest degree in the graph."""
+        return max(self.degree(v) for v in self.nodes())
+
+    # ------------------------------------------------------------------
+    # Walks and paths.
+    # ------------------------------------------------------------------
+
+    def follow(self, start: int, ports: Sequence[int]) -> int | None:
+        """Follow the port sequence ``ports`` from ``start``.
+
+        Returns the terminal node, or ``None`` if some port does not
+        exist at the current node (the sequence is not a path from
+        ``start`` in the sense of Section 2 of the paper).
+        """
+        node = start
+        for port in ports:
+            if port >= len(self._adj[node]):
+                return None
+            node = self._adj[node][port][0]
+        return node
+
+    def walk_with_entries(
+        self, start: int, ports: Sequence[int]
+    ) -> tuple[int, list[int]]:
+        """Follow ``ports`` from ``start`` recording entry ports.
+
+        Returns ``(terminal_node, entry_ports)``.  Raises
+        :class:`GraphError` if a port is missing; callers that need the
+        tolerant behaviour use :meth:`follow` first.
+        """
+        node = start
+        entries: list[int] = []
+        for port in ports:
+            if port >= len(self._adj[node]):
+                raise GraphError(f"no port {port} at node {node}")
+            node, entry = self._adj[node][port]
+            entries.append(entry)
+        return node, entries
+
+    def bfs_distances(self, start: int) -> list[int]:
+        """Hop distance from ``start`` to every node."""
+        dist = [-1] * self.n
+        dist[start] = 0
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v, _ in self._adj[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def diameter(self) -> int:
+        """Graph diameter in hops."""
+        return max(max(self.bfs_distances(v)) for v in self.nodes())
+
+    def shortest_path_ports(self, start: int, goal: int) -> list[int]:
+        """Lexicographically-smallest shortest port path start -> goal.
+
+        This is the ``path_h(L)`` primitive of Algorithm 8: among all
+        shortest paths it returns the one whose port sequence is
+        lexicographically smallest.  BFS that scans ports in increasing
+        order yields exactly that path.
+        """
+        if start == goal:
+            return []
+        parent: dict[int, tuple[int, int]] = {}
+        dist = [-1] * self.n
+        dist[start] = 0
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for port in range(len(self._adj[u])):
+                v = self._adj[u][port][0]
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    parent[v] = (u, port)
+                    queue.append(v)
+        if dist[goal] < 0:
+            raise GraphError("goal unreachable")
+        ports_rev: list[int] = []
+        node = goal
+        while node != start:
+            prev, port = parent[node]
+            ports_rev.append(port)
+            node = prev
+        ports_rev.reverse()
+        return ports_rev
+
+    # ------------------------------------------------------------------
+    # Equality / representation helpers.
+    # ------------------------------------------------------------------
+
+    def canonical_edges(self) -> frozenset[tuple[int, int, int, int]]:
+        """Order-independent canonical edge set (node ids fixed)."""
+        canon = set()
+        for u, pu, v, pv in self._edges:
+            if (v, pv) < (u, pu):
+                u, pu, v, pv = v, pv, u, pu
+            canon.add((u, pu, v, pv))
+        return frozenset(canon)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortGraph):
+            return NotImplemented
+        return self.n == other.n and (
+            self.canonical_edges() == other.canonical_edges()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.canonical_edges()))
+
+    def __repr__(self) -> str:
+        return f"PortGraph(n={self.n}, m={len(self._edges)})"
+
+    def describe(self) -> str:
+        """Multi-line human-readable adjacency listing."""
+        lines = [f"PortGraph with {self.n} nodes, {len(self._edges)} edges"]
+        for v in self.nodes():
+            entries = ", ".join(
+                f"{p}->({u} via {q})"
+                for p, (u, q) in enumerate(self._adj[v])
+            )
+            lines.append(f"  node {v} (deg {self.degree(v)}): {entries}")
+        return "\n".join(lines)
+
+
+def iter_all_walks(length: int, alphabet_size: int) -> Iterator[tuple[int, ...]]:
+    """Enumerate all port words of ``length`` over ``0..alphabet_size-1``.
+
+    Used by ``BallTraversal`` and ``EnsureCleanExploration`` which
+    enumerate every path of a fixed length over a bounded port
+    alphabet.  Enumeration is lexicographic, matching the paper's
+    "for each path x ... from the set {0, ..., n_h - 2}".
+    """
+    if alphabet_size < 1:
+        if length == 0:
+            yield ()
+        return
+    word = [0] * length
+    while True:
+        yield tuple(word)
+        i = length - 1
+        while i >= 0 and word[i] == alphabet_size - 1:
+            word[i] = 0
+            i -= 1
+        if i < 0:
+            return
+        word[i] += 1

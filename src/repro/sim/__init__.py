@@ -1,0 +1,43 @@
+"""Event-driven simulator for synchronous mobile agents."""
+
+from .agent import AgentContext, WatchTriggered, declare, move, wait, wait_stable
+from .ops import (
+    BudgetExceededError,
+    DeadlockError,
+    Observation,
+    SimulationError,
+    watch_hit,
+)
+from .adversary import random_schedule, simultaneous, single_awake, staggered
+from .scheduler import AgentOutcome, AgentSpec, Simulation, SimulationResult
+from .timeline import Milestone, extract_milestones, narrate, occupancy_histogram
+from .verify import ModelViolation, verify_gathering, verify_run
+
+__all__ = [
+    "simultaneous",
+    "staggered",
+    "single_awake",
+    "random_schedule",
+    "Milestone",
+    "extract_milestones",
+    "narrate",
+    "occupancy_histogram",
+    "ModelViolation",
+    "verify_run",
+    "verify_gathering",
+    "AgentContext",
+    "WatchTriggered",
+    "move",
+    "wait",
+    "wait_stable",
+    "declare",
+    "Observation",
+    "watch_hit",
+    "SimulationError",
+    "DeadlockError",
+    "BudgetExceededError",
+    "AgentSpec",
+    "AgentOutcome",
+    "Simulation",
+    "SimulationResult",
+]

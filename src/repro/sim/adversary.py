@@ -1,0 +1,70 @@
+"""Wake-up schedule builders for the adversary.
+
+The model (Section 1.2) lets an adversary wake any subset of agents at
+any rounds; the rest sleep until an awake agent walks across their
+starting node.  These helpers build the `wake_rounds` lists the run
+wrappers accept, including a seeded random adversary for property
+tests and benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+WakeSchedule = list
+
+# A wake entry is an int round or None (dormant until visited).
+
+
+def simultaneous(team_size: int) -> list[int | None]:
+    """Everyone wakes in round 0."""
+    _check(team_size)
+    return [0] * team_size
+
+
+def staggered(team_size: int, gap: int) -> list[int | None]:
+    """Agent ``i`` wakes at round ``i * gap``."""
+    _check(team_size)
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    return [i * gap for i in range(team_size)]
+
+
+def single_awake(team_size: int, awake_index: int = 0) -> list[int | None]:
+    """Only one agent is woken; the rest sleep until visited."""
+    _check(team_size)
+    if not 0 <= awake_index < team_size:
+        raise ValueError("awake_index out of range")
+    schedule: list[int | None] = [None] * team_size
+    schedule[awake_index] = 0
+    return schedule
+
+
+def random_schedule(
+    team_size: int,
+    max_delay: int,
+    seed: int = 0,
+    dormant_probability: float = 0.25,
+) -> list[int | None]:
+    """Seeded random adversary: delays in ``[0, max_delay]`` with some
+    agents dormant; at least one agent always wakes at round 0."""
+    _check(team_size)
+    if max_delay < 0:
+        raise ValueError("max_delay must be non-negative")
+    if not 0.0 <= dormant_probability <= 1.0:
+        raise ValueError("dormant_probability must be a probability")
+    rng = random.Random(seed)
+    schedule: list[int | None] = []
+    for _ in range(team_size):
+        if rng.random() < dormant_probability:
+            schedule.append(None)
+        else:
+            schedule.append(rng.randint(0, max_delay))
+    first = rng.randrange(team_size)
+    schedule[first] = 0
+    return schedule
+
+
+def _check(team_size: int) -> None:
+    if team_size < 1:
+        raise ValueError("team_size must be positive")

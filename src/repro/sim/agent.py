@@ -1,0 +1,120 @@
+"""Agent-side runtime: the context object and primitive helpers.
+
+Algorithm code is written as generator functions receiving an
+:class:`AgentContext`.  The helpers below are sub-generators used with
+``yield from``; each forwards one primitive op to the scheduler,
+refreshes ``ctx`` with the resulting :class:`Observation` and converts
+fired watches into :class:`WatchTriggered` exceptions, which gives the
+pseudo-code's "interrupt this block as soon as ..." a direct and
+readable translation::
+
+    try:
+        yield from wait(ctx, D, watch=("gt", c))
+        yield from explo(ctx, N, watch=("gt", c))
+    except WatchTriggered:
+        interrupted = True
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .ops import DECLARE, MOVE, WAIT, WAIT_STABLE, Observation, Watch, watch_hit
+
+AgentGen = Generator[tuple, Observation, object]
+
+
+class WatchTriggered(Exception):
+    """A watched cardinality condition fired during an op."""
+
+    def __init__(self, observation: Observation) -> None:
+        super().__init__("watch triggered")
+        self.observation = observation
+
+
+class AgentContext:
+    """Per-agent view handed to algorithm generators.
+
+    Exposes the agent's label, its last observation and a local clock.
+    Everything else (node identity, other agents' labels or positions)
+    is deliberately absent, matching the paper's model.
+    """
+
+    __slots__ = ("label", "obs", "wake_round", "entries_log")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.obs: Observation | None = None
+        self.wake_round: int | None = None
+        # Optional recording of entry ports; Hypothesis() (Algorithm 6)
+        # retraces every port it entered through during its first part.
+        self.entries_log: list[int] | None = None
+
+    # -- perception ----------------------------------------------------
+
+    def curcard(self) -> int:
+        """CurCard: number of agents at the current node, now."""
+        return self.obs.curcard
+
+    def degree(self) -> int:
+        """Degree of the current node."""
+        return self.obs.degree
+
+    def local_time(self) -> int:
+        """Rounds elapsed since this agent woke up."""
+        return self.obs.round - self.wake_round
+
+    def record_entries(self) -> None:
+        """Start logging ports of entry (for Algorithm 6 line 16)."""
+        self.entries_log = []
+
+    def stop_recording_entries(self) -> list[int]:
+        """Stop logging and return the recorded entry ports."""
+        log = self.entries_log if self.entries_log is not None else []
+        self.entries_log = None
+        return log
+
+
+def move(ctx: AgentContext, port: int, watch: Watch | None = None) -> AgentGen:
+    """``take port p``: one round, returns the arrival observation."""
+    obs = yield (MOVE, port, watch)
+    ctx.obs = obs
+    if ctx.entries_log is not None:
+        ctx.entries_log.append(obs.entry_port)
+    if watch is not None and watch_hit(watch, obs.curcard):
+        raise WatchTriggered(obs)
+    return obs
+
+
+def wait(ctx: AgentContext, rounds: int, watch: Watch | None = None) -> AgentGen:
+    """``wait x rounds``; duration 0 is a no-op.
+
+    If the watch already holds when the wait would begin, the wait is
+    abandoned immediately (the paper's "as soon as").
+    """
+    if watch is not None and watch_hit(watch, ctx.obs.curcard):
+        raise WatchTriggered(ctx.obs)
+    if rounds <= 0:
+        return ctx.obs
+    obs = yield (WAIT, rounds, watch)
+    ctx.obs = obs
+    if obs.triggered:
+        raise WatchTriggered(obs)
+    return obs
+
+
+def wait_stable(ctx: AgentContext, window: int) -> AgentGen:
+    """Wait until ``window`` consecutive rounds pass with no CurCard
+    variation, counting from (and including) the round of the latest
+    variation — the primitive of lines 16/31 of Algorithm 3."""
+    if window <= 0:
+        return ctx.obs
+    obs = yield (WAIT_STABLE, window, None)
+    ctx.obs = obs
+    return obs
+
+
+def declare(ctx: AgentContext, payload: object) -> AgentGen:
+    """Terminal op: declare (gathering achieved) with a result payload."""
+    yield (DECLARE, payload, None)
+    raise AssertionError("agent resumed after declaring")  # pragma: no cover

@@ -1,0 +1,114 @@
+"""Primitive operations and observations of the agent model.
+
+The paper's agents execute exactly one *move instruction* per round:
+``take port p`` or ``wait`` (Section 1.2).  The only perception an
+agent ever gets is:
+
+* on entering a node: the node's degree and the port of entry,
+* in every round: ``CurCard`` — the number of agents (itself included)
+  at its current node.
+
+Agent programs are Python generators that yield primitive ops; the
+scheduler resumes them with :class:`Observation` objects.  A multi-round
+``wait`` is a single op: the scheduler compresses the intervening
+rounds, which is what makes the doubly-exponential waiting periods of
+``GatherUnknownUpperBound`` executable (see DESIGN.md Section 4).
+
+Watches
+-------
+Interruptible blocks ("interrupt as soon as CurCard > c") are expressed
+as declarative *watches* attached to ``wait`` and ``move`` ops:
+
+* ``("gt", c)``  — trigger when ``CurCard > c``
+* ``("ne", c)``  — trigger when ``CurCard != c``
+* ``("eq", c)``  — trigger when ``CurCard == c``
+* ``("lt", c)``  — trigger when ``CurCard < c``
+
+For ``move`` ops the watch is evaluated by the agent-side helpers on
+the arrival observation; for ``wait`` ops the scheduler evaluates it
+whenever the occupancy of the waiting agent's node changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+# Op kind tags (tuples keep the hot path allocation-light).
+MOVE = "move"
+WAIT = "wait"
+WAIT_STABLE = "wait_stable"
+DECLARE = "declare"
+
+Watch = tuple[str, int]
+
+_WATCH_PREDICATES: dict[str, Callable[[int, int], bool]] = {
+    "gt": lambda card, value: card > value,
+    "ne": lambda card, value: card != value,
+    "eq": lambda card, value: card == value,
+    "lt": lambda card, value: card < value,
+}
+
+
+def watch_hit(watch: Watch | None, curcard: int) -> bool:
+    """Evaluate a watch against a cardinality reading."""
+    if watch is None:
+        return False
+    kind, value = watch
+    return _WATCH_PREDICATES[kind](curcard, value)
+
+
+class Observation:
+    """What an agent perceives in one round.
+
+    Attributes
+    ----------
+    round:
+        The global round number.  Agent algorithms must only use
+        *differences* of rounds (their local clock); the absolute value
+        exists for tracing and tests.
+    degree:
+        Degree of the current node.
+    entry_port:
+        Port through which the agent entered the node if the previous
+        op was a move, else ``None``.
+    curcard:
+        Number of agents co-located with the agent (itself included).
+    triggered:
+        True when this observation is delivered because a watch fired
+        during a ``wait``.
+    """
+
+    __slots__ = ("round", "degree", "entry_port", "curcard", "triggered")
+
+    def __init__(
+        self,
+        round: int,
+        degree: int,
+        entry_port: int | None,
+        curcard: int,
+        triggered: bool = False,
+    ) -> None:
+        self.round = round
+        self.degree = degree
+        self.entry_port = entry_port
+        self.curcard = curcard
+        self.triggered = triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Observation(round={self.round}, degree={self.degree}, "
+            f"entry_port={self.entry_port}, curcard={self.curcard}, "
+            f"triggered={self.triggered})"
+        )
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations (bad port, bad op, budget)."""
+
+
+class DeadlockError(SimulationError):
+    """All remaining agents wait forever on conditions nobody can meet."""
+
+
+class BudgetExceededError(SimulationError):
+    """The event or round budget of the simulation was exhausted."""

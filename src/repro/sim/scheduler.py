@@ -1,0 +1,511 @@
+"""Event-driven scheduler for the synchronous agent model.
+
+The model is synchronous (Section 1.2 of the paper): in every round
+each awake agent performs exactly one move instruction (``take port p``
+or ``wait``).  A naive simulator would iterate rounds one by one, which
+is hopeless here — ``GatherUnknownUpperBound`` contains waiting periods
+of ``7 * 2**64`` rounds and the known-bound algorithm waits for
+millions of rounds between moves.
+
+This scheduler exploits a simple invariant: *node occupancancies only
+change in rounds in which some agent moves.*  Time therefore advances
+directly from one "interesting" round to the next through a priority
+queue of wake events; a wait of any length is O(1).  Rounds are plain
+Python integers, so clocks beyond 10**24 (reached by the unknown-bound
+algorithm) are exact.
+
+Semantics of a round ``r``:
+
+1. every agent due at ``r`` is resumed with an observation of the
+   state *at* ``r`` and yields its next op;
+2. all moves issued in round ``r`` are applied simultaneously — agents
+   crossing on an edge do not notice each other;
+3. nodes whose cardinality changed get ``last_change = r + 1`` and
+   watching agents are woken at ``r + 1``;
+4. a dormant agent whose node receives an arrival in round ``r + 1``
+   wakes (starts its program) at ``r + 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from ..graphs.port_graph import PortGraph
+from .agent import AgentContext
+from .ops import (
+    BudgetExceededError,
+    DeadlockError,
+    DECLARE,
+    MOVE,
+    Observation,
+    SimulationError,
+    WAIT,
+    WAIT_STABLE,
+    watch_hit,
+)
+
+# Agent lifecycle states.
+_DORMANT = 0
+_RUNNING = 1
+_DONE = 2
+
+# Guard against non-advancing agent programs (zero-duration op loops).
+_MAX_RESUMES_PER_ROUND = 100_000
+
+
+class AgentSpec:
+    """Description of one agent given to :class:`Simulation`.
+
+    Parameters
+    ----------
+    label:
+        The agent's positive integer label (its algorithm parameter).
+    start_node:
+        Starting node (simulator-internal id; never shown to the agent).
+    program:
+        ``callable(ctx) -> generator`` producing the agent's op stream.
+    wake_round:
+        Round at which the adversary wakes the agent, or ``None`` for a
+        dormant agent woken only by a visiting agent.
+    """
+
+    __slots__ = ("label", "start_node", "program", "wake_round")
+
+    def __init__(
+        self,
+        label: int,
+        start_node: int,
+        program: Callable[[AgentContext], object],
+        wake_round: int | None = 0,
+    ) -> None:
+        if label < 1:
+            raise ValueError("agent labels are positive integers")
+        if wake_round is not None and wake_round < 0:
+            raise ValueError("wake_round must be >= 0")
+        self.label = label
+        self.start_node = start_node
+        self.program = program
+        self.wake_round = wake_round
+
+
+class AgentOutcome:
+    """Result record for one agent after the simulation ends."""
+
+    __slots__ = (
+        "label",
+        "start_node",
+        "wake_round",
+        "finish_round",
+        "finish_node",
+        "payload",
+        "declared",
+        "moves",
+    )
+
+    def __init__(self, label: int, start_node: int) -> None:
+        self.label = label
+        self.start_node = start_node
+        self.wake_round: int | None = None
+        self.finish_round: int | None = None
+        self.finish_node: int | None = None
+        self.payload: object = None
+        self.declared = False
+        self.moves = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AgentOutcome(label={self.label}, declared={self.declared}, "
+            f"finish_round={self.finish_round}, node={self.finish_node}, "
+            f"moves={self.moves})"
+        )
+
+
+class SimulationResult:
+    """Aggregate outcome of a run."""
+
+    __slots__ = ("outcomes", "events", "final_round", "total_moves")
+
+    def __init__(
+        self,
+        outcomes: list[AgentOutcome],
+        events: int,
+        final_round: int,
+        total_moves: int,
+    ) -> None:
+        self.outcomes = outcomes
+        self.events = events
+        self.final_round = final_round
+        self.total_moves = total_moves
+
+    def gathered(self) -> bool:
+        """Did every agent declare at the same node in the same round?"""
+        if not self.outcomes or not all(o.declared for o in self.outcomes):
+            return False
+        rounds = {o.finish_round for o in self.outcomes}
+        nodes = {o.finish_node for o in self.outcomes}
+        return len(rounds) == 1 and len(nodes) == 1
+
+    def declaration_round(self) -> int:
+        """The common declaration round (requires :meth:`gathered`)."""
+        if not self.gathered():
+            raise SimulationError("agents did not gather")
+        return self.outcomes[0].finish_round
+
+    def meeting_node(self) -> int:
+        """The common declaration node (requires :meth:`gathered`)."""
+        if not self.gathered():
+            raise SimulationError("agents did not gather")
+        return self.outcomes[0].finish_node
+
+    def payloads(self) -> list[object]:
+        """Per-agent final payloads in spec order."""
+        return [o.payload for o in self.outcomes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SimulationResult(agents={len(self.outcomes)}, "
+            f"events={self.events}, final_round={self.final_round})"
+        )
+
+
+class Simulation:
+    """Run a set of agents on a port-labelled graph.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    specs:
+        One :class:`AgentSpec` per agent; start nodes must be pairwise
+        distinct (the paper's model) and labels pairwise distinct.
+    max_events:
+        Abort with :class:`BudgetExceededError` after this many agent
+        resumptions (safety valve for runaway programs).
+    max_round:
+        Abort when the clock would pass this round.
+    trace:
+        When true, record every move as ``(round, agent_index,
+        from_node, to_node)`` in :attr:`move_log`.
+    """
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        specs: Iterable[AgentSpec],
+        max_events: int | None = None,
+        max_round: int | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.specs = list(specs)
+        if not self.specs:
+            raise SimulationError("no agents")
+        starts = [s.start_node for s in self.specs]
+        if len(set(starts)) != len(starts):
+            raise SimulationError("agents must start at distinct nodes")
+        labels = [s.label for s in self.specs]
+        if len(set(labels)) != len(labels):
+            raise SimulationError("agent labels must be distinct")
+        if any(s.start_node < 0 or s.start_node >= graph.n for s in self.specs):
+            raise SimulationError("start node out of range")
+        if all(s.wake_round is None for s in self.specs):
+            raise SimulationError("at least one agent must be woken")
+        self.max_events = max_events
+        self.max_round = max_round
+        self.trace = trace
+        self.move_log: list[tuple[int, int, int, int]] = []
+
+        k = len(self.specs)
+        self._pos = list(starts)
+        self._state = [_DORMANT] * k
+        self._gens: list = [None] * k
+        self._ctxs: list[AgentContext | None] = [None] * k
+        self._epoch = [0] * k
+        self._entry_port: list[int | None] = [None] * k
+        self._watch: list = [None] * k  # active wait-watch, if any
+        self._stable: list[int | None] = [None] * k  # wait_stable window
+        self._outcomes = [AgentOutcome(s.label, s.start_node) for s in self.specs]
+
+        self._counts = [0] * graph.n
+        for s in self.specs:
+            self._counts[s.start_node] += 1
+        self._last_change = [0] * graph.n
+        self._dormant_at: list[set[int]] = [set() for _ in range(graph.n)]
+        self._watchers: list[set[int]] = [set() for _ in range(graph.n)]
+
+        self._heap: list[tuple[int, int, int, int]] = []
+        self._seq = 0
+        self._events = 0
+        self._active = 0  # agents not DONE (dormant agents count)
+
+        for idx, s in enumerate(self.specs):
+            self._active += 1
+            self._dormant_at[s.start_node].add(idx)
+            if s.wake_round is not None:
+                self._push(s.wake_round, idx)
+
+    # ------------------------------------------------------------------
+    # Traditional-model capability (baselines only).
+    # ------------------------------------------------------------------
+
+    def colocated_labels(self, label: int) -> list[int]:
+        """Labels of all agents at the same node as ``label`` right now.
+
+        This is the *traditional* model's perception ("co-located
+        agents can talk"), deliberately unavailable to the paper's
+        algorithms; only the baseline implementations in
+        :mod:`repro.baselines` call it.
+        """
+        idx = next(
+            i for i, s in enumerate(self.specs) if s.label == label
+        )
+        node = self._pos[idx]
+        return sorted(
+            s.label
+            for i, s in enumerate(self.specs)
+            if self._pos[i] == node
+        )
+
+    # ------------------------------------------------------------------
+    # Heap helpers.
+    # ------------------------------------------------------------------
+
+    def _push(self, round_: int, idx: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (round_, self._seq, idx, self._epoch[idx]))
+
+    def _reschedule(self, round_: int, idx: int) -> None:
+        self._epoch[idx] += 1
+        self._push(round_, idx)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute until every agent terminates."""
+        graph = self.graph
+        heap = self._heap
+        while self._active > 0:
+            if not heap:
+                raise DeadlockError(
+                    f"{self._active} agent(s) can never run again "
+                    "(dormant and unvisited, or waiting forever)"
+                )
+            round_ = heap[0][0]
+            if self.max_round is not None and round_ > self.max_round:
+                raise BudgetExceededError(
+                    f"round budget exceeded: next event at round {round_}"
+                )
+            pending_moves: list[tuple[int, int]] = []  # (idx, port)
+            resumes = 0
+            while heap and heap[0][0] == round_:
+                _, _, idx, epoch = heapq.heappop(heap)
+                if epoch != self._epoch[idx] or self._state[idx] == _DONE:
+                    continue
+                resumes += 1
+                if resumes > _MAX_RESUMES_PER_ROUND:
+                    raise SimulationError(
+                        f"agent resumed too often in round {round_}; "
+                        "non-advancing program?"
+                    )
+                self._events += 1
+                if self.max_events is not None and self._events > self.max_events:
+                    raise BudgetExceededError(
+                        f"event budget exceeded at round {round_}"
+                    )
+                op = self._resume(idx, round_)
+                if op is None:
+                    continue  # agent terminated
+                kind = op[0]
+                if kind == MOVE:
+                    pending_moves.append((idx, op[1]))
+                elif kind == WAIT:
+                    self._begin_wait(idx, round_, op[1], op[2])
+                elif kind == WAIT_STABLE:
+                    self._begin_wait_stable(idx, round_, op[1])
+                elif kind == DECLARE:
+                    self._finish(idx, round_, op[1], declared=True)
+                else:
+                    raise SimulationError(f"unknown op {op!r}")
+            if pending_moves:
+                self._apply_moves(pending_moves, round_)
+        final_round = max(
+            (o.finish_round for o in self._outcomes if o.finish_round is not None),
+            default=0,
+        )
+        total_moves = sum(o.moves for o in self._outcomes)
+        return SimulationResult(
+            self._outcomes, self._events, final_round, total_moves
+        )
+
+    # ------------------------------------------------------------------
+    # Agent resumption.
+    # ------------------------------------------------------------------
+
+    def _make_observation(
+        self, idx: int, round_: int, triggered: bool
+    ) -> Observation:
+        node = self._pos[idx]
+        obs = Observation(
+            round_,
+            self.graph.degree(node),
+            self._entry_port[idx],
+            self._counts[node],
+            triggered,
+        )
+        self._entry_port[idx] = None
+        return obs
+
+    def _resume(self, idx: int, round_: int) -> tuple | None:
+        """Advance one agent; returns its next op or None if it ended."""
+        state = self._state[idx]
+        triggered = False
+        if state == _DORMANT:
+            self._start_agent(idx, round_)
+        else:
+            watch = self._watch[idx]
+            if watch is not None:
+                triggered = watch_hit(watch, self._counts[self._pos[idx]])
+                self._unwatch(idx)
+            if self._stable[idx] is not None:
+                window = self._stable[idx]
+                node = self._pos[idx]
+                # Re-verify stability; occupancy changes reschedule the
+                # wake, so reaching here with an up-to-date epoch means
+                # the window elapsed - assert the invariant cheaply.
+                if round_ < self._last_change[node] + window - 1:
+                    self._push(self._last_change[node] + window - 1, idx)
+                    return None
+                self._stable[idx] = None
+                self._watchers[node].discard(idx)
+        obs = self._make_observation(idx, round_, triggered)
+        gen = self._gens[idx]
+        try:
+            if self._state[idx] == _DORMANT:
+                self._state[idx] = _RUNNING
+                self._ctxs[idx].obs = obs
+                op = next(gen)
+            else:
+                op = gen.send(obs)
+        except StopIteration as stop:
+            self._finish(idx, round_, stop.value, declared=False)
+            return None
+        if op[0] == MOVE:
+            port = op[1]
+            node = self._pos[idx]
+            if not isinstance(port, int) or port < 0 or port >= self.graph.degree(node):
+                raise SimulationError(
+                    f"agent {self.specs[idx].label} took invalid port "
+                    f"{port!r} at a node of degree {self.graph.degree(node)}"
+                )
+        return op
+
+    def _start_agent(self, idx: int, round_: int) -> None:
+        spec = self.specs[idx]
+        ctx = AgentContext(spec.label)
+        ctx.wake_round = round_
+        self._ctxs[idx] = ctx
+        self._gens[idx] = spec.program(ctx)
+        self._outcomes[idx].wake_round = round_
+        self._dormant_at[spec.start_node].discard(idx)
+
+    def _finish(
+        self, idx: int, round_: int, payload: object, declared: bool
+    ) -> None:
+        self._state[idx] = _DONE
+        self._active -= 1
+        out = self._outcomes[idx]
+        out.finish_round = round_
+        out.finish_node = self._pos[idx]
+        out.payload = payload
+        out.declared = declared
+        self._unwatch(idx)
+        node = self._pos[idx]
+        self._watchers[node].discard(idx)
+        self._stable[idx] = None
+        self._gens[idx] = None
+
+    # ------------------------------------------------------------------
+    # Op handlers.
+    # ------------------------------------------------------------------
+
+    def _begin_wait(self, idx: int, round_: int, duration, watch) -> None:
+        if duration < 1:
+            raise SimulationError(f"wait duration must be >= 1, got {duration}")
+        self._push(round_ + duration, idx)
+        if watch is not None:
+            self._watch[idx] = watch
+            self._watchers[self._pos[idx]].add(idx)
+
+    def _begin_wait_stable(self, idx: int, round_: int, window) -> None:
+        if window < 1:
+            raise SimulationError(f"stability window must be >= 1, got {window}")
+        node = self._pos[idx]
+        candidate = self._last_change[node] + window - 1
+        if candidate < round_:
+            candidate = round_
+        self._stable[idx] = window
+        self._watchers[node].add(idx)
+        self._push(candidate, idx)
+
+    def _unwatch(self, idx: int) -> None:
+        if self._watch[idx] is not None:
+            self._watch[idx] = None
+            self._watchers[self._pos[idx]].discard(idx)
+
+    # ------------------------------------------------------------------
+    # Move application (end of round).
+    # ------------------------------------------------------------------
+
+    def _apply_moves(
+        self, pending: list[tuple[int, int]], round_: int
+    ) -> None:
+        graph = self.graph
+        counts = self._counts
+        next_round = round_ + 1
+        deltas: dict[int, int] = {}
+        arrivals: set[int] = set()
+        for idx, port in pending:
+            src = self._pos[idx]
+            dst, entry = graph.neighbor(src, port)
+            counts[src] -= 1
+            counts[dst] += 1
+            deltas[src] = deltas.get(src, 0) - 1
+            deltas[dst] = deltas.get(dst, 0) + 1
+            arrivals.add(dst)
+            self._pos[idx] = dst
+            self._entry_port[idx] = entry
+            self._outcomes[idx].moves += 1
+            if self.trace:
+                self.move_log.append((round_, idx, src, dst))
+            self._push(next_round, idx)
+        # A node where arrivals exactly balanced departures shows no
+        # CurCard variation: agents there notice nothing (the paper's
+        # Section 1.4 makes this point explicitly).
+        for node, delta in deltas.items():
+            if delta == 0:
+                continue
+            self._last_change[node] = next_round
+            if self._watchers[node]:
+                new_count = counts[node]
+                for widx in list(self._watchers[node]):
+                    watch = self._watch[widx]
+                    if watch is not None:
+                        if watch_hit(watch, new_count):
+                            self._reschedule(next_round, widx)
+                    elif self._stable[widx] is not None:
+                        self._reschedule(
+                            next_round + self._stable[widx] - 1, widx
+                        )
+        # A dormant agent is woken by the first agent that *visits* its
+        # starting node, even if the node's cardinality is unchanged.
+        for node in arrivals:
+            if self._dormant_at[node]:
+                for didx in list(self._dormant_at[node]):
+                    if self._state[didx] == _DORMANT:
+                        self._reschedule(next_round, didx)
+                        # Leave the agent in _dormant_at; _start_agent
+                        # removes it, and the epoch bump above already
+                        # invalidated any later adversary wake entry.

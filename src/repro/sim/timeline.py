@@ -1,0 +1,123 @@
+"""Human-readable timelines of a simulation.
+
+The move log of a traced :class:`~repro.sim.scheduler.Simulation` is a
+flat list of ``(round, agent_index, from_node, to_node)``.  This module
+turns it into narrated milestones — wake-ups, first meetings, merges,
+declarations — used by the examples and by tests that want to assert
+*how* a run unfolded, not only its outcome.
+"""
+
+from __future__ import annotations
+
+from ..graphs.port_graph import PortGraph
+from .scheduler import Simulation, SimulationResult
+
+
+class Milestone:
+    """One noteworthy event of a run."""
+
+    __slots__ = ("round", "kind", "detail")
+
+    def __init__(self, round_: int, kind: str, detail: str) -> None:
+        self.round = round_
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Milestone({self.round}, {self.kind!r}, {self.detail!r})"
+
+
+def _positions_over_time(
+    sim: Simulation,
+) -> list[tuple[int, list[int]]]:
+    """Reconstruct positions after each round with movement."""
+    positions = [spec.start_node for spec in sim.specs]
+    snapshots: list[tuple[int, list[int]]] = [(0, list(positions))]
+    current_round = None
+    for round_, idx, _src, dst in sim.move_log:
+        if round_ != current_round:
+            if current_round is not None:
+                snapshots.append((current_round + 1, list(positions)))
+            current_round = round_
+        positions[idx] = dst
+    if current_round is not None:
+        snapshots.append((current_round + 1, list(positions)))
+    return snapshots
+
+
+def extract_milestones(
+    sim: Simulation, result: SimulationResult
+) -> list[Milestone]:
+    """Milestones of a traced run: wake-ups, meetings, declaration."""
+    if not sim.trace:
+        raise ValueError("run the simulation with trace=True")
+    milestones: list[Milestone] = []
+    for out in result.outcomes:
+        if out.wake_round is not None:
+            milestones.append(
+                Milestone(
+                    out.wake_round,
+                    "wake",
+                    f"agent {out.label} wakes at its start node",
+                )
+            )
+    seen_pairs: set[frozenset[int]] = set()
+    for round_, positions in _positions_over_time(sim):
+        by_node: dict[int, list[int]] = {}
+        for idx, node in enumerate(positions):
+            by_node.setdefault(node, []).append(idx)
+        for node, members in by_node.items():
+            if len(members) < 2:
+                continue
+            labels = frozenset(sim.specs[i].label for i in members)
+            if labels not in seen_pairs:
+                seen_pairs.add(labels)
+                names = ", ".join(str(sim.specs[i].label) for i in members)
+                milestones.append(
+                    Milestone(
+                        round_,
+                        "meeting",
+                        f"agents {{{names}}} co-located at node {node}",
+                    )
+                )
+    for out in result.outcomes:
+        if out.declared:
+            milestones.append(
+                Milestone(
+                    out.finish_round,
+                    "declare",
+                    f"agent {out.label} declares gathering at node "
+                    f"{out.finish_node}",
+                )
+            )
+    milestones.sort(key=lambda m: (m.round, m.kind))
+    return milestones
+
+
+def narrate(
+    sim: Simulation,
+    result: SimulationResult,
+    max_lines: int | None = None,
+) -> str:
+    """Multi-line narration of a traced run."""
+    milestones = extract_milestones(sim, result)
+    if max_lines is not None and len(milestones) > max_lines:
+        head = milestones[: max_lines // 2]
+        tail = milestones[-(max_lines - len(head)) :]
+        skipped = len(milestones) - len(head) - len(tail)
+        lines = [f"round {m.round}: {m.detail}" for m in head]
+        lines.append(f"... ({skipped} meetings omitted) ...")
+        lines.extend(f"round {m.round}: {m.detail}" for m in tail)
+    else:
+        lines = [f"round {m.round}: {m.detail}" for m in milestones]
+    return "\n".join(lines)
+
+
+def occupancy_histogram(
+    graph: PortGraph, sim: Simulation
+) -> dict[int, int]:
+    """How many times each node was entered (for heat-map analyses)."""
+    histogram = {node: 0 for node in graph.nodes()}
+    for _round, _idx, _src, dst in sim.move_log:
+        histogram[dst] += 1
+    return histogram

@@ -1,0 +1,82 @@
+"""Independent verification of a traced run against the model rules.
+
+The scheduler is trusted by construction, but downstream users writing
+*custom agent programs* (or modifying the algorithms) want an
+independent referee.  Given a traced simulation, these checks replay
+the move log and verify the paper's model (Section 1.2) held:
+
+* every move traverses an existing edge of the graph;
+* an agent performs at most one move instruction per round;
+* no agent moves before its wake-up round or after it terminated;
+* reconstructed final positions match the reported outcomes.
+
+Used by the property tests in ``tests/test_verify.py`` and available
+as a public API (`verify_run`).
+"""
+
+from __future__ import annotations
+
+from ..graphs.port_graph import PortGraph
+from .scheduler import Simulation, SimulationResult
+
+
+class ModelViolation(AssertionError):
+    """A traced run broke a rule of the synchronous agent model."""
+
+
+def verify_run(
+    graph: PortGraph,
+    sim: Simulation,
+    result: SimulationResult,
+) -> None:
+    """Raise :class:`ModelViolation` unless the traced run is valid."""
+    if not sim.trace:
+        raise ValueError("run the simulation with trace=True")
+    positions = [spec.start_node for spec in sim.specs]
+    last_move_round: dict[int, int] = {}
+    for round_, idx, src, dst in sim.move_log:
+        out = result.outcomes[idx]
+        if positions[idx] != src:
+            raise ModelViolation(
+                f"agent {sim.specs[idx].label} moved from node {src} in "
+                f"round {round_} but was at node {positions[idx]}"
+            )
+        neighbours = {
+            graph.step(src, p) for p in range(graph.degree(src))
+        }
+        if dst not in neighbours:
+            raise ModelViolation(
+                f"no edge from {src} to {dst} (round {round_})"
+            )
+        if last_move_round.get(idx) == round_:
+            raise ModelViolation(
+                f"agent {sim.specs[idx].label} moved twice in round "
+                f"{round_}"
+            )
+        last_move_round[idx] = round_
+        if out.wake_round is None or round_ < out.wake_round:
+            raise ModelViolation(
+                f"agent {sim.specs[idx].label} moved in round {round_} "
+                f"before waking at {out.wake_round}"
+            )
+        if out.finish_round is not None and round_ >= out.finish_round:
+            raise ModelViolation(
+                f"agent {sim.specs[idx].label} moved in round {round_} "
+                f"after finishing at {out.finish_round}"
+            )
+        positions[idx] = dst
+    for idx, out in enumerate(result.outcomes):
+        if out.finish_node is not None and positions[idx] != out.finish_node:
+            raise ModelViolation(
+                f"agent {sim.specs[idx].label} reported finish node "
+                f"{out.finish_node} but the move log ends at "
+                f"{positions[idx]}"
+            )
+
+
+def verify_gathering(result: SimulationResult) -> None:
+    """Raise unless all agents declared at one node in one round."""
+    if not result.gathered():
+        raise ModelViolation(
+            f"agents did not gather: {result.outcomes}"
+        )

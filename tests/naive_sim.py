@@ -1,0 +1,180 @@
+"""An independent, naive round-by-round reference simulator.
+
+This is a from-scratch re-implementation of the synchronous agent
+model used *only* by the differential tests: it advances the clock one
+round at a time and re-derives every observation from first
+principles, with none of the event-compression machinery of
+``repro.sim.scheduler``.  Agreement between the two implementations on
+randomized programs is the strongest evidence that the compressed
+clock is faithful.
+
+Semantics implemented (mirroring the documented contract):
+
+* all moves issued in round ``r`` apply simultaneously between ``r``
+  and ``r + 1``;
+* a ``wait`` with a watch is abandoned at the first round at which the
+  node's cardinality satisfies the watch;
+* ``wait_stable(D)`` completes at the first round ``R`` with
+  ``R >= last_change + D - 1`` where ``last_change`` is the latest
+  round in which the node's cardinality changed (0 if never);
+* a dormant agent wakes in the round an agent arrives at its node.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.port_graph import PortGraph
+from repro.sim.agent import AgentContext
+from repro.sim.ops import DECLARE, MOVE, Observation, WAIT, WAIT_STABLE, watch_hit
+
+
+class NaiveAgent:
+    def __init__(self, label, node, program, wake_round):
+        self.label = label
+        self.node = node
+        self.program = program
+        self.wake_round = wake_round  # None until woken for dormant
+        self.gen = None
+        self.ctx = None
+        self.state = "dormant"
+        self.resume_round = None  # when a plain wait completes
+        self.watch = None
+        self.stable_window = None
+        self.entry_port = None
+        self.moves = 0
+        self.finish_round = None
+        self.finish_node = None
+        self.payload = None
+        self.declared = False
+
+
+class NaiveSimulation:
+    """Round-by-round reference implementation."""
+
+    def __init__(self, graph: PortGraph, specs, max_rounds: int = 100_000):
+        self.graph = graph
+        self.agents = [
+            NaiveAgent(s.label, s.start_node, s.program, s.wake_round)
+            for s in specs
+        ]
+        self.max_rounds = max_rounds
+        self.last_change = [0] * graph.n
+
+    def _count(self, node: int) -> int:
+        return sum(1 for a in self.agents if a.node == node)
+
+    def _obs(self, agent: NaiveAgent, round_: int, triggered: bool) -> Observation:
+        obs = Observation(
+            round_,
+            self.graph.degree(agent.node),
+            agent.entry_port,
+            self._count(agent.node),
+            triggered,
+        )
+        agent.entry_port = None
+        return obs
+
+    def _start(self, agent: NaiveAgent, round_: int) -> None:
+        agent.ctx = AgentContext(agent.label)
+        agent.ctx.wake_round = round_
+        agent.gen = agent.program(agent.ctx)
+        agent.state = "ready"
+        agent.wake_round = round_
+
+    def _advance(self, agent: NaiveAgent, round_: int, triggered: bool,
+                 moves_out: list) -> None:
+        """Resume the agent until it issues a time-consuming op."""
+        obs = self._obs(agent, round_, triggered)
+        try:
+            if agent.state == "ready" and agent.ctx.obs is None:
+                agent.ctx.obs = obs
+                op = next(agent.gen)
+            else:
+                op = agent.gen.send(obs)
+        except StopIteration as stop:
+            agent.state = "done"
+            agent.finish_round = round_
+            agent.finish_node = agent.node
+            agent.payload = stop.value
+            return
+        kind = op[0]
+        if kind == MOVE:
+            moves_out.append((agent, op[1]))
+            agent.state = "moving"
+        elif kind == WAIT:
+            agent.state = "waiting"
+            agent.resume_round = round_ + op[1]
+            agent.watch = op[2]
+        elif kind == WAIT_STABLE:
+            agent.state = "stable"
+            agent.stable_window = op[1]
+        elif kind == DECLARE:
+            agent.state = "done"
+            agent.finish_round = round_
+            agent.finish_node = agent.node
+            agent.payload = op[1]
+            agent.declared = True
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown op {op!r}")
+
+    def _due(self, agent: NaiveAgent, round_: int) -> tuple[bool, bool]:
+        """Is the agent due to resume this round?  -> (due, triggered)"""
+        if agent.state == "ready":
+            return True, False
+        if agent.state == "waiting":
+            if agent.watch is not None and watch_hit(
+                agent.watch, self._count(agent.node)
+            ):
+                return True, True
+            return round_ >= agent.resume_round, False
+        if agent.state == "stable":
+            threshold = self.last_change[agent.node] + agent.stable_window - 1
+            return round_ >= threshold, False
+        return False, False
+
+    def run(self):
+        for round_ in range(self.max_rounds + 1):
+            if all(a.state == "done" for a in self.agents):
+                break
+            moves: list = []
+            # 1. wake-ups scheduled for this round.
+            for agent in self.agents:
+                if agent.state == "dormant" and agent.wake_round == round_:
+                    self._start(agent, round_)
+            # 2. resume every due agent; chained ops (e.g. a stability
+            # wait that is already satisfied) may come due within the
+            # same round, so iterate to a fixpoint.  Counts do not
+            # change mid-round (moves apply at the end), so the order
+            # of resumption is immaterial.
+            progress = True
+            while progress:
+                progress = False
+                for agent in self.agents:
+                    if agent.state in ("moving", "done", "dormant"):
+                        continue
+                    due, triggered = self._due(agent, round_)
+                    if due:
+                        agent.watch = None
+                        self._advance(agent, round_, triggered, moves)
+                        progress = True
+            # 3. apply the round's moves simultaneously.
+            before = [self._count(v) for v in self.graph.nodes()]
+            arrivals: set[int] = set()
+            for agent, port in moves:
+                dst, entry = self.graph.neighbor(agent.node, port)
+                agent.node = dst
+                agent.entry_port = entry
+                agent.moves += 1
+                agent.state = "ready"
+                arrivals.add(dst)
+            after = [self._count(v) for v in self.graph.nodes()]
+            for v in self.graph.nodes():
+                if before[v] != after[v]:
+                    self.last_change[v] = round_ + 1
+            # 4. dormant wake-ups by visit (start next round).
+            for agent in self.agents:
+                if (
+                    agent.state == "dormant"
+                    and agent.node in arrivals
+                ):
+                    agent.wake_round = round_ + 1
+        return self.agents

@@ -1,0 +1,78 @@
+"""Tests for the adversary schedule builders (and their use end-to-end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_gather_known
+from repro.graphs import ring
+from repro.sim.adversary import (
+    random_schedule,
+    simultaneous,
+    single_awake,
+    staggered,
+)
+
+
+class TestBuilders:
+    def test_simultaneous(self):
+        assert simultaneous(3) == [0, 0, 0]
+
+    def test_staggered(self):
+        assert staggered(4, 5) == [0, 5, 10, 15]
+
+    def test_staggered_zero_gap(self):
+        assert staggered(3, 0) == [0, 0, 0]
+
+    def test_single_awake(self):
+        assert single_awake(3) == [0, None, None]
+        assert single_awake(3, awake_index=2) == [None, None, 0]
+
+    def test_single_awake_bounds(self):
+        with pytest.raises(ValueError):
+            single_awake(3, awake_index=3)
+
+    def test_random_schedule_always_has_a_round_zero(self):
+        for seed in range(20):
+            schedule = random_schedule(4, 50, seed=seed)
+            assert 0 in schedule
+            assert len(schedule) == 4
+
+    def test_random_schedule_deterministic(self):
+        assert random_schedule(5, 30, seed=3) == random_schedule(
+            5, 30, seed=3
+        )
+
+    def test_random_schedule_respects_bounds(self):
+        schedule = random_schedule(6, 10, seed=1)
+        for entry in schedule:
+            assert entry is None or 0 <= entry <= 10
+
+    def test_random_schedule_dormant_probability_extremes(self):
+        all_awake = random_schedule(5, 10, seed=2, dormant_probability=0.0)
+        assert None not in all_awake
+        mostly_dormant = random_schedule(
+            5, 10, seed=2, dormant_probability=1.0
+        )
+        # Everyone dormant except the forced round-0 agent.
+        assert mostly_dormant.count(None) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simultaneous(0)
+        with pytest.raises(ValueError):
+            staggered(2, -1)
+        with pytest.raises(ValueError):
+            random_schedule(2, -5)
+        with pytest.raises(ValueError):
+            random_schedule(2, 5, dormant_probability=1.5)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_gathering_under_random_adversary(self, seed):
+        schedule = random_schedule(3, 40, seed=seed)
+        report = run_gather_known(
+            ring(5), [2, 3, 5], 5, wake_rounds=schedule
+        )
+        assert report.leader in (2, 3, 5)

@@ -1,0 +1,113 @@
+"""Tests for the fitting and table helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ResultTable,
+    fit_exponential,
+    fit_power_law,
+    format_big,
+    growth_ratios,
+    is_polynomial_growth,
+)
+
+
+class TestPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.slope - 2.0) < 1e-9
+        assert fit.r_squared > 0.999
+
+    def test_exact_cubic_with_constant(self):
+        xs = [3, 5, 9, 17]
+        ys = [7 * x**3 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.slope - 3.0) < 1e-9
+        assert abs(math.exp(fit.intercept) - 7.0) < 1e-6
+
+    def test_noise_tolerated(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [1.1 * x**2 for x in xs]
+        ys[2] *= 0.9
+        fit = fit_power_law(xs, ys)
+        assert 1.8 < fit.slope < 2.2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 4])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2], [4])
+
+
+class TestExponential:
+    def test_exact_rate(self):
+        xs = [1, 2, 3, 4]
+        ys = [math.e ** (0.5 * x) for x in xs]
+        fit = fit_exponential(xs, ys)
+        assert abs(fit.slope - 0.5) < 1e-9
+
+    def test_doubling(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2.0**x for x in xs]
+        fit = fit_exponential(xs, ys)
+        assert abs(fit.slope - math.log(2)) < 1e-9
+
+
+class TestHelpers:
+    def test_growth_ratios(self):
+        assert growth_ratios([1, 2, 6]) == [2.0, 3.0]
+
+    def test_growth_ratio_zero_denominator(self):
+        with pytest.raises(ValueError):
+            growth_ratios([0, 1])
+
+    def test_is_polynomial_growth_accepts_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [3 * x**2 for x in xs]
+        assert is_polynomial_growth(xs, ys, max_exponent=3.0)
+
+    def test_is_polynomial_growth_rejects_exponential(self):
+        xs = [2, 4, 8, 16]
+        ys = [2.0**x for x in xs]
+        assert not is_polynomial_growth(xs, ys, max_exponent=3.0)
+
+
+class TestTables:
+    def test_format_big_small_values(self):
+        assert format_big(123) == "123"
+        assert format_big(-42) == "-42"
+
+    def test_format_big_large_values(self):
+        assert format_big(64 * 2**224) == "1.725e69"
+        assert "e69" in format_big(10**69)
+
+    def test_format_big_float(self):
+        assert format_big(3.14159) == "3.14"
+
+    def test_render_alignment(self):
+        table = ResultTable("demo", ["a", "bbbb"])
+        table.add_row(1, 22)
+        table.add_row(333, 4)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_arity_checked(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_string_cells_pass_through(self):
+        table = ResultTable("demo", ["name", "value"])
+        table.add_row("ring", 5)
+        assert "ring" in table.render()

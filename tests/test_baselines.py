@@ -1,0 +1,74 @@
+"""Tests for the traditional-model baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_random_walk_gather, run_talking_gather
+from repro.core import run_gather_known
+from repro.graphs import family_for_size, path_graph, ring, single_edge
+
+
+class TestTalkingBaseline:
+    def test_single_edge(self):
+        report = run_talking_gather(single_edge(), [1, 2], 2)
+        assert report.leader == 1
+        assert report.round > 0
+
+    def test_three_agents_ring(self):
+        report = run_talking_gather(ring(5), [5, 9, 12], 5)
+        assert report.leader == 5
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_families(self, n):
+        for name, g in family_for_size(n):
+            report = run_talking_gather(
+                g, [2, 7], n, start_nodes=[0, g.n - 1]
+            )
+            assert report.leader == 2, name
+
+    def test_full_team(self):
+        report = run_talking_gather(ring(4), [4, 3, 2, 1], 4)
+        assert report.leader == 1
+
+    def test_talking_is_faster_than_silent(self):
+        """The whole point of E9: silence costs time."""
+        silent = run_gather_known(ring(4), [1, 2], 4)
+        talking = run_talking_gather(ring(4), [1, 2], 4)
+        assert talking.round < silent.round
+
+    def test_rejects_single_agent(self):
+        with pytest.raises(ValueError):
+            run_talking_gather(ring(3), [1], 3)
+
+
+class TestRandomWalkBaseline:
+    def test_single_edge(self):
+        report = run_random_walk_gather(single_edge(), [1, 2], 2)
+        assert report.leader == 1
+
+    def test_ring(self):
+        report = run_random_walk_gather(ring(5), [3, 8], 5)
+        assert report.leader == 3
+
+    def test_three_agents(self):
+        report = run_random_walk_gather(ring(6), [5, 9, 12], 8)
+        assert report.leader == 5
+
+    def test_deterministic_given_seed(self):
+        a = run_random_walk_gather(ring(5), [1, 2], 5, seed=3)
+        b = run_random_walk_gather(ring(5), [1, 2], 5, seed=3)
+        assert a.round == b.round
+
+    def test_seed_changes_run(self):
+        rounds = {
+            run_random_walk_gather(ring(5), [1, 2], 5, seed=s).round
+            for s in range(4)
+        }
+        assert len(rounds) > 1
+
+    def test_path_graph(self):
+        report = run_random_walk_gather(
+            path_graph(4), [2, 5], 4, start_nodes=[0, 3]
+        )
+        assert report.leader == 2

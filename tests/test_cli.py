@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` demo runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_unknown_demo_name_prints_usage(self, capsys):
+        assert main(["nope"]) == 1
+        out = capsys.readouterr().out
+        assert "python -m repro" in out
+
+    def test_no_args_prints_usage(self):
+        assert main([]) == 1
+
+    def test_gather_demo(self, capsys):
+        assert main(["gather"]) == 0
+        out = capsys.readouterr().out
+        assert "leader" in out
+
+    def test_unknown_demo(self, capsys):
+        assert main(["unknown"]) == 0
+        out = capsys.readouterr().out
+        assert "hypothesis" in out
+        assert "10^" in out
+
+    def test_narrate_demo(self, capsys):
+        assert main(["narrate"]) == 0
+        out = capsys.readouterr().out
+        assert "declares gathering" in out
+
+    @pytest.mark.slow
+    def test_compare_demo(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "talking" in out
+
+    @pytest.mark.slow
+    def test_gossip_demo(self, capsys):
+        assert main(["gossip"]) == 0
+        out = capsys.readouterr().out
+        assert "101" in out

@@ -1,0 +1,229 @@
+"""Tests for Communicate (Algorithm 4) — Lemma 3.1 made executable.
+
+A group of co-located agents starts ``Communicate(i, s, flag)``
+simultaneously.  The lemma promises: every member finishes after
+exactly ``5 i T(EXPLO(N))`` rounds, back at the meeting node, with
+
+* ``l = sigma + "1" * (i - |sigma|)`` where ``sigma`` is the
+  lexicographically smallest offered code word (or ``"1" * i`` when
+  nobody offers one that fits), and
+* ``k`` = number of agents whose offered word equals ``sigma``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communicate import communicate, communicate_duration
+from repro.core.labels import code
+from repro.core.parameters import KnownBoundParameters
+from repro.explore.uxs import UXSProvider
+from repro.graphs import star_graph
+from repro.sim import AgentSpec, Simulation
+
+
+class StarMeeting:
+    """Assemble k agents at the centre of a star, then run a payload.
+
+    Leaves start at distinct leaf nodes, walk their only port in round
+    0 and arrive at the centre in round 1 — co-located and
+    synchronized, the precondition of Lemma 3.1.  An optional outsider
+    can be parked at a leaf to break cleanliness.
+    """
+
+    def __init__(self, num_agents: int, n_bound: int | None = None,
+                 provider: UXSProvider | None = None, extra_leaves: int = 0):
+        self.k = num_agents
+        self.graph = star_graph(num_agents + 1 + extra_leaves)
+        self.n_bound = n_bound or self.graph.n
+        self.provider = provider or UXSProvider()
+        self.provider.verify_for_graph(self.n_bound, self.graph)
+        self.params = KnownBoundParameters(self.n_bound, self.provider)
+
+    def run(self, payload_factories, outsiders=()):
+        """payload_factories: list of callables(ctx) -> generator run
+        after meeting at the centre; returns their return values."""
+        from repro.sim.agent import move
+
+        results = {}
+
+        def make(idx, factory):
+            def program(ctx):
+                yield from move(ctx, 0)  # leaf -> centre, lands round 1
+                value = yield from factory(ctx)
+                results[idx] = (value, ctx.obs.round)
+                return None
+
+            return program
+
+        specs = [
+            AgentSpec(idx + 1, idx + 1, make(idx, f), wake_round=0)
+            for idx, f in enumerate(payload_factories)
+        ]
+        for j, outsider in enumerate(outsiders):
+            specs.append(
+                AgentSpec(
+                    100 + j,
+                    self.k + 1 + j,
+                    outsider,
+                    wake_round=0,
+                )
+            )
+        sim = Simulation(self.graph, specs)
+        sim.run()
+        return results
+
+
+def communicate_factory(params, i, s, flag=True):
+    def factory(ctx):
+        result = yield from communicate(ctx, params, i, s, flag)
+        return (result.string, result.count)
+
+    return factory
+
+
+class TestLemma31:
+    def test_smallest_code_word_delivered(self):
+        meet = StarMeeting(3)
+        i = 6
+        words = [code("1"), code("10"), code("11")]
+        factories = [
+            communicate_factory(meet.params, i, w) for w in words
+        ]
+        results = meet.run(factories)
+        # Lexicographic comparison of the raw strings: "110001"
+        # (= code("10")) precedes "1101" (= code("1")).
+        sigma = min(words)
+        assert sigma == code("10")
+        expected = sigma + "1" * (i - len(sigma))
+        for idx in range(3):
+            assert results[idx][0][0] == expected
+
+    def test_all_finish_same_round_exact_duration(self):
+        meet = StarMeeting(3)
+        i = 4
+        factories = [
+            communicate_factory(meet.params, i, code("1")),
+            communicate_factory(meet.params, i, code("0")),
+            communicate_factory(meet.params, i, code("1")),
+        ]
+        results = meet.run(factories)
+        rounds = {results[idx][1] for idx in range(3)}
+        assert len(rounds) == 1
+        # Meeting at round 1 + exactly 5 i T rounds.
+        assert rounds.pop() == 1 + communicate_duration(meet.params, i)
+
+    def test_lexicographically_smallest_wins(self):
+        meet = StarMeeting(3)
+        i = 6
+        words = [code("10"), code("01"), code("11")]
+        factories = [
+            communicate_factory(meet.params, i, w) for w in words
+        ]
+        results = meet.run(factories)
+        sigma = min(words)
+        expected = sigma + "1" * (i - len(sigma))
+        assert all(results[idx][0][0] == expected for idx in range(3))
+
+    def test_count_of_sigma_holders(self):
+        meet = StarMeeting(4)
+        i = 4
+        sigma = code("0")
+        factories = [
+            communicate_factory(meet.params, i, sigma),
+            communicate_factory(meet.params, i, sigma),
+            communicate_factory(meet.params, i, code("1")),
+            communicate_factory(meet.params, i, code("1")),
+        ]
+        results = meet.run(factories)
+        for idx in range(4):
+            string, count = results[idx][0]
+            assert string == sigma
+            assert count == 2
+
+    def test_no_transmitter_yields_all_ones(self):
+        meet = StarMeeting(2)
+        i = 4
+        factories = [
+            communicate_factory(meet.params, i, code("101"), flag=True),
+            communicate_factory(meet.params, i, code("110"), flag=False,),
+        ]
+        # code("101") has length 8 > i = 4: doesn't fit; the other
+        # agent doesn't offer - G is empty.
+        results = meet.run(factories)
+        for idx in range(2):
+            string, count = results[idx][0]
+            assert string == "1" * i
+            assert count == 1
+
+    def test_flag_false_receives_but_never_sends(self):
+        meet = StarMeeting(2)
+        i = 4
+        factories = [
+            communicate_factory(meet.params, i, code("1"), flag=False),
+            communicate_factory(meet.params, i, code("0"), flag=True),
+        ]
+        results = meet.run(factories)
+        sigma = code("0")
+        for idx in range(2):
+            string, count = results[idx][0]
+            assert string == sigma
+            assert count == 1
+
+    def test_singleton_group(self):
+        meet = StarMeeting(1)
+        i = 4
+        factories = [communicate_factory(meet.params, i, code("0"))]
+        results = meet.run(factories)
+        string, count = results[0][0]
+        assert string == code("0")
+        assert count == 1
+
+    def test_longer_of_two_equal_prefixes(self):
+        """code words are prefix-free, so a shorter word can never
+        shadow a longer one; the smaller *string* wins outright."""
+        meet = StarMeeting(2)
+        i = 8
+        w1, w2 = code("00"), code("000")
+        factories = [
+            communicate_factory(meet.params, i, w1),
+            communicate_factory(meet.params, i, w2),
+        ]
+        results = meet.run(factories)
+        sigma = min(w1, w2)
+        expected = sigma + "1" * (i - len(sigma))
+        assert all(results[idx][0][0] == expected for idx in range(2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        words=st.lists(
+            st.text(alphabet="01", min_size=0, max_size=2),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_lemma_property(self, words):
+        """Property: for arbitrary small code words, Communicate
+        returns (sigma padded, count of sigma holders) to everyone."""
+        coded = [code(w) for w in words]
+        i = max(len(c) for c in coded)
+        meet = StarMeeting(len(words))
+        factories = [
+            communicate_factory(meet.params, i, c) for c in coded
+        ]
+        results = meet.run(factories)
+        sigma = min(c for c in coded if len(c) <= i)
+        expected = sigma + "1" * (i - len(sigma))
+        expected_count = sum(1 for c in coded if c == sigma)
+        for idx in range(len(words)):
+            string, count = results[idx][0]
+            assert string == expected
+            assert count == expected_count
+
+    def test_bad_bit_count_rejected(self):
+        meet = StarMeeting(1)
+        gen = communicate(None, meet.params, 0, "01", True)
+        with pytest.raises(ValueError):
+            next(gen)

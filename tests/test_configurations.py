@@ -1,0 +1,147 @@
+"""Tests for initial configurations and the enumeration Omega."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configurations import (
+    Configuration,
+    DovetailOmega,
+    OmegaLimit,
+    TwoNodeDenseOmega,
+)
+from repro.graphs import PortGraph, path_graph, single_edge
+
+
+class TestConfiguration:
+    def test_basic_properties(self):
+        cfg = Configuration(single_edge(), {0: 5, 1: 3})
+        assert cfg.n == 2
+        assert cfg.k == 2
+        assert cfg.label_values() == [3, 5]
+        assert cfg.smallest_label() == 3
+        assert cfg.central_node() == 1
+        assert cfg.rank(3) == 0
+        assert cfg.rank(5) == 1
+        assert cfg.has_label(5)
+        assert not cfg.has_label(4)
+
+    def test_path_to_central(self):
+        g = path_graph(3)
+        cfg = Configuration(g, {0: 9, 2: 4})
+        # Central node is node 2 (label 4); agent 9 walks two hops.
+        path = cfg.path_to_central(9)
+        assert g.follow(0, path) == 2
+        assert cfg.path_to_central(4) == []
+
+    def test_requires_two_labels(self):
+        with pytest.raises(ValueError):
+            Configuration(single_edge(), {0: 1})
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError):
+            Configuration(path_graph(3), {0: 1, 2: 1})
+
+    def test_rejects_nonpositive_labels(self):
+        with pytest.raises(ValueError):
+            Configuration(single_edge(), {0: 0, 1: 1})
+
+    def test_matches_up_to_isomorphism(self):
+        cfg = Configuration(single_edge(), {0: 1, 1: 2})
+        assert cfg.matches(single_edge(), {0: 2, 1: 1})
+        assert cfg.matches(single_edge(), {0: 1, 1: 2})
+        assert not cfg.matches(single_edge(), {0: 1, 1: 3})
+
+
+class TestDovetailOmega:
+    def test_first_config_is_labels_1_2(self):
+        omega = DovetailOmega()
+        cfg = omega.config(1)
+        assert cfg.n == 2
+        assert cfg.label_values() == [1, 2]
+
+    def test_prefix_is_all_two_node_until_weight_five(self):
+        omega = DovetailOmega()
+        # Weight 4: {1,2}; weight 5 starts with n=2 max-label 3.
+        values = [omega.config(h).label_values() for h in range(1, 6)]
+        assert values[0] == [1, 2]
+        assert [1, 3] in values[1:]
+        assert [2, 3] in values[1:]
+
+    def test_every_two_node_pair_appears(self):
+        omega = DovetailOmega()
+        seen = set()
+        for h in range(1, 200):
+            cfg = omega.config(h)
+            if cfg.n == 2:
+                seen.add(tuple(cfg.label_values()))
+        assert {(1, 2), (1, 3), (2, 3), (1, 4)} <= seen
+
+    def test_three_node_configs_appear(self):
+        omega = DovetailOmega()
+        sizes = {omega.config(h).n for h in range(1, 80)}
+        assert 3 in sizes
+
+    def test_index_of_finds_true_configuration(self):
+        omega = DovetailOmega()
+        idx = omega.index_of(single_edge(), {0: 2, 1: 3})
+        assert idx is not None
+        assert omega.config(idx).matches(single_edge(), {0: 2, 1: 3})
+
+    def test_index_of_absent_configuration(self):
+        omega = DovetailOmega()
+        # Size-5 graphs are beyond the enumerator: must return None,
+        # not loop forever.
+        g = path_graph(5)
+        assert omega.index_of(g, {0: 1, 4: 2}, limit=500) is None
+
+    def test_deterministic(self):
+        a, b = DovetailOmega(), DovetailOmega()
+        for h in range(1, 30):
+            assert a.config(h).labels == b.config(h).labels
+
+    def test_rejects_index_zero(self):
+        with pytest.raises(ValueError):
+            DovetailOmega().config(0)
+
+
+class TestTwoNodeDenseOmega:
+    def test_two_node_density(self):
+        omega = TwoNodeDenseOmega(stride=8)
+        for h in range(1, 40):
+            cfg = omega.config(h)
+            if h % 8 == 0:
+                assert cfg.n >= 3
+            else:
+                assert cfg.n == 2
+
+    def test_completeness_of_two_node_stream(self):
+        omega = TwoNodeDenseOmega(stride=64)
+        pairs = set()
+        for h in range(1, 64):
+            cfg = omega.config(h)
+            pairs.add(tuple(cfg.label_values()))
+        # First 63 non-multiples carry the first 63 pairs (b, a) order.
+        assert (1, 2) in pairs
+        assert (10, 11) in pairs
+
+    def test_index_of_large_labels_stays_two_node(self):
+        omega = TwoNodeDenseOmega(stride=64)
+        idx = omega.index_of(single_edge(), {0: 9, 1: 4})
+        assert idx is not None and idx < 64
+        for h in range(1, idx + 1):
+            assert omega.config(h).n == 2
+
+    def test_rejects_tiny_stride(self):
+        with pytest.raises(ValueError):
+            TwoNodeDenseOmega(stride=1)
+
+
+class TestOmegaLimit:
+    def test_limit_raised_lazily(self):
+        omega = DovetailOmega()
+        # Weight 7 includes n=5 blocks; asking deep enough must raise
+        # OmegaLimit rather than hanging.
+        with pytest.raises(OmegaLimit):
+            for h in range(1, 100_000):
+                omega.config(h)

@@ -1,0 +1,181 @@
+"""Differential testing: event-compressed scheduler vs naive reference.
+
+Randomized agent scripts (moves, watched waits, stability waits) run
+on both the production scheduler (`repro.sim.scheduler`) and the
+independent round-by-round reference (`tests/naive_sim.py`); every
+observation an agent makes — round, cardinality, entry port, trigger
+flag — must agree exactly, as must the final outcomes.  This is the
+strongest check that skipping quiet rounds never changes semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.naive_sim import NaiveSimulation
+from repro.graphs import path_graph, ring, single_edge, star_graph
+from repro.sim import AgentSpec, Simulation, WatchTriggered
+from repro.sim.agent import move, wait, wait_stable
+
+GRAPHS = {
+    "edge": single_edge(),
+    "path3": path_graph(3),
+    "ring4": ring(4),
+    "star4": star_graph(4),
+}
+
+WATCHES = [None, ("gt", 1), ("ne", 1), ("eq", 2), ("lt", 2)]
+
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("move"),
+        st.integers(0, 3),
+        st.sampled_from(WATCHES),
+    ),
+    st.tuples(
+        st.just("wait"),
+        st.integers(1, 25),
+        st.sampled_from(WATCHES),
+    ),
+    st.tuples(st.just("stable"), st.integers(1, 8)),
+)
+
+script_strategy = st.lists(op_strategy, min_size=0, max_size=10)
+
+
+def scripted_program(script):
+    """Turn an op script into an agent program that logs observations."""
+
+    def program(ctx):
+        log = []
+        for op in script:
+            kind = op[0]
+            if kind == "move":
+                port = op[1] % ctx.degree()
+                try:
+                    obs = yield from move(ctx, port, watch=op[2])
+                    log.append(
+                        ("move", obs.round, obs.curcard, obs.entry_port)
+                    )
+                except WatchTriggered as trig:
+                    log.append(
+                        ("move!", trig.observation.round,
+                         trig.observation.curcard)
+                    )
+            elif kind == "wait":
+                try:
+                    yield from wait(ctx, op[1], watch=op[2])
+                    log.append(
+                        ("wait", ctx.obs.round, ctx.obs.curcard)
+                    )
+                except WatchTriggered as trig:
+                    log.append(
+                        ("wait!", trig.observation.round,
+                         trig.observation.curcard)
+                    )
+            else:
+                yield from wait_stable(ctx, op[1])
+                log.append(("stable", ctx.obs.round, ctx.obs.curcard))
+        return log
+
+    return program
+
+
+def run_both(graph, scripts, wakes):
+    starts = list(range(len(scripts)))
+    specs_a = [
+        AgentSpec(i + 1, starts[i], scripted_program(scripts[i]), wakes[i])
+        for i in range(len(scripts))
+    ]
+    specs_b = [
+        AgentSpec(i + 1, starts[i], scripted_program(scripts[i]), wakes[i])
+        for i in range(len(scripts))
+    ]
+    fast = Simulation(graph, specs_a)
+    fast_result = fast.run()
+    naive = NaiveSimulation(graph, specs_b, max_rounds=5_000)
+    naive_agents = naive.run()
+    return fast_result, naive_agents
+
+
+def assert_equivalent(fast_result, naive_agents):
+    for out, ref in zip(fast_result.outcomes, naive_agents):
+        assert out.payload == ref.payload, "observation logs diverged"
+        assert out.finish_round == ref.finish_round
+        assert out.finish_node == ref.finish_node
+        assert out.moves == ref.moves
+
+
+class TestHandPickedScenarios:
+    def test_two_sitters(self):
+        scripts = [[("wait", 5, None)], [("wait", 9, None)]]
+        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
+        assert_equivalent(fast, naive)
+
+    def test_watched_wait_interrupted(self):
+        scripts = [
+            [("wait", 100, ("gt", 1))],
+            [("wait", 7, None), ("move", 0, None), ("wait", 50, None)],
+        ]
+        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
+        assert_equivalent(fast, naive)
+
+    def test_stability_restarts(self):
+        scripts = [
+            [("stable", 6)],
+            [
+                ("wait", 3, None), ("move", 0, None),
+                ("wait", 3, None), ("move", 0, None),
+                ("wait", 40, None),
+            ],
+        ]
+        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
+        assert_equivalent(fast, naive)
+
+    def test_crossing_on_edge(self):
+        scripts = [
+            [("move", 0, ("gt", 1)), ("wait", 5, None)],
+            [("move", 0, ("gt", 1)), ("wait", 5, None)],
+        ]
+        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
+        assert_equivalent(fast, naive)
+
+    def test_delayed_wake(self):
+        scripts = [
+            [("move", 0, None), ("wait", 30, None)],
+            [("wait", 2, None), ("move", 1, None)],
+        ]
+        fast, naive = run_both(GRAPHS["ring4"], scripts, [0, 13])
+        assert_equivalent(fast, naive)
+
+    def test_three_agents_star(self):
+        scripts = [
+            [("move", 0, None), ("wait", 20, ("eq", 3))],
+            [("wait", 4, None), ("move", 0, None), ("wait", 20, None)],
+            [("wait", 8, None), ("move", 0, None), ("wait", 20, None)],
+        ]
+        fast, naive = run_both(GRAPHS["star4"], scripts, [0, 0, 0])
+        assert_equivalent(fast, naive)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    graph_name=st.sampled_from(sorted(GRAPHS)),
+    scripts=st.lists(script_strategy, min_size=2, max_size=3),
+    wake_picks=st.lists(st.integers(0, 6), min_size=3, max_size=3),
+    data=st.data(),
+)
+def test_differential_property(graph_name, scripts, wake_picks, data):
+    """Property: both simulators agree on every randomized scenario."""
+    graph = GRAPHS[graph_name]
+    scripts = scripts[: graph.n]  # at most one agent per node
+    if len(scripts) < 2:
+        scripts = scripts + [[("wait", 3, None)]]
+        scripts = scripts[: max(2, min(graph.n, len(scripts)))]
+    if len(scripts) > graph.n:
+        scripts = scripts[: graph.n]
+    wakes = [0] + [wake_picks[i % 3] for i in range(len(scripts) - 1)]
+    fast, naive = run_both(graph, scripts, wakes)
+    assert_equivalent(fast, naive)

@@ -1,0 +1,54 @@
+"""Tests for exhaustive enumeration of small port graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    count_port_graphs,
+    iter_all_port_graphs,
+    iter_connected_edge_sets,
+)
+
+
+class TestEdgeSets:
+    def test_two_nodes(self):
+        assert list(iter_connected_edge_sets(2)) == [((0, 1),)]
+
+    def test_three_nodes(self):
+        sets = list(iter_connected_edge_sets(3))
+        # 3 labelled paths + 1 triangle.
+        assert len(sets) == 4
+
+    def test_four_nodes_count(self):
+        # Connected labelled simple graphs on 4 nodes: 38.
+        assert len(list(iter_connected_edge_sets(4))) == 38
+
+    def test_all_connected(self):
+        for pairs in iter_connected_edge_sets(4):
+            nodes = {u for u, _ in pairs} | {v for _, v in pairs}
+            assert nodes == set(range(4))
+
+
+class TestPortGraphEnumeration:
+    def test_two_node_unique(self):
+        graphs = list(iter_all_port_graphs(2))
+        assert len(graphs) == 1
+        assert graphs[0].n == 2
+
+    def test_three_node_count(self):
+        # 3 paths x 2 centre orderings + 1 triangle x 2^3 orderings.
+        assert count_port_graphs(3) == 3 * 2 + 8
+
+    def test_all_valid(self):
+        for g in iter_all_port_graphs(3):
+            assert g.n == 3
+            for v in g.nodes():
+                for p in range(g.degree(v)):
+                    u, q = g.neighbor(v, p)
+                    assert g.neighbor(u, q) == (v, p)
+
+    @pytest.mark.slow
+    def test_four_node_enumeration_is_large_but_finite(self):
+        count = count_port_graphs(4)
+        assert count > 1000  # K4 alone contributes 6**4 = 1296

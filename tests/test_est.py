@@ -1,0 +1,221 @@
+"""Tests for EST / EST+ (stationary-token map building)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.est import est, est_budget, est_plus
+from repro.graphs import (
+    complete_graph,
+    family_for_size,
+    path_graph,
+    ring,
+    single_edge,
+    star_graph,
+)
+from repro.sim import AgentSpec, Simulation
+from repro.sim.agent import wait
+
+
+class TestESTOnFamilies:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_learns_exact_size(self, provider, n):
+        """With the right hypothesis, EST closes the exact map."""
+        for name, g in family_for_size(n):
+            result = self._run(g, n, provider)
+            assert result.completed, f"{name}: {result.reason}"
+            assert result.size == g.n, name
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_all_homes(self, provider, n):
+        g = ring(n)
+        for home in g.nodes():
+            result = self._run(g, n, provider, home=home)
+            assert result.completed and result.size == n
+
+    def test_undersized_hypothesis_fails(self, provider):
+        """n_hat below the real size must never report success=n_hat."""
+        g = ring(5)
+        for n_hat in (2, 3, 4):
+            result = self._run(g, n_hat, provider)
+            assert not (result.completed and result.size == n_hat)
+
+    def test_oversized_hypothesis_learns_true_size(self, provider):
+        """n_hat above the real size: the map still closes at the true
+        size (EST+ then reports a mismatch with n_hat)."""
+        g = path_graph(3)
+        result = self._run(g, 5, provider)
+        assert result.completed
+        assert result.size == 3
+
+    def test_budget_abort(self, provider):
+        result = self._run(complete_graph(5), 5, provider, budget=10)
+        assert not result.completed
+        assert result.reason == "budget"
+
+    def test_entries_backtrack_home(self, provider):
+        """Reversing the recorded entries returns exactly home —
+        the property EST+ relies on."""
+        g = star_graph(5)
+        box = {}
+
+        def explorer(ctx):
+            result = yield from est(
+                ctx, provider, 5, est_budget(5, provider)
+            )
+            box["entries"] = list(result.entries)
+            from repro.sim.agent import move
+
+            for e in reversed(result.entries):
+                yield from move(ctx, e)
+            return None
+
+        def token(ctx):
+            yield from wait(ctx, 10**9)
+            return None
+
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, explorer, wake_round=0),
+                AgentSpec(2, 1, _walk_to(0), wake_round=0),
+            ],
+        )
+        result = sim.run()
+        # est backtracks internally after each probe, so the explorer
+        # finishes at home even before the extra reversal; the reversal
+        # of *all* entries retraces to home again.
+        assert result.outcomes[0].finish_node == 0
+
+    # ------------------------------------------------------------------
+
+    def _run(self, graph, n_hat, provider, budget=None, home=0):
+        box = {}
+        if budget is None:
+            budget = est_budget(n_hat, provider)
+
+        def explorer(ctx):
+            # Wait one round so the token can step onto home.
+            yield from wait(ctx, 1)
+            result = yield from est(ctx, provider, n_hat, budget)
+            box["result"] = result
+            return None
+
+        neighbor = graph.step(home, 0)
+
+        sim = Simulation(
+            graph,
+            [
+                AgentSpec(1, home, explorer, wake_round=0),
+                AgentSpec(2, neighbor, _walk_to(home), wake_round=0),
+            ],
+        )
+        sim.run()
+        return box["result"]
+
+
+def _walk_to(home):
+    """Token program: one move onto the explorer's node, then park."""
+
+    def program(ctx):
+        from repro.sim.agent import move
+
+        # The token starts at a neighbour of home reached via port 0
+        # from home; the reverse port is the entry port of that edge,
+        # which on our generator graphs is discovered by probing: walk
+        # every port until co-located with the explorer.
+        for port in range(ctx.degree()):
+            obs = yield from move(ctx, port)
+            if obs.curcard > 1:
+                break
+            yield from move(ctx, obs.entry_port)
+        yield from wait(ctx, 10**9)
+        return None
+
+    return program
+
+
+class TestESTPlus:
+    def test_true_hypothesis_accepted(self, provider):
+        g = ring(4)
+        box = {}
+
+        def explorer(ctx):
+            yield from wait(ctx, 1)
+            verdict = yield from est_plus(
+                ctx, provider, 4, est_budget(4, provider)
+            )
+            box["verdict"] = verdict
+            return ctx.obs.round
+
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, explorer, wake_round=0),
+                AgentSpec(2, g.step(0, 0), _walk_to(0), wake_round=0),
+            ],
+        )
+        result = sim.run()
+        assert box["verdict"] is True
+        assert result.outcomes[0].finish_node == 0
+
+    @pytest.mark.parametrize("n_hat", [3, 5, 6])
+    def test_wrong_hypothesis_rejected(self, provider, n_hat):
+        g = ring(4)
+        box = {}
+
+        def explorer(ctx):
+            yield from wait(ctx, 1)
+            verdict = yield from est_plus(
+                ctx, provider, n_hat, est_budget(n_hat, provider)
+            )
+            box["verdict"] = verdict
+            return None
+
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, explorer, wake_round=0),
+                AgentSpec(2, g.step(0, 0), _walk_to(0), wake_round=0),
+            ],
+        )
+        sim.run()
+        assert box["verdict"] is False
+
+    def test_duration_within_twice_budget(self, provider):
+        g = ring(4)
+        budget = est_budget(4, provider)
+
+        def explorer(ctx):
+            yield from wait(ctx, 1)
+            yield from est_plus(ctx, provider, 4, budget)
+            return ctx.obs.round
+
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, explorer, wake_round=0),
+                AgentSpec(2, g.step(0, 0), _walk_to(0), wake_round=0),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload - 1 <= 2 * budget
+
+
+class TestBudgetFormula:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_budget_covers_worst_probe_cost(self, provider, n):
+        """The budget must pay for one signature per directed port plus
+        navigation — the quantity EST actually spends."""
+        length = provider.length(n)
+        probes = n * (n - 1)
+        minimum = 2 * length + probes * (2 * n + 2 * length)
+        assert est_budget(n, provider) >= minimum
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_budget_monotone_on_pinned_range(self, provider, n):
+        # Within the exhaustively pinned range the budget grows with n.
+        assert est_budget(n, provider) > est_budget(n - 1, provider)
+
+    def test_single_edge_budget_tiny(self, provider):
+        assert est_budget(2, provider) < 100

@@ -1,0 +1,161 @@
+"""Tests for the EXPLO procedure (effective + backtrack parts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.explo import explo
+from repro.graphs import family_for_size, ring, single_edge
+from repro.sim import AgentSpec, Simulation, WatchTriggered
+from repro.sim.agent import move, wait
+
+
+def run_program(graph, program, start=0, extra_specs=()):
+    specs = [AgentSpec(1, start, program)] + list(extra_specs)
+    sim = Simulation(graph, specs, trace=True)
+    return sim, sim.run()
+
+
+class TestDuration:
+    @pytest.mark.parametrize("n_bound", [2, 3, 4, 5])
+    def test_lasts_exactly_t_explo(self, provider, n_bound):
+        duration = provider.explo_duration(n_bound)
+
+        def program(ctx):
+            yield from explo(ctx, provider, n_bound)
+            return ctx.obs.round
+
+        for _name, g in family_for_size(n_bound):
+            _sim, result = run_program(g, program)
+            assert result.outcomes[0].payload == duration
+
+    def test_limit_truncates(self, provider):
+        def program(ctx):
+            yield from explo(ctx, provider, 4, limit=5)
+            return ctx.obs.round
+
+        _sim, result = run_program(ring(4), program)
+        assert result.outcomes[0].payload == 5
+
+    def test_limit_zero(self, provider):
+        def program(ctx):
+            yield from explo(ctx, provider, 4, limit=0)
+            yield from wait(ctx, 1)
+            return ctx.obs.round
+
+        _sim, result = run_program(ring(4), program)
+        assert result.outcomes[0].payload == 1
+
+
+class TestCoverageAndReturn:
+    @pytest.mark.parametrize("n_bound", [2, 3, 4, 5])
+    def test_visits_all_and_returns(self, provider, n_bound):
+        """The effective part visits every node; the backtrack part
+        brings the agent back to its start."""
+
+        def program(ctx):
+            yield from explo(ctx, provider, n_bound)
+            return None
+
+        for _name, g in family_for_size(n_bound):
+            for start in g.nodes():
+                sim, result = run_program(g, program, start=start)
+                assert result.outcomes[0].finish_node == start
+                visited = {start} | {dst for _, _, _, dst in sim.move_log}
+                assert visited == set(g.nodes())
+
+    def test_effective_part_covers_by_halftime(self, provider):
+        g = ring(5)
+        half = provider.length(5)
+
+        def program(ctx):
+            yield from explo(ctx, provider, 5)
+            return None
+
+        sim, _result = run_program(g, program, start=2)
+        early = {2} | {
+            dst for rnd, _, _, dst in sim.move_log if rnd < half
+        }
+        assert early == set(g.nodes())
+
+    def test_partial_explo_trajectory_is_prefix(self, provider):
+        """Truncation cuts the instruction stream without altering it."""
+
+        def full(ctx):
+            yield from explo(ctx, provider, 4)
+            return None
+
+        def cut(ctx):
+            yield from explo(ctx, provider, 4, limit=7)
+            return None
+
+        g = ring(4)
+        sim_full, _ = run_program(g, full)
+        sim_cut, _ = run_program(g, cut)
+        assert sim_cut.move_log == sim_full.move_log[:7]
+
+
+class TestInterruption:
+    def test_watch_interrupts_mid_explo(self, provider):
+        def explorer(ctx):
+            yield from wait(ctx, 1)
+            try:
+                yield from explo(ctx, provider, 3, watch=("gt", 1))
+            except WatchTriggered as trig:
+                return ("met", trig.observation.round)
+            return ("alone", ctx.obs.round)
+
+        def sitter(ctx):
+            yield from wait(ctx, 100)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [AgentSpec(1, 0, explorer), AgentSpec(2, 1, sitter)],
+        )
+        result = sim.run()
+        status, round_ = result.outcomes[0].payload
+        assert status == "met"
+        assert round_ == 2  # first move of the explo lands on the sitter
+
+    def test_min_curcard_statistics(self, provider):
+        """min CurCard during EXPLO reflects the loneliest round."""
+
+        def explorer(ctx):
+            yield from wait(ctx, 1)
+            stats = yield from explo(ctx, provider, 2)
+            return stats.min_curcard
+
+        def sitter(ctx):
+            yield from wait(ctx, 100)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 0, explorer), AgentSpec(2, 1, sitter)]
+        )
+        result = sim.run()
+        # The explorer starts alone (card 1), visits the sitter (2),
+        # returns alone (1): minimum is 1.
+        assert result.outcomes[0].payload == 1
+
+    def test_synchronized_explos_all_return_home(self, provider):
+        """Three agents running the same EXPLO simultaneously from
+        different nodes each come back to their own start node."""
+
+        def program(ctx):
+            yield from explo(ctx, provider, 3)
+            return None
+
+        g = ring(3)
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, program),
+                AgentSpec(2, 1, program),
+                AgentSpec(3, 2, program),
+            ],
+        )
+        result = sim.run()
+        assert [o.finish_node for o in result.outcomes] == [0, 1, 2]

@@ -1,0 +1,69 @@
+"""Tests for the randomized-silent-gathering extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import run_randomized_silent_gather
+from repro.graphs import path_graph, ring, single_edge, star_graph
+
+
+class TestRandomizedSilent:
+    def test_two_agents_edge(self):
+        report = run_randomized_silent_gather(single_edge(), [1, 2])
+        assert report.round >= 0
+        assert report.node in (0, 1)
+
+    def test_two_agents_ring(self):
+        report = run_randomized_silent_gather(ring(5), [3, 8])
+        assert 0 <= report.node < 5
+
+    def test_three_agents(self):
+        report = run_randomized_silent_gather(ring(4), [1, 2, 3])
+        assert report.round > 0
+
+    def test_four_agents_star(self):
+        report = run_randomized_silent_gather(
+            star_graph(5), [1, 2, 3, 4], start_nodes=[1, 2, 3, 4]
+        )
+        assert report.round > 0
+
+    def test_synchronized_declaration(self):
+        report = run_randomized_silent_gather(path_graph(4), [2, 9])
+        rounds = {o.finish_round for o in report.sim_result.outcomes}
+        nodes = {o.finish_node for o in report.sim_result.outcomes}
+        assert len(rounds) == 1 and len(nodes) == 1
+
+    def test_deterministic_given_seed(self):
+        a = run_randomized_silent_gather(ring(5), [1, 2], seed=11)
+        b = run_randomized_silent_gather(ring(5), [1, 2], seed=11)
+        assert a.round == b.round and a.node == b.node
+
+    def test_seed_variation(self):
+        rounds = {
+            run_randomized_silent_gather(ring(5), [1, 2], seed=s).round
+            for s in range(6)
+        }
+        assert len(rounds) > 1
+
+    def test_rejects_single_agent(self):
+        with pytest.raises(ValueError):
+            run_randomized_silent_gather(ring(3), [1])
+
+    def test_expected_time_grows_with_team(self):
+        """Simultaneous coincidence of independent walks degrades with
+        k - the empirical argument for the paper's deterministic
+        machinery (averaged over seeds to tame variance)."""
+
+        def mean_round(labels):
+            runs = [
+                run_randomized_silent_gather(
+                    ring(5), labels, seed=s
+                ).round
+                for s in range(8)
+            ]
+            return sum(runs) / len(runs)
+
+        two = mean_round([1, 2])
+        four = mean_round([1, 2, 3, 4])
+        assert four > two

@@ -1,0 +1,233 @@
+"""End-to-end tests for GatherKnownUpperBound (Theorem 3.1).
+
+The theorem promises, for any connected graph of size <= N, any set of
+distinct labels, any adversarial wake-up schedule:
+
+* all agents declare gathering in the same round at the same node;
+* a leader is elected: every agent ends with the same lambda, which is
+  the label of one of the agents;
+* the number of phases is at most floor(log N) + 2 l + 2 where l is
+  the binary length of the smallest label.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KnownBoundParameters, run_gather_known
+from repro.core.gather_known import smallest_label_length
+from repro.explore.uxs import UXSProvider
+from repro.graphs import (
+    complete_graph,
+    family_for_size,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    ring,
+    single_edge,
+    star_graph,
+)
+
+
+def phase_bound(n_bound, labels):
+    params = KnownBoundParameters(n_bound)
+    return params.max_phases(smallest_label_length(labels))
+
+
+class TestTwoAgents:
+    def test_single_edge(self):
+        report = run_gather_known(single_edge(), [1, 2], 2)
+        assert report.leader in (1, 2)
+        assert report.phases <= phase_bound(2, [1, 2])
+
+    @pytest.mark.parametrize("labels", [(1, 2), (2, 5), (3, 12), (7, 11)])
+    def test_label_pairs_on_ring(self, labels):
+        report = run_gather_known(ring(4), list(labels), 4)
+        assert report.leader in labels
+        assert report.phases <= phase_bound(4, list(labels))
+
+    def test_antipodal_starts(self):
+        report = run_gather_known(
+            ring(4), [1, 2], 4, start_nodes=[0, 2]
+        )
+        assert report.leader in (1, 2)
+
+    def test_equal_label_lengths(self):
+        # Same binary length forces the full Communicate machinery.
+        report = run_gather_known(ring(4), [5, 6], 4)
+        assert report.leader in (5, 6)
+
+    def test_one_label_prefix_of_other(self):
+        # 2 = "10" is a binary prefix of 5 = "101".
+        report = run_gather_known(ring(4), [2, 5], 4)
+        assert report.leader in (2, 5)
+
+
+class TestManyAgents:
+    def test_three_on_ring(self):
+        report = run_gather_known(ring(5), [1, 2, 3], 5)
+        assert report.leader in (1, 2, 3)
+
+    def test_four_on_star(self):
+        report = run_gather_known(
+            star_graph(5), [3, 7, 11, 13], 5, start_nodes=[1, 2, 3, 4]
+        )
+        assert report.leader in (3, 7, 11, 13)
+
+    def test_full_house(self):
+        # As many agents as nodes.
+        report = run_gather_known(ring(4), [1, 2, 3, 4], 4)
+        assert report.leader in (1, 2, 3, 4)
+
+    def test_five_agents_on_grid(self):
+        report = run_gather_known(
+            grid_graph(2, 3), [2, 3, 5, 7, 11], 6,
+            start_nodes=[0, 1, 2, 3, 5],
+        )
+        assert report.leader in (2, 3, 5, 7, 11)
+
+
+class TestWakeSchedules:
+    def test_delayed_second_agent(self):
+        report = run_gather_known(
+            ring(4), [1, 2], 4, wake_rounds=[0, 29]
+        )
+        assert report.leader in (1, 2)
+
+    def test_dormant_agent_woken_by_visit(self):
+        report = run_gather_known(
+            ring(4), [1, 2], 4, wake_rounds=[0, None]
+        )
+        assert report.leader in (1, 2)
+
+    def test_mixed_schedule(self):
+        report = run_gather_known(
+            ring(5), [4, 5, 6], 5, wake_rounds=[3, None, 0]
+        )
+        assert report.leader in (4, 5, 6)
+
+    def test_large_wake_spread(self):
+        report = run_gather_known(
+            path_graph(4), [1, 3], 4, wake_rounds=[0, 55],
+            start_nodes=[0, 3],
+        )
+        assert report.leader in (1, 3)
+
+    def test_wake_delay_does_not_change_outcome_much(self):
+        base = run_gather_known(ring(4), [1, 2], 4)
+        delayed = run_gather_known(ring(4), [1, 2], 4, wake_rounds=[0, 10])
+        assert base.leader == delayed.leader
+
+
+class TestFamiliesMatrix:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_every_family(self, n):
+        labels = [1, 2]
+        for name, g in family_for_size(n):
+            report = run_gather_known(
+                g, labels, n, start_nodes=[0, g.n - 1]
+            )
+            assert report.leader in labels, name
+            assert report.phases <= phase_bound(n, labels), name
+
+    def test_loose_upper_bound(self):
+        """N may exceed the real size: correctness must survive."""
+        report = run_gather_known(ring(3), [1, 2], 6)
+        assert report.leader in (1, 2)
+
+    def test_clique_with_three(self):
+        report = run_gather_known(complete_graph(4), [2, 3, 4], 4)
+        assert report.leader in (2, 3, 4)
+
+
+class TestGuarantees:
+    def test_declaration_round_below_theorem_bound(self):
+        labels = [1, 2]
+        params = KnownBoundParameters(4)
+        report = run_gather_known(ring(4), labels, 4)
+        assert report.round <= params.total_time_bound(
+            smallest_label_length(labels)
+        )
+
+    def test_leader_unanimous_and_in_team(self):
+        report = run_gather_known(ring(5), [9, 12, 10], 5)
+        payloads = report.sim_result.payloads()
+        assert len({p.leader for p in payloads}) == 1
+        assert report.leader in (9, 12, 10)
+
+    def test_all_moves_accounted(self):
+        report = run_gather_known(single_edge(), [1, 2], 2)
+        assert report.total_moves > 0
+        assert report.events >= report.total_moves
+
+    def test_validation_rejects_too_many_agents(self):
+        with pytest.raises(ValueError):
+            run_gather_known(single_edge(), [1, 2, 3], 2)
+
+    def test_validation_rejects_single_agent(self):
+        with pytest.raises(ValueError):
+            run_gather_known(ring(3), [1], 3)
+
+    def test_preflight_rejects_undersized_bound(self):
+        from repro.explore.uxs import UniversalityError
+
+        with pytest.raises(UniversalityError):
+            run_gather_known(ring(5), [1, 2], 3)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(3, 5),
+    seed=st.integers(0, 20),
+    base=st.integers(1, 12),
+    gap=st.integers(1, 12),
+    delay=st.integers(0, 40),
+)
+def test_gathering_property(n, seed, base, gap, delay):
+    """Property: random graph, random labels, random delay — gathering
+    always succeeds with a valid leader within the phase bound.
+
+    The run wrapper itself performs the same-round / same-node /
+    same-leader validation (RunValidationError would fail the test).
+    """
+    g = random_connected_graph(n, seed=seed)
+    provider = UXSProvider()
+    provider.verify_for_graph(n, g)
+    labels = [base, base + gap]
+    report = run_gather_known(
+        g,
+        labels,
+        n,
+        start_nodes=[0, g.n - 1],
+        wake_rounds=[0, delay],
+        provider=provider,
+    )
+    assert report.leader in labels
+    assert report.phases <= phase_bound(n, labels)
+
+
+class TestExtremes:
+    def test_minimal_graph_long_labels(self):
+        """20-bit labels on the 2-node graph: ~42 phases, still exact."""
+        labels = [999_983, 1_000_003]
+        report = run_gather_known(single_edge(), labels, 2)
+        assert report.leader in labels
+        assert report.phases <= phase_bound(2, labels)
+
+    def test_unpinned_size_bound_uses_generated_sequence(self):
+        """N = 7 has no pinned/sampled sequence: the generated default
+        must cover the graph (verified at pre-flight) and gather."""
+        report = run_gather_known(ring(7), [1, 2], 7)
+        assert report.leader in (1, 2)
+
+    def test_bound_far_above_size(self):
+        report = run_gather_known(single_edge(), [1, 2], 6)
+        assert report.leader in (1, 2)
+
+    def test_adjacent_agents_on_large_ring(self):
+        report = run_gather_known(
+            ring(8, seed=5), [3, 4], 8, start_nodes=[0, 1]
+        )
+        assert report.leader in (3, 4)

@@ -1,0 +1,121 @@
+"""Tests for the graph family generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    GraphError,
+    complete_graph,
+    family_for_size,
+    grid_graph,
+    hypercube,
+    lollipop,
+    oriented_ring,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    ring,
+    star_graph,
+)
+
+
+class TestFamilies:
+    def test_ring_structure(self):
+        g = ring(5)
+        assert g.n == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        assert g.num_edges() == 5
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            ring(2)
+
+    def test_oriented_ring_ports(self):
+        g = oriented_ring(4)
+        # Port 0 is clockwise everywhere: following it cycles.
+        node = 0
+        for _ in range(4):
+            node = g.step(node, 0)
+        assert node == 0
+
+    def test_path(self):
+        g = path_graph(4)
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        assert degrees == [1, 1, 2, 2]
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.num_edges() == 10
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.n == 6
+        assert g.num_edges() == 7
+        assert g.diameter() == 3
+
+    def test_hypercube(self):
+        g = hypercube(3)
+        assert g.n == 8
+        assert all(g.degree(v) == 3 for v in g.nodes())
+        # Port i flips bit i.
+        assert g.step(0b000, 2) == 0b100
+
+    def test_lollipop(self):
+        g = lollipop(4, 3)
+        assert g.n == 7
+        assert g.diameter() >= 3
+
+    def test_random_tree_edge_count(self):
+        g = random_tree(9, seed=5)
+        assert g.num_edges() == 8
+
+    def test_random_connected_contains_tree(self):
+        g = random_connected_graph(8, seed=2)
+        assert g.num_edges() >= 7
+
+    def test_generators_deterministic(self):
+        assert random_tree(7, seed=3) == random_tree(7, seed=3)
+        assert random_connected_graph(7, seed=3) == random_connected_graph(
+            7, seed=3
+        )
+
+    def test_shuffled_ports_still_valid(self):
+        # Seeded port shuffles exercise adversarial local numbering.
+        for seed in range(5):
+            g = ring(6, seed=seed)
+            assert g.n == 6
+
+
+class TestFamilyForSize:
+    def test_size_two(self):
+        fam = family_for_size(2)
+        assert [name for name, _ in fam] == ["edge"]
+
+    def test_size_six_names(self):
+        names = {name for name, _ in family_for_size(6)}
+        assert {"ring", "path", "star", "clique", "tree", "random"} <= names
+
+    def test_all_members_have_requested_size(self):
+        for n in (3, 5, 8):
+            for _name, g in family_for_size(n):
+                assert g.n == n
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 1000))
+def test_random_graphs_always_valid(n, seed):
+    """Property: generators only ever produce valid connected graphs
+    (PortGraph's constructor enforces the invariants)."""
+    g = random_connected_graph(n, seed=seed)
+    assert g.n == n
+    t = random_tree(max(n, 2), seed=seed)
+    assert t.num_edges() == t.n - 1

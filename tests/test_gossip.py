@@ -1,0 +1,121 @@
+"""Tests for Gossip (Algorithm 12) and GossipKnownUpperBound."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_gossip_known
+from repro.core.gossip import gossip_round_bound
+from repro.core.parameters import KnownBoundParameters
+from repro.graphs import path_graph, ring, single_edge, star_graph
+
+
+class TestBasicGossip:
+    def test_two_distinct_messages(self):
+        report = run_gossip_known(single_edge(), [1, 2], ["1", "0"], 2)
+        assert report.messages == {"1": 1, "0": 1}
+
+    def test_identical_messages_are_counted(self):
+        report = run_gossip_known(ring(3), [1, 2, 3], ["11", "11", "11"], 3)
+        assert report.messages == {"11": 3}
+
+    def test_mixed_multiplicities(self):
+        report = run_gossip_known(
+        ring(4), [1, 2, 3, 4], ["0", "10", "0", "111"], 4
+        )
+        assert report.messages == {"0": 2, "10": 1, "111": 1}
+
+    def test_empty_message(self):
+        report = run_gossip_known(single_edge(), [1, 2], ["", "101"], 2)
+        assert report.messages == {"": 1, "101": 1}
+
+    def test_long_messages(self):
+        m1 = "10" * 8
+        m2 = "01" * 8
+        report = run_gossip_known(single_edge(), [1, 2], [m1, m2], 2)
+        assert report.messages == {m1: 1, m2: 1}
+
+    def test_different_length_messages(self):
+        report = run_gossip_known(
+            path_graph(3), [2, 5], ["1", "110011"], 3, start_nodes=[0, 2]
+        )
+        assert report.messages == {"1": 1, "110011": 1}
+
+
+class TestSynchrony:
+    def test_everyone_finishes_same_round(self):
+        # GossipReport's constructor enforces it; reaching here is the
+        # assertion, but double-check explicitly.
+        report = run_gossip_known(ring(3), [1, 2, 3], ["0", "1", "00"], 3)
+        rounds = {o.finish_round for o in report.sim_result.outcomes}
+        assert len(rounds) == 1
+
+    def test_leader_carried_from_gathering(self):
+        report = run_gossip_known(single_edge(), [4, 7], ["0", "1"], 2)
+        assert report.leader in (4, 7)
+
+    def test_gossip_after_delayed_wakeups(self):
+        report = run_gossip_known(
+            ring(4), [1, 2], ["1010", "0101"], 4, wake_rounds=[0, 33]
+        )
+        assert report.messages == {"1010": 1, "0101": 1}
+
+
+class TestBounds:
+    def test_round_bound_polynomial_shape(self):
+        params = KnownBoundParameters(4)
+        b1 = gossip_round_bound(params, 2, 4)
+        b2 = gossip_round_bound(params, 2, 8)
+        assert b2 > b1
+        # Quadratic in message length: doubling the length at most
+        # quadruples (plus lower-order terms).
+        assert b2 <= 5 * b1
+
+    def test_gossip_duration_within_bound(self):
+        params = KnownBoundParameters(2)
+        report = run_gossip_known(single_edge(), [1, 2], ["11", "00"], 2)
+        gather_round = None
+        for payload in report.sim_result.payloads():
+            assert payload.gather is not None
+        bound = gossip_round_bound(params, 2, 2)
+        # The gossip phase alone fits the bound (total = gather + gossip).
+        assert report.round <= bound + 10_000
+
+
+class TestValidationErrors:
+    def test_message_count_mismatch(self):
+        with pytest.raises(ValueError):
+            run_gossip_known(single_edge(), [1, 2], ["1"], 2)
+
+    def test_non_binary_message(self):
+        with pytest.raises(ValueError):
+            run_gossip_known(single_edge(), [1, 2], ["1", "2x"], 2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    messages=st.lists(
+        st.text(alphabet="01", min_size=0, max_size=5),
+        min_size=2,
+        max_size=4,
+    )
+)
+def test_gossip_property(messages):
+    """Property: arbitrary message lists are delivered exactly, with
+    multiplicities, to every agent (validated by the wrapper)."""
+    k = len(messages)
+    graph = star_graph(k + 1)
+    labels = list(range(1, k + 1))
+    report = run_gossip_known(
+        graph,
+        labels,
+        messages,
+        k + 1,
+        start_nodes=list(range(1, k + 1)),
+    )
+    expected: dict[str, int] = {}
+    for m in messages:
+        expected[m] = expected.get(m, 0) + 1
+    assert report.messages == expected

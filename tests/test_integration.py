@@ -1,0 +1,153 @@
+"""Cross-module integration scenarios.
+
+These tests stitch multiple subsystems together the way a downstream
+user would: pipelines (gather -> gossip), shared providers, mixed
+adversary schedules, and end-to-end agreement between the two
+gathering algorithms and the baselines on identical instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    KnownBoundParameters,
+    UXSProvider,
+    run_gather_known,
+    run_gather_unknown,
+    run_gossip_known,
+    run_gossip_unknown,
+    run_leader_election,
+)
+from repro.baselines import run_talking_gather
+from repro.core.labels import transformed_label
+from repro.extensions import run_randomized_silent_gather
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    hypercube,
+    lollipop,
+    ring,
+    single_edge,
+)
+
+
+class TestSharedProvider:
+    def test_one_provider_many_runs(self):
+        """A single provider (cached sequences) serves every algorithm."""
+        provider = UXSProvider()
+        g = ring(5)
+        r1 = run_gather_known(g, [1, 2], 5, provider=provider)
+        r2 = run_gossip_known(g, [1, 2], ["1", "0"], 5, provider=provider)
+        r3 = run_talking_gather(g, [1, 2], 5, provider=provider)
+        assert r1.leader in (1, 2)
+        assert r2.messages == {"1": 1, "0": 1}
+        assert r3.leader == 1
+
+    def test_provider_determines_schedule(self):
+        """Two providers with different lengths change durations but
+        not correctness."""
+        short = UXSProvider()
+        long = UXSProvider(lengths={5: 120})
+        g = ring(5)
+        a = run_gather_known(g, [1, 2], 5, provider=short)
+        b = run_gather_known(g, [1, 2], 5, provider=long)
+        assert a.leader == b.leader
+        assert a.round != b.round
+
+
+class TestAlgorithmAgreement:
+    def test_known_and_unknown_agree_on_edge(self):
+        """Both algorithms gather the same instance; the unknown-bound
+        one additionally learns the size."""
+        known = run_gather_known(single_edge(), [2, 3], 2)
+        unknown = run_gather_unknown(single_edge(), [2, 3])
+        assert known.leader in (2, 3)
+        assert unknown.leader == 2
+        assert unknown.size == 2
+        # The zero-knowledge algorithm is astronomically slower.
+        assert unknown.round > 10**60 > known.round
+
+    def test_gossip_variants_agree(self):
+        known = run_gossip_known(single_edge(), [1, 2], ["11", "00"], 2)
+        unknown = run_gossip_unknown(single_edge(), [1, 2], ["11", "00"])
+        assert known.messages == unknown.messages == {"11": 1, "00": 1}
+
+    def test_leader_election_wrapper(self):
+        leader = run_leader_election(ring(4), [7, 10], 4)
+        assert leader in (7, 10)
+
+
+class TestExoticTopologies:
+    def test_hypercube(self):
+        g = hypercube(3)
+        report = run_gather_known(g, [1, 2, 3], 8, start_nodes=[0, 3, 7])
+        assert report.leader in (1, 2, 3)
+
+    def test_lollipop(self):
+        g = lollipop(4, 2)
+        report = run_gather_known(g, [4, 6], 6, start_nodes=[0, 5])
+        assert report.leader in (4, 6)
+
+    def test_grid_gossip(self):
+        g = grid_graph(2, 2)
+        report = run_gossip_known(
+            g, [1, 2, 3], ["0", "1", "10"], 4, start_nodes=[0, 1, 3]
+        )
+        assert report.messages == {"0": 1, "1": 1, "10": 1}
+
+    def test_clique_all_algorithms(self):
+        g = complete_graph(4)
+        silent = run_gather_known(g, [1, 2], 4)
+        talking = run_talking_gather(g, [1, 2], 4)
+        randomized = run_randomized_silent_gather(g, [1, 2])
+        assert silent.leader in (1, 2)
+        assert talking.leader == 1
+        assert randomized.round >= 0
+
+
+class TestAdversarialSchedules:
+    def test_chain_of_dormant_agents(self):
+        """Only one agent is woken by the adversary; the others form a
+        dormant chain woken by exploration."""
+        g = ring(5)
+        report = run_gather_known(
+            g,
+            [3, 5, 8, 13],
+            5,
+            wake_rounds=[0, None, None, None],
+        )
+        assert report.leader in (3, 5, 8, 13)
+
+    def test_wake_spread_beyond_phase_zero(self):
+        """An agent woken later than another's whole phase 0."""
+        params = KnownBoundParameters(4)
+        late = 2 * params.t_explo + 5
+        report = run_gather_known(
+            ring(4), [1, 2], 4, wake_rounds=[0, late]
+        )
+        assert report.leader in (1, 2)
+
+    def test_every_agent_delayed_differently(self):
+        report = run_gather_known(
+            ring(5), [2, 3, 5], 5, wake_rounds=[13, 0, 41]
+        )
+        assert report.leader in (2, 3, 5)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_identical(self):
+        a = run_gather_known(ring(5, seed=9), [4, 9], 5)
+        b = run_gather_known(ring(5, seed=9), [4, 9], 5)
+        assert (a.round, a.node, a.leader) == (b.round, b.node, b.leader)
+
+    def test_label_swap_changes_transcript_not_safety(self):
+        a = run_gather_known(ring(4), [1, 2], 4, start_nodes=[0, 2])
+        b = run_gather_known(ring(4), [2, 1], 4, start_nodes=[0, 2])
+        assert a.leader in (1, 2) and b.leader in (1, 2)
+
+    def test_transformed_labels_drive_phase_count(self):
+        """Declaration cannot happen before the winning code fits in
+        the transmitted prefix: phase >= |code(bin(leader))|."""
+        report = run_gather_known(ring(4), [5, 6], 4)
+        assert report.phases >= len(transformed_label(report.leader)) - 1

@@ -1,0 +1,100 @@
+"""Tests for port-preserving isomorphism and configuration matching."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    PortGraph,
+    are_isomorphic,
+    configurations_match,
+    find_isomorphism,
+    path_graph,
+    ring,
+    single_edge,
+)
+
+
+def relabeled_path3() -> PortGraph:
+    """Path 0-1-2 with node ids permuted (2-0-1)."""
+    return PortGraph(3, [(2, 0, 0, 0), (0, 1, 1, 0)])
+
+
+class TestIsomorphism:
+    def test_identical_graphs(self):
+        assert are_isomorphic(single_edge(), single_edge())
+
+    def test_relabelled_nodes(self):
+        assert are_isomorphic(path_graph(3), relabeled_path3())
+
+    def test_mapping_preserves_ports(self):
+        g1, g2 = path_graph(3), relabeled_path3()
+        mapping = find_isomorphism(g1, g2)
+        assert mapping is not None
+        for v in g1.nodes():
+            assert g1.degree(v) == g2.degree(mapping[v])
+            for p in range(g1.degree(v)):
+                u1, q1 = g1.neighbor(v, p)
+                u2, q2 = g2.neighbor(mapping[v], p)
+                assert mapping[u1] == u2 and q1 == q2
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(path_graph(3), path_graph(4))
+
+    def test_different_port_assignments(self):
+        # Same underlying path, but the centre's ports are swapped:
+        # still isomorphic only if some node-relabelling fixes it —
+        # swapping the two leaves does exactly that here.
+        g1 = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0)])
+        g2 = PortGraph(3, [(0, 0, 1, 1), (1, 0, 2, 0)])
+        assert are_isomorphic(g1, g2)
+
+    def test_ring_vs_path(self):
+        assert not are_isomorphic(ring(3), path_graph(3))
+
+    def test_port_rigidity_detects_twist(self):
+        # Two 4-rings with different port patterns around the cycle.
+        ring_a = PortGraph(
+            4,
+            [(0, 0, 1, 1), (1, 0, 2, 1), (2, 0, 3, 1), (3, 0, 0, 1)],
+        )
+        ring_b = PortGraph(
+            4,
+            [(0, 0, 1, 0), (1, 1, 2, 1), (2, 0, 3, 0), (3, 1, 0, 1)],
+        )
+        assert not are_isomorphic(ring_a, ring_b)
+
+
+class TestConfigurationMatching:
+    def test_two_node_symmetry(self):
+        g = single_edge()
+        assert configurations_match(g, {0: 1, 1: 2}, g, {0: 2, 1: 1})
+
+    def test_label_values_must_match(self):
+        g = single_edge()
+        assert not configurations_match(g, {0: 1, 1: 2}, g, {0: 1, 1: 3})
+
+    def test_label_placement_must_match(self):
+        g = path_graph(3)
+        # Same label multiset, but on the path ends vs centre.
+        assert not configurations_match(
+            g, {0: 1, 2: 2}, g, {0: 1, 1: 2}
+        )
+
+    def test_partial_labelling_under_symmetry(self):
+        from repro.graphs import oriented_ring
+
+        # The oriented ring (port 0 always clockwise) has rotational
+        # port-preserving automorphisms, so rotated labelings match.
+        g = oriented_ring(3)
+        assert configurations_match(g, {0: 1, 1: 2}, g, {1: 1, 2: 2})
+
+    def test_no_swap_symmetry_on_canonical_path(self):
+        # The canonical 3-path is port-rigid: the centre's ports break
+        # the end-swap, so swapped labels do NOT match.
+        g = path_graph(3)
+        assert not configurations_match(g, {0: 1, 2: 2}, g, {0: 2, 2: 1})
+
+    def test_unlabelled_nodes_matter(self):
+        g3, g4 = path_graph(3), path_graph(4)
+        assert not configurations_match(
+            g3, {0: 1, 2: 2}, g4, {0: 1, 3: 2}
+        )

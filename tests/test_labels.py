@@ -1,0 +1,160 @@
+"""Tests for the code/decode label codec (Proposition 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    CodecError,
+    binary_length,
+    code,
+    decode,
+    find_code_prefix,
+    label_from_transmission,
+    to_binary,
+    transformed_label,
+)
+
+binary_strings = st.text(alphabet="01", min_size=0, max_size=40)
+
+
+class TestToBinary:
+    def test_zero(self):
+        assert to_binary(0) == "0"
+
+    def test_one(self):
+        assert to_binary(1) == "1"
+
+    def test_five(self):
+        assert to_binary(5) == "101"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            to_binary(-1)
+
+    def test_binary_length(self):
+        assert binary_length(1) == 1
+        assert binary_length(5) == 3
+        assert binary_length(1023) == 10
+
+
+class TestCode:
+    def test_empty_string(self):
+        assert code("") == "01"
+
+    def test_single_zero(self):
+        assert code("0") == "0001"
+
+    def test_single_one(self):
+        assert code("1") == "1101"
+
+    def test_example(self):
+        assert code("101") == "11001101"
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            code("10a")
+
+    @given(binary_strings)
+    def test_length_is_even(self, s):
+        assert len(code(s)) % 2 == 0
+
+    @given(binary_strings)
+    def test_terminator_is_only_aligned_01(self, s):
+        """Proposition 2.1 bullet 2: an aligned 01 pair occurs only at
+        the very end of a code word."""
+        coded = code(s)
+        aligned_01 = [
+            k
+            for k in range(0, len(coded), 2)
+            if coded[k : k + 2] == "01"
+        ]
+        assert aligned_01 == [len(coded) - 2]
+
+    @given(binary_strings, binary_strings)
+    def test_prefix_freedom(self, s1, s2):
+        """Proposition 2.1 bullet 3: distinct code words are never
+        prefixes of each other."""
+        if s1 == s2:
+            return
+        c1, c2 = code(s1), code(s2)
+        assert not c1.startswith(c2)
+        assert not c2.startswith(c1)
+
+
+class TestDecode:
+    @given(binary_strings)
+    def test_roundtrip(self, s):
+        assert decode(code(s)) == s
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(CodecError):
+            decode("011")
+
+    def test_rejects_missing_terminator(self):
+        with pytest.raises(CodecError):
+            decode("1111")
+
+    def test_rejects_unpaired_bits(self):
+        with pytest.raises(CodecError):
+            decode("1001")  # "10" is not a doubled bit
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodecError):
+            decode("")
+
+
+class TestTransformedLabel:
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_roundtrip(self, label):
+        coded = transformed_label(label)
+        assert int(decode(coded), 2) == label
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_distinct_labels_distinct_codes(self, a, b):
+        if a != b:
+            assert transformed_label(a) != transformed_label(b)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_length_formula(self, label):
+        assert len(transformed_label(label)) == 2 * binary_length(label) + 2
+
+
+class TestTransmissionParsing:
+    def test_all_ones_has_no_prefix(self):
+        assert find_code_prefix("1" * 12) is None
+
+    def test_finds_terminator(self):
+        assert find_code_prefix("110111") == "1101"
+
+    def test_misaligned_01_ignored(self):
+        # "01" occurring at an odd 0-indexed offset is not a terminator.
+        assert find_code_prefix("1011") is None
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(0, 10))
+    def test_label_recovered_from_padded_stream(self, label, pad):
+        stream = transformed_label(label) + "1" * pad
+        assert label_from_transmission(stream) == label
+
+    def test_label_none_for_padding_only(self):
+        assert label_from_transmission("1111") is None
+
+    def test_label_none_for_empty(self):
+        assert label_from_transmission("") is None
+
+    def test_zero_label_roundtrip(self):
+        # lambda = 0 is used as the "nothing learned" TZ parameter.
+        assert label_from_transmission(transformed_label(0)) == 0
+
+    @given(binary_strings, st.integers(0, 6))
+    def test_communicate_stream_shape(self, s, pad):
+        """Streams produced by Communicate are always code(x) + 1^j;
+        parsing recovers exactly x."""
+        stream = code(s) + "1" * pad
+        prefix = find_code_prefix(stream)
+        assert prefix == code(s)

@@ -1,0 +1,73 @@
+"""Tests for the text codec and text-level gossip wrapper."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    bits_to_text,
+    run_text_gossip,
+    text_to_bits,
+)
+from repro.graphs import single_edge, star_graph
+
+
+class TestCodec:
+    def test_ascii(self):
+        assert text_to_bits("A") == "01000001"
+        assert bits_to_text("01000001") == "A"
+
+    def test_empty(self):
+        assert text_to_bits("") == ""
+        assert bits_to_text("") == ""
+
+    @given(st.text(max_size=20))
+    def test_roundtrip(self, text):
+        assert bits_to_text(text_to_bits(text)) == text
+
+    def test_rejects_ragged_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_text("0101")
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_text("0100000x")
+
+    def test_unicode(self):
+        text = "héllo"
+        assert bits_to_text(text_to_bits(text)) == text
+
+
+class TestTextGossip:
+    def test_two_agents(self):
+        report = run_text_gossip(single_edge(), [1, 2], ["hi", "yo"], 2)
+        assert report.texts == {"hi": 1, "yo": 1}
+
+    def test_duplicates_counted(self):
+        report = run_text_gossip(single_edge(), [1, 2], ["ok", "ok"], 2)
+        assert report.texts == {"ok": 2}
+
+    def test_three_agents_star(self):
+        report = run_text_gossip(
+            star_graph(4), [1, 2, 3], ["a", "b", "a"], 4,
+            start_nodes=[1, 2, 3],
+        )
+        assert report.texts == {"a": 2, "b": 1}
+
+    def test_empty_text(self):
+        report = run_text_gossip(single_edge(), [1, 2], ["", "x"], 2)
+        assert report.texts == {"": 1, "x": 1}
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        t1=st.text(alphabet="abc", max_size=2),
+        t2=st.text(alphabet="abc", max_size=2),
+    )
+    def test_property(self, t1, t2):
+        report = run_text_gossip(single_edge(), [1, 2], [t1, t2], 2)
+        expected: dict[str, int] = {}
+        for t in (t1, t2):
+            expected[t] = expected.get(t, 0) + 1
+        assert report.texts == expected

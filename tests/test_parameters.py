@@ -1,0 +1,97 @@
+"""Tests for the timing parameters of the known-bound algorithm.
+
+These encode the inequalities the correctness proofs (Lemmas 3.2/3.3)
+rely on; if a refactor of the constants breaks one of them, the
+algorithm silently loses its guarantees — these tests make that loud.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labels import transformed_label
+from repro.core.parameters import KnownBoundParameters
+from repro.explore.tz import BLOCK_SLOTS
+
+
+@pytest.fixture(params=[2, 3, 4, 5, 8])
+def params(request, provider):
+    return KnownBoundParameters(request.param, provider)
+
+
+class TestBasicShape:
+    def test_t_explo_is_twice_length(self, params):
+        assert params.t_explo == 2 * params.provider.length(params.n_bound)
+
+    def test_d_positive_and_increasing(self, params):
+        values = [params.d(k) for k in range(0, 12)]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values)
+
+    def test_d_cache_consistent(self, params):
+        assert params.d(3) == params.d(3)
+
+    def test_rejects_tiny_bound(self):
+        with pytest.raises(ValueError):
+            KnownBoundParameters(1)
+
+    def test_rejects_negative_k(self, params):
+        with pytest.raises(ValueError):
+            params.d(-1)
+
+
+class TestProofInequalities:
+    def test_d_exceeds_p(self, params):
+        """D_k = P(N,k) + 3(k+2)T: the slack the proofs spend."""
+        for k in range(0, 10):
+            assert params.d(k) >= params.p_bound(k) + 3 * (k + 2) * params.t_explo
+
+    def test_d_grows_by_at_least_3t(self, params):
+        """Claim 3.3 needs D_{k+1} >= D_k + 3 T(EXPLO(N))."""
+        for k in range(0, 10):
+            assert params.d(k + 1) >= params.d(k) + 3 * params.t_explo
+
+    def test_d1_exceeds_half_t_explo(self, params):
+        """Base case of Lemma 3.3 (P2(0)) needs D_1 > T/2."""
+        assert params.d(1) > params.t_explo // 2
+
+    def test_p_covers_fine_wilf_horizon(self, params):
+        """P(N, i) must cover (p + q) blocks for any two transformed
+        labels usable in phase i, plus truncation slack."""
+        for phase in range(1, 10):
+            max_len = params.max_label_string(phase)
+            needed = BLOCK_SLOTS * params.t_explo * 2 * max_len
+            assert params.p_bound(phase) >= needed
+
+    def test_label_string_bound_is_correct(self, params):
+        """Any label decodable from an i-bit transmission has a
+        transformed length <= i + 4 (including lambda = 0)."""
+        for phase in range(1, 12):
+            bound = params.max_label_string(phase)
+            # lambda = 0: code("0") has length 4 <= bound.
+            assert len(transformed_label(0)) <= bound
+            # Largest decodable label: code word of length <= phase.
+            largest = (1 << max(0, (phase - 2) // 2)) - 1
+            if largest >= 1:
+                assert len(transformed_label(largest)) <= bound
+
+
+class TestEnvelopes:
+    def test_max_phases_formula(self, provider):
+        p = KnownBoundParameters(8, provider)
+        # floor(log 8) + 2*l + 2 with l = 1 -> 3 + 2 + 2 = 7.
+        assert p.max_phases(1) == 7
+        assert p.max_phases(3) == 11
+
+    def test_phase_duration_bound_monotone(self, params):
+        bounds = [params.phase_duration_bound(k) for k in range(1, 8)]
+        assert bounds == sorted(bounds)
+
+    def test_total_time_bound_polynomial_in_bits(self, provider):
+        p = KnownBoundParameters(4, provider)
+        t1 = p.total_time_bound(1)
+        t2 = p.total_time_bound(2)
+        t8 = p.total_time_bound(8)
+        assert t1 < t2 < t8
+        # Quadratic-ish growth in l, certainly not exponential.
+        assert t8 < 100 * t1

@@ -1,0 +1,157 @@
+"""Tests for the anonymous port-labelled graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    GraphError,
+    PortGraph,
+    iter_all_walks,
+    single_edge,
+)
+
+
+class TestConstruction:
+    def test_single_edge(self):
+        g = single_edge()
+        assert g.n == 2
+        assert g.degree(0) == 1
+        assert g.neighbor(0, 0) == (1, 0)
+        assert g.neighbor(1, 0) == (0, 0)
+
+    def test_triangle(self):
+        g = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0), (2, 1, 0, 1)])
+        assert g.degree(0) == 2
+        assert g.step(0, 0) == 1
+        assert g.step(0, 1) == 2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            PortGraph(2, [(0, 0, 0, 1), (0, 2, 1, 0)])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(GraphError):
+            PortGraph(2, [(0, 0, 1, 0), (0, 1, 1, 1)])
+
+    def test_rejects_port_reuse(self):
+        with pytest.raises(GraphError):
+            PortGraph(3, [(0, 0, 1, 0), (0, 0, 2, 0)])
+
+    def test_rejects_port_gap(self):
+        # Ports at a node must be exactly 0..d-1.
+        with pytest.raises(GraphError):
+            PortGraph(3, [(0, 0, 1, 0), (1, 2, 2, 0)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(GraphError):
+            PortGraph(4, [(0, 0, 1, 0), (2, 0, 3, 0)])
+
+    def test_rejects_isolated_node(self):
+        with pytest.raises(GraphError):
+            PortGraph(3, [(0, 0, 1, 0)])
+
+    def test_rejects_negative_port(self):
+        with pytest.raises(GraphError):
+            PortGraph(2, [(0, -1, 1, 0)])
+
+    def test_allows_multigraph_when_requested(self):
+        g = PortGraph(2, [(0, 0, 1, 0), (0, 1, 1, 1)], allow_multi=True)
+        assert g.degree(0) == 2
+
+    def test_single_node_graph(self):
+        g = PortGraph(1, [])
+        assert g.n == 1
+        assert g.degree(0) == 0
+
+
+class TestWalks:
+    def test_follow_path(self):
+        g = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0), (2, 1, 0, 1)])
+        assert g.follow(0, [0, 1]) == 2
+        assert g.follow(0, []) == 0
+
+    def test_follow_missing_port(self):
+        g = single_edge()
+        assert g.follow(0, [0, 1]) is None
+
+    def test_walk_with_entries(self):
+        g = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0), (2, 1, 0, 1)])
+        terminal, entries = g.walk_with_entries(0, [0, 1])
+        assert terminal == 2
+        assert entries == [0, 0]
+        # Reversing the entries returns to the start.
+        back, _ = g.walk_with_entries(terminal, list(reversed(entries)))
+        assert back == 0
+
+    def test_walk_with_entries_raises_on_bad_port(self):
+        with pytest.raises(GraphError):
+            single_edge().walk_with_entries(0, [3])
+
+    def test_bfs_distances(self):
+        g = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0)])
+        assert g.bfs_distances(0) == [0, 1, 2]
+
+    def test_diameter(self):
+        g = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0)])
+        assert g.diameter() == 2
+
+    def test_shortest_path_ports_is_lexicographically_smallest(self):
+        # Two shortest paths 0 -> 3: via ports (0,1) and (1,0); the
+        # lexicographically smallest must win.
+        g = PortGraph(
+            4,
+            [
+                (0, 0, 1, 0),
+                (0, 1, 2, 0),
+                (1, 1, 3, 0),
+                (2, 1, 3, 1),
+            ],
+        )
+        assert g.shortest_path_ports(0, 3) == [0, 1]
+
+    def test_shortest_path_trivial(self):
+        assert single_edge().shortest_path_ports(0, 0) == []
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert single_edge() == single_edge()
+
+    def test_edge_order_irrelevant(self):
+        g1 = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0)])
+        g2 = PortGraph(3, [(1, 1, 2, 0), (0, 0, 1, 0)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+    def test_different_ports_differ(self):
+        g1 = PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0)])
+        g2 = PortGraph(3, [(0, 0, 1, 1), (1, 0, 2, 0)])
+        assert g1 != g2
+
+    def test_describe_mentions_every_node(self):
+        text = single_edge().describe()
+        assert "node 0" in text and "node 1" in text
+
+
+class TestIterAllWalks:
+    def test_empty_alphabet_zero_length(self):
+        assert list(iter_all_walks(0, 0)) == [()]
+
+    def test_zero_length(self):
+        assert list(iter_all_walks(0, 3)) == [()]
+
+    def test_unary_alphabet(self):
+        assert list(iter_all_walks(3, 1)) == [(0, 0, 0)]
+
+    def test_binary_words(self):
+        words = list(iter_all_walks(2, 2))
+        assert words == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @given(st.integers(0, 6), st.integers(1, 3))
+    def test_count(self, length, alphabet):
+        words = list(iter_all_walks(length, alphabet))
+        assert len(words) == alphabet**length
+        assert len(set(words)) == len(words)

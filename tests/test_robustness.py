@@ -1,0 +1,163 @@
+"""Failure-injection and robustness tests.
+
+The algorithms assume the model's preconditions; these tests check
+that the *library* behaves sanely when users violate them or when
+adversarial companions misbehave: no crashes, no false positives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.est import est, est_budget
+from repro.explore.uxs import search_sequence
+from repro.graphs import ring, single_edge
+from repro.sim import AgentSpec, Simulation
+from repro.sim.agent import move, wait
+
+
+class TestESTUnderNoise:
+    def _run_with_token(self, graph, n_hat, provider, token_program):
+        box = {}
+        budget = est_budget(n_hat, provider)
+
+        def explorer(ctx):
+            yield from wait(ctx, 1)
+            result = yield from est(ctx, provider, n_hat, budget)
+            box["result"] = result
+            return None
+
+        sim = Simulation(
+            graph,
+            [
+                AgentSpec(1, 0, explorer, wake_round=0),
+                AgentSpec(2, graph.step(0, 0), token_program, wake_round=0),
+            ],
+        )
+        sim.run()
+        return box["result"]
+
+    def test_flickering_token_never_crashes(self, provider):
+        """A token that wanders mid-exploration breaks the clean-
+        exploration precondition; EST must return a result (of any
+        verdict) rather than crash or hang."""
+
+        def wandering_token(ctx):
+            yield from move(ctx, 0)  # join the explorer's node
+            for _ in range(30):
+                yield from wait(ctx, 3)
+                yield from move(ctx, 0)
+            yield from wait(ctx, 10**6)
+            return None
+
+        result = self._run_with_token(
+            ring(4), 4, provider, wandering_token
+        )
+        assert result.rounds <= est_budget(4, provider)
+
+    def test_beacon_anywhere_anchors_the_map(self, provider):
+        """A stationary beacon at *any* node (not only home) breaks the
+        symmetry of the oriented ring and yields the exact size — the
+        reversibility argument only needs one fixed reference point."""
+        from repro.graphs import oriented_ring
+
+        def remote_beacon(ctx):
+            # Step one node further away and park there.
+            yield from move(ctx, 0)
+            yield from wait(ctx, 10**6)
+            return None
+
+        result = self._run_with_token(
+            oriented_ring(4), 4, provider, remote_beacon
+        )
+        assert result.completed and result.size == 4
+
+    def test_no_beacon_on_symmetric_ring_collapses(self, provider):
+        """Without any token the oriented ring's nodes are perfectly
+        indistinguishable: the learned map collapses to a single node,
+        so EST+ with the true size hypothesis returns False rather
+        than a false positive."""
+        from repro.graphs import oriented_ring
+
+        graph = oriented_ring(4)
+        box = {}
+        budget = est_budget(4, provider)
+
+        def explorer(ctx):
+            result = yield from est(ctx, provider, 4, budget)
+            box["result"] = result
+            return None
+
+        sim = Simulation(graph, [AgentSpec(1, 0, explorer)])
+        sim.run()
+        result = box["result"]
+        assert not (result.completed and result.size == 4)
+        assert result.size == 1  # every signature collapses onto home
+
+
+class TestSearchSequence:
+    def test_finds_minimal_for_two_nodes(self):
+        seq = search_sequence(2, max_length=2, attempts=10, seed=1)
+        assert len(seq) == 1
+
+    def test_raises_when_budget_too_small(self):
+        from repro.explore.uxs import UniversalityError
+
+        with pytest.raises(UniversalityError):
+            search_sequence(3, max_length=1, attempts=3, seed=1)
+
+
+class TestSimulatorGuards:
+    def test_generator_returning_instantly(self):
+        def program(ctx):
+            return "done"
+            yield  # pragma: no cover
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        result = sim.run()
+        assert result.outcomes[0].payload == "done"
+        assert result.outcomes[0].finish_round == 0
+
+    def test_non_advancing_program_detected(self):
+        from repro.sim.ops import SimulationError
+        from repro.sim.agent import wait_stable
+
+        def spinner(ctx):
+            while True:
+                # wait_stable completes instantly on a quiet node: a
+                # same-round loop the scheduler must detect and refuse.
+                yield from wait_stable(ctx, 1)
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, spinner)])
+        with pytest.raises(SimulationError, match="non-advancing"):
+            sim.run()
+
+    def test_bad_wait_duration_rejected(self):
+        from repro.sim.ops import SimulationError
+
+        def program(ctx):
+            yield ("wait", 0, None)  # bypassing the helper's guard
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unknown_op_rejected(self):
+        from repro.sim.ops import SimulationError
+
+        def program(ctx):
+            yield ("teleport", 3, None)
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_float_port_rejected(self):
+        from repro.sim.ops import SimulationError
+
+        def program(ctx):
+            yield ("move", 0.0, None)
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        with pytest.raises(SimulationError, match="invalid port"):
+            sim.run()

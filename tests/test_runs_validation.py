@@ -1,0 +1,129 @@
+"""Error paths and validation behaviour of the run wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runs import (
+    GatherReport,
+    RunValidationError,
+    _resolve_placement,
+    run_gather_known,
+    run_gossip_known,
+)
+from repro.graphs import path_graph, ring, single_edge
+from repro.sim import AgentSpec, Simulation
+from repro.sim.agent import declare, wait
+from repro.sim.scheduler import SimulationResult
+from repro.core.results import GatherOutcome
+
+
+class TestPlacementResolution:
+    def test_defaults(self):
+        starts, wakes = _resolve_placement(ring(4), [1, 2], None, None)
+        assert starts == [0, 1]
+        assert wakes == [0, 0]
+
+    def test_misaligned_starts_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_placement(ring(4), [1, 2], [0], None)
+
+    def test_misaligned_wakes_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_placement(ring(4), [1, 2], None, [0])
+
+    def test_too_many_agents_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_placement(single_edge(), [1, 2, 3], None, None)
+
+
+class TestGatherReportValidation:
+    def _fake_result(self, payloads, rounds, nodes, declared=True):
+        outcomes = []
+        for i, (payload, rnd, node) in enumerate(
+            zip(payloads, rounds, nodes)
+        ):
+            from repro.sim.scheduler import AgentOutcome
+
+            out = AgentOutcome(label=i + 1, start_node=i)
+            out.payload = payload
+            out.finish_round = rnd
+            out.finish_node = node
+            out.declared = declared
+            outcomes.append(out)
+        return SimulationResult(outcomes, events=10, final_round=max(rounds), total_moves=5)
+
+    def test_rejects_split_rounds(self):
+        payloads = [
+            GatherOutcome(1, leader=1, phase=3),
+            GatherOutcome(2, leader=1, phase=3),
+        ]
+        result = self._fake_result(payloads, [10, 11], [0, 0])
+        with pytest.raises(RunValidationError):
+            GatherReport(result, [1, 2])
+
+    def test_rejects_split_nodes(self):
+        payloads = [
+            GatherOutcome(1, leader=1, phase=3),
+            GatherOutcome(2, leader=1, phase=3),
+        ]
+        result = self._fake_result(payloads, [10, 10], [0, 1])
+        with pytest.raises(RunValidationError):
+            GatherReport(result, [1, 2])
+
+    def test_rejects_leader_disagreement(self):
+        payloads = [
+            GatherOutcome(1, leader=1, phase=3),
+            GatherOutcome(2, leader=2, phase=3),
+        ]
+        result = self._fake_result(payloads, [10, 10], [0, 0])
+        with pytest.raises(RunValidationError):
+            GatherReport(result, [1, 2])
+
+    def test_rejects_foreign_leader(self):
+        payloads = [
+            GatherOutcome(1, leader=9, phase=3),
+            GatherOutcome(2, leader=9, phase=3),
+        ]
+        result = self._fake_result(payloads, [10, 10], [0, 0])
+        with pytest.raises(RunValidationError):
+            GatherReport(result, [1, 2])
+
+    def test_rejects_undeclared(self):
+        payloads = [
+            GatherOutcome(1, leader=1, phase=3),
+            GatherOutcome(2, leader=1, phase=3),
+        ]
+        result = self._fake_result(
+            payloads, [10, 10], [0, 0], declared=False
+        )
+        with pytest.raises(RunValidationError):
+            GatherReport(result, [1, 2])
+
+    def test_accepts_valid(self):
+        payloads = [
+            GatherOutcome(1, leader=2, phase=3),
+            GatherOutcome(2, leader=2, phase=3),
+        ]
+        result = self._fake_result(payloads, [10, 10], [0, 0])
+        report = GatherReport(result, [1, 2])
+        assert report.leader == 2
+        assert report.round == 10
+
+
+class TestWrapperErrorPaths:
+    def test_gossip_message_arity(self):
+        with pytest.raises(ValueError):
+            run_gossip_known(ring(3), [1, 2], ["0", "1", "1"], 3)
+
+    def test_gather_start_out_of_range(self):
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_gather_known(ring(3), [1, 2], 3, start_nodes=[0, 9])
+
+    def test_event_budget_propagates(self):
+        from repro.sim import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            run_gather_known(path_graph(4), [1, 2], 4, max_events=50)

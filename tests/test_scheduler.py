@@ -1,0 +1,541 @@
+"""Semantics tests for the event-driven synchronous scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import PortGraph, path_graph, single_edge
+from repro.sim import (
+    AgentSpec,
+    BudgetExceededError,
+    DeadlockError,
+    Simulation,
+    SimulationError,
+    WatchTriggered,
+)
+from repro.sim.agent import declare, move, wait, wait_stable
+
+
+def triangle() -> PortGraph:
+    return PortGraph(3, [(0, 0, 1, 0), (1, 1, 2, 0), (2, 1, 0, 1)])
+
+
+def run_single(graph, program, start=0, label=1, **kwargs):
+    sim = Simulation(graph, [AgentSpec(label, start, program)], **kwargs)
+    return sim.run()
+
+
+class TestBasics:
+    def test_move_takes_one_round(self):
+        def program(ctx):
+            obs = yield from move(ctx, 0)
+            assert obs.round == 1
+            assert obs.entry_port == 0
+            return "done"
+
+        result = run_single(single_edge(), program)
+        assert result.outcomes[0].payload == "done"
+        assert result.outcomes[0].finish_node == 1
+        assert result.outcomes[0].moves == 1
+
+    def test_wait_duration_exact(self):
+        def program(ctx):
+            yield from wait(ctx, 41)
+            assert ctx.obs.round == 41
+            return None
+
+        result = run_single(single_edge(), program)
+        assert result.outcomes[0].finish_round == 41
+
+    def test_wait_zero_is_noop(self):
+        def program(ctx):
+            yield from wait(ctx, 0)
+            yield from move(ctx, 0)
+            return None
+
+        result = run_single(single_edge(), program)
+        assert result.outcomes[0].finish_round == 1
+
+    def test_huge_wait_is_cheap(self):
+        big = 7 * 2**64
+
+        def program(ctx):
+            yield from wait(ctx, big)
+            return ctx.obs.round
+
+        result = run_single(single_edge(), program)
+        assert result.outcomes[0].payload == big
+        assert result.events <= 3
+
+    def test_initial_observation(self):
+        def program(ctx):
+            assert ctx.obs.round == 0
+            assert ctx.obs.degree == 1
+            assert ctx.obs.curcard == 1
+            assert ctx.obs.entry_port is None
+            yield from wait(ctx, 1)
+            return None
+
+        run_single(single_edge(), program)
+
+    def test_declare_records_round_and_node(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            yield from declare(ctx, "payload")
+
+        result = run_single(single_edge(), program)
+        out = result.outcomes[0]
+        assert out.declared
+        assert out.finish_round == 1
+        assert out.finish_node == 1
+        assert out.payload == "payload"
+
+    def test_invalid_port_raises(self):
+        def program(ctx):
+            yield from move(ctx, 5)
+
+        with pytest.raises(SimulationError, match="invalid port"):
+            run_single(single_edge(), program)
+
+    def test_degree_and_entry_after_move(self):
+        def program(ctx):
+            obs = yield from move(ctx, 1)  # 0 -> 2 on the triangle
+            assert obs.degree == 2
+            assert obs.entry_port == 1
+            return None
+
+        run_single(triangle(), program)
+
+
+class TestCardinality:
+    def test_curcard_counts_colocated(self):
+        readings = {}
+
+        def program(ctx):
+            yield from wait(ctx, 1)
+            readings[ctx.label] = ctx.curcard()
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 0, program), AgentSpec(2, 1, program)]
+        )
+        sim.run()
+        assert readings == {1: 1, 2: 1}
+
+    def test_curcard_counts_dormant_agents(self):
+        def mover(ctx):
+            obs = yield from move(ctx, 0)
+            return obs.curcard
+
+        def sleeper(ctx):
+            yield from wait(ctx, 1)
+            return "woke"
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, mover, wake_round=0),
+                AgentSpec(2, 1, sleeper, wake_round=None),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload == 2  # mover sees the sleeper
+
+    def test_crossing_agents_do_not_meet(self):
+        """Two agents swapping along one edge notice nothing."""
+        cards = {}
+
+        def program(ctx):
+            obs = yield from move(ctx, 0)
+            cards[ctx.label] = obs.curcard
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 0, program), AgentSpec(2, 1, program)]
+        )
+        sim.run()
+        assert cards == {1: 1, 2: 1}
+
+    def test_simultaneous_arrivals_counted_together(self):
+        cards = {}
+
+        def program(ctx):
+            obs = yield from move(ctx, ctx.label - 1)  # hack: both port 0
+            cards[ctx.label] = obs.curcard
+            return None
+
+        def to_center(ctx):
+            obs = yield from move(ctx, 0)
+            cards[ctx.label] = obs.curcard
+            return None
+
+        g = path_graph(3)  # 0 - 1 - 2
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, to_center),
+                AgentSpec(2, 2, to_center),
+            ],
+        )
+        sim.run()
+        assert cards == {1: 2, 2: 2}
+
+
+class TestWatches:
+    def test_wait_interrupted_by_arrival(self):
+        def waiter(ctx):
+            try:
+                yield from wait(ctx, 1000, watch=("gt", 1))
+            except WatchTriggered as trig:
+                return ("interrupted", trig.observation.round)
+            return ("completed", ctx.obs.round)
+
+        def visitor(ctx):
+            yield from wait(ctx, 7)
+            yield from move(ctx, 0)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 1, waiter), AgentSpec(2, 0, visitor)]
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload == ("interrupted", 8)
+
+    def test_wait_watch_ignores_balanced_traffic(self):
+        """One agent leaves while another enters: CurCard unchanged,
+        the watcher must NOT fire (the paper's Section 1.4 example)."""
+
+        def waiter(ctx):
+            yield from wait(ctx, 2)  # let the first visitor settle in
+            assert ctx.curcard() == 2
+            try:
+                yield from wait(ctx, 20, watch=("ne", 2))
+            except WatchTriggered:
+                return "noticed"
+            return "blind"
+
+        def swapper_out(ctx):
+            yield from move(ctx, 0)  # join the waiter at node 1
+            yield from wait(ctx, 3)
+            yield from move(ctx, 0)  # leave at the same round B enters
+            yield from wait(ctx, 30)
+            return None
+
+        def swapper_in(ctx):
+            yield from wait(ctx, 4)
+            yield from move(ctx, 0)  # enter the waiter's node
+            yield from wait(ctx, 30)
+            return None
+
+        g = path_graph(3)  # nodes 0 - 1 - 2, canonical ports
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 1, waiter),
+                AgentSpec(2, 0, swapper_out),
+                AgentSpec(3, 2, swapper_in),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload == "blind"
+
+    def test_pre_satisfied_watch_fires_immediately(self):
+        def program(ctx):
+            yield from wait(ctx, 1)  # let both agents be present
+            try:
+                yield from wait(ctx, 100, watch=("gt", 0))
+            except WatchTriggered:
+                return ctx.obs.round
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, program),
+                AgentSpec(2, 1, program),
+            ],
+        )
+        result = sim.run()
+        # curcard (=1) > 0 already holds: no rounds may pass.
+        assert result.outcomes[0].payload == 1
+
+    def test_move_watch_triggers_on_arrival(self):
+        def mover(ctx):
+            yield from wait(ctx, 1)
+            try:
+                yield from move(ctx, 0, watch=("gt", 1))
+            except WatchTriggered as trig:
+                return trig.observation.curcard
+            return None
+
+        def sitter(ctx):
+            yield from wait(ctx, 50)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 0, mover), AgentSpec(2, 1, sitter)]
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload == 2
+
+    def test_eq_watch(self):
+        def waiter(ctx):
+            try:
+                yield from wait(ctx, 1000, watch=("eq", 3))
+            except WatchTriggered:
+                return ctx.obs.round
+            return None
+
+        def visitor(delay):
+            def program(ctx):
+                yield from wait(ctx, delay)
+                yield from move(ctx, 0)
+                yield from wait(ctx, 2000)
+                return None
+
+            return program
+
+        g = path_graph(3)
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 1, waiter),
+                AgentSpec(2, 0, visitor(10)),
+                AgentSpec(3, 2, visitor(20)),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload == 21
+
+
+class TestWaitStable:
+    def test_completes_after_quiet_window(self):
+        def waiter(ctx):
+            yield from wait_stable(ctx, 10)
+            return ctx.obs.round
+
+        def mover(ctx):
+            yield from wait(ctx, 4)
+            yield from move(ctx, 0)  # change at the waiter's node at round 5
+            yield from wait(ctx, 100)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 1, waiter), AgentSpec(2, 0, mover)]
+        )
+        result = sim.run()
+        # Change lands at round 5; window of 10 including the change
+        # round completes at round 14.
+        assert result.outcomes[0].payload == 14
+
+    def test_restarts_on_each_change(self):
+        def waiter(ctx):
+            yield from wait_stable(ctx, 10)
+            return ctx.obs.round
+
+        def bouncer(ctx):
+            for _ in range(3):
+                yield from wait(ctx, 4)
+                yield from move(ctx, 0)  # enter the waiter's node
+                yield from wait(ctx, 4)
+                yield from move(ctx, 0)  # leave it again
+            yield from wait(ctx, 200)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g, [AgentSpec(1, 1, waiter), AgentSpec(2, 0, bouncer)]
+        )
+        result = sim.run()
+        # Changes at the waiter's node land at rounds 5, 10, ..., 30;
+        # the 10-round quiet window (change round included) then
+        # completes at round 30 + 10 - 1 = 39.
+        assert result.outcomes[0].payload == 39
+
+    def test_quiet_from_start(self):
+        def waiter(ctx):
+            yield from wait_stable(ctx, 5)
+            return ctx.obs.round
+
+        result = run_single(single_edge(), waiter)
+        # No change ever: the window counts from round 0.
+        assert result.outcomes[0].payload == 4
+
+
+class TestWakeups:
+    def test_adversary_delayed_wake(self):
+        def program(ctx):
+            return ctx.wake_round
+            yield  # pragma: no cover
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, program, wake_round=0),
+                AgentSpec(2, 1, program, wake_round=33),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[1].payload == 33
+
+    def test_dormant_woken_by_visit(self):
+        def visitor(ctx):
+            yield from wait(ctx, 9)
+            yield from move(ctx, 0)
+            return None
+
+        def sleeper(ctx):
+            return ctx.wake_round
+            yield  # pragma: no cover
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, visitor, wake_round=0),
+                AgentSpec(2, 1, sleeper, wake_round=None),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[1].payload == 10  # visit lands at round 10
+
+    def test_visit_beats_later_adversary_wake(self):
+        def visitor(ctx):
+            yield from move(ctx, 0)
+            return None
+
+        def sleeper(ctx):
+            return ctx.wake_round
+            yield  # pragma: no cover
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, visitor, wake_round=0),
+                AgentSpec(2, 1, sleeper, wake_round=500),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[1].payload == 1
+
+    def test_all_dormant_rejected(self):
+        def program(ctx):
+            yield from wait(ctx, 1)
+            return None
+
+        with pytest.raises(SimulationError):
+            Simulation(
+                single_edge(),
+                [
+                    AgentSpec(1, 0, program, wake_round=None),
+                    AgentSpec(2, 1, program, wake_round=None),
+                ],
+            )
+
+    def test_unvisited_dormant_is_deadlock(self):
+        def lazy(ctx):
+            yield from wait(ctx, 5)
+            return None
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, lazy, wake_round=0),
+                AgentSpec(2, 1, lazy, wake_round=None),
+            ],
+        )
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+
+class TestValidation:
+    def test_duplicate_start_nodes_rejected(self):
+        def program(ctx):
+            yield from wait(ctx, 1)
+
+        with pytest.raises(SimulationError):
+            Simulation(
+                single_edge(),
+                [AgentSpec(1, 0, program), AgentSpec(2, 0, program)],
+            )
+
+    def test_duplicate_labels_rejected(self):
+        def program(ctx):
+            yield from wait(ctx, 1)
+
+        with pytest.raises(SimulationError):
+            Simulation(
+                single_edge(),
+                [AgentSpec(1, 0, program), AgentSpec(1, 1, program)],
+            )
+
+    def test_label_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AgentSpec(0, 0, lambda ctx: iter(()))
+
+    def test_event_budget(self):
+        def spinner(ctx):
+            while True:
+                yield from move(ctx, 0)
+
+        with pytest.raises(BudgetExceededError):
+            run_single(single_edge(), spinner, max_events=100)
+
+    def test_round_budget(self):
+        def patient(ctx):
+            yield from wait(ctx, 10**9)
+            return None
+
+        with pytest.raises(BudgetExceededError):
+            run_single(single_edge(), patient, max_round=1000)
+
+    def test_trace_records_moves(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            yield from move(ctx, 0)
+            return None
+
+        g = single_edge()
+        sim = Simulation(g, [AgentSpec(1, 0, program)], trace=True)
+        sim.run()
+        assert sim.move_log == [(0, 0, 0, 1), (1, 0, 1, 0)]
+
+
+class TestLocalClock:
+    def test_local_time_relative_to_wake(self):
+        def program(ctx):
+            yield from wait(ctx, 5)
+            return ctx.local_time()
+
+        g = single_edge()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, program, wake_round=0),
+                AgentSpec(2, 1, program, wake_round=100),
+            ],
+        )
+        result = sim.run()
+        assert result.outcomes[0].payload == 5
+        assert result.outcomes[1].payload == 5
+
+    def test_entry_recording(self):
+        def program(ctx):
+            ctx.record_entries()
+            yield from move(ctx, 0)
+            yield from move(ctx, 0)
+            log = ctx.stop_recording_entries()
+            return log
+
+        result = run_single(single_edge(), program)
+        assert result.outcomes[0].payload == [0, 0]

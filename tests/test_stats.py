@@ -1,0 +1,64 @@
+"""Tests for the randomized-run statistics helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import RunStats, summarize_runs
+from repro.extensions import run_randomized_silent_gather
+from repro.graphs import single_edge
+
+
+class TestRunStats:
+    def test_single_sample(self):
+        stats = RunStats([7.0])
+        assert stats.mean == stats.median == stats.minimum == 7.0
+        assert stats.stdev == 0.0
+        assert stats.p95 == 7.0
+
+    def test_odd_median(self):
+        assert RunStats([3, 1, 2]).median == 2
+
+    def test_even_median(self):
+        assert RunStats([1, 2, 3, 4]).median == 2.5
+
+    def test_mean_and_extremes(self):
+        stats = RunStats([2, 4, 6, 8])
+        assert stats.mean == 5
+        assert stats.minimum == 2
+        assert stats.maximum == 8
+
+    def test_stdev(self):
+        stats = RunStats([2, 4, 4, 4, 5, 5, 7, 9])
+        assert abs(stats.stdev - 2.138) < 0.01
+
+    def test_p95_nearest_rank(self):
+        stats = RunStats(list(range(1, 101)))
+        assert stats.p95 == 95
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RunStats([])
+
+
+class TestSummarizeRuns:
+    def test_counts_and_determinism(self):
+        stats = summarize_runs(
+            lambda s: float(
+                run_randomized_silent_gather(
+                    single_edge(), [1, 2], seed=s
+                ).round
+            ),
+            range(6),
+        )
+        assert stats.count == 6
+        assert stats.minimum >= 0
+        again = summarize_runs(
+            lambda s: float(
+                run_randomized_silent_gather(
+                    single_edge(), [1, 2], seed=s
+                ).round
+            ),
+            range(6),
+        )
+        assert stats.mean == again.mean

@@ -1,0 +1,58 @@
+"""Tests for the reusable sweep drivers."""
+
+from __future__ import annotations
+
+from repro.analysis import fit_power_law
+from repro.analysis.sweeps import (
+    label_length_sweep,
+    message_length_sweep,
+    size_sweep,
+)
+from repro.graphs import path_graph
+
+
+class TestSizeSweep:
+    def test_monotone_rounds(self):
+        points = size_sweep((4, 6, 8))
+        assert [p.x for p in points] == [4, 6, 8]
+        rounds = [p.round for p in points]
+        assert rounds == sorted(rounds)
+
+    def test_custom_factory(self):
+        points = size_sweep((4, 5), graph_factory=lambda n: path_graph(n))
+        assert len(points) == 2
+        assert all(p.round > 0 for p in points)
+
+    def test_three_agents(self):
+        points = size_sweep((4, 5), labels=[1, 2, 3])
+        assert all(p.detail == "labels=[1, 2, 3]" for p in points)
+
+    def test_fit_is_polynomial(self):
+        points = size_sweep((4, 6, 8))
+        fit = fit_power_law(
+            [p.x for p in points], [p.round for p in points]
+        )
+        assert fit.slope < 5.0
+
+
+class TestLabelLengthSweep:
+    def test_x_values(self):
+        points = label_length_sweep((1, 2, 3))
+        assert [p.x for p in points] == [1, 2, 3]
+
+    def test_rounds_increase(self):
+        points = label_length_sweep((1, 3, 5))
+        rounds = [p.round for p in points]
+        assert rounds == sorted(rounds)
+
+
+class TestMessageLengthSweep:
+    def test_gossip_phase_rounds_positive_and_increasing(self):
+        points = message_length_sweep((2, 8, 16))
+        rounds = [p.round for p in points]
+        assert all(r > 0 for r in rounds)
+        assert rounds == sorted(rounds)
+
+    def test_odd_lengths_supported(self):
+        points = message_length_sweep((3, 5))
+        assert [p.x for p in points] == [3, 5]

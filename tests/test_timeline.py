@@ -1,0 +1,94 @@
+"""Tests for the timeline/narration utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gather_known import gather_known_program
+from repro.core.parameters import KnownBoundParameters
+from repro.graphs import ring, single_edge
+from repro.sim import AgentSpec, Simulation
+from repro.sim.agent import move, wait
+from repro.sim.timeline import (
+    extract_milestones,
+    narrate,
+    occupancy_histogram,
+)
+
+
+def _traced_gathering(graph, labels, n_bound, starts=None):
+    params = KnownBoundParameters(n_bound)
+    program = gather_known_program(params, max_phases=12)
+    if starts is None:
+        starts = list(range(len(labels)))
+    sim = Simulation(
+        graph,
+        [AgentSpec(lab, node, program) for lab, node in zip(labels, starts)],
+        trace=True,
+    )
+    return sim, sim.run()
+
+
+class TestMilestones:
+    def test_wakes_meetings_and_declarations_present(self):
+        sim, result = _traced_gathering(single_edge(), [1, 2], 2)
+        milestones = extract_milestones(sim, result)
+        kinds = [m.kind for m in milestones]
+        assert kinds.count("wake") == 2
+        assert "meeting" in kinds
+        assert kinds.count("declare") == 2
+
+    def test_chronological_order(self):
+        sim, result = _traced_gathering(ring(3), [1, 2], 3)
+        milestones = extract_milestones(sim, result)
+        rounds = [m.round for m in milestones]
+        assert rounds == sorted(rounds)
+
+    def test_declaration_is_last(self):
+        sim, result = _traced_gathering(ring(3), [1, 2], 3)
+        milestones = extract_milestones(sim, result)
+        assert milestones[-1].kind == "declare"
+
+    def test_requires_trace(self):
+        def program(ctx):
+            yield from wait(ctx, 1)
+            return None
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        result = sim.run()
+        with pytest.raises(ValueError):
+            extract_milestones(sim, result)
+
+
+class TestNarration:
+    def test_narration_mentions_agents(self):
+        sim, result = _traced_gathering(single_edge(), [1, 2], 2)
+        text = narrate(sim, result)
+        assert "agent 1" in text and "agent 2" in text
+        assert "declares gathering" in text
+
+    def test_max_lines_truncates(self):
+        sim, result = _traced_gathering(ring(3), [1, 2, 3], 3)
+        text = narrate(sim, result, max_lines=4)
+        assert len(text.splitlines()) <= 6  # head + ellipsis + tail
+
+
+class TestHistogram:
+    def test_counts_match_move_log(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            yield from move(ctx, 0)
+            yield from move(ctx, 0)
+            return None
+
+        g = single_edge()
+        sim = Simulation(g, [AgentSpec(1, 0, program)], trace=True)
+        sim.run()
+        histogram = occupancy_histogram(g, sim)
+        assert histogram == {0: 1, 1: 2}
+
+    def test_gathering_covers_whole_graph(self):
+        g = ring(4)
+        sim, _result = _traced_gathering(g, [1, 2], 4)
+        histogram = occupancy_histogram(g, sim)
+        assert all(histogram[v] > 0 for v in g.nodes())

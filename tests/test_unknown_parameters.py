@@ -1,0 +1,117 @@
+"""Tests for the doubly-exponential schedule of Section 4.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configurations import DovetailOmega, TwoNodeDenseOmega
+from repro.core.unknown_parameters import (
+    InfeasibleHypothesisError,
+    UnknownBoundSchedule,
+)
+
+
+@pytest.fixture()
+def sched(provider):
+    return UnknownBoundSchedule(DovetailOmega(), provider)
+
+
+class TestPaperFormulas:
+    def test_m_is_running_maximum(self, sched):
+        values = [sched.m(h) for h in range(1, 20)]
+        assert values == sorted(values)
+        assert all(
+            sched.m(h) >= sched.n(h) for h in range(1, 20)
+        )
+
+    def test_ball_length_formula(self, sched):
+        # For the 2-node prefix: 4 * h * 2**5 = 128 h.
+        assert sched.ball_length(1) == 128
+        assert sched.ball_length(2) == 256
+
+    def test_slowdown_formula(self, sched):
+        assert sched.slowdown(1) == 7 * 2**64
+
+    def test_t_ball_formula(self, sched):
+        assert sched.t_ball(1) == 64 * 2**224
+
+    def test_s1_equals_t_ball(self, sched):
+        assert sched.s(1) == sched.t_ball(1)
+
+    def test_t1_formula(self, sched):
+        expected = 8 * 2**64 * (3 * sched.s(1) + 2 * sched.t_ball(1))
+        assert sched.t_hyp(1) == expected
+
+    def test_schedule_grows_monotonically(self, sched):
+        for h in range(1, 8):
+            assert sched.t_hyp(h + 1) > sched.t_hyp(h)
+            assert sched.s(h + 1) > sched.s(h)
+
+    def test_growth_is_exponential(self, sched):
+        """T_{h+1} / T_h >= 2 on the 2-node prefix (it is far more)."""
+        for h in range(1, 8):
+            assert sched.t_hyp(h + 1) >= 2 * sched.t_hyp(h)
+
+    def test_ece_length(self, sched):
+        assert sched.ece_length(1) == 2**5 + 1
+
+
+class TestProofInvariants:
+    @pytest.mark.parametrize("h", [1, 2, 3, 5, 8])
+    def test_check_invariants_two_node_prefix(self, sched, h):
+        """Every dominance relation the correctness proofs use holds
+        on the executable prefix."""
+        sched.check_invariants(h)
+
+    def test_invariants_hold_with_size_three_in_history(self, provider):
+        """Once Omega reaches 3-node configurations the formulas must
+        still dominate (symbolically; never executed)."""
+        sched = UnknownBoundSchedule(DovetailOmega(), provider)
+        # Find the first 3-node hypothesis.
+        h = 1
+        while sched.n(h) == 2:
+            h += 1
+        sched.check_invariants(h)
+
+    def test_slowdown_dominates_sensitive_window(self, sched):
+        for h in (1, 2, 4):
+            assert sched.slowdown(h) > sched.sensitive_duration_bound(h)
+
+
+class TestFeasibilityGuard:
+    def test_two_node_hypotheses_executable(self, sched):
+        for h in (1, 2, 3):
+            assert sched.n(h) == 2
+            sched.assert_executable(h)
+            assert sched.ball_path_count(h) == 1
+
+    def test_three_node_hypothesis_rejected(self, provider):
+        sched = UnknownBoundSchedule(DovetailOmega(), provider)
+        h = 1
+        while sched.n(h) == 2:
+            h += 1
+        with pytest.raises(InfeasibleHypothesisError):
+            sched.assert_executable(h)
+
+    def test_dense_omega_extends_executable_prefix(self, provider):
+        sched = UnknownBoundSchedule(TwoNodeDenseOmega(stride=64), provider)
+        for h in range(1, 64):
+            sched.assert_executable(h)
+
+    def test_path_counts(self, sched):
+        assert sched.ece_path_count(1) == 1  # (2-1)**33
+        h = 1
+        while sched.n(h) == 2:
+            h += 1
+        # 3-node hypotheses enumerate 2**(3**5+1) paths: beyond any
+        # computer, which is exactly why assert_executable refuses.
+        assert sched.ece_path_count(h) == 2 ** (3**5 + 1)
+
+
+class TestStartBound:
+    def test_start_round_bound_accumulates(self, sched):
+        assert sched.start_round_bound(1) == 0
+        assert sched.start_round_bound(2) == sched.t_hyp(1)
+        assert sched.start_round_bound(4) == sum(
+            sched.t_hyp(i) for i in (1, 2, 3)
+        )

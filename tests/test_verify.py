@@ -1,0 +1,140 @@
+"""Tests for the independent trace verifier — and, through it,
+property tests that the algorithms respect the model rules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gather_known import gather_known_program
+from repro.core.gather_unknown import gather_unknown_program
+from repro.core.configurations import DovetailOmega
+from repro.core.parameters import KnownBoundParameters
+from repro.core.unknown_parameters import UnknownBoundSchedule
+from repro.graphs import random_connected_graph, ring, single_edge
+from repro.sim import AgentSpec, Simulation
+from repro.sim.agent import move, wait
+from repro.sim.verify import ModelViolation, verify_gathering, verify_run
+
+
+class TestVerifierMechanics:
+    def test_requires_trace(self):
+        def program(ctx):
+            yield from wait(ctx, 1)
+            return None
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        result = sim.run()
+        with pytest.raises(ValueError):
+            verify_run(single_edge(), sim, result)
+
+    def test_accepts_honest_run(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            yield from move(ctx, 0)
+            return None
+
+        g = single_edge()
+        sim = Simulation(g, [AgentSpec(1, 0, program)], trace=True)
+        result = sim.run()
+        verify_run(g, sim, result)
+
+    def test_detects_forged_edge(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            return None
+
+        g = ring(4)
+        sim = Simulation(g, [AgentSpec(1, 0, program)], trace=True)
+        result = sim.run()
+        sim.move_log[0] = (0, 0, 0, 2)  # nodes 0 and 2 are not adjacent
+        with pytest.raises(ModelViolation):
+            verify_run(g, sim, result)
+
+    def test_detects_double_move(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            return None
+
+        g = single_edge()
+        sim = Simulation(g, [AgentSpec(1, 0, program)], trace=True)
+        result = sim.run()
+        sim.move_log.append((0, 0, 1, 0))  # second move in round 0
+        result.outcomes[0].finish_round = 5
+        result.outcomes[0].finish_node = 0
+        with pytest.raises(ModelViolation):
+            verify_run(g, sim, result)
+
+    def test_detects_position_mismatch(self):
+        def program(ctx):
+            yield from move(ctx, 0)
+            return None
+
+        g = single_edge()
+        sim = Simulation(g, [AgentSpec(1, 0, program)], trace=True)
+        result = sim.run()
+        result.outcomes[0].finish_node = 0  # it really finished at 1
+        with pytest.raises(ModelViolation):
+            verify_run(g, sim, result)
+
+    def test_verify_gathering_rejects_nongathered(self):
+        def program(ctx):
+            yield from wait(ctx, 1)
+            return None
+
+        sim = Simulation(single_edge(), [AgentSpec(1, 0, program)])
+        result = sim.run()
+        with pytest.raises(ModelViolation):
+            verify_gathering(result)
+
+
+class TestAlgorithmsRespectModel:
+    def test_gather_known_trace_is_valid(self):
+        g = ring(4, seed=1)
+        params = KnownBoundParameters(4)
+        program = gather_known_program(params, max_phases=12)
+        sim = Simulation(
+            g,
+            [AgentSpec(1, 0, program), AgentSpec(2, 2, program)],
+            trace=True,
+        )
+        result = sim.run()
+        verify_run(g, sim, result)
+        verify_gathering(result)
+
+    def test_gather_unknown_trace_is_valid(self):
+        g = single_edge()
+        sched = UnknownBoundSchedule(DovetailOmega())
+        program = gather_unknown_program(sched, max_hypotheses=5)
+        sim = Simulation(
+            g,
+            [AgentSpec(1, 0, program), AgentSpec(3, 1, program)],
+            trace=True,
+        )
+        result = sim.run()
+        verify_run(g, sim, result)
+        verify_gathering(result)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.integers(3, 5),
+        seed=st.integers(0, 10),
+        delay=st.integers(0, 30),
+    )
+    def test_property_traces_valid_on_random_graphs(self, n, seed, delay):
+        g = random_connected_graph(n, seed=seed)
+        params = KnownBoundParameters(n)
+        params.provider.verify_for_graph(n, g)
+        program = gather_known_program(params, max_phases=14)
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, program, wake_round=0),
+                AgentSpec(2, g.n - 1, program, wake_round=delay),
+            ],
+            trace=True,
+        )
+        result = sim.run()
+        verify_run(g, sim, result)
+        verify_gathering(result)

@@ -18,7 +18,8 @@ from common import publish
 from repro.analysis import ResultTable, fit_power_law
 from repro.core import KnownBoundParameters, run_gather_known
 from repro.core.gather_known import smallest_label_length
-from repro.graphs import family_for_size, random_connected_graph, ring
+from repro.graphs import family_for_size, ring
+from repro.runner import ExperimentSpec, run_experiment
 
 E2_SIZES = (4, 6, 8, 10, 12)
 E3_BITS = (1, 2, 3, 4, 5, 6)
@@ -66,15 +67,25 @@ def test_e2_scaling_in_n(benchmark):
         ["N", "T(EXPLO)", "round", "moves", "phases"],
     )
 
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=E2_SIZES,
+        label_sets=((1, 2),),
+        seeds=(1,),
+        graph_seed_mode="fixed",
+    )
+
     def workload():
+        result = run_experiment(spec)
+        result.raise_on_failure()
         rows = []
-        for n in E2_SIZES:
-            graph = ring(n, seed=1)
-            report = run_gather_known(graph, [1, 2], n)
-            params = KnownBoundParameters(n)
+        for rec in result.records:
+            metrics = rec["metrics"]
+            params = KnownBoundParameters(rec["n"])
             rows.append(
-                (n, params.t_explo, report.round,
-                 report.total_moves, report.phases)
+                (rec["n"], params.t_explo, metrics["rounds"],
+                 metrics["moves"], metrics["phases"])
             )
         return rows
 
@@ -97,15 +108,24 @@ def test_e2b_scaling_in_n_random_graphs(benchmark):
         ["N", "edges", "round", "events"],
     )
 
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="random",
+        sizes=E2_SIZES,
+        label_sets=((1, 2),),
+        seeds=(7,),
+        graph_seed_mode="fixed",
+        placement="spread",
+    )
+
     def workload():
-        rows = []
-        for n in E2_SIZES:
-            graph = random_connected_graph(n, seed=7)
-            report = run_gather_known(
-                graph, [1, 2], n, start_nodes=[0, graph.n - 1]
-            )
-            rows.append((n, graph.num_edges(), report.round, report.events))
-        return rows
+        result = run_experiment(spec)
+        result.raise_on_failure()
+        return [
+            (rec["n"], rec["metrics"]["edges"], rec["metrics"]["rounds"],
+             rec["metrics"]["events"])
+            for rec in result.records
+        ]
 
     rows = benchmark.pedantic(workload, rounds=1, iterations=1)
     for row in rows:

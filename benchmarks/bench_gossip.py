@@ -14,6 +14,7 @@ from common import publish
 from repro.analysis import ResultTable, fit_power_law
 from repro.core import run_gossip_known
 from repro.graphs import ring, single_edge
+from repro.runner import ExperimentSpec, run_experiment
 
 MESSAGE_LENGTHS = (2, 4, 8, 16, 32)
 SIZES = (4, 6, 8, 10)
@@ -54,14 +55,23 @@ def test_e8b_scaling_in_n(benchmark):
         ["N", "total round", "events"],
     )
 
+    spec = ExperimentSpec(
+        algorithm="gossip_known",
+        family="ring",
+        sizes=SIZES,
+        label_sets=((1, 2),),
+        message_sets=(("10101010", "01010101"),),
+        seeds=(1,),
+        graph_seed_mode="fixed",
+    )
+
     def workload():
-        rows = []
-        for n in SIZES:
-            report = run_gossip_known(
-                ring(n, seed=1), [1, 2], ["10101010", "01010101"], n
-            )
-            rows.append((n, report.round, report.events))
-        return rows
+        result = run_experiment(spec)
+        result.raise_on_failure()
+        return [
+            (rec["n"], rec["metrics"]["rounds"], rec["metrics"]["events"])
+            for rec in result.records
+        ]
 
     rows = benchmark.pedantic(workload, rounds=1, iterations=1)
     for row in rows:

@@ -5,10 +5,17 @@ smallest-label length and the message length, fits power laws and
 prints the study — the same measurements the benchmark suite records
 in EXPERIMENTS.md, as a ~30-second standalone script.
 
+The sweeps run through the ``repro.runner`` experiment engine: pass
+``--workers 4`` to fan the trials out over a process pool and
+``--cache DIR`` to memoize them, so re-running the study only
+simulates what is missing.
+
 Run::
 
-    python examples/scaling_study.py
+    python examples/scaling_study.py [--workers N] [--cache DIR]
 """
+
+import argparse
 
 from repro.analysis import ResultTable, fit_power_law
 from repro.analysis.sweeps import (
@@ -17,41 +24,49 @@ from repro.analysis.sweeps import (
     size_sweep,
 )
 
+parser = argparse.ArgumentParser(description="complexity scaling study")
+parser.add_argument("--workers", type=int, default=1,
+                    help="worker processes for the sweeps (default: 1)")
+parser.add_argument("--cache", default=None, metavar="DIR",
+                    help="optional result-store directory")
+args = parser.parse_args()
+engine_opts = {"workers": args.workers, "store": args.cache}
+
 print("Theorem 3.1: time polynomial in the size bound N")
 sizes = (4, 6, 8, 10)
-points = size_sweep(sizes)
+points = size_sweep(sizes, **engine_opts)
 table = ResultTable(
     "gathering time vs N (ring, labels 1, 2)",
     ["N", "rounds", "moves"],
 )
 for p in points:
-    table.add_row(p.x, p.round, p.moves)
+    table.add_row(p.x, p.rounds, p.moves)
 table.emit()
-fit = fit_power_law([p.x for p in points], [p.round for p in points])
+fit = fit_power_law([p.x for p in points], [p.rounds for p in points])
 print(f"  fitted exponent: N^{fit.slope:.2f} (r^2 = {fit.r_squared:.3f})")
 print()
 
 print("Theorem 3.1: time polynomial in the smallest-label length l")
-points = label_length_sweep((1, 2, 3, 4, 5))
+points = label_length_sweep((1, 2, 3, 4, 5), **engine_opts)
 table = ResultTable(
     "gathering time vs l (ring(4), N = 4)", ["l", "rounds", "moves"]
 )
 for p in points:
-    table.add_row(p.x, p.round, p.moves)
+    table.add_row(p.x, p.rounds, p.moves)
 table.emit()
-fit = fit_power_law([p.x for p in points], [p.round for p in points])
+fit = fit_power_law([p.x for p in points], [p.rounds for p in points])
 print(f"  fitted exponent: l^{fit.slope:.2f} (r^2 = {fit.r_squared:.3f})")
 print()
 
 print("Theorem 5.1: gossip polynomial in the message length")
-points = message_length_sweep((2, 4, 8, 16, 32))
+points = message_length_sweep((2, 4, 8, 16, 32), **engine_opts)
 table = ResultTable(
     "gossip-phase rounds vs |M| (2-node graph)", ["|M|", "rounds"]
 )
 for p in points:
-    table.add_row(p.x, p.round)
+    table.add_row(p.x, p.rounds)
 table.emit()
-fit = fit_power_law([p.x for p in points], [p.round for p in points])
+fit = fit_power_law([p.x for p in points], [p.rounds for p in points])
 print(f"  fitted exponent: |M|^{fit.slope:.2f} (r^2 = {fit.r_squared:.3f})")
 print()
 print("All three fits are low-degree polynomials - the paper's")

@@ -37,10 +37,13 @@ from .graphs import (
     oriented_ring,
     path_graph,
     random_connected_graph,
+    random_regular,
     random_tree,
     ring,
     single_edge,
     star_graph,
+    torus,
+    torus_for_size,
 )
 from .explore import UXSProvider, UniversalityError
 from .sim import (
@@ -86,6 +89,9 @@ __all__ = [
     "hypercube",
     "random_tree",
     "random_connected_graph",
+    "random_regular",
+    "torus",
+    "torus_for_size",
     "lollipop",
     "family_for_size",
     "UXSProvider",

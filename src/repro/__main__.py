@@ -1,4 +1,4 @@
-"""Command-line demo runner: ``python -m repro <demo>``.
+"""Command-line runner: ``python -m repro <command>``.
 
 Demos::
 
@@ -7,6 +7,11 @@ Demos::
     python -m repro unknown    # zero-knowledge gathering (big clocks)
     python -m repro compare    # silent vs talking vs random walk
     python -m repro narrate    # milestone narration of a small run
+
+Experiments::
+
+    python -m repro sweep      # parallel, cached experiment sweeps
+                               # (see: python -m repro sweep --help)
 """
 
 from __future__ import annotations
@@ -92,6 +97,10 @@ _DEMOS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "sweep":
+        from .runner.cli import sweep_main
+
+        return sweep_main(args[1:])
     if len(args) != 1 or args[0] not in _DEMOS:
         print(__doc__)
         return 1

@@ -4,6 +4,12 @@ The benchmark modules and the ``scaling_study`` example share these
 drivers: each returns a list of :class:`SweepPoint` records, ready for
 :func:`repro.analysis.fitting.fit_power_law` and
 :class:`repro.analysis.tables.ResultTable`.
+
+Since the ``repro.runner`` engine landed, every driver is a thin
+declarative wrapper over :func:`repro.runner.run_experiment`: pass
+``workers`` to fan a sweep out over a process pool and ``store`` (a
+directory path) to memoize completed trials across invocations.  The
+default ``workers=1`` path is serial and bit-for-bit reproducible.
 """
 
 from __future__ import annotations
@@ -11,102 +17,173 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..core.gather_known import smallest_label_length
-from ..core.runs import run_gather_known, run_gossip_known
-from ..graphs.generators import ring
 from ..graphs.port_graph import PortGraph
 
 
 class SweepPoint:
-    """One measurement of a sweep."""
+    """One measurement of a sweep.
 
-    __slots__ = ("x", "round", "moves", "events", "detail")
+    ``rounds`` is the canonical attribute name; the historical
+    ``round`` alias (which clashed with the builtin and forced a
+    ``round_`` constructor parameter) is kept as a read-only property.
+    """
+
+    __slots__ = ("x", "rounds", "moves", "events", "detail")
 
     def __init__(
-        self, x: int, round_: int, moves: int, events: int, detail: str
+        self, x: int, rounds: int, moves: int, events: int, detail: str
     ) -> None:
         self.x = x
-        self.round = round_
+        self.rounds = rounds
         self.moves = moves
         self.events = events
         self.detail = detail
 
+    @property
+    def round(self) -> int:
+        """Deprecated alias for :attr:`rounds`."""
+        return self.rounds
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"SweepPoint(x={self.x}, round={self.round})"
+        return f"SweepPoint(x={self.x}, rounds={self.rounds})"
+
+
+def _run(spec, workers: int, store) -> list[dict]:
+    """Run a spec through the engine and return its ok records.
+
+    Sweeps are strict: a captured trial failure is re-raised here so
+    drivers keep their historical loud-error behavior.
+    """
+    from ..runner import run_experiment
+
+    result = run_experiment(spec, workers=workers, store=store)
+    result.raise_on_failure()
+    return result.records
 
 
 def size_sweep(
     sizes: Sequence[int],
     labels: list[int] | None = None,
     graph_factory: Callable[[int], PortGraph] | None = None,
+    workers: int = 1,
+    store=None,
 ) -> list[SweepPoint]:
     """Gathering time vs. the size bound N (Theorem 3.1, E2).
 
-    ``graph_factory(n)`` builds the size-``n`` instance (default ring).
+    ``graph_factory(n)`` builds the size-``n`` instance (default ring
+    with port seed 1).  Custom factories force ``workers=1``.
     """
+    from ..runner import ExperimentSpec
+
     labels = labels if labels is not None else [1, 2]
-    factory = graph_factory if graph_factory is not None else (
-        lambda n: ring(n, seed=1)
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=tuple(sizes),
+        label_sets=(tuple(labels),),
+        seeds=(1,),
+        graph_seed_mode="fixed",
+        placement="spread" if len(labels) == 2 else "default",
+        graph_factory=graph_factory,
     )
-    points = []
-    for n in sizes:
-        graph = factory(n)
-        if len(labels) == 2:
-            starts = [0, graph.n - 1]
-        else:
-            starts = None  # default placement on nodes 0..k-1
-        report = run_gather_known(graph, labels, n, start_nodes=starts)
-        points.append(
-            SweepPoint(
-                n, report.round, report.total_moves, report.events,
-                f"labels={labels}",
-            )
+    if graph_factory is not None:
+        workers = 1
+    records = _run(spec, workers, store)
+    return [
+        SweepPoint(
+            rec["n"],
+            rec["metrics"]["rounds"],
+            rec["metrics"]["moves"],
+            rec["metrics"]["events"],
+            f"labels={labels}",
         )
-    return points
+        for rec in records
+    ]
 
 
 def label_length_sweep(
     bit_lengths: Sequence[int],
     n_bound: int = 4,
     graph: PortGraph | None = None,
+    workers: int = 1,
+    store=None,
 ) -> list[SweepPoint]:
     """Gathering time vs. smallest-label bit length (Theorem 3.1, E3)."""
-    graph = graph if graph is not None else ring(4, seed=1)
-    points = []
+    from ..runner import ExperimentSpec
+
+    label_sets = []
     for bits in bit_lengths:
         small = 1 << (bits - 1)
-        labels = [small, small + 1]
-        assert smallest_label_length(labels) == bits
-        report = run_gather_known(graph, labels, n_bound)
-        points.append(
-            SweepPoint(
-                bits, report.round, report.total_moves, report.events,
-                f"labels={labels}",
-            )
+        labels = (small, small + 1)
+        assert smallest_label_length(list(labels)) == bits
+        label_sets.append(labels)
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(4,),
+        label_sets=tuple(label_sets),
+        seeds=(1,),
+        n_bound=n_bound,
+        graph_seed_mode="fixed",
+        graph_factory=None if graph is None else (lambda n: graph),
+    )
+    if graph is not None:
+        workers = 1
+    records = _run(spec, workers, store)
+    return [
+        SweepPoint(
+            smallest_label_length(list(rec["labels"])),
+            rec["metrics"]["rounds"],
+            rec["metrics"]["moves"],
+            rec["metrics"]["events"],
+            f"labels={list(rec['labels'])}",
         )
-    return points
+        for rec in records
+    ]
 
 
 def message_length_sweep(
     lengths: Sequence[int],
     graph: PortGraph | None = None,
     n_bound: int = 2,
+    workers: int = 1,
+    store=None,
 ) -> list[SweepPoint]:
-    """Gossip time vs. message length (Theorem 5.1, E8)."""
-    from ..graphs.generators import single_edge
+    """Gossip time vs. message length (Theorem 5.1, E8).
 
-    graph = graph if graph is not None else single_edge()
-    base = run_gossip_known(graph, [1, 2], ["", ""], n_bound)
-    points = []
+    The first (empty-message) trial isolates the gathering prefix; its
+    round count is subtracted from every measured point.
+    """
+    from ..runner import ExperimentSpec
+
+    message_sets: list[tuple[str, str]] = [("", "")]
     for length in lengths:
         m1 = ("10" * ((length + 1) // 2))[:length]
         m2 = ("01" * ((length + 1) // 2))[:length]
-        report = run_gossip_known(graph, [1, 2], [m1, m2], n_bound)
+        message_sets.append((m1, m2))
+    spec = ExperimentSpec(
+        algorithm="gossip_known",
+        family="edge",
+        sizes=(2,),
+        label_sets=((1, 2),),
+        message_sets=tuple(message_sets),
+        seeds=(1,),
+        n_bound=n_bound,
+        graph_seed_mode="fixed",
+        graph_factory=None if graph is None else (lambda n: graph),
+    )
+    if graph is not None:
+        workers = 1
+    records = _run(spec, workers, store)
+    base = records[0]["metrics"]["rounds"]
+    points = []
+    for length, rec in zip(lengths, records[1:]):
         points.append(
             SweepPoint(
                 length,
-                report.round - base.round,
+                rec["metrics"]["rounds"] - base,
                 0,
-                report.events,
+                rec["metrics"]["events"],
                 "gossip-phase rounds (gathering prefix subtracted)",
             )
         )

@@ -10,10 +10,13 @@ from .generators import (
     oriented_ring,
     path_graph,
     random_connected_graph,
+    random_regular,
     random_tree,
     ring,
     single_edge,
     star_graph,
+    torus,
+    torus_for_size,
 )
 from .enumerate_graphs import (
     count_port_graphs,
@@ -37,6 +40,9 @@ __all__ = [
     "hypercube",
     "random_tree",
     "random_connected_graph",
+    "random_regular",
+    "torus",
+    "torus_for_size",
     "lollipop",
     "family_for_size",
     "iter_all_port_graphs",

@@ -128,6 +128,95 @@ def hypercube(dim: int) -> PortGraph:
     return PortGraph(n, edges)
 
 
+def torus(rows: int, cols: int, seed: int | None = None) -> PortGraph:
+    """rows x cols torus (grid with wrap-around edges).
+
+    Both dimensions must be at least 3 so the wrap edges do not
+    collapse into parallel edges; every node has degree 4.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError("a torus needs rows >= 3 and cols >= 3")
+    n = rows * cols
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            pairs.append((v, r * cols + (c + 1) % cols))
+            pairs.append((v, ((r + 1) % rows) * cols + c))
+    rng = random.Random(seed) if seed is not None else None
+    return _build_from_pairs(n, pairs, rng)
+
+
+def torus_for_size(n: int, seed: int | None = None) -> PortGraph:
+    """The most square torus with exactly ``n`` nodes.
+
+    Picks the divisor pair ``rows x cols = n`` with ``rows`` closest to
+    ``sqrt(n)``; raises unless some factorization with both sides >= 3
+    exists (n = 9, 12, 15, 16, ...).
+    """
+    best = None
+    r = 3
+    while r * r <= n:
+        if n % r == 0 and n // r >= 3:
+            best = r
+        r += 1
+    if best is None:
+        raise GraphError(
+            f"no torus of size {n}: need rows x cols = n with both >= 3"
+        )
+    return torus(best, n // best, seed=seed)
+
+
+def random_regular(n: int, degree: int = 3, seed: int = 0) -> PortGraph:
+    """Random connected ``degree``-regular simple graph (pairing model).
+
+    Deterministic given ``(n, degree, seed)``: stubs are paired with a
+    seeded RNG and rejected until the result is simple and connected.
+    Requires ``n * degree`` even and ``degree < n``.
+    """
+    if degree < 2:
+        raise GraphError("degree must be >= 2")
+    if degree >= n:
+        raise GraphError("degree must be < n")
+    if (n * degree) % 2 != 0:
+        raise GraphError("n * degree must be even")
+    rng = random.Random(seed)
+    for _ in range(2000):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        pairs: set[tuple[int, int]] = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in pairs:
+                ok = False
+                break
+            pairs.add((min(u, v), max(u, v)))
+        if not ok or not _pairs_connected(n, pairs):
+            continue
+        return _build_from_pairs(n, sorted(pairs), rng)
+    raise GraphError(
+        f"no simple connected {degree}-regular graph found for n={n} "
+        f"(seed {seed})"
+    )
+
+
+def _pairs_connected(n: int, pairs: Iterable[tuple[int, int]]) -> bool:
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in pairs:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for nb in adj[node]:
+            if nb not in seen:
+                seen.add(nb)
+                frontier.append(nb)
+    return len(seen) == n
+
+
 def random_tree(n: int, seed: int = 0) -> PortGraph:
     """Uniform-ish random tree via random attachment."""
     if n < 2:

@@ -1,0 +1,54 @@
+"""Parallel experiment engine for empirical studies.
+
+The paper's algorithms are deterministic, but reproducing its
+empirical claims (gathering time vs. N, label length, graph family)
+means running large grids of independent simulations.  This package
+turns such a study into data:
+
+* :class:`~repro.runner.spec.ExperimentSpec` — a declarative
+  description of a trial grid (algorithm, graph family + sizes, label
+  sets, message sets, seeds);
+* :func:`~repro.runner.engine.run_experiment` — fans the grid out over
+  a ``multiprocessing`` worker pool (``workers=1`` is a pure serial
+  fallback), captures per-trial failures instead of crashing the
+  sweep, and returns canonical, byte-reproducible result records;
+* :class:`~repro.runner.store.ResultStore` — an on-disk JSON store
+  keyed by the spec hash, so re-running a sweep only simulates the
+  trials that are missing.
+
+Quickstart::
+
+    from repro.runner import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(4, 6, 8),
+        label_sets=((1, 2),),
+    )
+    result = run_experiment(spec, workers=4, store=".repro-cache")
+    for record in result.records:
+        print(record["n"], record["metrics"]["rounds"])
+
+The CLI front-end is ``python -m repro sweep`` (see
+:mod:`repro.runner.cli`).
+"""
+
+from .engine import ExperimentResult, run_experiment
+from .spec import ExperimentSpec, TrialSpec
+from .store import ResultStore
+from .trial import TrialError, TrialResult, execute_trial
+from .trial import ALGORITHMS, FAMILIES
+
+__all__ = [
+    "ExperimentSpec",
+    "TrialSpec",
+    "TrialResult",
+    "TrialError",
+    "ExperimentResult",
+    "ResultStore",
+    "run_experiment",
+    "execute_trial",
+    "ALGORITHMS",
+    "FAMILIES",
+]

@@ -1,0 +1,169 @@
+"""``python -m repro sweep`` — the experiment engine's CLI front-end.
+
+Runs a declarative trial grid with progress output, prints a result
+table, and memoizes completed trials under ``--cache-dir`` so a
+repeated invocation with the same spec does zero re-simulation::
+
+    python -m repro sweep --sizes 4,6,8 --labels 1,2 --workers 4
+    python -m repro sweep --algorithm gossip_known --family ring \\
+        --sizes 4,6 --labels 1,2 --messages 101,01 --cache-dir .repro-cache
+
+Exit status is 0 when every trial succeeded, 1 otherwise (failed
+trials are reported in the table, never crash the sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .engine import run_experiment
+from .spec import ExperimentSpec
+from .trial import ALGORITHMS, FAMILIES
+
+
+def _parse_int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.replace(";", ",").split(",") if part)
+
+
+def _parse_sets(text: str, caster) -> tuple[tuple, ...]:
+    """Parse ``"1,2;3,4"`` into ``((1, 2), (3, 4))``."""
+    out = []
+    for group in text.split(";"):
+        group = group.strip()
+        if group:
+            out.append(tuple(caster(v) for v in group.split(",")))
+    return tuple(out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--algorithm", default="gather_known", choices=sorted(ALGORITHMS),
+        help="algorithm to run (default: gather_known)",
+    )
+    parser.add_argument(
+        "--family", default="ring", choices=sorted(FAMILIES),
+        help="graph family (default: ring)",
+    )
+    parser.add_argument(
+        "--sizes", type=_parse_int_list, default=(4, 6, 8),
+        metavar="N,N,...", help="graph sizes (default: 4,6,8)",
+    )
+    parser.add_argument(
+        "--labels", default="1,2", metavar="L,L[;L,L]",
+        help="agent label sets, ';'-separated (default: 1,2)",
+    )
+    parser.add_argument(
+        "--messages", default=None, metavar="M,M[;M,M]",
+        help="message sets for gossip algorithms (binary strings)",
+    )
+    parser.add_argument(
+        "--seeds", type=_parse_int_list, default=(0,),
+        metavar="S,S,...", help="replicate seeds (default: 0)",
+    )
+    parser.add_argument(
+        "--n-bound", type=int, default=None,
+        help="known size bound (default: each trial's graph size)",
+    )
+    parser.add_argument(
+        "--placement", default="default", choices=("default", "spread"),
+        help="agent placement policy (default: default)",
+    )
+    parser.add_argument(
+        "--fixed-graph-seed", action="store_true",
+        help="pass replicate seeds to the generator verbatim instead "
+             "of deriving a per-trial seed",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-store directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result store",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-trial progress lines",
+    )
+    return parser
+
+
+def sweep_main(argv: list[str]) -> int:
+    # Imported lazily: repro.analysis.sweeps itself imports this
+    # package, and the table renderer is only needed by the CLI.
+    from ..analysis.tables import ResultTable
+
+    args = build_parser().parse_args(argv)
+    label_sets = _parse_sets(args.labels, int)
+    message_sets = (
+        None if args.messages is None else _parse_sets(args.messages, str)
+    )
+    try:
+        if args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+        spec = ExperimentSpec(
+            algorithm=args.algorithm,
+            family=args.family,
+            sizes=args.sizes,
+            label_sets=label_sets,
+            message_sets=message_sets,
+            seeds=args.seeds,
+            n_bound=args.n_bound,
+            placement=args.placement,
+            graph_seed_mode="fixed" if args.fixed_graph_seed else "derived",
+        )
+    except ValueError as exc:  # SpecError is a ValueError
+        print(f"error: {exc}")
+        return 2
+
+    def report_progress(done: int, total: int, rec: dict, cache: bool) -> None:
+        if args.quiet:
+            return
+        status = "cached" if cache else (
+            "ok" if rec["ok"] else "FAILED"
+        )
+        print(f"[{done}/{total}] {rec['key']}  {status}")
+
+    result = run_experiment(
+        spec,
+        workers=args.workers,
+        store=None if args.no_cache else args.cache_dir,
+        progress=report_progress,
+    )
+
+    table = ResultTable(
+        f"sweep: {args.algorithm} on {args.family} "
+        f"(spec {spec.spec_hash()})",
+        ["n", "labels", "seed", "status", "rounds", "moves", "events"],
+    )
+    for rec in result.records:
+        metrics = rec["metrics"]
+        table.add_row(
+            rec["n"],
+            "-".join(str(v) for v in rec["labels"]),
+            rec["seed"],
+            "ok" if rec["ok"] else "FAILED",
+            metrics.get("rounds", "-"),
+            metrics.get("moves", "-"),
+            metrics.get("events", "-"),
+        )
+    table.emit()
+    print(
+        f"trials: {len(result.records)}  "
+        f"simulated: {result.executed}  cached: {result.cached}  "
+        f"failed: {result.failed}"
+    )
+    if not args.no_cache:
+        print(f"result store: {args.cache_dir} (delete to force re-runs)")
+    for rec in result.failures():
+        print(f"  FAILED {rec['key']}: {rec['error']}")
+    return 0 if result.failed == 0 else 1

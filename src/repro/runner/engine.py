@@ -1,0 +1,194 @@
+"""The experiment engine: grid fan-out, caching, result collection.
+
+:func:`run_experiment` is the single entry point used by the sweep
+drivers (:mod:`repro.analysis.sweeps`), the benchmark suite, the
+examples and the ``python -m repro sweep`` CLI:
+
+1. expand the :class:`ExperimentSpec` into its deterministic trial
+   grid;
+2. subtract the trials already present in the :class:`ResultStore`
+   (when caching is enabled);
+3. execute the remainder — serially for ``workers=1`` (bit-for-bit
+   reproducible reference path), or over a ``multiprocessing`` pool
+   whose workers each build their :class:`UXSProvider` once;
+4. merge, persist, and return the records in canonical grid order.
+
+Records contain no timing or process information, so the result of a
+parallel run is byte-identical to a serial one; wall-clock effort only
+appears in the :class:`ExperimentResult` counters, never in records.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from typing import Callable
+
+from ..explore.uxs import UXSProvider
+from . import worker as worker_mod
+from .spec import ExperimentSpec, SpecError
+from .store import ResultStore
+from .trial import execute_trial
+
+# progress callback: (done, total, record, from_cache) -> None
+ProgressFn = Callable[[int, int, dict, bool], None]
+
+
+class ExperimentResult:
+    """All records of an experiment, in canonical grid order."""
+
+    __slots__ = ("spec", "records", "executed", "cached", "failed")
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        records: list[dict],
+        executed: int,
+        cached: int,
+    ) -> None:
+        self.spec = spec
+        self.records = records
+        self.executed = executed
+        self.cached = cached
+        self.failed = sum(1 for r in records if not r["ok"])
+
+    def ok_records(self) -> list[dict]:
+        return [r for r in self.records if r["ok"]]
+
+    def failures(self) -> list[dict]:
+        return [r for r in self.records if not r["ok"]]
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization of the record list (for diffing)."""
+        return json.dumps(
+            self.records, sort_keys=True, separators=(",", ":")
+        )
+
+    def raise_on_failure(self) -> None:
+        """Re-raise the first captured failure (for strict callers)."""
+        for rec in self.records:
+            if not rec["ok"]:
+                raise RuntimeError(
+                    f"trial {rec['key']} failed: {rec['error']}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ExperimentResult(trials={len(self.records)}, "
+            f"executed={self.executed}, cached={self.cached}, "
+            f"failed={self.failed})"
+        )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is cheapest and fully deterministic here; fall back to spawn
+    # where fork is unavailable (the workers only use picklable dicts
+    # and importable top-level functions, so both methods work).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    store: ResultStore | str | None = None,
+    progress: ProgressFn | None = None,
+    provider_args: dict | None = None,
+) -> ExperimentResult:
+    """Run (or incrementally complete) an experiment grid.
+
+    Parameters
+    ----------
+    spec:
+        The declarative trial grid.
+    workers:
+        ``1`` executes in-process (serial reference path); ``>1`` fans
+        trials out over a process pool.  Both produce byte-identical
+        records.
+    store:
+        A :class:`ResultStore`, a directory path, or ``None`` to
+        disable memoization.  Ignored for non-cacheable specs (custom
+        ``graph_factory``).
+    progress:
+        Optional callback ``(done, total, record, from_cache)`` invoked
+        as each trial completes (cached trials first).
+    provider_args:
+        Keyword arguments for each worker's :class:`UXSProvider`
+        (default: the provider's own defaults).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if spec.graph_factory is not None and workers != 1:
+        raise SpecError(
+            "a spec with a custom graph_factory must run with workers=1 "
+            "(factories are not generally picklable)"
+        )
+    trials = spec.trials()
+    order = {t.key: i for i, t in enumerate(trials)}
+    provider_args = dict(provider_args or {})
+
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = ResultStore(store)
+    use_store = store is not None and spec.cacheable
+
+    known: dict[str, dict] = store.load(spec) if use_store else {}
+    done_records: dict[str, dict] = {
+        t.key: known[t.key] for t in trials if t.key in known
+    }
+    pending = [t for t in trials if t.key not in done_records]
+    total = len(trials)
+    cached = len(done_records)
+
+    done = 0
+    for trial in trials:
+        if trial.key in done_records and progress is not None:
+            done += 1
+            progress(done, total, done_records[trial.key], True)
+
+    try:
+        if pending:
+            prewarm = tuple(sorted({t.n_bound for t in pending}))
+            if workers == 1:
+                provider = UXSProvider(**provider_args)
+                for rec_trial in pending:
+                    record = execute_trial(
+                        rec_trial, provider=provider
+                    ).record()
+                    done_records[record["key"]] = record
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, record, False)
+            else:
+                ctx = _pool_context()
+                payloads = [t.to_dict() for t in pending]
+                with ctx.Pool(
+                    processes=workers,
+                    initializer=worker_mod.init_worker,
+                    initargs=(provider_args, prewarm),
+                ) as pool:
+                    results = pool.imap_unordered(
+                        worker_mod.run_trial_payload, payloads, chunksize=1
+                    )
+                    for record in results:
+                        done_records[record["key"]] = record
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, record, False)
+    finally:
+        # Persist whatever completed even if the sweep was interrupted
+        # mid-grid, so a re-run only simulates the gap.  Failed trials
+        # are deliberately *not* persisted: a captured failure may be
+        # transient, so it is retried on the next invocation instead
+        # of being served from cache forever.
+        if use_store and done_records:
+            store.save(
+                spec,
+                {k: r for k, r in done_records.items() if r["ok"]},
+            )
+
+    ordered = sorted(done_records.values(), key=lambda r: order[r["key"]])
+    return ExperimentResult(
+        spec, ordered, executed=len(pending), cached=cached
+    )

@@ -1,0 +1,345 @@
+"""Declarative experiment specifications and their trial grids.
+
+An :class:`ExperimentSpec` names *what* to measure — an algorithm, a
+graph family with sizes, label sets, optional gossip message sets and
+replicate seeds — without saying *how* to execute it.  The spec
+expands into a deterministic list of :class:`TrialSpec` grid points,
+each carrying a per-trial graph seed derived by hashing the spec seed
+with the trial key (so results never depend on scheduling order,
+worker identity or Python's per-process hash randomization).
+
+The canonical dictionary form (:meth:`ExperimentSpec.to_dict`) is
+hashed into :meth:`ExperimentSpec.spec_hash`, which keys the on-disk
+result store: any change to the grid produces a different hash and
+therefore a fresh cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Sequence
+
+_PLACEMENTS = ("default", "spread")
+_SEED_MODES = ("derived", "fixed")
+
+
+class SpecError(ValueError):
+    """The experiment specification is malformed."""
+
+
+def _canonical_json(payload: object) -> str:
+    """Deterministic JSON used for hashing and byte-stable records."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """Per-trial RNG seed: a pure function of the spec seed and key.
+
+    Uses SHA-256 (not ``hash()``) so the value is identical in every
+    worker process and interpreter invocation.
+    """
+    digest = hashlib.sha256(f"{base_seed}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class TrialSpec:
+    """One fully-resolved grid point of an experiment.
+
+    Plain-data and picklable: this is the unit of work shipped to pool
+    workers.  ``graph_factory`` is the only non-declarative field (an
+    escape hatch for callers with bespoke graphs); specs carrying one
+    are executed serially and never cached.
+    """
+
+    __slots__ = (
+        "key",
+        "algorithm",
+        "family",
+        "n",
+        "n_bound",
+        "labels",
+        "messages",
+        "seed",
+        "graph_seed",
+        "placement",
+        "algorithm_params",
+        "graph_factory",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        algorithm: str,
+        family: str,
+        n: int,
+        n_bound: int,
+        labels: tuple[int, ...],
+        messages: tuple[str, ...] | None,
+        seed: int,
+        graph_seed: int,
+        placement: str,
+        algorithm_params: dict | None = None,
+        graph_factory: Callable | None = None,
+    ) -> None:
+        self.key = key
+        self.algorithm = algorithm
+        self.family = family
+        self.n = n
+        self.n_bound = n_bound
+        self.labels = labels
+        self.messages = messages
+        self.seed = seed
+        self.graph_seed = graph_seed
+        self.placement = placement
+        self.algorithm_params = dict(algorithm_params or {})
+        self.graph_factory = graph_factory
+
+    def to_dict(self) -> dict:
+        """Picklable/JSON form (drops the factory escape hatch)."""
+        return {
+            "key": self.key,
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "n_bound": self.n_bound,
+            "labels": list(self.labels),
+            "messages": None if self.messages is None else list(self.messages),
+            "seed": self.seed,
+            "graph_seed": self.graph_seed,
+            "placement": self.placement,
+            "algorithm_params": dict(self.algorithm_params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialSpec":
+        messages = payload["messages"]
+        return cls(
+            key=payload["key"],
+            algorithm=payload["algorithm"],
+            family=payload["family"],
+            n=payload["n"],
+            n_bound=payload["n_bound"],
+            labels=tuple(payload["labels"]),
+            messages=None if messages is None else tuple(messages),
+            seed=payload["seed"],
+            graph_seed=payload["graph_seed"],
+            placement=payload["placement"],
+            algorithm_params=payload.get("algorithm_params"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TrialSpec({self.key})"
+
+
+class ExperimentSpec:
+    """Declarative description of a trial grid.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (see :data:`repro.runner.trial.ALGORITHMS`):
+        ``gather_known``, ``gossip_known``, ``talking`` or
+        ``random_walk``.
+    family:
+        Graph-family registry name (see
+        :data:`repro.runner.trial.FAMILIES`), e.g. ``ring``, ``path``,
+        ``torus``, ``random_regular``.  Ignored when ``graph_factory``
+        is given.
+    sizes:
+        Graph sizes to build, one trial axis.
+    label_sets:
+        Agent label tuples, one trial axis.
+    message_sets:
+        Per-agent binary-string messages (gossip algorithms only); each
+        set must align with every label set.  ``None`` for non-gossip.
+    seeds:
+        Replicate seeds, one trial axis.  With ``graph_seed_mode ==
+        "derived"`` (default) the actual graph seed of a trial is
+        derived by hashing the replicate seed with the trial key; with
+        ``"fixed"`` the replicate seed is passed to the generator
+        verbatim (matching historical single-run studies).
+    n_bound:
+        Known size bound given to the agents; ``None`` means "use the
+        trial's graph size".
+    placement:
+        ``"default"`` places agents on nodes ``0..k-1``; ``"spread"``
+        spaces them evenly (for two agents: nodes ``0`` and ``n-1``).
+    algorithm_params:
+        Extra keyword knobs for the algorithm runner (e.g. ``{"seed":
+        0}`` to pin the random-walk baseline's walk seed).  Part of the
+        spec identity.
+    graph_factory:
+        Optional ``callable(n) -> PortGraph`` overriding the family.
+        Such specs are not cacheable and must run with ``workers=1``.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        family: str = "ring",
+        sizes: Sequence[int] = (4,),
+        label_sets: Sequence[Sequence[int]] = ((1, 2),),
+        message_sets: Sequence[Sequence[str]] | None = None,
+        seeds: Sequence[int] = (0,),
+        n_bound: int | None = None,
+        placement: str = "default",
+        graph_seed_mode: str = "derived",
+        algorithm_params: dict | None = None,
+        graph_factory: Callable | None = None,
+    ) -> None:
+        if not sizes:
+            raise SpecError("sizes must be non-empty")
+        if not label_sets:
+            raise SpecError("label_sets must be non-empty")
+        if not seeds:
+            raise SpecError("seeds must be non-empty")
+        if placement not in _PLACEMENTS:
+            raise SpecError(f"placement must be one of {_PLACEMENTS}")
+        if graph_seed_mode not in _SEED_MODES:
+            raise SpecError(f"graph_seed_mode must be one of {_SEED_MODES}")
+        self.algorithm = algorithm
+        self.family = family
+        self.sizes = tuple(int(s) for s in sizes)
+        self.label_sets = tuple(tuple(int(v) for v in ls) for ls in label_sets)
+        self.message_sets = (
+            None
+            if message_sets is None
+            else tuple(tuple(str(m) for m in ms) for ms in message_sets)
+        )
+        self.seeds = tuple(int(s) for s in seeds)
+        self.n_bound = n_bound
+        self.placement = placement
+        self.graph_seed_mode = graph_seed_mode
+        self.algorithm_params = dict(algorithm_params or {})
+        self.graph_factory = graph_factory
+        if self.message_sets is not None:
+            for ms in self.message_sets:
+                for m in ms:
+                    if set(m) - {"0", "1"}:
+                        # Validated here (not only at execution) so
+                        # trial keys, which join messages with ",",
+                        # can never collide.
+                        raise SpecError(
+                            f"messages are binary strings, got {m!r}"
+                        )
+                for ls in self.label_sets:
+                    if len(ms) != len(ls):
+                        raise SpecError(
+                            "every message set must have one message per "
+                            f"label: {ms!r} vs labels {ls!r}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Identity.
+    # ------------------------------------------------------------------
+
+    @property
+    def cacheable(self) -> bool:
+        """Specs with a custom factory have no stable identity."""
+        return self.graph_factory is None
+
+    def to_dict(self) -> dict:
+        """Canonical declarative form (raises for factory specs)."""
+        if not self.cacheable:
+            raise SpecError(
+                "a spec with a custom graph_factory has no canonical form"
+            )
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "sizes": list(self.sizes),
+            "label_sets": [list(ls) for ls in self.label_sets],
+            "message_sets": (
+                None
+                if self.message_sets is None
+                else [list(ms) for ms in self.message_sets]
+            ),
+            "seeds": list(self.seeds),
+            "n_bound": self.n_bound,
+            "placement": self.placement,
+            "graph_seed_mode": self.graph_seed_mode,
+            "algorithm_params": dict(self.algorithm_params),
+        }
+
+    def spec_hash(self) -> str:
+        """Stable content hash keying the on-disk result store.
+
+        The package version is mixed in, so cached records are
+        structurally invalidated when the simulator code changes — a
+        stale cache can never silently serve pre-fix numbers.
+        """
+        from .. import __version__
+
+        blob = _canonical_json(self.to_dict()).encode()
+        blob += f"|repro={__version__}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Grid expansion.
+    # ------------------------------------------------------------------
+
+    def trials(self) -> list[TrialSpec]:
+        """The full trial grid, in canonical (deterministic) order."""
+        out: list[TrialSpec] = []
+        message_axis: Sequence[Sequence[str] | None] = (
+            [None] if self.message_sets is None else list(self.message_sets)
+        )
+        for n in self.sizes:
+            for labels in self.label_sets:
+                for messages in message_axis:
+                    for seed in self.seeds:
+                        key = self._trial_key(n, labels, messages, seed)
+                        if self.graph_seed_mode == "fixed":
+                            graph_seed = seed
+                        else:
+                            graph_seed = derive_seed(seed, key)
+                        out.append(
+                            TrialSpec(
+                                key=key,
+                                algorithm=self.algorithm,
+                                family=self.family,
+                                n=n,
+                                n_bound=(
+                                    self.n_bound
+                                    if self.n_bound is not None
+                                    else n
+                                ),
+                                labels=tuple(labels),
+                                messages=(
+                                    None
+                                    if messages is None
+                                    else tuple(messages)
+                                ),
+                                seed=seed,
+                                graph_seed=graph_seed,
+                                placement=self.placement,
+                                algorithm_params=self.algorithm_params,
+                                graph_factory=self.graph_factory,
+                            )
+                        )
+        return out
+
+    def _trial_key(
+        self,
+        n: int,
+        labels: Sequence[int],
+        messages: Sequence[str] | None,
+        seed: int,
+    ) -> str:
+        parts = [
+            self.algorithm,
+            self.family if self.cacheable else "custom",
+            f"n={n}",
+            "labels=" + "-".join(str(v) for v in labels),
+        ]
+        if messages is not None:
+            parts.append("msg=" + ",".join(messages))
+        parts.append(f"seed={seed}")
+        return "/".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ExperimentSpec({self.algorithm}/{self.family}, "
+            f"sizes={self.sizes}, labels={self.label_sets})"
+        )

@@ -1,0 +1,63 @@
+"""On-disk memoization of completed trials.
+
+One JSON file per experiment, named by the spec hash: re-running the
+same spec loads the file, skips every trial whose key is present and
+simulates only the gap.  Any change to the spec changes the hash and
+therefore starts a fresh file — cache invalidation is structural, not
+timestamp-based.
+
+Files are written atomically (temp file + ``os.replace``) with sorted
+keys, so a store produced by a parallel run is byte-identical to one
+produced serially.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from .spec import ExperimentSpec
+
+_FORMAT_VERSION = 1
+
+
+class ResultStore:
+    """Directory of per-spec JSON result files."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, spec: ExperimentSpec) -> pathlib.Path:
+        return self.root / f"{spec.spec_hash()}.json"
+
+    def load(self, spec: ExperimentSpec) -> dict[str, dict]:
+        """Completed trial records for ``spec``, keyed by trial key.
+
+        A missing, unreadable or version-mismatched file is treated as
+        an empty cache (the trials simply re-run).
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if payload.get("version") != _FORMAT_VERSION:
+            return {}
+        trials = payload.get("trials")
+        return dict(trials) if isinstance(trials, dict) else {}
+
+    def save(self, spec: ExperimentSpec, records: dict[str, dict]) -> None:
+        """Atomically persist the full record map for ``spec``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash(),
+            "trials": records,
+        }
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)

@@ -1,0 +1,240 @@
+"""Single-trial execution: resolve, simulate, record.
+
+Maps a :class:`~repro.runner.spec.TrialSpec` onto the existing
+simulation front-ends (:mod:`repro.core.runs`, :mod:`repro.baselines`)
+and flattens the validated report into a JSON-safe *record* dict.
+
+Records are the engine's unit of truth: they contain only
+deterministic simulation quantities (rounds, moves, events, leader,
+...) — never wall-clock times or process ids — so a parallel run is
+byte-identical to a serial one.  Failures are captured as records with
+``ok=False`` and the exception text, not raised, so one infeasible
+grid point cannot crash a thousand-trial sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..baselines import run_random_walk_gather, run_talking_gather
+from ..core.runs import run_gather_known, run_gossip_known
+from ..explore.uxs import UXSProvider
+from ..graphs import generators
+from ..graphs.port_graph import PortGraph
+from .spec import TrialSpec
+
+
+class TrialError(RuntimeError):
+    """Raised only when a trial record itself cannot be produced."""
+
+
+# ----------------------------------------------------------------------
+# Graph-family registry: name -> callable(n, seed) -> PortGraph.
+# ----------------------------------------------------------------------
+
+def _edge_family(n: int, seed: int) -> PortGraph:
+    if n != 2:
+        raise ValueError("the 'edge' family only exists at size 2")
+    return generators.single_edge()
+
+
+FAMILIES: dict[str, Callable[[int, int], PortGraph]] = {
+    "edge": _edge_family,
+    "ring": lambda n, seed: generators.ring(n, seed=seed),
+    "oriented_ring": lambda n, seed: generators.oriented_ring(n),
+    "path": lambda n, seed: generators.path_graph(n, seed=seed),
+    "star": lambda n, seed: generators.star_graph(n, seed=seed),
+    "clique": lambda n, seed: generators.complete_graph(n, seed=seed),
+    "tree": lambda n, seed: generators.random_tree(n, seed=seed),
+    "random": lambda n, seed: generators.random_connected_graph(n, seed=seed),
+    "torus": lambda n, seed: generators.torus_for_size(n, seed=seed),
+    "random_regular": lambda n, seed: generators.random_regular(n, seed=seed),
+}
+
+
+class TrialResult:
+    """Outcome of one trial, successful or failed.
+
+    ``record()`` is the canonical JSON-safe form stored on disk and
+    compared across serial/parallel runs.
+    """
+
+    __slots__ = ("trial", "ok", "error", "metrics")
+
+    def __init__(
+        self,
+        trial: TrialSpec,
+        ok: bool,
+        metrics: dict | None = None,
+        error: str | None = None,
+    ) -> None:
+        self.trial = trial
+        self.ok = ok
+        self.metrics = metrics or {}
+        self.error = error
+
+    def record(self) -> dict:
+        rec = self.trial.to_dict()
+        rec["ok"] = self.ok
+        rec["error"] = self.error
+        rec["metrics"] = self.metrics
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "TrialResult":
+        return cls(
+            TrialSpec.from_dict(rec),
+            ok=rec["ok"],
+            metrics=rec.get("metrics") or {},
+            error=rec.get("error"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "ok" if self.ok else f"FAILED ({self.error})"
+        return f"TrialResult({self.trial.key}: {status})"
+
+
+def _build_graph(trial: TrialSpec) -> PortGraph:
+    if trial.graph_factory is not None:
+        return trial.graph_factory(trial.n)
+    try:
+        family = FAMILIES[trial.family]
+    except KeyError:
+        raise TrialError(
+            f"unknown graph family {trial.family!r}; "
+            f"known: {sorted(FAMILIES)}"
+        ) from None
+    return family(trial.n, trial.graph_seed)
+
+
+def _placement(trial: TrialSpec, graph: PortGraph) -> list[int] | None:
+    if trial.placement == "default":
+        return None
+    k = len(trial.labels)
+    if k == 2:
+        return [0, graph.n - 1]
+    # Evenly spaced; distinct whenever k <= n.
+    return [i * graph.n // k for i in range(k)]
+
+
+def _run_gather_known(trial: TrialSpec, graph: PortGraph,
+                      provider: UXSProvider | None) -> dict:
+    report = run_gather_known(
+        graph,
+        list(trial.labels),
+        trial.n_bound,
+        start_nodes=_placement(trial, graph),
+        provider=provider,
+    )
+    return {
+        "rounds": report.round,
+        "moves": report.total_moves,
+        "events": report.events,
+        "phases": report.phases,
+        "leader": report.leader,
+        "node": report.node,
+        "edges": graph.num_edges(),
+    }
+
+
+def _run_gossip_known(trial: TrialSpec, graph: PortGraph,
+                      provider: UXSProvider | None) -> dict:
+    if trial.messages is None:
+        raise ValueError("gossip trials need a message set")
+    report = run_gossip_known(
+        graph,
+        list(trial.labels),
+        list(trial.messages),
+        trial.n_bound,
+        start_nodes=_placement(trial, graph),
+        provider=provider,
+    )
+    return {
+        "rounds": report.round,
+        "events": report.events,
+        "leader": report.leader,
+        "messages": dict(report.messages),
+        "edges": graph.num_edges(),
+    }
+
+
+def _run_talking(trial: TrialSpec, graph: PortGraph,
+                 provider: UXSProvider | None) -> dict:
+    report = run_talking_gather(
+        graph,
+        list(trial.labels),
+        trial.n_bound,
+        start_nodes=_placement(trial, graph),
+        provider=provider,
+    )
+    return {
+        "rounds": report.round,
+        "moves": report.total_moves,
+        "events": report.events,
+        "leader": report.leader,
+        "node": report.node,
+        "edges": graph.num_edges(),
+    }
+
+
+def _run_random_walk(trial: TrialSpec, graph: PortGraph,
+                     provider: UXSProvider | None) -> dict:
+    # The walk seed defaults to the trial's derived seed (replicates
+    # explore different walks) but can be pinned via algorithm_params
+    # to reproduce historical fixed-seed runs.
+    walk_seed = trial.algorithm_params.get("seed", trial.graph_seed)
+    report = run_random_walk_gather(
+        graph,
+        list(trial.labels),
+        trial.n_bound,
+        start_nodes=_placement(trial, graph),
+        provider=provider,
+        seed=walk_seed,
+    )
+    return {
+        "rounds": report.round,
+        "moves": report.total_moves,
+        "events": report.events,
+        "leader": report.leader,
+        "node": report.node,
+        "edges": graph.num_edges(),
+    }
+
+
+ALGORITHMS: dict[str, Callable] = {
+    "gather_known": _run_gather_known,
+    "gossip_known": _run_gossip_known,
+    "talking": _run_talking,
+    "random_walk": _run_random_walk,
+}
+
+
+def execute_trial(
+    trial: TrialSpec, provider: UXSProvider | None = None
+) -> TrialResult:
+    """Run one trial, capturing any failure in the result record.
+
+    ``provider`` is the process-local :class:`UXSProvider`; passing one
+    lets a worker reuse its sequence cache across every trial it
+    executes (sequences are pure functions of ``(N, seed, factor)``, so
+    all workers agree without any cross-process traffic).
+    """
+    try:
+        algorithm = ALGORITHMS[trial.algorithm]
+    except KeyError:
+        return TrialResult(
+            trial,
+            ok=False,
+            error=(
+                f"unknown algorithm {trial.algorithm!r}; "
+                f"known: {sorted(ALGORITHMS)}"
+            ),
+        )
+    try:
+        graph = _build_graph(trial)
+        metrics = algorithm(trial, graph, provider)
+    except Exception as exc:  # captured, not raised: sweeps must survive
+        return TrialResult(
+            trial, ok=False, error=f"{type(exc).__name__}: {exc}"
+        )
+    return TrialResult(trial, ok=True, metrics=metrics)

@@ -1,0 +1,55 @@
+"""Pool-worker side of the experiment engine.
+
+A worker process builds its :class:`UXSProvider` exactly once, in the
+pool initializer, and pre-warms it for every size bound the grid will
+need.  Exploration sequences are pure functions of ``(N, seed,
+factor)``, so each worker rebuilds them cheaply and *identically* —
+nothing graph-sized ever crosses the process boundary, and no trial
+re-derives a sequence (``tests/test_runner.py`` asserts both).
+
+Only plain dicts travel through the pool: :func:`run_trial_payload`
+takes a ``TrialSpec`` dict and returns a record dict, which keeps the
+pickled task tiny and version-skew-proof.
+"""
+
+from __future__ import annotations
+
+from ..explore.uxs import UXSProvider
+from .spec import TrialSpec
+from .trial import execute_trial
+
+# Process-global state, set once per worker by :func:`init_worker`.
+_PROVIDER: UXSProvider | None = None
+_INIT_COUNT = 0  # instrumentation for the reuse property tests
+
+
+def init_worker(provider_args: dict, prewarm_sizes: tuple[int, ...]) -> None:
+    """Pool initializer: build and pre-warm the per-process provider."""
+    global _PROVIDER, _INIT_COUNT
+    _PROVIDER = UXSProvider(**provider_args)
+    _INIT_COUNT += 1
+    for n in prewarm_sizes:
+        _PROVIDER.sequence(n)
+
+
+def current_provider() -> UXSProvider | None:
+    """The worker's provider (``None`` before :func:`init_worker`)."""
+    return _PROVIDER
+
+
+def run_trial_payload(payload: dict) -> dict:
+    """Execute one trial dict and return its record dict.
+
+    Never raises: :func:`repro.runner.trial.execute_trial` captures
+    simulation failures, and this wrapper catches even record-building
+    errors so a worker cannot poison the pool.
+    """
+    trial = TrialSpec.from_dict(payload)
+    try:
+        return execute_trial(trial, provider=_PROVIDER).record()
+    except Exception as exc:  # pragma: no cover - defense in depth
+        rec = trial.to_dict()
+        rec["ok"] = False
+        rec["error"] = f"{type(exc).__name__}: {exc}"
+        rec["metrics"] = {}
+        return rec

@@ -10,12 +10,21 @@ strongest check that skipping quiet rounds never changes semantics.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from tests.naive_sim import NaiveSimulation
-from repro.graphs import path_graph, ring, single_edge, star_graph
+from repro.graphs import (
+    path_graph,
+    random_regular,
+    ring,
+    single_edge,
+    star_graph,
+    torus,
+)
 from repro.sim import AgentSpec, Simulation, WatchTriggered
 from repro.sim.agent import move, wait, wait_stable
 
@@ -24,6 +33,15 @@ GRAPHS = {
     "path3": path_graph(3),
     "ring4": ring(4),
     "star4": star_graph(4),
+}
+
+# Non-ring families for the extended randomized suite: a 3x3 torus and
+# two seeded random regular graphs (all degree >= 3, with cycles and
+# chords that the small hand-picked graphs above lack).
+EXTENDED_GRAPHS = {
+    "torus33": torus(3, 3, seed=11),
+    "regular6": random_regular(6, 3, seed=2),
+    "regular8": random_regular(8, 3, seed=5),
 }
 
 WATCHES = [None, ("gt", 1), ("ne", 1), ("eq", 2), ("lt", 2)]
@@ -157,6 +175,107 @@ class TestHandPickedScenarios:
             [("wait", 8, None), ("move", 0, None), ("wait", 20, None)],
         ]
         fast, naive = run_both(GRAPHS["star4"], scripts, [0, 0, 0])
+        assert_equivalent(fast, naive)
+
+
+def covering_tour(graph, start=0):
+    """Exit-port sequence of a DFS closed walk visiting every node.
+
+    An agent executing these moves from ``start`` provably visits all
+    nodes (and returns home), which guarantees that every dormant
+    agent on the graph is woken by the tour.
+    """
+    ports: list[int] = []
+    visited = {start}
+
+    def dfs(node):
+        for port in range(graph.degree(node)):
+            dst, entry = graph.neighbor(node, port)
+            if dst not in visited:
+                visited.add(dst)
+                ports.append(port)
+                dfs(dst)
+                ports.append(entry)
+
+    dfs(start)
+    assert len(visited) == graph.n
+    return ports
+
+
+def random_script(rng, max_ops=8):
+    """A seeded random op script mixing moves, watched waits and
+    stability waits (same op vocabulary as the hypothesis strategy)."""
+    script = []
+    for _ in range(rng.randrange(max_ops + 1)):
+        kind = rng.choice(("move", "wait", "stable"))
+        if kind == "move":
+            script.append(("move", rng.randrange(4), rng.choice(WATCHES)))
+        elif kind == "wait":
+            script.append(
+                ("wait", rng.randrange(1, 26), rng.choice(WATCHES))
+            )
+        else:
+            script.append(("stable", rng.randrange(1, 9)))
+    return script
+
+
+class TestExtendedFamilies:
+    """Randomized differential runs on torus / random regular graphs,
+    exercising wait_stable, watches and dormant-agent wakeups.
+
+    Every scenario is seeded and deterministic: agent 0 walks a
+    covering tour (waking all dormant agents), the rest run random
+    scripts from a per-seed RNG.
+    """
+
+    @pytest.mark.parametrize("graph_name", sorted(EXTENDED_GRAPHS))
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_scripts_agree(self, graph_name, seed):
+        graph = EXTENDED_GRAPHS[graph_name]
+        rng = random.Random((graph_name, seed).__repr__())
+        tour = [("move", p, None) for p in covering_tour(graph)]
+        scripts = [tour + random_script(rng, max_ops=4)]
+        agents = rng.randrange(2, min(5, graph.n) + 1)
+        for _ in range(agents - 1):
+            scripts.append(random_script(rng))
+        # Mix of adversary wakes and dormant (visit-woken) agents; the
+        # tour guarantees the dormant ones always start eventually.
+        wakes = [0] + [
+            rng.choice([None, 0, rng.randrange(1, 7)])
+            for _ in range(agents - 1)
+        ]
+        fast, naive = run_both(graph, scripts, wakes)
+        assert_equivalent(fast, naive)
+
+    @pytest.mark.parametrize("graph_name", sorted(EXTENDED_GRAPHS))
+    def test_all_dormant_but_one(self, graph_name):
+        """Every agent except the tourer starts dormant and is woken
+        purely by visits; both simulators must agree on wake timing."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        tour = [("move", p, None) for p in covering_tour(graph)]
+        scripts = [
+            tour + [("wait", 5, None)],
+            [("stable", 4), ("move", 1, None)],
+            [("wait", 3, ("gt", 1)), ("move", 2, None)],
+            [("stable", 2), ("wait", 6, ("eq", 2))],
+        ]
+        wakes = [0, None, None, None]
+        fast, naive = run_both(graph, scripts, wakes)
+        assert_equivalent(fast, naive)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stability_watch_interplay_on_torus(self, seed):
+        """wait_stable windows repeatedly broken by a tour through the
+        waiter's node, with watch-carrying waits in between."""
+        graph = EXTENDED_GRAPHS["torus33"]
+        rng = random.Random(9000 + seed)
+        tour = [("move", p, None) for p in covering_tour(graph)]
+        scripts = [
+            tour + tour,
+            [("stable", rng.randrange(2, 9))] * 3,
+            [("wait", 50, ("gt", 1)), ("stable", 5), ("wait", 4, None)],
+        ]
+        fast, naive = run_both(graph, scripts, [0, 0, rng.randrange(0, 5)])
         assert_equivalent(fast, naive)
 
 

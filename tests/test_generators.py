@@ -16,9 +16,12 @@ from repro.graphs import (
     oriented_ring,
     path_graph,
     random_connected_graph,
+    random_regular,
     random_tree,
     ring,
     star_graph,
+    torus,
+    torus_for_size,
 )
 
 
@@ -108,6 +111,50 @@ class TestFamilyForSize:
         for n in (3, 5, 8):
             for _name, g in family_for_size(n):
                 assert g.n == n
+
+
+class TestTorus:
+    def test_structure(self):
+        g = torus(3, 4)
+        assert g.n == 12
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.num_edges() == 24
+
+    def test_minimum_dimensions(self):
+        with pytest.raises(GraphError):
+            torus(2, 4)
+        with pytest.raises(GraphError):
+            torus(4, 2)
+
+    def test_for_size_picks_square_factorization(self):
+        assert torus_for_size(9).n == 9
+        assert torus_for_size(12).n == 12
+        with pytest.raises(GraphError):
+            torus_for_size(10)  # 10 = 2 x 5 only: no side >= 3
+        with pytest.raises(GraphError):
+            torus_for_size(7)  # prime
+
+    def test_seeded_ports_are_deterministic(self):
+        assert torus(3, 3, seed=4) == torus(3, 3, seed=4)
+
+
+class TestRandomRegular:
+    def test_degree_and_connectivity(self):
+        for n, d in ((6, 3), (8, 3), (10, 4)):
+            g = random_regular(n, d, seed=1)
+            assert g.n == n
+            assert all(g.degree(v) == d for v in g.nodes())
+
+    def test_deterministic_per_seed(self):
+        assert random_regular(8, 3, seed=7) == random_regular(8, 3, seed=7)
+
+    def test_rejects_infeasible_parameters(self):
+        with pytest.raises(GraphError):
+            random_regular(5, 3)  # odd stub count
+        with pytest.raises(GraphError):
+            random_regular(4, 4)  # degree >= n
+        with pytest.raises(GraphError):
+            random_regular(6, 1)
 
 
 @settings(max_examples=30, deadline=None)

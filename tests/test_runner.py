@@ -1,0 +1,371 @@
+"""Tests for the parallel experiment engine (``repro.runner``).
+
+Covers the PR's hard guarantees:
+
+* parallel-vs-serial equivalence — the same spec run with
+  ``workers=1`` and ``workers=4`` yields byte-identical record sets;
+* cache behavior — a re-run with the same spec simulates nothing, a
+  changed spec invalidates structurally (new hash), a partially
+  deleted cache re-runs exactly the gap;
+* failure capture — an infeasible grid point becomes an ``ok=False``
+  record instead of crashing the sweep, serially and in the pool;
+* UXSProvider reuse — a worker derives each exploration sequence at
+  most once per process, never per trial, and two processes rebuild
+  identical sequences from the spec alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.explore.uxs as uxs_mod
+from repro.explore.uxs import UXSProvider
+from repro.runner import (
+    ExperimentSpec,
+    ResultStore,
+    TrialSpec,
+    execute_trial,
+    run_experiment,
+)
+from repro.runner import worker as worker_mod
+from repro.runner.spec import SpecError, derive_seed
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(4, 5),
+        label_sets=((1, 2),),
+        seeds=(1,),
+        graph_seed_mode="fixed",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_hash_is_stable(self):
+        assert small_spec().spec_hash() == small_spec().spec_hash()
+
+    def test_hash_changes_with_grid(self):
+        assert (
+            small_spec().spec_hash()
+            != small_spec(label_sets=((2, 7),)).spec_hash()
+        )
+
+    def test_trials_are_deterministic(self):
+        keys_a = [t.key for t in small_spec().trials()]
+        keys_b = [t.key for t in small_spec().trials()]
+        assert keys_a == keys_b
+        assert len(set(keys_a)) == len(keys_a)
+
+    def test_derived_seed_is_hash_based(self):
+        # Pure function of (seed, key): identical in every process.
+        assert derive_seed(3, "a/b") == derive_seed(3, "a/b")
+        assert derive_seed(3, "a/b") != derive_seed(4, "a/b")
+        assert derive_seed(3, "a/b") != derive_seed(3, "a/c")
+
+    def test_trial_dict_roundtrip(self):
+        trial = small_spec().trials()[0]
+        assert TrialSpec.from_dict(trial.to_dict()).to_dict() == trial.to_dict()
+
+    def test_message_set_must_align_with_labels(self):
+        with pytest.raises(SpecError):
+            ExperimentSpec(
+                algorithm="gossip_known",
+                label_sets=((1, 2),),
+                message_sets=(("1",),),
+            )
+
+    def test_messages_must_be_binary(self):
+        # Rejected at spec construction: a "," inside a message would
+        # let two distinct grids produce colliding trial keys.
+        with pytest.raises(SpecError, match="binary"):
+            ExperimentSpec(
+                algorithm="gossip_known",
+                label_sets=((1, 2),),
+                message_sets=(("1,0", "1"),),
+            )
+
+    def test_algorithm_params_affect_identity(self):
+        pinned = small_spec(
+            algorithm="random_walk", algorithm_params={"seed": 0}
+        )
+        assert pinned.spec_hash() != small_spec(
+            algorithm="random_walk"
+        ).spec_hash()
+        assert pinned.trials()[0].algorithm_params == {"seed": 0}
+
+    def test_factory_spec_is_not_cacheable(self):
+        spec = small_spec(graph_factory=lambda n: None)
+        assert not spec.cacheable
+        with pytest.raises(SpecError):
+            spec.spec_hash()
+
+
+class TestParallelSerialEquivalence:
+    def test_byte_identical_records(self):
+        spec = small_spec(sizes=(4, 5, 6))
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=4)
+        assert serial.canonical_json() == parallel.canonical_json()
+        assert serial.executed == parallel.executed == 3
+
+    def test_parallel_gossip_matches_serial(self):
+        spec = ExperimentSpec(
+            algorithm="gossip_known",
+            family="edge",
+            sizes=(2,),
+            label_sets=((1, 2),),
+            message_sets=(("101", "01"), ("", "1")),
+            seeds=(0, 1),
+        )
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=2)
+        assert serial.canonical_json() == parallel.canonical_json()
+
+    def test_factory_spec_rejects_parallel(self):
+        spec = small_spec(graph_factory=lambda n: None)
+        with pytest.raises(SpecError):
+            run_experiment(spec, workers=2)
+
+
+class TestCaching:
+    def test_second_run_simulates_nothing(self, tmp_path):
+        spec = small_spec()
+        first = run_experiment(spec, workers=1, store=tmp_path)
+        assert (first.executed, first.cached) == (2, 0)
+        second = run_experiment(spec, workers=1, store=tmp_path)
+        assert (second.executed, second.cached) == (0, 2)
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_parallel_rerun_hits_serial_cache(self, tmp_path):
+        spec = small_spec()
+        run_experiment(spec, workers=1, store=tmp_path)
+        rerun = run_experiment(spec, workers=4, store=tmp_path)
+        assert rerun.executed == 0 and rerun.cached == 2
+
+    def test_changed_spec_invalidates(self, tmp_path):
+        run_experiment(small_spec(), workers=1, store=tmp_path)
+        changed = run_experiment(
+            small_spec(label_sets=((2, 7),)), workers=1, store=tmp_path
+        )
+        assert changed.executed == 2 and changed.cached == 0
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_partial_cache_runs_only_the_gap(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        run_experiment(spec, workers=1, store=store)
+        records = store.load(spec)
+        dropped = sorted(records)[0]
+        del records[dropped]
+        store.save(spec, records)
+        rerun = run_experiment(spec, workers=1, store=store)
+        assert rerun.executed == 1 and rerun.cached == 1
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(spec).write_text("{not json")
+        result = run_experiment(spec, workers=1, store=store)
+        assert result.executed == 2
+        # And the store healed: the file is valid JSON again.
+        assert store.load(spec)
+
+    def test_failed_trials_are_retried_not_cached(self, tmp_path):
+        # ok=False records must never be served from the store: a
+        # failure may be transient, so it re-runs on every invocation.
+        spec = small_spec(sizes=(2, 4))
+        first = run_experiment(spec, workers=1, store=tmp_path)
+        assert first.failed == 1 and first.executed == 2
+        second = run_experiment(spec, workers=1, store=tmp_path)
+        assert second.failed == 1
+        assert second.executed == 1  # only the failing trial re-ran
+        assert second.cached == 1
+
+    def test_hash_includes_package_version(self, monkeypatch):
+        import repro
+
+        before = small_spec().spec_hash()
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert small_spec().spec_hash() != before
+
+    def test_store_bytes_identical_serial_vs_parallel(self, tmp_path):
+        spec = small_spec()
+        run_experiment(spec, workers=1, store=tmp_path / "a")
+        run_experiment(spec, workers=4, store=tmp_path / "b")
+        path_a = next((tmp_path / "a").glob("*.json"))
+        path_b = next((tmp_path / "b").glob("*.json"))
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestFailureCapture:
+    # Size 2 is infeasible for the ring family (a ring needs >= 3
+    # nodes), so the grid contains one failing point by construction.
+    def test_serial_failure_is_captured(self):
+        spec = small_spec(sizes=(2, 4))
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 1
+        failure = result.failures()[0]
+        assert failure["n"] == 2
+        assert "ring" in failure["error"]
+        assert [r["n"] for r in result.ok_records()] == [4]
+
+    def test_pool_failure_is_captured(self):
+        spec = small_spec(sizes=(2, 4))
+        result = run_experiment(spec, workers=2)
+        assert result.failed == 1
+        assert result.ok_records()[0]["n"] == 4
+
+    def test_raise_on_failure(self):
+        result = run_experiment(small_spec(sizes=(2,)), workers=1)
+        with pytest.raises(RuntimeError, match="failed"):
+            result.raise_on_failure()
+
+    def test_unknown_algorithm_is_captured(self):
+        spec = small_spec(algorithm="no_such_algorithm")
+        result = run_experiment(spec, workers=1)
+        assert result.failed == len(result.records)
+        assert "unknown algorithm" in result.failures()[0]["error"]
+
+    def test_validation_error_is_captured(self):
+        # One agent cannot gather: ValueError from the run wrapper.
+        spec = small_spec(label_sets=((1,),))
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 2
+        assert "two agents" in result.failures()[0]["error"]
+
+
+class TestProviderReuse:
+    """Property tests: exploration sequences are derived per process,
+    never per trial, and identically in every process."""
+
+    @pytest.fixture
+    def generation_counter(self, monkeypatch):
+        calls: list[tuple[int, int]] = []
+        original = uxs_mod.generate_sequence
+
+        def counting(length, seed):
+            calls.append((length, seed))
+            return original(length, seed)
+
+        monkeypatch.setattr(uxs_mod, "generate_sequence", counting)
+        return calls
+
+    def test_worker_derives_each_sequence_once(self, generation_counter):
+        # Simulate one worker's lifecycle in-process: init, then many
+        # trials.  All derivation must happen at init (pre-warm).
+        trials = small_spec(sizes=(5, 6)).trials() * 3
+        worker_mod.init_worker({}, (5, 6))
+        provider = worker_mod.current_provider()
+        derivations_after_init = len(generation_counter)
+        assert derivations_after_init == 2  # one per pre-warmed size
+        for trial in trials:
+            record = worker_mod.run_trial_payload(trial.to_dict())
+            assert record["ok"], record["error"]
+        assert len(generation_counter) == derivations_after_init
+        assert worker_mod.current_provider() is provider
+
+    def test_serial_engine_shares_one_provider(self, generation_counter):
+        spec = small_spec(sizes=(5, 6), label_sets=((1, 2), (2, 7)))
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 0
+        # 4 trials over 2 sizes: each sequence derived exactly once.
+        assert len(generation_counter) == 2
+
+    def test_rebuild_is_cheap_and_identical(self):
+        # Workers never ship sequences across the process boundary:
+        # they rebuild them from (N, seed, factor) alone, so two fresh
+        # providers (= two worker processes) must agree exactly.
+        a, b = UXSProvider(), UXSProvider()
+        for n in (2, 4, 5, 8, 13):
+            assert a.sequence(n) == b.sequence(n)
+
+    def test_pool_workers_agree_with_serial_provider(self):
+        # End-to-end cross-process check: records produced by pool
+        # workers (own providers) match the serial reference exactly.
+        spec = small_spec(sizes=(5, 6))
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=2)
+        assert serial.canonical_json() == parallel.canonical_json()
+
+
+class TestCLI:
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "sweep", "--sizes", "4,5", "--workers", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "simulated: 2" in out and "cached: 0" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "simulated: 0" in out and "cached: 2" in out
+
+    def test_sweep_reports_failures_nonzero_exit(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "sweep", "--sizes", "2,4", "--quiet",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "failed: 1" in out and "FAILED" in out
+
+    def test_sweep_no_cache(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--sizes", "4", "--no-cache", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "result store" not in out
+
+    def test_sweep_gossip_spec(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "sweep", "--algorithm", "gossip_known", "--family", "edge",
+            "--sizes", "2", "--labels", "1,2", "--messages", "101,01",
+            "--quiet", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "gossip_known" in out
+
+
+class TestTrialExecution:
+    def test_execute_trial_records_metrics(self):
+        trial = small_spec().trials()[0]
+        result = execute_trial(trial, provider=UXSProvider())
+        assert result.ok
+        record = result.record()
+        for field in ("rounds", "moves", "events", "phases", "leader"):
+            assert field in record["metrics"]
+        # Records must be JSON-safe end to end.
+        assert json.loads(json.dumps(record)) == record
+
+    def test_spread_placement_three_agents(self):
+        spec = small_spec(
+            sizes=(6,), label_sets=((1, 2, 3),), placement="spread"
+        )
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 0
+
+    def test_torus_and_regular_families_run(self):
+        for family, size in (("torus", 9), ("random_regular", 6)):
+            spec = ExperimentSpec(
+                algorithm="gather_known",
+                family=family,
+                sizes=(size,),
+                label_sets=((1, 2),),
+            )
+            result = run_experiment(spec, workers=1)
+            assert result.failed == 0, result.failures()

@@ -1,9 +1,10 @@
-"""Tests for the reusable sweep drivers."""
+"""Tests for the reusable sweep drivers (engine-backed)."""
 
 from __future__ import annotations
 
 from repro.analysis import fit_power_law
 from repro.analysis.sweeps import (
+    SweepPoint,
     label_length_sweep,
     message_length_sweep,
     size_sweep,
@@ -11,17 +12,28 @@ from repro.analysis.sweeps import (
 from repro.graphs import path_graph
 
 
+class TestSweepPoint:
+    def test_rounds_is_canonical_name(self):
+        point = SweepPoint(4, 10, 3, 7, "labels=[1, 2]")
+        assert point.rounds == 10
+
+    def test_round_alias_preserved(self):
+        # Historical callers read `.round`; the alias must keep working.
+        point = SweepPoint(4, 10, 3, 7, "labels=[1, 2]")
+        assert point.round == point.rounds == 10
+
+
 class TestSizeSweep:
     def test_monotone_rounds(self):
         points = size_sweep((4, 6, 8))
         assert [p.x for p in points] == [4, 6, 8]
-        rounds = [p.round for p in points]
+        rounds = [p.rounds for p in points]
         assert rounds == sorted(rounds)
 
     def test_custom_factory(self):
         points = size_sweep((4, 5), graph_factory=lambda n: path_graph(n))
         assert len(points) == 2
-        assert all(p.round > 0 for p in points)
+        assert all(p.rounds > 0 for p in points)
 
     def test_three_agents(self):
         points = size_sweep((4, 5), labels=[1, 2, 3])
@@ -30,9 +42,24 @@ class TestSizeSweep:
     def test_fit_is_polynomial(self):
         points = size_sweep((4, 6, 8))
         fit = fit_power_law(
-            [p.x for p in points], [p.round for p in points]
+            [p.x for p in points], [p.rounds for p in points]
         )
         assert fit.slope < 5.0
+
+    def test_workers_match_serial(self):
+        serial = size_sweep((4, 5))
+        parallel = size_sweep((4, 5), workers=2)
+        assert [(p.x, p.rounds, p.moves, p.events) for p in serial] == [
+            (p.x, p.rounds, p.moves, p.events) for p in parallel
+        ]
+
+    def test_store_roundtrip(self, tmp_path):
+        first = size_sweep((4,), store=tmp_path)
+        second = size_sweep((4,), store=tmp_path)
+        assert [(p.x, p.rounds) for p in first] == [
+            (p.x, p.rounds) for p in second
+        ]
+        assert list(tmp_path.glob("*.json"))
 
 
 class TestLabelLengthSweep:
@@ -42,14 +69,14 @@ class TestLabelLengthSweep:
 
     def test_rounds_increase(self):
         points = label_length_sweep((1, 3, 5))
-        rounds = [p.round for p in points]
+        rounds = [p.rounds for p in points]
         assert rounds == sorted(rounds)
 
 
 class TestMessageLengthSweep:
     def test_gossip_phase_rounds_positive_and_increasing(self):
         points = message_length_sweep((2, 8, 16))
-        rounds = [p.round for p in points]
+        rounds = [p.rounds for p in points]
         assert all(r > 0 for r in rounds)
         assert rounds == sorted(rounds)
 

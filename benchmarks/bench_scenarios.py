@@ -1,0 +1,95 @@
+"""Experiment E11: the adversarial scenario matrix.
+
+The paper's model (Section 1.2) grants the adversary the wake-up
+schedule and the initial placement.  This experiment sweeps
+GatherKnownUpperBound across the full scenario matrix — wake
+strategies x placement strategies x adversary budgets — through the
+``repro.runner`` engine, and checks the two properties the theorems
+promise: gathering succeeds under *every* scenario, and a budgeted
+adversary (``worst_of:k``) can slow the algorithm but never break it.
+"""
+
+from __future__ import annotations
+
+from common import publish
+
+from repro.analysis import ResultTable
+from repro.runner import ExperimentSpec, run_experiment
+
+WAKES = ("simultaneous", "staggered:4", "single_awake", "random:20")
+PLACEMENTS = ("default", "spread", "eccentric")
+
+
+def test_e11_scenario_matrix(benchmark):
+    table = ResultTable(
+        "E11: gathering across the scenario matrix "
+        "(ring n=5, labels 1, 2)",
+        ["placement", "wake", "rounds", "moves", "events"],
+    )
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(5,),
+        label_sets=((1, 2),),
+        seeds=(0,),
+        wake_schedules=WAKES,
+        placements=PLACEMENTS,
+    )
+
+    def workload():
+        return run_experiment(spec, workers=1)
+
+    result = benchmark.pedantic(workload, rounds=1, iterations=1)
+    assert result.failed == 0, result.failures()
+    for rec in result.records:
+        table.add_row(
+            rec["placement"],
+            rec["wake_schedule"],
+            rec["metrics"]["rounds"],
+            rec["metrics"]["moves"],
+            rec["metrics"]["events"],
+        )
+    rounds = [r["metrics"]["rounds"] for r in result.records]
+    extra = (
+        f"{len(result.records)} scenarios, all gathered; "
+        f"rounds span {min(rounds)}..{max(rounds)} — the adversary "
+        "moves the constant, never the guarantee"
+    )
+    publish("e11_scenario_matrix", table, extra)
+
+
+def test_e11b_adversary_budget(benchmark):
+    table = ResultTable(
+        "E11b: budgeted random adversary (ring n=5, random wake + "
+        "placement)",
+        ["adversary", "rounds", "vs fixed"],
+    )
+    spec = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(5,),
+        label_sets=((1, 2),),
+        seeds=(0,),
+        wake_schedules=("random:30",),
+        placements=("random",),
+        adversaries=("best_of:4", "fixed", "worst_of:4"),
+    )
+
+    def workload():
+        return run_experiment(spec, workers=1)
+
+    result = benchmark.pedantic(workload, rounds=1, iterations=1)
+    assert result.failed == 0, result.failures()
+    by_adv = {r["adversary"]: r["metrics"] for r in result.records}
+    fixed = by_adv["fixed"]["rounds"]
+    for name in ("best_of:4", "fixed", "worst_of:4"):
+        rounds = by_adv[name]["rounds"]
+        table.add_row(name, rounds, f"{rounds / fixed:.2f}x")
+    assert by_adv["worst_of:4"]["rounds"] >= fixed
+    assert by_adv["best_of:4"]["rounds"] <= fixed
+    extra = (
+        "a 4-draw adversary shifts gathering time by "
+        f"{by_adv['worst_of:4']['rounds'] / by_adv['best_of:4']['rounds']:.2f}x "
+        "between its luckiest and cruelest draws"
+    )
+    publish("e11b_adversary_budget", table, extra)

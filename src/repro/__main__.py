@@ -12,6 +12,8 @@ Experiments::
 
     python -m repro sweep      # parallel, cached experiment sweeps
                                # (see: python -m repro sweep --help)
+    python -m repro query      # filter/aggregate cached sweep records
+    python -m repro compact    # rewrite the store into canonical shards
 """
 
 from __future__ import annotations
@@ -101,6 +103,14 @@ def main(argv: list[str] | None = None) -> int:
         from .runner.cli import sweep_main
 
         return sweep_main(args[1:])
+    if args and args[0] == "query":
+        from .runner.cli import query_main
+
+        return query_main(args[1:])
+    if args and args[0] == "compact":
+        from .runner.cli import compact_main
+
+        return compact_main(args[1:])
     if len(args) != 1 or args[0] not in _DEMOS:
         print(__doc__)
         return 1

@@ -14,6 +14,7 @@ default ``workers=1`` path is serial and bit-for-bit reproducible.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence
 
 from ..core.gather_known import smallest_label_length
@@ -25,7 +26,8 @@ class SweepPoint:
 
     ``rounds`` is the canonical attribute name; the historical
     ``round`` alias (which clashed with the builtin and forced a
-    ``round_`` constructor parameter) is kept as a read-only property.
+    ``round_`` constructor parameter) is kept as a read-only property
+    that emits a :class:`DeprecationWarning`.
     """
 
     __slots__ = ("x", "rounds", "moves", "events", "detail")
@@ -42,6 +44,11 @@ class SweepPoint:
     @property
     def round(self) -> int:
         """Deprecated alias for :attr:`rounds`."""
+        warnings.warn(
+            "SweepPoint.round is deprecated; use SweepPoint.rounds",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.rounds
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -185,6 +192,66 @@ def message_length_sweep(
                 0,
                 rec["metrics"]["events"],
                 "gossip-phase rounds (gathering prefix subtracted)",
+            )
+        )
+    return points
+
+
+def scenario_sweep(
+    wake_schedules: Sequence[str] = ("simultaneous",),
+    placements: Sequence[str] = ("default",),
+    adversaries: Sequence[str] = ("fixed",),
+    algorithm: str = "gather_known",
+    family: str = "ring",
+    n: int = 5,
+    labels: list[int] | None = None,
+    seeds: Sequence[int] = (0,),
+    workers: int = 1,
+    store=None,
+) -> list[SweepPoint]:
+    """Gathering time across an adversarial scenario matrix.
+
+    Sweeps the cross product of wake schedules, placements and
+    adversary strategies at a fixed graph size; ``x`` enumerates the
+    scenario grid points in canonical order and ``detail`` names the
+    scenario (``placement/wake/adversary``).  Replicate seeds are
+    averaged into a single point per scenario.
+    """
+    from ..runner import ExperimentSpec
+
+    labels = labels if labels is not None else [1, 2]
+    spec = ExperimentSpec(
+        algorithm=algorithm,
+        family=family,
+        sizes=(n,),
+        label_sets=(tuple(labels),),
+        seeds=tuple(seeds),
+        placements=tuple(placements),
+        wake_schedules=tuple(wake_schedules),
+        adversaries=tuple(adversaries),
+    )
+    records = _run(spec, workers, store)
+    grouped: dict[tuple[str, str, str], list[dict]] = {}
+    order: list[tuple[str, str, str]] = []
+    for rec in records:
+        scenario = (
+            rec["placement"], rec["wake_schedule"], rec["adversary"]
+        )
+        if scenario not in grouped:
+            grouped[scenario] = []
+            order.append(scenario)
+        grouped[scenario].append(rec["metrics"])
+    points = []
+    for x, scenario in enumerate(order):
+        metrics = grouped[scenario]
+        count = len(metrics)
+        points.append(
+            SweepPoint(
+                x,
+                sum(m["rounds"] for m in metrics) // count,
+                sum(m.get("moves", 0) for m in metrics) // count,
+                sum(m["events"] for m in metrics) // count,
+                "/".join(scenario),
             )
         )
     return points

@@ -20,7 +20,7 @@ from ..explore.uxs import UXSProvider
 from ..graphs.port_graph import PortGraph
 from ..sim.agent import AgentContext, declare, move, wait
 from ..sim.scheduler import AgentSpec, Simulation
-from .talking import TalkingReport, _OracleHandle
+from .talking import TalkingReport, _OracleHandle, require_simultaneous
 
 
 def _pseudo_step(leader: int, round_: int, seed: int, degree: int) -> int | None:
@@ -44,6 +44,7 @@ def run_random_walk_gather(
     labels: list[int],
     n_bound: int,
     start_nodes: list[int] | None = None,
+    wake_rounds: list[int | None] | None = None,
     provider: UXSProvider | None = None,
     seed: int = 0,
     max_events: int | None = 20_000_000,
@@ -51,12 +52,14 @@ def run_random_walk_gather(
     """Randomized-walk gathering in the talking model.
 
     Same idealizations as :func:`repro.baselines.talking.
-    run_talking_gather` (known team size, simultaneous wake-up).
+    run_talking_gather` (known team size, simultaneous wake-up —
+    non-simultaneous ``wake_rounds`` are rejected).
     """
     if start_nodes is None:
         start_nodes = list(range(len(labels)))
     if len(labels) < 2 or len(labels) > graph.n:
         raise ValueError("need 2..n agents")
+    require_simultaneous(wake_rounds, len(labels))
     uxs = provider if provider is not None else UXSProvider()
     uxs.verify_for_graph(n_bound, graph)
     team_size = len(labels)

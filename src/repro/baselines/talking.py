@@ -116,11 +116,35 @@ def _talking_program(
     return program
 
 
+def require_simultaneous(
+    wake_rounds: list[int | None] | None, team_size: int
+) -> None:
+    """Reject any non-simultaneous wake schedule.
+
+    The talking baselines align their TZ/walk blocks to a global round
+    grid, which is only sound when the whole team wakes in round 0 —
+    the idealization that makes them *lower* bounds.  Accepting the
+    parameter (and failing loudly) lets the experiment engine sweep
+    baselines over the same scenario matrix as the paper's algorithms:
+    infeasible combinations become captured failure records.
+    """
+    if wake_rounds is None:
+        return
+    if len(wake_rounds) != team_size:
+        raise ValueError("labels and wake_rounds must align")
+    if any(w != 0 for w in wake_rounds):
+        raise ValueError(
+            "the talking baselines assume simultaneous wake-up "
+            f"(all wake rounds 0), got {wake_rounds}"
+        )
+
+
 def run_talking_gather(
     graph: PortGraph,
     labels: list[int],
     n_bound: int,
     start_nodes: list[int] | None = None,
+    wake_rounds: list[int | None] | None = None,
     provider: UXSProvider | None = None,
     max_events: int | None = 100_000_000,
 ) -> TalkingReport:
@@ -133,6 +157,7 @@ def run_talking_gather(
         start_nodes = list(range(len(labels)))
     if len(labels) < 2 or len(labels) > graph.n:
         raise ValueError("need 2..n agents")
+    require_simultaneous(wake_rounds, len(labels))
     params = KnownBoundParameters(n_bound, provider)
     params.provider.verify_for_graph(n_bound, graph)
     oracle = _OracleHandle()

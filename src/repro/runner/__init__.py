@@ -7,14 +7,17 @@ turns such a study into data:
 
 * :class:`~repro.runner.spec.ExperimentSpec` — a declarative
   description of a trial grid (algorithm, graph family + sizes, label
-  sets, message sets, seeds);
+  sets, message sets, seeds, and the scenario axes: wake schedules,
+  placements, adversary strategies);
 * :func:`~repro.runner.engine.run_experiment` — fans the grid out over
   a ``multiprocessing`` worker pool (``workers=1`` is a pure serial
   fallback), captures per-trial failures instead of crashing the
   sweep, and returns canonical, byte-reproducible result records;
-* :class:`~repro.runner.store.ResultStore` — an on-disk JSON store
-  keyed by the spec hash, so re-running a sweep only simulates the
-  trials that are missing.
+* :class:`~repro.runner.store.ResultStore` — an on-disk sharded JSON
+  store keyed by the spec hash, so re-running a sweep only simulates
+  the trials that are missing;
+* :mod:`~repro.runner.query` — filter/group/aggregate cached records
+  (CLI: ``python -m repro query``) without re-running anything.
 
 Quickstart::
 
@@ -35,10 +38,11 @@ The CLI front-end is ``python -m repro sweep`` (see
 """
 
 from .engine import ExperimentResult, run_experiment
-from .spec import ExperimentSpec, TrialSpec
+from .query import QueryError, aggregate, filter_records, record_field
+from .spec import PLACEMENTS, ExperimentSpec, TrialSpec
 from .store import ResultStore
-from .trial import TrialError, TrialResult, execute_trial
-from .trial import ALGORITHMS, FAMILIES
+from .trial import TrialError, TrialResult, execute_trial, resolve_scenario
+from .trial import ALGORITHMS, FAMILIES, PLACEMENT_RESOLVERS
 
 __all__ = [
     "ExperimentSpec",
@@ -47,8 +51,15 @@ __all__ = [
     "TrialError",
     "ExperimentResult",
     "ResultStore",
+    "QueryError",
     "run_experiment",
     "execute_trial",
+    "resolve_scenario",
+    "aggregate",
+    "filter_records",
+    "record_field",
     "ALGORITHMS",
     "FAMILIES",
+    "PLACEMENTS",
+    "PLACEMENT_RESOLVERS",
 ]

@@ -1,28 +1,49 @@
-"""``python -m repro sweep`` — the experiment engine's CLI front-end.
+"""``python -m repro sweep|query|compact`` — engine CLI front-ends.
 
-Runs a declarative trial grid with progress output, prints a result
-table, and memoizes completed trials under ``--cache-dir`` so a
+``sweep`` runs a declarative trial grid with progress output, prints a
+result table, and memoizes completed trials under ``--cache-dir`` so a
 repeated invocation with the same spec does zero re-simulation::
 
     python -m repro sweep --sizes 4,6,8 --labels 1,2 --workers 4
     python -m repro sweep --algorithm gossip_known --family ring \\
         --sizes 4,6 --labels 1,2 --messages 101,01 --cache-dir .repro-cache
+    python -m repro sweep --sizes 6 --wake simultaneous,staggered:2 \\
+        --placement spread,eccentric --adversary fixed,worst_of:4
 
-Exit status is 0 when every trial succeeded, 1 otherwise (failed
-trials are reported in the table, never crash the sweep).
+``query`` filters and aggregates the cached records without
+re-simulating anything::
+
+    python -m repro query --list
+    python -m repro query --where n=6 --where wake_schedule=staggered:2 \\
+        --group-by placement --metrics rounds --stats mean,p95,max
+
+``compact`` rewrites the store into canonical shards (healing corrupt
+or orphaned shard files).
+
+Sweep exit status is 0 when every trial succeeded, 1 otherwise (failed
+trials are reported in the table, never crash the sweep).  Query and
+compact exit 0 on success and 2 on a malformed request.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
+import sys as _sys
 
+from . import query as query_mod
 from .engine import run_experiment
-from .spec import ExperimentSpec
+from .spec import PLACEMENTS, ExperimentSpec
+from .store import ResultStore
 from .trial import ALGORITHMS, FAMILIES
 
 
 def _parse_int_list(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.replace(";", ",").split(",") if part)
+
+
+def _parse_str_list(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
 
 
 def _parse_sets(text: str, caster) -> tuple[tuple, ...]:
@@ -70,8 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="known size bound (default: each trial's graph size)",
     )
     parser.add_argument(
-        "--placement", default="default", choices=("default", "spread"),
-        help="agent placement policy (default: default)",
+        "--placement", default="default", metavar="P,P,...",
+        help="agent placement strategies, ','-separated: "
+             f"{'|'.join(PLACEMENTS)} (default: default)",
+    )
+    parser.add_argument(
+        "--wake", default="simultaneous", metavar="W,W,...",
+        help="wake-schedule strategies, ','-separated: simultaneous, "
+             "staggered:<gap>, single_awake[:i], "
+             "random[:max_delay[:pct]] (default: simultaneous)",
+    )
+    parser.add_argument(
+        "--adversary", default="fixed", metavar="A,A,...",
+        help="adversary strategies, ','-separated: fixed, "
+             "worst_of:<k>, best_of:<k> (default: fixed)",
     )
     parser.add_argument(
         "--fixed-graph-seed", action="store_true",
@@ -103,11 +136,13 @@ def sweep_main(argv: list[str]) -> int:
     from ..analysis.tables import ResultTable
 
     args = build_parser().parse_args(argv)
-    label_sets = _parse_sets(args.labels, int)
-    message_sets = (
-        None if args.messages is None else _parse_sets(args.messages, str)
-    )
     try:
+        label_sets = _parse_sets(args.labels, int)
+        message_sets = (
+            None
+            if args.messages is None
+            else _parse_sets(args.messages, str)
+        )
         if args.workers < 1:
             raise ValueError("--workers must be >= 1")
         spec = ExperimentSpec(
@@ -118,7 +153,9 @@ def sweep_main(argv: list[str]) -> int:
             message_sets=message_sets,
             seeds=args.seeds,
             n_bound=args.n_bound,
-            placement=args.placement,
+            placements=_parse_str_list(args.placement),
+            wake_schedules=_parse_str_list(args.wake),
+            adversaries=_parse_str_list(args.adversary),
             graph_seed_mode="fixed" if args.fixed_graph_seed else "derived",
         )
     except ValueError as exc:  # SpecError is a ValueError
@@ -143,13 +180,15 @@ def sweep_main(argv: list[str]) -> int:
     table = ResultTable(
         f"sweep: {args.algorithm} on {args.family} "
         f"(spec {spec.spec_hash()})",
-        ["n", "labels", "seed", "status", "rounds", "moves", "events"],
+        ["n", "labels", "scenario", "seed", "status",
+         "rounds", "moves", "events"],
     )
     for rec in result.records:
         metrics = rec["metrics"]
         table.add_row(
             rec["n"],
             "-".join(str(v) for v in rec["labels"]),
+            f"{rec['placement']}/{rec['wake_schedule']}/{rec['adversary']}",
             rec["seed"],
             "ok" if rec["ok"] else "FAILED",
             metrics.get("rounds", "-"),
@@ -167,3 +206,216 @@ def sweep_main(argv: list[str]) -> int:
     for rec in result.failures():
         print(f"  FAILED {rec['key']}: {rec['error']}")
     return 0 if result.failed == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro query`` — cached-study analysis.
+# ----------------------------------------------------------------------
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro query",
+        description="Filter and aggregate cached sweep records "
+                    "without re-running any trials.",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-store directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="HASH",
+        help="restrict to one cached spec (hash or unique prefix)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_specs",
+        help="list cached experiments instead of querying records",
+    )
+    parser.add_argument(
+        "--where", action="append", default=[], metavar="FIELD=VALUE",
+        help="filter clause (repeatable); fields are record axes "
+             "(n, family, wake_schedule, placement, adversary, "
+             "seed, ...) or metrics (rounds, moves, events, ...); "
+             "note the store only ever holds successful trials "
+             "(failures re-run instead of being cached)",
+    )
+    parser.add_argument(
+        "--group-by", default="", metavar="F1,F2,...",
+        help="fields to group by (default: no grouping)",
+    )
+    parser.add_argument(
+        "--metrics", default="rounds", metavar="M1,M2,...",
+        help="metrics to aggregate (default: rounds)",
+    )
+    parser.add_argument(
+        "--stats", default="count,mean,p50,p95,max",
+        metavar="S1,S2,...",
+        help=f"aggregate statistics, from {query_mod.STATS} "
+             "(default: count,mean,p50,p95,max)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit rows as JSON instead of a table",
+    )
+    return parser
+
+
+def query_main(argv: list[str]) -> int:
+    from ..analysis.tables import ResultTable
+
+    args = build_query_parser().parse_args(argv)
+    # With --json, stdout carries nothing but JSON (pipeable into
+    # jq); errors and the summary line go to stderr in that mode.
+    err_stream = _sys.stderr if args.as_json else _sys.stdout
+    store = ResultStore(args.cache_dir)
+    specs = store.list_specs()
+    if not specs:
+        print(
+            f"error: no cached results under {args.cache_dir!r}",
+            file=err_stream,
+        )
+        return 2
+
+    if args.list_specs:
+        if (
+            args.where
+            or args.group_by
+            or args.metrics != "rounds"
+            or args.stats != "count,mean,p50,p95,max"
+        ):
+            print(
+                "error: --list only composes with --spec; "
+                "--where/--group-by/--metrics/--stats filter and "
+                "aggregate records, not the spec listing",
+                file=err_stream,
+            )
+            return 2
+        if args.spec is not None:
+            specs = [
+                e for e in specs
+                if e["spec_hash"].startswith(args.spec)
+            ]
+            if not specs:
+                print(
+                    "error: no cached spec matches prefix "
+                    f"{args.spec!r}",
+                    file=err_stream,
+                )
+                return 2
+        if args.as_json:
+            print(_json.dumps(specs, sort_keys=True, indent=1))
+            return 0
+        table = ResultTable(
+            f"cached experiments in {args.cache_dir}",
+            ["spec", "algorithm", "family", "trials"],
+        )
+        for entry in specs:
+            spec = entry["spec"] or {}
+            table.add_row(
+                entry["spec_hash"],
+                spec.get("algorithm", "?"),
+                spec.get("family", "?"),
+                entry["trials"],
+            )
+        table.emit()
+        return 0
+
+    try:
+        where = query_mod.parse_where(args.where)
+        records = list(store.iter_records(args.spec))
+        if not records:
+            print(
+                "error: the matching store entries hold no records "
+                "(failed trials are never cached)",
+                file=err_stream,
+            )
+            return 2
+        group_by = _parse_str_list(args.group_by)
+        metrics = _parse_str_list(args.metrics)
+        query_mod.require_known_fields(
+            records, list(where) + list(group_by) + list(metrics)
+        )
+        matched = query_mod.filter_records(records, where)
+        # The store only ever persists ok records (failures are
+        # retried, not cached), but guard anyway for other backends.
+        aggregated = [r for r in matched if r.get("ok")]
+        stats = _parse_str_list(args.stats)
+        rows = query_mod.aggregate(
+            aggregated, group_by=group_by, metrics=metrics, stats=stats
+        )
+    except ValueError as exc:  # QueryError, ambiguous --spec prefix
+        print(f"error: {exc}", file=err_stream)
+        return 2
+
+    if args.as_json:
+        print(_json.dumps(rows, sort_keys=True, indent=1))
+    else:
+        header = list(group_by) + ["count"]
+        for metric in metrics:
+            header.extend(
+                f"{metric}.{s}" for s in stats if s != "count"
+            )
+        clauses = " ".join(f"{k}={v}" for k, v in sorted(where.items()))
+        table = ResultTable(
+            "query: " + (clauses if clauses else "all records"),
+            header,
+        )
+        for row in rows:
+            # Group values go through format_value too: a field can
+            # be absent (None) on part of a heterogeneous cache, and
+            # unknown-bound round counts overwhelm plain str().
+            cells = [
+                query_mod.format_value(row["group"][f])
+                for f in group_by
+            ]
+            cells.append(row["count"])
+            for metric in metrics:
+                cells.extend(
+                    query_mod.format_value(row[metric][s])
+                    for s in stats if s != "count"
+                )
+            table.add_row(*cells)
+        table.emit()
+    print(
+        f"records: {len(records)}  matched: {len(matched)}  "
+        f"aggregated: {len(aggregated)}  groups: {len(rows)}",
+        file=err_stream,
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro compact`` — store maintenance.
+# ----------------------------------------------------------------------
+
+def compact_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro compact",
+        description="Rewrite a result store into canonical shards, "
+                    "healing corrupt or orphaned files.",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-store directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="records per shard (default: the store's default)",
+    )
+    args = parser.parse_args(argv)
+    kwargs = {}
+    if args.shard_size is not None:
+        kwargs["shard_size"] = args.shard_size
+    try:
+        store = ResultStore(args.cache_dir, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not store.list_specs():
+        print(f"error: no cached results under {args.cache_dir!r}")
+        return 2
+    stats = store.compact()
+    print(
+        f"compacted {stats['specs']} spec(s), {stats['records']} "
+        f"record(s); removed {stats['removed']} stale file(s)"
+    )
+    return 0

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-from typing import Callable
+import os
+from typing import Callable, cast
 
 from ..explore.uxs import UXSProvider
 from . import worker as worker_mod
@@ -129,11 +130,20 @@ def run_experiment(
     order = {t.key: i for i, t in enumerate(trials)}
     provider_args = dict(provider_args or {})
 
-    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
-        store = ResultStore(store)
-    use_store = store is not None and spec.cacheable
+    result_store: ResultStore | None
+    if store is None or isinstance(store, ResultStore):
+        result_store = store
+    elif isinstance(store, (str, bytes, os.PathLike)):
+        result_store = ResultStore(store)
+    else:
+        # Duck-typed store (e.g. an alternate backend or a test
+        # double): anything with load()/save() is accepted as-is.
+        result_store = cast(ResultStore, store)
+    use_store = result_store is not None and spec.cacheable
 
-    known: dict[str, dict] = store.load(spec) if use_store else {}
+    known: dict[str, dict] = (
+        result_store.load(spec) if result_store and use_store else {}
+    )
     done_records: dict[str, dict] = {
         t.key: known[t.key] for t in trials if t.key in known
     }
@@ -181,12 +191,22 @@ def run_experiment(
         # mid-grid, so a re-run only simulates the gap.  Failed trials
         # are deliberately *not* persisted: a captured failure may be
         # transient, so it is retried on the next invocation instead
-        # of being served from cache forever.
-        if use_store and done_records:
-            store.save(
-                spec,
-                {k: r for k, r in done_records.items() if r["ok"]},
+        # of being served from cache forever.  A fully-cached run
+        # skips the save entirely (nothing changed), unless the
+        # records came from a legacy single-file store that still
+        # needs migrating to the sharded layout.
+        if result_store and use_store and done_records:
+            ok_records = {
+                k: r for k, r in done_records.items() if r["ok"]
+            }
+            migrate = (
+                hasattr(result_store, "dir_for")
+                and not result_store.dir_for(spec).is_dir()
             )
+            # An all-failed sweep has nothing worth persisting; writing
+            # would only fabricate an empty store directory.
+            if ok_records and (pending or migrate):
+                result_store.save(spec, ok_records)
 
     ordered = sorted(done_records.values(), key=lambda r: order[r["key"]])
     return ExperimentResult(

@@ -1,0 +1,251 @@
+"""Query and aggregate cached experiment records without re-running.
+
+The sharded :class:`~repro.runner.store.ResultStore` can hold
+million-trial studies; this module answers questions about them from
+the cache alone — filter by any spec axis (``n``, ``family``,
+``wake_schedule``, ``placement``, ``adversary``, ...), group by axes,
+and aggregate metrics (``mean``/``p50``/``p95``/``max``/...).  The CLI
+front-end is ``python -m repro query`` (see
+:mod:`repro.runner.cli`).
+
+Records are flat dicts (see :mod:`repro.runner.trial`); field lookup
+falls through to the nested ``metrics`` dict, so ``rounds`` and
+``wake_schedule`` are addressed the same way.  Aggregations use
+nearest-rank percentiles over exact integers, so query output is as
+deterministic as the records themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class QueryError(ValueError):
+    """The query is malformed (unknown field, stat, or value)."""
+
+
+STATS = ("count", "mean", "p50", "p95", "min", "max", "sum")
+
+
+def record_field(record: dict, field: str):
+    """Look up ``field`` in a record, falling through to ``metrics``.
+
+    Returns ``None`` when the field is absent (e.g. ``moves`` on a
+    gossip record).  List values (``labels``) are joined with ``-`` so
+    they can serve as filter and group-by values.
+    """
+    if field in record:
+        value = record[field]
+    else:
+        metrics = record.get("metrics") or {}
+        value = metrics.get(field)
+    if isinstance(value, list):
+        return "-".join(str(v) for v in value)
+    return value
+
+
+def _value_matches(actual, wanted: str) -> bool:
+    if actual is None:
+        return False
+    if isinstance(actual, bool):
+        return wanted.lower() in (
+            ("true", "1") if actual else ("false", "0")
+        )
+    return str(actual) == wanted
+
+
+def parse_where(clauses: Sequence[str]) -> dict[str, str]:
+    """Parse ``field=value`` clauses into a filter dict.
+
+    A field repeated with different values is an error — clauses are
+    conjunctive, so silently keeping the last one would answer a
+    different question than the user asked.
+    """
+    out: dict[str, str] = {}
+    for clause in clauses:
+        field, sep, value = clause.partition("=")
+        if not sep or not field:
+            raise QueryError(
+                f"filters are 'field=value', got {clause!r}"
+            )
+        field, value = field.strip(), value.strip()
+        if field in out and out[field] != value:
+            raise QueryError(
+                f"conflicting filters for {field!r}: "
+                f"{out[field]!r} vs {value!r}"
+            )
+        out[field] = value
+    return out
+
+def filter_records(
+    records: Iterable[dict], where: dict[str, str]
+) -> list[dict]:
+    """Records matching every ``field=value`` clause (string equality,
+    after the same field resolution the aggregator uses)."""
+    out = []
+    for record in records:
+        if all(
+            _value_matches(record_field(record, field), wanted)
+            for field, wanted in where.items()
+        ):
+            out.append(record)
+    return out
+
+
+def known_fields(records: Iterable[dict]) -> set[str]:
+    """Every field name addressable on at least one record."""
+    fields: set[str] = set()
+    for record in records:
+        fields.update(record)
+        fields.update(record.get("metrics") or {})
+    fields.discard("metrics")
+    return fields
+
+
+def require_known_fields(
+    records: Iterable[dict], fields: Iterable[str]
+) -> None:
+    """Reject field names absent from *every* record.
+
+    A typo'd ``--where`` field or metric would otherwise silently
+    match nothing / aggregate nothing, reading as "no such trials are
+    cached".  Fields present on only some records (e.g. ``moves`` on
+    gather but not gossip) stay legal.
+    """
+    known = known_fields(records)
+    for field in fields:
+        if field not in known:
+            raise QueryError(
+                f"unknown field {field!r}: no cached record has it "
+                f"(known fields: {', '.join(sorted(known))})"
+            )
+
+
+def percentile(values: Sequence, pct: float):
+    """Nearest-rank percentile (exact element, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _stat(name: str, values: list):
+    if name == "count":
+        return len(values)
+    if not values:
+        return None
+    if name == "mean":
+        total = sum(values)
+        try:
+            return total / len(values)
+        except OverflowError:
+            # gather/gossip_unknown round counts are exact integers
+            # with hundreds of digits; fall back to integer division
+            # rather than crashing (the error is < 1 round).
+            return total // len(values)
+    if name == "p50":
+        return percentile(values, 50)
+    if name == "p95":
+        return percentile(values, 95)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    if name == "sum":
+        return sum(values)
+    raise QueryError(f"unknown stat {name!r}; known: {STATS}")
+
+
+def _group_sort_key(key: tuple) -> tuple:
+    """Sort numeric group values numerically, everything else as text.
+
+    Group values keep their record types (so ``--group-by n`` sorts
+    4, 8, 10 — not "10", "4", "8" — and ``--json`` emits real ints);
+    the sort key only has to keep mixed types comparable.
+    """
+    out = []
+    for value in key:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            out.append((1, str(value)))
+        else:
+            out.append((0, value))
+    return tuple(out)
+
+
+def aggregate(
+    records: Iterable[dict],
+    group_by: Sequence[str] = (),
+    metrics: Sequence[str] = ("rounds",),
+    stats: Sequence[str] = ("count", "mean", "p50", "p95", "max"),
+) -> list[dict]:
+    """Group records and aggregate metrics.
+
+    Returns one row dict per group, in sorted group-key order::
+
+        {"group": {field: value, ...},
+         "count": <records in group>,
+         "<metric>": {"mean": ..., "p50": ..., ...},
+         ...}
+
+    Only numeric metric values participate; records where a metric is
+    absent or non-numeric are skipped for that metric (their presence
+    still counts toward the group's ``count``).
+    """
+    for stat in stats:
+        if stat not in STATS:
+            raise QueryError(f"unknown stat {stat!r}; known: {STATS}")
+    for metric in metrics:
+        if metric in ("count", "group"):
+            # Row keys; a metric with these names would clobber them.
+            raise QueryError(
+                f"{metric!r} is a row key, not a metric; "
+                "'count' is always reported per group"
+            )
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:
+        key = tuple(record_field(record, field) for field in group_by)
+        groups.setdefault(key, []).append(record)
+    rows = []
+    for key in sorted(groups, key=_group_sort_key):
+        members = groups[key]
+        row: dict = {
+            "group": dict(zip(group_by, key)),
+            "count": len(members),
+        }
+        for metric in metrics:
+            values = [
+                v for v in (record_field(r, metric) for r in members)
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            row[metric] = {
+                stat: _stat(stat, values)
+                for stat in stats
+                if stat != "count"
+            }
+        rows.append(row)
+    return rows
+
+
+def format_value(value) -> str:
+    """Render a table cell: compact floats, big-int-safe integers.
+
+    Delegates large integers to
+    :func:`repro.analysis.tables.format_big`, which stays exact below
+    ``10**7`` and switches to ``m.mmm e<exp>`` notation above, so the
+    unknown-bound round counts (hundreds of digits) render as narrow
+    cells instead of blowing up the table layout.  ``None`` (a field
+    absent from this record) renders as ``-``.
+    """
+    from ..analysis.tables import format_big
+
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 10 ** 7 else f"{value:.3g}"
+    if isinstance(value, int):
+        return format_big(value)
+    return str(value)

@@ -1,12 +1,27 @@
 """Declarative experiment specifications and their trial grids.
 
 An :class:`ExperimentSpec` names *what* to measure — an algorithm, a
-graph family with sizes, label sets, optional gossip message sets and
-replicate seeds — without saying *how* to execute it.  The spec
-expands into a deterministic list of :class:`TrialSpec` grid points,
-each carrying a per-trial graph seed derived by hashing the spec seed
-with the trial key (so results never depend on scheduling order,
-worker identity or Python's per-process hash randomization).
+graph family with sizes, label sets, optional gossip message sets,
+replicate seeds, and (since the scenario-matrix engine) wake
+schedules, placements and adversary strategies — without saying *how*
+to execute it.  The spec expands into a deterministic list of
+:class:`TrialSpec` grid points, each carrying a per-trial graph seed
+derived by hashing the spec seed with the trial key (so results never
+depend on scheduling order, worker identity or Python's per-process
+hash randomization).
+
+The scenario axes are plain strings, validated here at construction:
+
+* ``wake_schedules`` — :mod:`repro.sim.adversary` strategy strings
+  (``simultaneous``, ``staggered:<gap>``, ``single_awake[:i]``,
+  ``random[:max_delay[:pct]]``);
+* ``placements`` — start-node strategies (``default``, ``spread``,
+  ``random``, ``eccentric``), resolved against the concrete graph at
+  execution time;
+* ``adversaries`` — how the adversary spends its randomness:
+  ``fixed`` runs the scenario once, ``worst_of:<k>`` /``best_of:<k>``
+  let it draw ``k`` seed-derived scenario perturbations and keep the
+  slowest/fastest outcome.
 
 The canonical dictionary form (:meth:`ExperimentSpec.to_dict`) is
 hashed into :meth:`ExperimentSpec.spec_hash`, which keys the on-disk
@@ -20,12 +35,46 @@ import hashlib
 import json
 from typing import Callable, Sequence
 
-_PLACEMENTS = ("default", "spread")
+from ..sim.adversary import parse_wake_strategy
+
+PLACEMENTS = ("default", "spread", "random", "eccentric")
 _SEED_MODES = ("derived", "fixed")
+_ADVERSARY_KINDS = ("fixed", "worst_of", "best_of")
 
 
 class SpecError(ValueError):
     """The experiment specification is malformed."""
+
+
+def parse_adversary(strategy: str) -> tuple[str, int]:
+    """Validate an adversary strategy string; return ``(kind, draws)``.
+
+    ``fixed`` (one scenario, draw index 0), or ``worst_of:<k>`` /
+    ``best_of:<k>`` (the adversary evaluates ``k`` seed-derived
+    scenario draws and keeps the worst/best round count).
+    """
+    kind, _, arg = strategy.partition(":")
+    if kind not in _ADVERSARY_KINDS:
+        raise SpecError(
+            f"unknown adversary strategy {strategy!r}; "
+            f"known kinds: {_ADVERSARY_KINDS}"
+        )
+    if kind == "fixed":
+        if arg:
+            raise SpecError(
+                f"the 'fixed' adversary takes no arguments: {strategy!r}"
+            )
+        return "fixed", 1
+    try:
+        draws = int(arg)
+    except ValueError:
+        raise SpecError(
+            f"adversary {kind!r} needs an integer draw count, "
+            f"e.g. '{kind}:4': {strategy!r}"
+        ) from None
+    if draws < 1:
+        raise SpecError(f"adversary draw count must be >= 1: {strategy!r}")
+    return kind, draws
 
 
 def _canonical_json(payload: object) -> str:
@@ -63,6 +112,8 @@ class TrialSpec:
         "seed",
         "graph_seed",
         "placement",
+        "wake_schedule",
+        "adversary",
         "algorithm_params",
         "graph_factory",
     )
@@ -79,6 +130,8 @@ class TrialSpec:
         seed: int,
         graph_seed: int,
         placement: str,
+        wake_schedule: str = "simultaneous",
+        adversary: str = "fixed",
         algorithm_params: dict | None = None,
         graph_factory: Callable | None = None,
     ) -> None:
@@ -92,6 +145,8 @@ class TrialSpec:
         self.seed = seed
         self.graph_seed = graph_seed
         self.placement = placement
+        self.wake_schedule = wake_schedule
+        self.adversary = adversary
         self.algorithm_params = dict(algorithm_params or {})
         self.graph_factory = graph_factory
 
@@ -108,6 +163,8 @@ class TrialSpec:
             "seed": self.seed,
             "graph_seed": self.graph_seed,
             "placement": self.placement,
+            "wake_schedule": self.wake_schedule,
+            "adversary": self.adversary,
             "algorithm_params": dict(self.algorithm_params),
         }
 
@@ -125,6 +182,10 @@ class TrialSpec:
             seed=payload["seed"],
             graph_seed=payload["graph_seed"],
             placement=payload["placement"],
+            # Absent in records written before the scenario-matrix
+            # engine; the defaults reproduce the old behavior exactly.
+            wake_schedule=payload.get("wake_schedule", "simultaneous"),
+            adversary=payload.get("adversary", "fixed"),
             algorithm_params=payload.get("algorithm_params"),
         )
 
@@ -163,8 +224,29 @@ class ExperimentSpec:
         Known size bound given to the agents; ``None`` means "use the
         trial's graph size".
     placement:
-        ``"default"`` places agents on nodes ``0..k-1``; ``"spread"``
-        spaces them evenly (for two agents: nodes ``0`` and ``n-1``).
+        Single placement strategy (kept for backward compatibility;
+        equivalent to ``placements=(placement,)``).  ``"default"``
+        places agents on nodes ``0..k-1``; ``"spread"`` spaces them
+        evenly (for two agents: nodes ``0`` and ``n-1``); ``"random"``
+        samples distinct start nodes from the trial's derived scenario
+        seed; ``"eccentric"`` greedily maximizes pairwise BFS distance
+        (farthest-point sampling — the adversarial spread).
+    placements:
+        Placement strategies, one trial axis.  Overrides ``placement``
+        when given.
+    wake_schedules:
+        Wake-up strategy strings, one trial axis (see
+        :func:`repro.sim.adversary.schedule_from_strategy`):
+        ``"simultaneous"``, ``"staggered:<gap>"``,
+        ``"single_awake[:i]"``, ``"random[:max_delay[:pct]]"``.  The
+        random strategy draws from the trial's derived scenario seed,
+        so schedules are identical in every worker process.
+    adversaries:
+        Adversary strategies, one trial axis: ``"fixed"`` (run the
+        scenario once) or ``"worst_of:<k>"`` / ``"best_of:<k>"`` (the
+        adversary evaluates ``k`` seed-derived scenario draws of the
+        random wake/placement components and records the slowest /
+        fastest outcome).
     algorithm_params:
         Extra keyword knobs for the algorithm runner (e.g. ``{"seed":
         0}`` to pin the random-walk baseline's walk seed).  Part of the
@@ -184,32 +266,97 @@ class ExperimentSpec:
         seeds: Sequence[int] = (0,),
         n_bound: int | None = None,
         placement: str = "default",
+        placements: Sequence[str] | None = None,
+        wake_schedules: Sequence[str] = ("simultaneous",),
+        adversaries: Sequence[str] = ("fixed",),
         graph_seed_mode: str = "derived",
         algorithm_params: dict | None = None,
         graph_factory: Callable | None = None,
     ) -> None:
+        def require_unique(name: str, values) -> None:
+            seen = []
+            for value in values:
+                if value in seen:
+                    raise SpecError(
+                        f"duplicate {name} value {value!r}: it would "
+                        "collide with itself in the trial grid"
+                    )
+                seen.append(value)
+
         if not sizes:
             raise SpecError("sizes must be non-empty")
         if not label_sets:
             raise SpecError("label_sets must be non-empty")
         if not seeds:
             raise SpecError("seeds must be non-empty")
-        if placement not in _PLACEMENTS:
-            raise SpecError(f"placement must be one of {_PLACEMENTS}")
+        if placements is None:
+            placements = (placement,)
+        if not placements:
+            raise SpecError("placements must be non-empty")
+        # Normalize before the uniqueness check, so type-variant
+        # duplicates like (1, "1") cannot slip through and collide
+        # once coerced.
+        sizes = tuple(int(s) for s in sizes)
+        label_sets = tuple(
+            tuple(int(v) for v in ls) for ls in label_sets
+        )
+        if message_sets is not None:
+            message_sets = tuple(
+                tuple(str(m) for m in ms) for ms in message_sets
+            )
+        seeds = tuple(int(s) for s in seeds)
+        placements = tuple(str(p) for p in placements)
+        wake_schedules = tuple(str(w) for w in wake_schedules)
+        adversaries = tuple(str(a) for a in adversaries)
+        require_unique("sizes", sizes)
+        require_unique("label_sets", label_sets)
+        if message_sets is not None:
+            require_unique("message_sets", message_sets)
+        require_unique("seeds", seeds)
+        require_unique("placements", placements)
+        require_unique("wake_schedules", wake_schedules)
+        require_unique("adversaries", adversaries)
+        for p in placements:
+            if p not in PLACEMENTS:
+                raise SpecError(
+                    f"placement {p!r} must be one of {PLACEMENTS}"
+                )
+        if not wake_schedules:
+            raise SpecError("wake_schedules must be non-empty")
+        max_team = max(len(ls) for ls in label_sets)
+        for w in wake_schedules:
+            try:
+                kind, wake_args = parse_wake_strategy(w)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+            if kind == "single_awake" and wake_args:
+                # Team sizes are known here; an index no team can
+                # satisfy is rejected now rather than a thousand
+                # captured failures later.  In a mixed-team grid an
+                # index valid for only some teams stays expressible —
+                # the rest become captured per-trial failures.
+                if wake_args[0] >= max_team:
+                    raise SpecError(
+                        f"single_awake index {wake_args[0]} is out of "
+                        f"range for every team (largest has "
+                        f"{max_team} agents)"
+                    )
+        if not adversaries:
+            raise SpecError("adversaries must be non-empty")
+        for a in adversaries:
+            parse_adversary(a)
         if graph_seed_mode not in _SEED_MODES:
             raise SpecError(f"graph_seed_mode must be one of {_SEED_MODES}")
         self.algorithm = algorithm
         self.family = family
-        self.sizes = tuple(int(s) for s in sizes)
-        self.label_sets = tuple(tuple(int(v) for v in ls) for ls in label_sets)
-        self.message_sets = (
-            None
-            if message_sets is None
-            else tuple(tuple(str(m) for m in ms) for ms in message_sets)
-        )
-        self.seeds = tuple(int(s) for s in seeds)
+        self.sizes = sizes
+        self.label_sets = label_sets
+        self.message_sets = message_sets
+        self.seeds = seeds
         self.n_bound = n_bound
-        self.placement = placement
+        self.placements = placements
+        self.wake_schedules = wake_schedules
+        self.adversaries = adversaries
         self.graph_seed_mode = graph_seed_mode
         self.algorithm_params = dict(algorithm_params or {})
         self.graph_factory = graph_factory
@@ -240,12 +387,20 @@ class ExperimentSpec:
         return self.graph_factory is None
 
     def to_dict(self) -> dict:
-        """Canonical declarative form (raises for factory specs)."""
+        """Canonical declarative form (raises for factory specs).
+
+        Scenario axes at their defaults serialize in the *legacy*
+        shape (a scalar ``placement``, no wake/adversary keys): every
+        grid expressible before the scenario-matrix engine keeps its
+        historical spec hash, so pre-existing result stores — v1
+        single files included — are found and migrated instead of
+        silently orphaned.
+        """
         if not self.cacheable:
             raise SpecError(
                 "a spec with a custom graph_factory has no canonical form"
             )
-        return {
+        out = {
             "algorithm": self.algorithm,
             "family": self.family,
             "sizes": list(self.sizes),
@@ -257,10 +412,45 @@ class ExperimentSpec:
             ),
             "seeds": list(self.seeds),
             "n_bound": self.n_bound,
-            "placement": self.placement,
             "graph_seed_mode": self.graph_seed_mode,
             "algorithm_params": dict(self.algorithm_params),
         }
+        if len(self.placements) == 1 and self.placements[0] in (
+            "default", "spread",
+        ):
+            out["placement"] = self.placements[0]
+        else:
+            out["placements"] = list(self.placements)
+        if self.wake_schedules != ("simultaneous",):
+            out["wake_schedules"] = list(self.wake_schedules)
+        if self.adversaries != ("fixed",):
+            out["adversaries"] = list(self.adversaries)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Rebuild a spec from its canonical form (``spec.json``).
+
+        Tolerates dictionaries written before the scenario-matrix
+        axes existed (the defaults reproduce the old grid exactly).
+        """
+        placements = payload.get("placements")
+        if placements is None:
+            placements = (payload.get("placement", "default"),)
+        return cls(
+            algorithm=payload["algorithm"],
+            family=payload.get("family", "ring"),
+            sizes=payload["sizes"],
+            label_sets=payload["label_sets"],
+            message_sets=payload.get("message_sets"),
+            seeds=payload["seeds"],
+            n_bound=payload.get("n_bound"),
+            placements=placements,
+            wake_schedules=payload.get("wake_schedules", ("simultaneous",)),
+            adversaries=payload.get("adversaries", ("fixed",)),
+            graph_seed_mode=payload.get("graph_seed_mode", "derived"),
+            algorithm_params=payload.get("algorithm_params"),
+        )
 
     def spec_hash(self) -> str:
         """Stable content hash keying the on-disk result store.
@@ -288,43 +478,70 @@ class ExperimentSpec:
         for n in self.sizes:
             for labels in self.label_sets:
                 for messages in message_axis:
-                    for seed in self.seeds:
-                        key = self._trial_key(n, labels, messages, seed)
-                        if self.graph_seed_mode == "fixed":
-                            graph_seed = seed
-                        else:
-                            graph_seed = derive_seed(seed, key)
-                        out.append(
-                            TrialSpec(
-                                key=key,
-                                algorithm=self.algorithm,
-                                family=self.family,
-                                n=n,
-                                n_bound=(
-                                    self.n_bound
-                                    if self.n_bound is not None
-                                    else n
-                                ),
-                                labels=tuple(labels),
-                                messages=(
-                                    None
-                                    if messages is None
-                                    else tuple(messages)
-                                ),
-                                seed=seed,
-                                graph_seed=graph_seed,
-                                placement=self.placement,
-                                algorithm_params=self.algorithm_params,
-                                graph_factory=self.graph_factory,
-                            )
-                        )
+                    for placement in self.placements:
+                        for wake in self.wake_schedules:
+                            for adversary in self.adversaries:
+                                for seed in self.seeds:
+                                    out.append(
+                                        self._make_trial(
+                                            n, labels, messages,
+                                            placement, wake,
+                                            adversary, seed,
+                                        )
+                                    )
         return out
+
+    def _make_trial(
+        self,
+        n: int,
+        labels: Sequence[int],
+        messages: Sequence[str] | None,
+        placement: str,
+        wake: str,
+        adversary: str,
+        seed: int,
+    ) -> TrialSpec:
+        key = self._trial_key(
+            n, labels, messages, placement, wake, adversary, seed
+        )
+        if self.graph_seed_mode == "fixed":
+            graph_seed = seed
+        else:
+            # Derived from the scenario-free key: trials that differ
+            # only in placement/wake/adversary run on the *same* port
+            # labeling, so scenario comparisons never conflate the
+            # adversary's schedule with graph variation (and default
+            # scenarios keep their historical graph seeds).
+            graph_key = "/".join(
+                part for part in key.split("/")
+                if not part.startswith(("place=", "wake=", "adv="))
+            )
+            graph_seed = derive_seed(seed, graph_key)
+        return TrialSpec(
+            key=key,
+            algorithm=self.algorithm,
+            family=self.family,
+            n=n,
+            n_bound=self.n_bound if self.n_bound is not None else n,
+            labels=tuple(labels),
+            messages=None if messages is None else tuple(messages),
+            seed=seed,
+            graph_seed=graph_seed,
+            placement=placement,
+            wake_schedule=wake,
+            adversary=adversary,
+            algorithm_params=self.algorithm_params,
+            graph_factory=self.graph_factory,
+        )
 
     def _trial_key(
         self,
         n: int,
         labels: Sequence[int],
         messages: Sequence[str] | None,
+        placement: str,
+        wake: str,
+        adversary: str,
         seed: int,
     ) -> str:
         parts = [
@@ -335,6 +552,19 @@ class ExperimentSpec:
         ]
         if messages is not None:
             parts.append("msg=" + ",".join(messages))
+        # A scenario segment exists to keep grid points distinct, so
+        # it is only emitted when its axis is actually multi-valued
+        # (and the value is not the default): single-valued axes keep
+        # the historical key format, so pre-scenario-matrix caches —
+        # including PR-1 spread-placement stores — still hit.  Axis
+        # values are registry/strategy names (no "/"), so distinct
+        # grid points can never collide.
+        if len(self.placements) > 1 and placement != "default":
+            parts.append(f"place={placement}")
+        if len(self.wake_schedules) > 1 and wake != "simultaneous":
+            parts.append(f"wake={wake}")
+        if len(self.adversaries) > 1 and adversary != "fixed":
+            parts.append(f"adv={adversary}")
         parts.append(f"seed={seed}")
         return "/".join(parts)
 

@@ -1,14 +1,28 @@
-"""On-disk memoization of completed trials.
+"""On-disk memoization of completed trials (sharded, queryable).
 
-One JSON file per experiment, named by the spec hash: re-running the
-same spec loads the file, skips every trial whose key is present and
-simulates only the gap.  Any change to the spec changes the hash and
-therefore starts a fresh file — cache invalidation is structural, not
-timestamp-based.
+Version 2 of the result store keeps one *directory* per experiment,
+named by the spec hash::
 
-Files are written atomically (temp file + ``os.replace``) with sorted
-keys, so a store produced by a parallel run is byte-identical to one
-produced serially.
+    <root>/<spec_hash>/
+        spec.json          canonical spec dict + hash
+        index.json         shard -> record count, totals
+        shard-0000.json    up to ``shard_size`` records, sorted keys
+        shard-0001.json    ...
+
+Records are chunked over the lexicographically sorted trial keys, so
+the shard layout is a pure function of the record *set*: a store
+produced by a parallel run is byte-identical to one produced serially,
+and :meth:`ResultStore.compact` is idempotent.  A corrupt shard is
+skipped on load (its trials simply re-run) and healed by the next
+``save``/``compact``.
+
+Version 1 stores (one monolithic ``<spec_hash>.json`` per experiment)
+are still readable: ``load`` falls back to the legacy file when no v2
+directory exists, and the next ``save`` migrates it to the sharded
+layout and removes the old file.
+
+All files are written atomically (temp file + ``os.replace``) with
+sorted keys, and rewrites are skipped when the content is unchanged.
 """
 
 from __future__ import annotations
@@ -16,48 +30,348 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+from typing import Iterator
 
 from .spec import ExperimentSpec
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_LEGACY_VERSION = 1
+_DEFAULT_SHARD_SIZE = 256
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:04d}.json"
 
 
 class ResultStore:
-    """Directory of per-spec JSON result files."""
+    """Directory of per-spec sharded result directories."""
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        shard_size: int = _DEFAULT_SHARD_SIZE,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
         self.root = pathlib.Path(root)
+        self.shard_size = shard_size
 
-    def path_for(self, spec: ExperimentSpec) -> pathlib.Path:
-        return self.root / f"{spec.spec_hash()}.json"
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
 
-    def load(self, spec: ExperimentSpec) -> dict[str, dict]:
+    @staticmethod
+    def _hash_of(spec: ExperimentSpec | str) -> str:
+        if isinstance(spec, str):
+            return spec
+        return spec.spec_hash()
+
+    def dir_for(self, spec: ExperimentSpec | str) -> pathlib.Path:
+        """The v2 shard directory of ``spec`` (or a spec hash)."""
+        return self.root / self._hash_of(spec)
+
+    def legacy_path_for(self, spec: ExperimentSpec | str) -> pathlib.Path:
+        """The v1 single-file location of ``spec`` (or a spec hash)."""
+        return self.root / f"{self._hash_of(spec)}.json"
+
+    # ------------------------------------------------------------------
+    # Load.
+    # ------------------------------------------------------------------
+
+    def load(self, spec: ExperimentSpec | str) -> dict[str, dict]:
         """Completed trial records for ``spec``, keyed by trial key.
 
-        A missing, unreadable or version-mismatched file is treated as
-        an empty cache (the trials simply re-run).
+        Reads the sharded layout when present, otherwise falls back to
+        a legacy v1 single-file store.  Missing, unreadable or
+        version-mismatched shards are treated as absent (their trials
+        simply re-run).
         """
-        path = self.path_for(spec)
+        directory = self.dir_for(spec)
+        if directory.is_dir():
+            records = self._load_shards(directory)
+        else:
+            records = self._load_legacy(self.legacy_path_for(spec))
+        return self._backfill_scenario_fields(records)
+
+    @staticmethod
+    def _backfill_scenario_fields(
+        records: dict[str, dict]
+    ) -> dict[str, dict]:
+        """Default the scenario axes on pre-scenario-matrix records.
+
+        Records cached before the wake/placement/adversary axes
+        existed (legacy v1 stores, or shards migrated from them) lack
+        those keys; the defaults reproduce what those trials actually
+        ran, so the table renderer and ``query`` filters treat old and
+        new records uniformly.
+        """
+        for record in records.values():
+            record.setdefault("placement", "default")
+            record.setdefault("wake_schedule", "simultaneous")
+            record.setdefault("adversary", "fixed")
+        return records
+
+    def _load_shards(self, directory: pathlib.Path) -> dict[str, dict]:
+        records: dict[str, dict] = {}
+        for path in sorted(directory.glob("shard-*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # corrupt shard: its trials re-run
+            if payload.get("version") != _FORMAT_VERSION:
+                continue
+            trials = payload.get("trials")
+            if isinstance(trials, dict):
+                records.update(trials)
+        return records
+
+    @staticmethod
+    def _load_legacy(path: pathlib.Path) -> dict[str, dict]:
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return {}
-        if payload.get("version") != _FORMAT_VERSION:
+        if payload.get("version") != _LEGACY_VERSION:
             return {}
         trials = payload.get("trials")
         return dict(trials) if isinstance(trials, dict) else {}
 
-    def save(self, spec: ExperimentSpec, records: dict[str, dict]) -> None:
-        """Atomically persist the full record map for ``spec``."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        payload = {
+    # ------------------------------------------------------------------
+    # Save.
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        spec: ExperimentSpec,
+        records: dict[str, dict],
+        spec_hash: str | None = None,
+    ) -> None:
+        """Persist the full record map for ``spec``, sharded.
+
+        Chunks the lexicographically sorted keys into shards of
+        ``shard_size``, removes shards that fell out of range, writes
+        the index and spec sidecars, and unlinks any legacy v1 file
+        (completing the migration).  Only changed files are rewritten.
+        ``spec_hash`` overrides the recomputed hash — :meth:`compact`
+        uses it to rewrite a store in place even when a package
+        version bump has since changed what the spec would hash to.
+        """
+        if spec_hash is None:
+            spec_hash = spec.spec_hash()
+        directory = self.dir_for(spec_hash)
+        directory.mkdir(parents=True, exist_ok=True)
+        keys = sorted(records)
+        expected: dict[str, int] = {}
+        for start in range(0, len(keys), self.shard_size):
+            chunk = keys[start:start + self.shard_size]
+            index = start // self.shard_size
+            name = _shard_name(index)
+            expected[name] = len(chunk)
+            self._write_json(directory / name, {
+                "version": _FORMAT_VERSION,
+                "spec_hash": spec_hash,
+                "shard": index,
+                "trials": {k: records[k] for k in chunk},
+            })
+        for path in directory.glob("shard-*.json"):
+            if path.name not in expected:
+                path.unlink()
+        self._write_json(directory / "index.json", {
             "version": _FORMAT_VERSION,
+            "spec_hash": spec_hash,
+            "shard_size": self.shard_size,
+            "total": len(keys),
+            "shards": expected,
+        })
+        self._write_json(directory / "spec.json", {
+            "version": _FORMAT_VERSION,
+            "spec_hash": spec_hash,
             "spec": spec.to_dict(),
-            "spec_hash": spec.spec_hash(),
-            "trials": records,
-        }
-        text = json.dumps(payload, sort_keys=True, indent=1)
-        path = self.path_for(spec)
+        })
+        legacy = self.legacy_path_for(spec_hash)
+        if legacy.exists():
+            legacy.unlink()
+
+    @staticmethod
+    def _write_json(path: pathlib.Path, payload: dict) -> None:
+        text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        try:
+            if path.read_text() == text:
+                return  # unchanged: keep the old bytes and mtime
+        except (OSError, ValueError):
+            pass
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(text + "\n")
+        tmp.write_text(text)
         os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+
+    def compact(self, spec: ExperimentSpec | None = None) -> dict:
+        """Rewrite stores into canonical shards; heal corruption.
+
+        With a ``spec``, compacts that experiment only; without one,
+        compacts every v2 directory whose ``spec.json`` is readable.
+        Re-chunks records, drops unreadable shards and stale ``.tmp``
+        files, and rewrites the index.  Idempotent: a second call is a
+        byte-for-byte no-op.  Returns ``{"specs", "records",
+        "removed"}`` counters.
+        """
+        targets: list[tuple[ExperimentSpec, str]]
+        if spec is not None:
+            spec_hash = spec.spec_hash()
+            if (
+                not self.dir_for(spec_hash).is_dir()
+                and not self.legacy_path_for(spec_hash).exists()
+            ):
+                # A version bump changes what the spec hashes to; find
+                # the store actually on disk via its spec sidecar, the
+                # same way the no-arg path does.
+                wanted = spec.to_dict()
+                for entry in self.list_specs():
+                    if entry.get("spec") == wanted:
+                        spec_hash = entry["spec_hash"]
+                        break
+            targets = [(spec, spec_hash)]
+        else:
+            # Keyed by the *on-disk* hash, not a recomputed one: a
+            # package version bump changes what a spec would hash to,
+            # and compaction must still rewrite the store it found.
+            targets = []
+            for entry in self.list_specs():
+                payload = entry.get("spec")
+                if payload is None:
+                    continue
+                try:
+                    rebuilt = ExperimentSpec.from_dict(payload)
+                except (KeyError, ValueError, TypeError):
+                    continue
+                targets.append((rebuilt, entry["spec_hash"]))
+            targets.sort(key=lambda t: t[1])
+        removed = 0
+        records_total = 0
+        compacted = 0
+        for item, item_hash in targets:
+            directory = self.dir_for(item_hash)
+            if (
+                not directory.is_dir()
+                and not self.legacy_path_for(item_hash).exists()
+            ):
+                continue  # never swept: don't fabricate an empty store
+            compacted += 1
+            legacy = self.legacy_path_for(item_hash)
+            had_legacy = legacy.exists()
+            before: set[str] = set()
+            if directory.is_dir():
+                before = {p.name for p in directory.iterdir()}
+                for path in directory.glob("*.tmp"):
+                    path.unlink()
+                    removed += 1
+            records = self.load(item_hash)
+            records_total += len(records)
+            self.save(item, records, spec_hash=item_hash)
+            after = {p.name for p in directory.iterdir()}
+            removed += len(before - after - {
+                name for name in before if name.endswith(".tmp")
+            })
+            if had_legacy and not legacy.exists():
+                removed += 1  # the migrated-away v1 single file
+        return {
+            "specs": compacted,
+            "records": records_total,
+            "removed": removed,
+        }
+
+    # ------------------------------------------------------------------
+    # Enumeration (the query API's substrate).
+    # ------------------------------------------------------------------
+
+    def list_specs(self) -> list[dict]:
+        """Cached experiments: ``{"spec_hash", "spec", "trials"}``.
+
+        ``spec`` is the canonical spec dict (``None`` when the sidecar
+        is unreadable); ``trials`` is the stored record count.  Both v2
+        directories and legacy v1 files are reported.
+        """
+        if not self.root.is_dir():
+            return []
+        out = []
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir():
+                spec_payload = None
+                try:
+                    sidecar = json.loads((entry / "spec.json").read_text())
+                    spec_payload = sidecar.get("spec")
+                except (OSError, ValueError):
+                    pass
+                # The index carries the record count, so listing a
+                # million-trial store never parses its shards; fall
+                # back to a shard scan when the index is damaged.
+                total = None
+                try:
+                    index = json.loads((entry / "index.json").read_text())
+                    if index.get("version") == _FORMAT_VERSION:
+                        total = index.get("total")
+                except (OSError, ValueError):
+                    pass
+                if not isinstance(total, int):
+                    total = len(self._load_shards(entry))
+                if total == 0 and spec_payload is None:
+                    continue  # not a store directory
+                out.append({
+                    "spec_hash": entry.name,
+                    "spec": spec_payload,
+                    "trials": total,
+                })
+            elif entry.suffix == ".json":
+                if (self.root / entry.stem).is_dir():
+                    # Interrupted migration: the v2 directory exists
+                    # and takes precedence (matching load()); listing
+                    # the leftover legacy file too would double-count
+                    # the spec.
+                    continue
+                try:
+                    payload = json.loads(entry.read_text())
+                except (OSError, ValueError):
+                    continue
+                if payload.get("version") != _LEGACY_VERSION:
+                    continue
+                trials = payload.get("trials")
+                if not isinstance(trials, dict) or not trials:
+                    continue
+                out.append({
+                    "spec_hash": entry.stem,
+                    "spec": payload.get("spec"),
+                    "trials": len(trials),
+                })
+        return out
+
+    def iter_records(
+        self, spec_hash: str | None = None
+    ) -> Iterator[dict]:
+        """Yield stored records, optionally restricted to one spec.
+
+        ``spec_hash`` may be a unique prefix of a stored hash; an
+        ambiguous or unmatched prefix raises :class:`ValueError`
+        rather than silently merging experiments or reporting an
+        empty (typo'd) study as having no data.
+        """
+        entries = self.list_specs()
+        if spec_hash is not None:
+            entries = [
+                e for e in entries if e["spec_hash"].startswith(spec_hash)
+            ]
+            if len(entries) > 1:
+                matches = ", ".join(e["spec_hash"] for e in entries)
+                raise ValueError(
+                    f"spec prefix {spec_hash!r} is ambiguous: {matches}"
+                )
+            if not entries:
+                raise ValueError(
+                    f"no cached spec matches prefix {spec_hash!r}"
+                )
+        for entry in entries:
+            records = self.load(entry["spec_hash"])
+            for key in sorted(records):
+                yield records[key]

@@ -4,6 +4,14 @@ Maps a :class:`~repro.runner.spec.TrialSpec` onto the existing
 simulation front-ends (:mod:`repro.core.runs`, :mod:`repro.baselines`)
 and flattens the validated report into a JSON-safe *record* dict.
 
+A trial's *scenario* — start nodes and wake rounds — is resolved here
+from its declarative ``placement``/``wake_schedule`` strategy names
+and a seed derived from the trial key, so every worker process
+resolves the identical scenario with no coordination.  The
+``adversary`` strategy decides how many seed-derived scenario draws
+the adversary may evaluate (``worst_of:<k>`` keeps the slowest,
+``best_of:<k>`` the fastest).
+
 Records are the engine's unit of truth: they contain only
 deterministic simulation quantities (rounds, moves, events, leader,
 ...) — never wall-clock times or process ids — so a parallel run is
@@ -14,14 +22,22 @@ grid point cannot crash a thousand-trial sweep.
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from ..baselines import run_random_walk_gather, run_talking_gather
-from ..core.runs import run_gather_known, run_gossip_known
+from ..core.runs import (
+    run_gather_known,
+    run_gather_unknown,
+    run_gossip_known,
+    run_gossip_unknown,
+)
 from ..explore.uxs import UXSProvider
 from ..graphs import generators
 from ..graphs.port_graph import PortGraph
-from .spec import TrialSpec
+from ..sim.adversary import schedule_from_strategy
+from .spec import PLACEMENTS as spec_placement_names
+from .spec import TrialSpec, derive_seed, parse_adversary
 
 
 class TrialError(RuntimeError):
@@ -107,23 +123,131 @@ def _build_graph(trial: TrialSpec) -> PortGraph:
     return family(trial.n, trial.graph_seed)
 
 
-def _placement(trial: TrialSpec, graph: PortGraph) -> list[int] | None:
-    if trial.placement == "default":
-        return None
-    k = len(trial.labels)
+# ----------------------------------------------------------------------
+# Placement-strategy registry: name -> callable(graph, k, seed).
+# ``None`` means "use the run wrapper's default" (nodes 0..k-1).
+# ----------------------------------------------------------------------
+
+def _default_placement(graph: PortGraph, k: int, seed: int) -> None:
+    return None
+
+
+def _spread_placement(graph: PortGraph, k: int, seed: int) -> list[int]:
     if k == 2:
         return [0, graph.n - 1]
     # Evenly spaced; distinct whenever k <= n.
     return [i * graph.n // k for i in range(k)]
 
 
+def _random_placement(graph: PortGraph, k: int, seed: int) -> list[int]:
+    """Distinct start nodes sampled from the derived scenario seed."""
+    if k > graph.n:
+        raise ValueError("more agents than nodes")
+    return random.Random(seed).sample(range(graph.n), k)
+
+
+def _eccentric_placement(graph: PortGraph, k: int, seed: int) -> list[int]:
+    """Farthest-point sampling: greedily maximize pairwise distance.
+
+    The first agent starts at the node most distant from node 0; each
+    subsequent agent at the node maximizing the minimum BFS distance
+    to the agents placed so far (ties break toward the smallest node
+    id, keeping the placement deterministic and seed-free).
+    """
+    if k > graph.n:
+        raise ValueError("more agents than nodes")
+    dist = graph.bfs_distances(0)
+    chosen = [max(range(graph.n), key=lambda v: (dist[v], -v))]
+    nearest = graph.bfs_distances(chosen[0])
+    while len(chosen) < k:
+        nxt = max(range(graph.n), key=lambda v: (nearest[v], -v))
+        chosen.append(nxt)
+        nearest = [
+            min(a, b) for a, b in zip(nearest, graph.bfs_distances(nxt))
+        ]
+    return chosen
+
+
+PLACEMENT_RESOLVERS: dict[
+    str, Callable[[PortGraph, int, int], list[int] | None]
+] = {
+    "default": _default_placement,
+    "spread": _spread_placement,
+    "random": _random_placement,
+    "eccentric": _eccentric_placement,
+}
+
+# The spec layer validates placement names against spec.PLACEMENTS
+# (it cannot import this module — trial imports spec); fail at import
+# if the two ever drift, instead of at the first sweep.
+if set(PLACEMENT_RESOLVERS) != set(spec_placement_names):
+    raise AssertionError(
+        "placement registries out of sync: "
+        f"{sorted(PLACEMENT_RESOLVERS)} vs {sorted(spec_placement_names)}"
+    )
+
+
+def _scenario_seed(trial: TrialSpec, component: str, draw: int) -> int:
+    """Sub-seed for one scenario component of one adversary draw.
+
+    Derived from the trial key *minus* its ``adv=`` segment, so the
+    ``fixed`` adversary and draw 0 of ``worst_of:k``/``best_of:k`` on
+    the same grid point resolve the identical scenario — which is what
+    makes ``best_of <= fixed <= worst_of`` a guarantee rather than a
+    statistical accident.  Placement and wake use distinct components
+    so their random strategies draw independent streams.
+    """
+    base_key = "/".join(
+        part for part in trial.key.split("/")
+        if not part.startswith("adv=")
+    )
+    return derive_seed(trial.seed, f"{base_key}|{component}|{draw}")
+
+
+def resolve_scenario(
+    trial: TrialSpec, graph: PortGraph, draw: int = 0
+) -> tuple[list[int] | None, list[int | None]]:
+    """Resolve a trial's ``(start_nodes, wake_rounds)`` scenario.
+
+    Pure in ``(trial, graph, draw)``: the randomness of the ``random``
+    placement and wake strategies comes from seeds derived from the
+    replicate seed, the trial coordinates and the adversary draw
+    index, so every process resolves the same scenario and records
+    stay byte-identical across worker counts.
+    """
+    k = len(trial.labels)
+    try:
+        place = PLACEMENT_RESOLVERS[trial.placement]
+    except KeyError:
+        raise TrialError(
+            f"unknown placement {trial.placement!r}; "
+            f"known: {sorted(PLACEMENT_RESOLVERS)}"
+        ) from None
+    start_nodes = place(graph, k, _scenario_seed(trial, "placement", draw))
+    wake_rounds = schedule_from_strategy(
+        trial.wake_schedule, k, seed=_scenario_seed(trial, "wake", draw)
+    )
+    return start_nodes, wake_rounds
+
+
+def _scenario_is_randomized(trial: TrialSpec) -> bool:
+    """Whether any scenario component actually consumes its seed."""
+    return (
+        trial.placement == "random"
+        or trial.wake_schedule.partition(":")[0] == "random"
+    )
+
+
 def _run_gather_known(trial: TrialSpec, graph: PortGraph,
-                      provider: UXSProvider | None) -> dict:
+                      provider: UXSProvider | None,
+                      start_nodes: list[int] | None,
+                      wake_rounds: list[int | None]) -> dict:
     report = run_gather_known(
         graph,
         list(trial.labels),
         trial.n_bound,
-        start_nodes=_placement(trial, graph),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
         provider=provider,
     )
     return {
@@ -137,8 +261,36 @@ def _run_gather_known(trial: TrialSpec, graph: PortGraph,
     }
 
 
+def _run_gather_unknown(trial: TrialSpec, graph: PortGraph,
+                        provider: UXSProvider | None,
+                        start_nodes: list[int] | None,
+                        wake_rounds: list[int | None]) -> dict:
+    # No knowledge: n_bound is deliberately unused.  Declaration
+    # clocks are astronomical (hundreds of digits) but exact ints,
+    # so records remain JSON-safe and byte-stable.
+    report = run_gather_unknown(
+        graph,
+        list(trial.labels),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
+        provider=provider,
+    )
+    return {
+        "rounds": report.round,
+        "moves": report.total_moves,
+        "events": report.events,
+        "leader": report.leader,
+        "node": report.node,
+        "hypothesis": report.hypothesis,
+        "size": report.size,
+        "edges": graph.num_edges(),
+    }
+
+
 def _run_gossip_known(trial: TrialSpec, graph: PortGraph,
-                      provider: UXSProvider | None) -> dict:
+                      provider: UXSProvider | None,
+                      start_nodes: list[int] | None,
+                      wake_rounds: list[int | None]) -> dict:
     if trial.messages is None:
         raise ValueError("gossip trials need a message set")
     report = run_gossip_known(
@@ -146,7 +298,31 @@ def _run_gossip_known(trial: TrialSpec, graph: PortGraph,
         list(trial.labels),
         list(trial.messages),
         trial.n_bound,
-        start_nodes=_placement(trial, graph),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
+        provider=provider,
+    )
+    return {
+        "rounds": report.round,
+        "events": report.events,
+        "leader": report.leader,
+        "messages": dict(report.messages),
+        "edges": graph.num_edges(),
+    }
+
+
+def _run_gossip_unknown(trial: TrialSpec, graph: PortGraph,
+                        provider: UXSProvider | None,
+                        start_nodes: list[int] | None,
+                        wake_rounds: list[int | None]) -> dict:
+    if trial.messages is None:
+        raise ValueError("gossip trials need a message set")
+    report = run_gossip_unknown(
+        graph,
+        list(trial.labels),
+        list(trial.messages),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
         provider=provider,
     )
     return {
@@ -159,12 +335,15 @@ def _run_gossip_known(trial: TrialSpec, graph: PortGraph,
 
 
 def _run_talking(trial: TrialSpec, graph: PortGraph,
-                 provider: UXSProvider | None) -> dict:
+                 provider: UXSProvider | None,
+                 start_nodes: list[int] | None,
+                 wake_rounds: list[int | None]) -> dict:
     report = run_talking_gather(
         graph,
         list(trial.labels),
         trial.n_bound,
-        start_nodes=_placement(trial, graph),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
         provider=provider,
     )
     return {
@@ -178,7 +357,9 @@ def _run_talking(trial: TrialSpec, graph: PortGraph,
 
 
 def _run_random_walk(trial: TrialSpec, graph: PortGraph,
-                     provider: UXSProvider | None) -> dict:
+                     provider: UXSProvider | None,
+                     start_nodes: list[int] | None,
+                     wake_rounds: list[int | None]) -> dict:
     # The walk seed defaults to the trial's derived seed (replicates
     # explore different walks) but can be pinned via algorithm_params
     # to reproduce historical fixed-seed runs.
@@ -187,7 +368,8 @@ def _run_random_walk(trial: TrialSpec, graph: PortGraph,
         graph,
         list(trial.labels),
         trial.n_bound,
-        start_nodes=_placement(trial, graph),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
         provider=provider,
         seed=walk_seed,
     )
@@ -203,10 +385,23 @@ def _run_random_walk(trial: TrialSpec, graph: PortGraph,
 
 ALGORITHMS: dict[str, Callable] = {
     "gather_known": _run_gather_known,
+    "gather_unknown": _run_gather_unknown,
     "gossip_known": _run_gossip_known,
+    "gossip_unknown": _run_gossip_unknown,
     "talking": _run_talking,
     "random_walk": _run_random_walk,
 }
+
+
+def _simulate_scenario(
+    trial: TrialSpec,
+    graph: PortGraph,
+    provider: UXSProvider | None,
+    algorithm: Callable,
+    draw: int,
+) -> dict:
+    start_nodes, wake_rounds = resolve_scenario(trial, graph, draw)
+    return algorithm(trial, graph, provider, start_nodes, wake_rounds)
 
 
 def execute_trial(
@@ -218,6 +413,10 @@ def execute_trial(
     lets a worker reuse its sequence cache across every trial it
     executes (sequences are pure functions of ``(N, seed, factor)``, so
     all workers agree without any cross-process traffic).
+
+    With a ``worst_of``/``best_of`` adversary the trial simulates every
+    scenario draw and records the extremal one, annotating the metrics
+    with the chosen draw index (``adversary_draw``) and the draw count.
     """
     try:
         algorithm = ALGORITHMS[trial.algorithm]
@@ -231,8 +430,34 @@ def execute_trial(
             ),
         )
     try:
+        kind, draws = parse_adversary(trial.adversary)
         graph = _build_graph(trial)
-        metrics = algorithm(trial, graph, provider)
+        if kind == "fixed":
+            metrics = _simulate_scenario(
+                trial, graph, provider, algorithm, 0
+            )
+        else:
+            # With fully deterministic scenario components every draw
+            # is identical, so evaluating one is observationally
+            # equivalent (ties keep the first draw) at 1/k the cost.
+            evaluate = draws if _scenario_is_randomized(trial) else 1
+            chosen: dict | None = None
+            chosen_draw = 0
+            for draw in range(evaluate):
+                candidate = _simulate_scenario(
+                    trial, graph, provider, algorithm, draw
+                )
+                better = chosen is None or (
+                    candidate["rounds"] > chosen["rounds"]
+                    if kind == "worst_of"
+                    else candidate["rounds"] < chosen["rounds"]
+                )
+                if better:
+                    chosen, chosen_draw = candidate, draw
+            assert chosen is not None  # evaluate >= 1
+            metrics = dict(chosen)
+            metrics["adversary_draw"] = chosen_draw
+            metrics["adversary_draws"] = draws
     except Exception as exc:  # captured, not raised: sweeps must survive
         return TrialResult(
             trial, ok=False, error=f"{type(exc).__name__}: {exc}"

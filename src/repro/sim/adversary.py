@@ -5,6 +5,15 @@ any rounds; the rest sleep until an awake agent walks across their
 starting node.  These helpers build the `wake_rounds` lists the run
 wrappers accept, including a seeded random adversary for property
 tests and benchmark sweeps.
+
+Each builder is also addressable by a *strategy string* — e.g.
+``"staggered:3"`` or ``"random:20:25"`` — so experiment grids
+(:mod:`repro.runner`) can treat wake schedules as a declarative,
+hashable axis.  :func:`schedule_from_strategy` turns a strategy string
+plus a team size and a derived seed into a concrete schedule; the seed
+only matters for the ``random`` strategy, which makes every strategy a
+pure function of ``(strategy, team_size, seed)`` and therefore
+identical in every worker process.
 """
 
 from __future__ import annotations
@@ -68,3 +77,84 @@ def random_schedule(
 def _check(team_size: int) -> None:
     if team_size < 1:
         raise ValueError("team_size must be positive")
+
+
+# ----------------------------------------------------------------------
+# Named, seed-derivable strategies (the experiment engine's wake axis).
+# ----------------------------------------------------------------------
+
+WAKE_STRATEGIES = ("simultaneous", "staggered", "single_awake", "random")
+
+
+def parse_wake_strategy(strategy: str) -> tuple[str, tuple[int, ...]]:
+    """Validate a strategy string; return ``(kind, int_args)``.
+
+    Accepted forms (all arguments are non-negative integers)::
+
+        simultaneous
+        staggered[:gap]              default gap 1
+        single_awake[:index]         default index 0
+        random[:max_delay[:pct]]     default max_delay 16, dormant pct 25
+
+    Raises :class:`ValueError` on anything else, so experiment specs
+    can reject a malformed axis at construction time rather than a
+    thousand trials in.
+    """
+    kind, sep, tail = strategy.partition(":")
+    if kind not in WAKE_STRATEGIES:
+        raise ValueError(
+            f"unknown wake strategy {strategy!r}; "
+            f"known kinds: {WAKE_STRATEGIES}"
+        )
+    if sep and not tail:
+        raise ValueError(
+            f"trailing ':' without an argument: {strategy!r}"
+        )
+    args: tuple[int, ...] = ()
+    if tail:
+        try:
+            args = tuple(int(part) for part in tail.split(":"))
+        except ValueError:
+            raise ValueError(
+                f"wake strategy arguments must be integers: {strategy!r}"
+            ) from None
+    if any(a < 0 for a in args):
+        raise ValueError(
+            f"wake strategy arguments must be non-negative: {strategy!r}"
+        )
+    limits = {"simultaneous": 0, "staggered": 1, "single_awake": 1,
+              "random": 2}
+    if len(args) > limits[kind]:
+        raise ValueError(
+            f"too many arguments for wake strategy {kind!r}: {strategy!r}"
+        )
+    if kind == "random" and len(args) == 2 and args[1] > 100:
+        raise ValueError(
+            f"dormant percentage must be 0..100: {strategy!r}"
+        )
+    return kind, args
+
+
+def schedule_from_strategy(
+    strategy: str, team_size: int, seed: int = 0
+) -> list[int | None]:
+    """Build the wake schedule a strategy string describes.
+
+    Pure in ``(strategy, team_size, seed)``: parallel workers derive
+    bit-identical schedules without any coordination.  ``seed`` is only
+    consumed by the ``random`` strategy.
+    """
+    kind, args = parse_wake_strategy(strategy)
+    if kind == "simultaneous":
+        return simultaneous(team_size)
+    if kind == "staggered":
+        gap = args[0] if args else 1
+        return staggered(team_size, gap)
+    if kind == "single_awake":
+        index = args[0] if args else 0
+        return single_awake(team_size, awake_index=index)
+    max_delay = args[0] if args else 16
+    pct = args[1] if len(args) > 1 else 25
+    return random_schedule(
+        team_size, max_delay, seed=seed, dormant_probability=pct / 100.0
+    )

@@ -7,7 +7,9 @@ import pytest
 from repro.core import run_gather_known
 from repro.graphs import ring
 from repro.sim.adversary import (
+    parse_wake_strategy,
     random_schedule,
+    schedule_from_strategy,
     simultaneous,
     single_awake,
     staggered,
@@ -66,6 +68,43 @@ class TestBuilders:
             random_schedule(2, -5)
         with pytest.raises(ValueError):
             random_schedule(2, 5, dormant_probability=1.5)
+
+
+class TestStrategyStrings:
+    def test_parse_accepts_all_kinds(self):
+        assert parse_wake_strategy("simultaneous") == ("simultaneous", ())
+        assert parse_wake_strategy("staggered:3") == ("staggered", (3,))
+        assert parse_wake_strategy("single_awake:1") == (
+            "single_awake", (1,)
+        )
+        assert parse_wake_strategy("random:20:50") == ("random", (20, 50))
+
+    def test_parse_rejects_malformed(self):
+        for bad in (
+            "nap", "staggered:x", "staggered:1:2", "random:5:200",
+            "random:-1", "simultaneous:1",
+            "staggered:", "single_awake:", "random:",
+        ):
+            with pytest.raises(ValueError):
+                parse_wake_strategy(bad)
+
+    def test_strategies_match_builders(self):
+        assert schedule_from_strategy("simultaneous", 3) == simultaneous(3)
+        assert schedule_from_strategy("staggered:5", 4) == staggered(4, 5)
+        assert schedule_from_strategy("staggered", 3) == staggered(3, 1)
+        assert schedule_from_strategy("single_awake:2", 3) == (
+            single_awake(3, awake_index=2)
+        )
+        assert schedule_from_strategy("random:30:25", 5, seed=7) == (
+            random_schedule(5, 30, seed=7, dormant_probability=0.25)
+        )
+
+    def test_random_strategy_is_pure_in_seed(self):
+        a = schedule_from_strategy("random:50", 6, seed=11)
+        b = schedule_from_strategy("random:50", 6, seed=11)
+        c = schedule_from_strategy("random:50", 6, seed=12)
+        assert a == b
+        assert a != c  # 50-round delay window: collision ~ impossible
 
 
 class TestEndToEnd:

@@ -154,7 +154,8 @@ class TestCaching:
             small_spec(label_sets=((2, 7),)), workers=1, store=tmp_path
         )
         assert changed.executed == 2 and changed.cached == 0
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        # Two spec-hash directories: structural invalidation.
+        assert len([p for p in tmp_path.iterdir() if p.is_dir()]) == 2
 
     def test_partial_cache_runs_only_the_gap(self, tmp_path):
         spec = small_spec()
@@ -167,15 +168,16 @@ class TestCaching:
         rerun = run_experiment(spec, workers=1, store=store)
         assert rerun.executed == 1 and rerun.cached == 1
 
-    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+    def test_corrupt_shard_is_ignored(self, tmp_path):
         spec = small_spec()
         store = ResultStore(tmp_path)
-        store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
-        store.path_for(spec).write_text("{not json")
+        shard_dir = store.dir_for(spec)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        (shard_dir / "shard-0000.json").write_text("{not json")
         result = run_experiment(spec, workers=1, store=store)
         assert result.executed == 2
-        # And the store healed: the file is valid JSON again.
-        assert store.load(spec)
+        # And the store healed: every shard is valid JSON again.
+        assert len(store.load(spec)) == 2
 
     def test_failed_trials_are_retried_not_cached(self, tmp_path):
         # ok=False records must never be served from the store: a
@@ -188,6 +190,53 @@ class TestCaching:
         assert second.executed == 1  # only the failing trial re-ran
         assert second.cached == 1
 
+    def test_all_failed_sweep_persists_nothing(self, tmp_path):
+        # Every trial fails (talking rejects staggered wake); writing
+        # a store would only fabricate an empty directory that later
+        # confuses `repro query`.
+        spec = small_spec(
+            algorithm="talking", sizes=(4,),
+            wake_schedules=("staggered:2",),
+        )
+        result = run_experiment(spec, workers=1, store=tmp_path)
+        assert result.failed == len(result.records) == 1
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fully_cached_rerun_skips_the_save(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        run_experiment(spec, workers=1, store=tmp_path)
+        saves: list[int] = []
+        original = ResultStore.save
+
+        def counting(self, *args, **kwargs):
+            saves.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ResultStore, "save", counting)
+        rerun = run_experiment(spec, workers=1, store=tmp_path)
+        assert rerun.executed == 0 and rerun.cached == 2
+        assert saves == []  # nothing changed: no store rewrite
+
+    def test_duck_typed_store_object(self):
+        # Alternate backends only need load()/save(); the engine must
+        # not coerce them through pathlib.
+        class DictStore:
+            def __init__(self):
+                self.data: dict = {}
+
+            def load(self, spec):
+                return dict(self.data)
+
+            def save(self, spec, records):
+                self.data = dict(records)
+
+        store = DictStore()
+        spec = small_spec()
+        first = run_experiment(spec, workers=1, store=store)
+        assert first.executed == 2 and len(store.data) == 2
+        second = run_experiment(spec, workers=1, store=store)
+        assert second.executed == 0 and second.cached == 2
+
     def test_hash_includes_package_version(self, monkeypatch):
         import repro
 
@@ -199,9 +248,14 @@ class TestCaching:
         spec = small_spec()
         run_experiment(spec, workers=1, store=tmp_path / "a")
         run_experiment(spec, workers=4, store=tmp_path / "b")
-        path_a = next((tmp_path / "a").glob("*.json"))
-        path_b = next((tmp_path / "b").glob("*.json"))
-        assert path_a.read_bytes() == path_b.read_bytes()
+        files_a = sorted((tmp_path / "a").rglob("*.json"))
+        files_b = sorted((tmp_path / "b").rglob("*.json"))
+        assert [p.relative_to(tmp_path / "a") for p in files_a] == [
+            p.relative_to(tmp_path / "b") for p in files_b
+        ]
+        assert files_a  # the sharded layout was written
+        for path_a, path_b in zip(files_a, files_b):
+            assert path_a.read_bytes() == path_b.read_bytes()
 
 
 class TestFailureCapture:
@@ -321,6 +375,12 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "failed: 1" in out and "FAILED" in out
 
+    def test_sweep_bad_labels_exit_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--labels", "x,y", "--no-cache"]) == 2
+        assert "error" in capsys.readouterr().out
+
     def test_sweep_no_cache(self, capsys):
         from repro.__main__ import main
 
@@ -339,6 +399,262 @@ class TestCLI:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "gossip_known" in out
+
+
+class TestScenarioAxes:
+    def test_grid_crosses_all_axes(self):
+        spec = small_spec(
+            wake_schedules=("simultaneous", "staggered:2"),
+            placements=("default", "spread"),
+            adversaries=("fixed", "worst_of:2"),
+        )
+        trials = spec.trials()
+        assert len(trials) == 2 * 2 * 2 * 2  # sizes x place x wake x adv
+        keys = [t.key for t in trials]
+        assert len(set(keys)) == len(keys)
+        assert any("wake=staggered:2" in k for k in keys)
+        assert any("place=spread" in k for k in keys)
+        assert any("adv=worst_of:2" in k for k in keys)
+
+    def test_default_scenario_keeps_historical_keys(self):
+        # Pre-scenario-matrix key format must survive for default
+        # scenarios, so nothing else keyed off trial keys changes.
+        key = small_spec().trials()[0].key
+        assert "wake=" not in key and "place=" not in key
+        assert "adv=" not in key
+
+    def test_single_valued_axes_keep_historical_keys(self):
+        # A PR-1 '--placement spread' store has keys with no place=
+        # segment; a single-valued axis needs none for uniqueness, so
+        # those caches must still hit record-by-record.
+        for trial in small_spec(placement="spread").trials():
+            assert "place=" not in trial.key
+            assert trial.placement == "spread"
+        # Multi-valued axes do need the segment.
+        keyed = small_spec(placements=("default", "spread")).trials()
+        assert any("place=spread" in t.key for t in keyed)
+
+    def test_invalid_axis_values_rejected_at_construction(self):
+        with pytest.raises(SpecError):
+            small_spec(wake_schedules=("sometimes",))
+        with pytest.raises(SpecError):
+            small_spec(wake_schedules=("staggered:nope",))
+        with pytest.raises(SpecError):
+            small_spec(placements=("everywhere",))
+        with pytest.raises(SpecError):
+            small_spec(adversaries=("worst_of",))
+        with pytest.raises(SpecError):
+            small_spec(adversaries=("worst_of:0",))
+        # Label sets are known at construction: a single_awake index
+        # no team can satisfy must not survive to a thousand trials.
+        with pytest.raises(SpecError, match="out of range"):
+            small_spec(wake_schedules=("single_awake:5",))
+        small_spec(wake_schedules=("single_awake:1",))  # in range
+        # Valid for the larger team of a mixed grid: expressible (the
+        # smaller team's trials become captured failures instead).
+        mixed = small_spec(
+            label_sets=((1, 2), (1, 2, 3)),
+            wake_schedules=("single_awake:2",),
+        )
+        result = run_experiment(mixed, workers=1)
+        assert result.failed == 2  # the two-agent trials
+        assert len(result.ok_records()) == 2
+
+    def test_duplicate_axis_values_rejected(self):
+        # A duplicated value would collide with itself in the grid
+        # (same trial key), silently double-simulating and dropping a
+        # record; reject at construction instead.
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(wake_schedules=("staggered:2", "staggered:2"))
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(placements=("spread", "spread"))
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(sizes=(4, 4))
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(seeds=(0, 0))
+        # Type-variant duplicates collapse after int-coercion and
+        # must be caught on the normalized values.
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(seeds=(1, "1"))
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(sizes=(4, "4"))
+
+    def test_scenario_matrix_parallel_is_byte_identical(self):
+        spec = small_spec(
+            sizes=(5,),
+            seeds=(0, 1),
+            wake_schedules=("simultaneous", "random:10", "single_awake"),
+            placements=("spread", "random", "eccentric"),
+        )
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=3)
+        assert serial.failed == 0, serial.failures()
+        assert serial.canonical_json() == parallel.canonical_json()
+
+    def test_random_scenarios_vary_with_seed(self):
+        spec = small_spec(
+            sizes=(6,), seeds=(0, 1, 2, 3),
+            wake_schedules=("random:40",), placements=("random",),
+        )
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 0
+        rounds = {r["metrics"]["rounds"] for r in result.records}
+        assert len(rounds) > 1  # the adversary actually varied
+
+    @pytest.mark.parametrize("seed", [0, 1, 4, 7])
+    def test_worst_of_adversary_upper_bounds_fixed(self, seed):
+        # Guaranteed, not statistical: draw 0 of a budgeted adversary
+        # is the fixed adversary's scenario (the scenario seed strips
+        # the adv= key segment), so fixed is always in the draw set.
+        spec = small_spec(
+            sizes=(6,), seeds=(seed,), graph_seed_mode="derived",
+            wake_schedules=("random:30",), placements=("random",),
+            adversaries=("fixed", "worst_of:4", "best_of:4"),
+        )
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 0
+        by_adv = {r["adversary"]: r["metrics"] for r in result.records}
+        assert (
+            by_adv["worst_of:4"]["rounds"]
+            >= by_adv["fixed"]["rounds"]
+            >= by_adv["best_of:4"]["rounds"]
+        )
+        assert by_adv["worst_of:4"]["adversary_draws"] == 4
+        assert 0 <= by_adv["worst_of:4"]["adversary_draw"] < 4
+
+    def test_budget_one_adversary_equals_fixed(self):
+        spec = small_spec(
+            sizes=(5,), seeds=(3,),
+            wake_schedules=("random:25",), placements=("random",),
+            adversaries=("fixed", "worst_of:1", "best_of:1"),
+        )
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 0
+        rounds = {
+            r["adversary"]: r["metrics"]["rounds"]
+            for r in result.records
+        }
+        assert rounds["fixed"] == rounds["worst_of:1"]
+        assert rounds["fixed"] == rounds["best_of:1"]
+
+    def test_deterministic_scenarios_simulate_once_per_budget(
+        self, monkeypatch
+    ):
+        import repro.runner.trial as trial_mod
+
+        calls: list[int] = []
+        original = trial_mod._simulate_scenario
+
+        def counting(trial, graph, provider, algorithm, draw):
+            calls.append(draw)
+            return original(trial, graph, provider, algorithm, draw)
+
+        monkeypatch.setattr(trial_mod, "_simulate_scenario", counting)
+        deterministic = small_spec(
+            sizes=(4,), adversaries=("worst_of:5",)
+        )
+        result = run_experiment(deterministic, workers=1)
+        assert result.failed == 0
+        # All 5 draws are identical: exactly one simulation runs, and
+        # the record still reports the full budget.
+        assert calls == [0]
+        assert result.records[0]["metrics"]["adversary_draws"] == 5
+        calls.clear()
+        randomized = small_spec(
+            sizes=(4,), wake_schedules=("random:10",),
+            adversaries=("worst_of:3",),
+        )
+        run_experiment(randomized, workers=1)
+        assert calls == [0, 1, 2]
+
+    def test_scenario_axes_share_one_graph(self):
+        # Derived graph seeds ignore the scenario segments of the
+        # key: varying the adversary's schedule must never also vary
+        # the port labeling under comparison.
+        spec = small_spec(
+            sizes=(6,), graph_seed_mode="derived",
+            wake_schedules=("simultaneous", "random:10"),
+            placements=("default", "spread"),
+            adversaries=("fixed", "worst_of:2"),
+        )
+        graph_seeds = {t.graph_seed for t in spec.trials()}
+        assert len(graph_seeds) == 1
+
+    def test_placement_and_wake_draw_independent_streams(self):
+        from repro.runner.trial import _scenario_seed
+
+        trial = small_spec(
+            sizes=(6,), wake_schedules=("random:20",),
+            placements=("random",),
+        ).trials()[0]
+        assert _scenario_seed(trial, "placement", 0) != (
+            _scenario_seed(trial, "wake", 0)
+        )
+
+    def test_spec_hash_backward_compatible_at_default_axes(self):
+        # Any grid expressible before the scenario axes must keep its
+        # historical hash, or every pre-existing store is orphaned.
+        import hashlib
+        import json as json_mod
+
+        import repro
+
+        spec = small_spec(placement="spread")
+        legacy_shape = {
+            "algorithm": "gather_known",
+            "family": "ring",
+            "sizes": [4, 5],
+            "label_sets": [[1, 2]],
+            "message_sets": None,
+            "seeds": [1],
+            "n_bound": None,
+            "placement": "spread",
+            "graph_seed_mode": "fixed",
+            "algorithm_params": {},
+        }
+        assert spec.to_dict() == legacy_shape
+        blob = json_mod.dumps(
+            legacy_shape, sort_keys=True, separators=(",", ":")
+        ).encode()
+        blob += f"|repro={repro.__version__}".encode()
+        assert spec.spec_hash() == hashlib.sha256(blob).hexdigest()[:16]
+        # Non-default axes opt into the new shape (and a new hash).
+        modern = small_spec(wake_schedules=("staggered:2",)).to_dict()
+        assert modern["wake_schedules"] == ["staggered:2"]
+        assert "placement" in modern and "adversaries" not in modern
+
+    def test_baselines_reject_non_simultaneous_as_failures(self):
+        spec = small_spec(
+            algorithm="talking", sizes=(4,),
+            wake_schedules=("simultaneous", "staggered:3"),
+        )
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 1
+        assert "simultaneous" in result.failures()[0]["error"]
+
+    def test_gather_unknown_runs_on_edge_family(self):
+        spec = ExperimentSpec(
+            algorithm="gather_unknown",
+            family="edge",
+            sizes=(2,),
+            label_sets=((2, 3),),
+            wake_schedules=("simultaneous", "single_awake"),
+        )
+        result = run_experiment(spec, workers=1)
+        assert result.failed == 0, result.failures()
+        for rec in result.records:
+            assert rec["metrics"]["size"] == 2
+            assert rec["metrics"]["rounds"] > 10 ** 100
+
+    def test_legacy_trial_record_roundtrips_with_defaults(self):
+        # Records written before the scenario axes existed lack the
+        # new fields; from_dict must fill the defaults.
+        payload = small_spec().trials()[0].to_dict()
+        del payload["wake_schedule"]
+        del payload["adversary"]
+        trial = TrialSpec.from_dict(payload)
+        assert trial.wake_schedule == "simultaneous"
+        assert trial.adversary == "fixed"
 
 
 class TestTrialExecution:

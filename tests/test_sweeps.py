@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis import fit_power_law
 from repro.analysis.sweeps import (
     SweepPoint,
     label_length_sweep,
     message_length_sweep,
+    scenario_sweep,
     size_sweep,
 )
 from repro.graphs import path_graph
@@ -17,10 +20,12 @@ class TestSweepPoint:
         point = SweepPoint(4, 10, 3, 7, "labels=[1, 2]")
         assert point.rounds == 10
 
-    def test_round_alias_preserved(self):
-        # Historical callers read `.round`; the alias must keep working.
+    def test_round_alias_preserved_but_deprecated(self):
+        # Historical callers read `.round`; the alias must keep
+        # working, but now warns so they migrate to `.rounds`.
         point = SweepPoint(4, 10, 3, 7, "labels=[1, 2]")
-        assert point.round == point.rounds == 10
+        with pytest.warns(DeprecationWarning, match="rounds"):
+            assert point.round == point.rounds == 10
 
 
 class TestSizeSweep:
@@ -59,7 +64,7 @@ class TestSizeSweep:
         assert [(p.x, p.rounds) for p in first] == [
             (p.x, p.rounds) for p in second
         ]
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.rglob("shard-*.json"))
 
 
 class TestLabelLengthSweep:
@@ -71,6 +76,39 @@ class TestLabelLengthSweep:
         points = label_length_sweep((1, 3, 5))
         rounds = [p.rounds for p in points]
         assert rounds == sorted(rounds)
+
+
+class TestScenarioSweep:
+    def test_matrix_is_covered_in_order(self):
+        points = scenario_sweep(
+            wake_schedules=("simultaneous", "staggered:2"),
+            placements=("default", "spread"),
+            n=4,
+        )
+        assert [p.x for p in points] == [0, 1, 2, 3]
+        assert {p.detail for p in points} == {
+            "default/simultaneous/fixed",
+            "default/staggered:2/fixed",
+            "spread/simultaneous/fixed",
+            "spread/staggered:2/fixed",
+        }
+        assert all(p.rounds > 0 for p in points)
+
+    def test_replicates_average_into_one_point(self):
+        points = scenario_sweep(
+            wake_schedules=("random:8",), n=4, seeds=(0, 1, 2)
+        )
+        assert len(points) == 1
+
+    def test_worst_of_adversary_dominates_best_of(self):
+        worst, best = scenario_sweep(
+            wake_schedules=("random:30",),
+            placements=("random",),
+            adversaries=("worst_of:3", "best_of:3"),
+            n=5,
+        )
+        assert worst.detail.endswith("worst_of:3")
+        assert worst.rounds >= best.rounds
 
 
 class TestMessageLengthSweep:

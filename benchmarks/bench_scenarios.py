@@ -11,6 +11,8 @@ adversary (``worst_of:k``) can slow the algorithm but never break it.
 
 from __future__ import annotations
 
+import time
+
 from common import publish
 
 from repro.analysis import ResultTable
@@ -93,3 +95,70 @@ def test_e11b_adversary_budget(benchmark):
         "between its luckiest and cruelest draws"
     )
     publish("e11b_adversary_budget", table, extra)
+
+
+def test_e11c_pipelined_backend(benchmark):
+    """E11c: the pipelined backend on a graph-generation-heavy grid.
+
+    48 short trials (talking baseline, random-regular family) where
+    every placement scenario of a ``(size, seed)`` point shares one
+    rejection-sampled graph: the ``process`` backend rebuilds that
+    graph once per trial and pays one pool round-trip per trial, while
+    ``pipelined`` ships graph-grouped batches and builds each graph
+    once.  Records must be byte-identical; only wall-clock may differ.
+    """
+
+    def grid() -> ExperimentSpec:
+        return ExperimentSpec(
+            algorithm="talking",
+            family="random_regular",
+            sizes=(8, 12),
+            label_sets=((1, 2),),
+            seeds=tuple(range(6)),
+            placements=("default", "spread", "random", "eccentric"),
+        )
+
+    def timed(backend: str) -> tuple[float, object]:
+        best = None
+        result = None
+        for _ in range(3):
+            start = time.perf_counter()
+            result = run_experiment(grid(), workers=2, backend=backend)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best, result
+
+    process_time, process_result = timed("process")
+
+    def workload():
+        return run_experiment(grid(), workers=2, backend="pipelined")
+
+    pipelined_result = benchmark.pedantic(workload, rounds=3, iterations=1)
+    pipelined_time = benchmark.stats.stats.min
+    assert process_result.failed == pipelined_result.failed == 0
+    assert (
+        process_result.canonical_json()
+        == pipelined_result.canonical_json()
+    )
+    table = ResultTable(
+        "E11c: process vs pipelined backend (48 talking trials, "
+        "random_regular n=8/12, 4 placements per graph, workers=2)",
+        ["backend", "best of 3 (s)", "trials/s"],
+    )
+    n_trials = len(process_result.records)
+    table.add_row("process", f"{process_time:.3f}",
+                  f"{n_trials / process_time:.0f}")
+    table.add_row("pipelined", f"{pipelined_time:.3f}",
+                  f"{n_trials / pipelined_time:.0f}")
+    speedup = process_time / pipelined_time
+    # The acceptance bar is <=; the margin protects against noisy CI
+    # boxes without letting a real regression through.
+    assert pipelined_time <= process_time * 1.10, (
+        f"pipelined {pipelined_time:.3f}s vs process {process_time:.3f}s"
+    )
+    extra = (
+        f"pipelined is {speedup:.2f}x the process backend on this "
+        "grid (graph dedup + batched pool round-trips), with "
+        "byte-identical records"
+    )
+    publish("e11c_pipelined_backend", table, extra)

@@ -14,6 +14,8 @@ Experiments::
                                # (see: python -m repro sweep --help)
     python -m repro query      # filter/aggregate cached sweep records
     python -m repro compact    # rewrite the store into canonical shards
+    python -m repro worker     # claim chunks from a shared work manifest
+    python -m repro merge      # union sibling stores into one
 """
 
 from __future__ import annotations
@@ -111,6 +113,14 @@ def main(argv: list[str] | None = None) -> int:
         from .runner.cli import compact_main
 
         return compact_main(args[1:])
+    if args and args[0] == "worker":
+        from .runner.cli import worker_main
+
+        return worker_main(args[1:])
+    if args and args[0] == "merge":
+        from .runner.cli import merge_main
+
+        return merge_main(args[1:])
     if len(args) != 1 or args[0] not in _DEMOS:
         print(__doc__)
         return 1

@@ -55,7 +55,7 @@ class SweepPoint:
         return f"SweepPoint(x={self.x}, rounds={self.rounds})"
 
 
-def _run(spec, workers: int, store) -> list[dict]:
+def _run(spec, workers: int, store, backend: str | None = None) -> list[dict]:
     """Run a spec through the engine and return its ok records.
 
     Sweeps are strict: a captured trial failure is re-raised here so
@@ -63,7 +63,9 @@ def _run(spec, workers: int, store) -> list[dict]:
     """
     from ..runner import run_experiment
 
-    result = run_experiment(spec, workers=workers, store=store)
+    result = run_experiment(
+        spec, workers=workers, store=store, backend=backend
+    )
     result.raise_on_failure()
     return result.records
 
@@ -74,6 +76,7 @@ def size_sweep(
     graph_factory: Callable[[int], PortGraph] | None = None,
     workers: int = 1,
     store=None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Gathering time vs. the size bound N (Theorem 3.1, E2).
 
@@ -95,7 +98,7 @@ def size_sweep(
     )
     if graph_factory is not None:
         workers = 1
-    records = _run(spec, workers, store)
+    records = _run(spec, workers, store, backend=backend)
     return [
         SweepPoint(
             rec["n"],
@@ -114,6 +117,7 @@ def label_length_sweep(
     graph: PortGraph | None = None,
     workers: int = 1,
     store=None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Gathering time vs. smallest-label bit length (Theorem 3.1, E3)."""
     from ..runner import ExperimentSpec
@@ -136,7 +140,7 @@ def label_length_sweep(
     )
     if graph is not None:
         workers = 1
-    records = _run(spec, workers, store)
+    records = _run(spec, workers, store, backend=backend)
     return [
         SweepPoint(
             smallest_label_length(list(rec["labels"])),
@@ -155,6 +159,7 @@ def message_length_sweep(
     n_bound: int = 2,
     workers: int = 1,
     store=None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Gossip time vs. message length (Theorem 5.1, E8).
 
@@ -181,7 +186,7 @@ def message_length_sweep(
     )
     if graph is not None:
         workers = 1
-    records = _run(spec, workers, store)
+    records = _run(spec, workers, store, backend=backend)
     base = records[0]["metrics"]["rounds"]
     points = []
     for length, rec in zip(lengths, records[1:]):
@@ -208,6 +213,7 @@ def scenario_sweep(
     seeds: Sequence[int] = (0,),
     workers: int = 1,
     store=None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Gathering time across an adversarial scenario matrix.
 
@@ -230,7 +236,7 @@ def scenario_sweep(
         wake_schedules=tuple(wake_schedules),
         adversaries=tuple(adversaries),
     )
-    records = _run(spec, workers, store)
+    records = _run(spec, workers, store, backend=backend)
     grouped: dict[tuple[str, str, str], list[dict]] = {}
     order: list[tuple[str, str, str]] = []
     for rec in records:

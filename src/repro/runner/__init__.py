@@ -9,10 +9,12 @@ turns such a study into data:
   description of a trial grid (algorithm, graph family + sizes, label
   sets, message sets, seeds, and the scenario axes: wake schedules,
   placements, adversary strategies);
-* :func:`~repro.runner.engine.run_experiment` — fans the grid out over
-  a ``multiprocessing`` worker pool (``workers=1`` is a pure serial
-  fallback), captures per-trial failures instead of crashing the
-  sweep, and returns canonical, byte-reproducible result records;
+* :func:`~repro.runner.engine.run_experiment` — hands the grid to a
+  pluggable execution backend (:mod:`repro.runner.backends`: serial,
+  process pool, pipelined batches, or a multi-host file manifest),
+  captures per-trial failures instead of crashing the sweep, and
+  returns canonical, byte-reproducible result records regardless of
+  backend or worker count;
 * :class:`~repro.runner.store.ResultStore` — an on-disk sharded JSON
   store keyed by the spec hash, so re-running a sweep only simulates
   the trials that are missing;
@@ -37,10 +39,18 @@ The CLI front-end is ``python -m repro sweep`` (see
 :mod:`repro.runner.cli`).
 """
 
+from .backends import (
+    BACKENDS,
+    BackendContext,
+    BackendError,
+    ExecutionBackend,
+    get_backend,
+    register_backend,
+)
 from .engine import ExperimentResult, run_experiment
 from .query import QueryError, aggregate, filter_records, record_field
 from .spec import PLACEMENTS, ExperimentSpec, TrialSpec
-from .store import ResultStore
+from .store import MergeWarning, ResultStore
 from .trial import TrialError, TrialResult, execute_trial, resolve_scenario
 from .trial import ALGORITHMS, FAMILIES, PLACEMENT_RESOLVERS
 
@@ -50,7 +60,11 @@ __all__ = [
     "TrialResult",
     "TrialError",
     "ExperimentResult",
+    "ExecutionBackend",
+    "BackendContext",
+    "BackendError",
     "ResultStore",
+    "MergeWarning",
     "QueryError",
     "run_experiment",
     "execute_trial",
@@ -58,7 +72,10 @@ __all__ = [
     "aggregate",
     "filter_records",
     "record_field",
+    "get_backend",
+    "register_backend",
     "ALGORITHMS",
+    "BACKENDS",
     "FAMILIES",
     "PLACEMENTS",
     "PLACEMENT_RESOLVERS",

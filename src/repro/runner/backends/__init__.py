@@ -1,0 +1,78 @@
+"""Pluggable execution backends for the experiment engine.
+
+The engine (:func:`repro.runner.engine.run_experiment`) separates
+*what* to run (the spec's pending trials) from *how* to run it (an
+:class:`~repro.runner.backends.base.ExecutionBackend`).  Backends are
+named, registered here like the adversary/placement strategies, and
+selected per run — via the ``backend=`` argument, the spec's
+``backend`` attribute, or the ``--backend`` CLI flag:
+
+``serial``
+    One process, canonical order; the byte-identical reference path
+    every other backend is diffed against.
+``process``
+    A ``multiprocessing`` pool, one trial per task (the historical
+    ``workers > 1`` path).
+``pipelined``
+    Graph-grouped batches fed to the pool by a prefetching producer;
+    each shared graph is built once per batch instead of once per
+    trial — measurable wall-clock wins on graph-generation-heavy
+    grids.
+``manifest``
+    Multi-host: workers claim trial chunks from a lock-free file
+    manifest under the spec-hash directory (see ``python -m repro
+    worker`` / ``merge``).
+
+All four produce byte-identical records for the same spec — execution
+strategy is never part of a spec's identity, which is why
+``ExperimentSpec.backend`` is excluded from the spec hash.
+"""
+
+from __future__ import annotations
+
+from .base import BackendContext, BackendError, ExecutionBackend
+from .manifest import ManifestBackend, ManifestError
+from .pipelined import PipelinedBackend
+from .process import ProcessBackend
+from .serial import SerialBackend
+
+BACKENDS: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Register a backend instance under its ``name``."""
+    if not getattr(backend, "name", None):
+        raise BackendError("a backend must carry a non-empty name")
+    BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Resolve a backend by name; unknown names list what exists."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown execution backend {name!r}; "
+            f"known: {sorted(BACKENDS)}"
+        ) from None
+
+
+register_backend(SerialBackend())
+register_backend(ProcessBackend())
+register_backend(PipelinedBackend())
+register_backend(ManifestBackend())
+
+__all__ = [
+    "BACKENDS",
+    "BackendContext",
+    "BackendError",
+    "ExecutionBackend",
+    "ManifestBackend",
+    "ManifestError",
+    "PipelinedBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "get_backend",
+    "register_backend",
+]

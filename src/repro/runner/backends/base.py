@@ -1,0 +1,83 @@
+"""The execution-backend protocol and its shared context object.
+
+An :class:`ExecutionBackend` is the layer between spec resolution and
+trial execution: the engine expands the grid, subtracts the cache, and
+hands the *pending* trials to a backend, which executes them however
+it likes — in-process, over a pool, pipelined, or coordinated across
+hosts — and yields one record dict per pending trial, in any order.
+
+The contract every backend must honor:
+
+* **byte-identical records** — for the same spec, every backend
+  produces exactly the records the serial reference path produces
+  (records carry no timing, ordering or process information);
+* **captured failures** — an infeasible trial yields an ``ok=False``
+  record, never an exception (``execute_trial`` guarantees this);
+* **yield-as-you-go** — records are yielded as trials complete, so
+  the engine can report progress and persist incrementally.
+
+Backends are stateless: one instance serves any number of runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spec import ExperimentSpec, TrialSpec
+    from ..store import ResultStore
+
+
+class BackendError(ValueError):
+    """The backend cannot run this spec (bad name, missing store, ...)."""
+
+
+class BackendContext:
+    """Everything a backend needs to execute one run's pending trials.
+
+    Plain data, assembled by :func:`repro.runner.engine.run_experiment`
+    after grid expansion and cache subtraction.  ``store`` is the
+    engine's :class:`~repro.runner.store.ResultStore` (``None`` when
+    caching is disabled) — only coordination backends like ``manifest``
+    need it; persistence of completed records stays the engine's job.
+    """
+
+    __slots__ = (
+        "spec", "pending", "workers", "provider_args", "prewarm",
+        "store", "options", "collected",
+    )
+
+    def __init__(
+        self,
+        spec: "ExperimentSpec",
+        pending: "list[TrialSpec]",
+        workers: int = 1,
+        provider_args: dict | None = None,
+        prewarm: tuple[int, ...] = (),
+        store: "ResultStore | None" = None,
+        options: dict | None = None,
+    ) -> None:
+        self.spec = spec
+        self.pending = pending
+        self.workers = workers
+        self.provider_args = dict(provider_args or {})
+        self.prewarm = tuple(prewarm)
+        self.store = store
+        self.options = dict(options or {})
+        # Incremented by coordination backends for every pending
+        # record they *collected* from another worker rather than
+        # executed themselves; the engine subtracts it so
+        # ``ExperimentResult.executed`` keeps meaning "simulated by
+        # this invocation".
+        self.collected = 0
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Protocol every execution backend implements."""
+
+    name: str
+
+    def execute(self, ctx: BackendContext) -> Iterator[dict]:
+        """Yield one record dict per trial in ``ctx.pending``."""
+        ...  # pragma: no cover - protocol stub

@@ -1,0 +1,349 @@
+"""The manifest backend: multi-host sweeps over a file-based queue.
+
+A *work manifest* turns any shared directory (NFS mount, bind mount,
+plain local dir) into a lock-free job queue for one experiment.  It
+lives under the spec-hash directory of a result store::
+
+    <root>/<spec_hash>/manifest/
+        manifest.json        spec + ordered trial-key chunks
+        claims/chunk-0000.claim    created atomically by the claimant
+        results/chunk-0000.json    the chunk's records, once executed
+
+Claiming is lock-free: a worker claims chunk ``i`` by creating its
+claim file with ``O_CREAT | O_EXCL`` — the filesystem arbitrates, no
+daemon, no lock server.  The manifest itself is a pure function of the
+spec (full grid, canonical order), so concurrent creators write
+identical bytes and the atomic-replace race is benign.
+
+Workers come in two shapes:
+
+* ``python -m repro worker`` (see :mod:`repro.runner.cli`) — claims
+  chunks, executes them, writes chunk results into the manifest *and*
+  ordinary v2 shards into its own store, then exits when nothing is
+  claimable.  ``python -m repro merge`` later unions the sibling
+  stores into one canonical store.
+* the in-engine :class:`ManifestBackend` — same claim loop, but it
+  also polls for chunks claimed by other workers so
+  :func:`~repro.runner.engine.run_experiment` can return the complete
+  record set (and persist canonical shards) once every chunk lands.
+
+Chunks always cover the *full* trial grid — not one worker's view of
+what is uncached — so every participant agrees on chunk identity
+regardless of local cache state.  Trials are deterministic, so a
+worker re-executing a locally-cached trial produces the identical
+record; the only cost is wasted work, never divergence.
+
+A crashed worker leaves a claim without a result; delete the stale
+``.claim`` file to make the chunk claimable again (claim files record
+worker id and pid to make that call easy).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Iterator
+
+from ...explore.uxs import UXSProvider
+from ..spec import ExperimentSpec
+from ..trial import execute_trial
+from .base import BackendContext, BackendError
+
+MANIFEST_VERSION = 1
+_DEFAULT_CHUNK_SIZE = 16
+
+
+class ManifestError(RuntimeError):
+    """The manifest is missing, stale, or stopped making progress."""
+
+
+def manifest_dir(root: str | os.PathLike, spec_hash: str) -> pathlib.Path:
+    """The manifest directory of ``spec_hash`` under store ``root``."""
+    return pathlib.Path(root) / spec_hash / "manifest"
+
+
+def _chunk_name(chunk_id: int) -> str:
+    return f"chunk-{chunk_id:04d}"
+
+
+def _write_atomic(path: pathlib.Path, payload: dict) -> None:
+    # The temp name carries the pid: the manifest dir is shared, and
+    # two hosts racing to create the (identical) manifest must not
+    # interleave writes into one temp file.
+    text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+    tmp = path.with_suffix(f".tmp-{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def ensure_manifest(
+    root: str | os.PathLike,
+    spec: ExperimentSpec,
+    chunk_size: int = _DEFAULT_CHUNK_SIZE,
+) -> tuple[pathlib.Path, dict]:
+    """Create (or attach to) the spec's manifest; return ``(dir, payload)``.
+
+    Exactly one creator wins: racing workers arbitrate through an
+    ``O_CREAT | O_EXCL`` lock file (claim-style), so even workers
+    started with *different* ``chunk_size`` arguments end up sharing
+    one chunking — ``chunk_size`` only applies for the worker that
+    actually creates the manifest; everyone else adopts what is on
+    disk.  A manifest whose spec hash does not match raises
+    :class:`ManifestError` (the directory was moved or the package
+    version changed under it).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    spec_hash = spec.spec_hash()
+    mdir = manifest_dir(root, spec_hash)
+    path = mdir / "manifest.json"
+    if not path.exists():
+        (mdir / "claims").mkdir(parents=True, exist_ok=True)
+        (mdir / "results").mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                mdir / "manifest.lock",
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            # Another worker is writing the manifest right now; wait
+            # for its atomic replace to land.
+            deadline = time.monotonic() + 30.0
+            while not path.exists():
+                if time.monotonic() > deadline:
+                    raise ManifestError(
+                        f"{mdir / 'manifest.lock'} exists but "
+                        "manifest.json never appeared; its creator "
+                        "likely crashed — delete the lock to retry"
+                    )
+                time.sleep(0.05)
+        else:
+            os.close(fd)
+            keys = [t.key for t in spec.trials()]
+            chunks = [
+                keys[start:start + chunk_size]
+                for start in range(0, len(keys), chunk_size)
+            ]
+            _write_atomic(path, {
+                "version": MANIFEST_VERSION,
+                "spec_hash": spec_hash,
+                "spec": spec.to_dict(),
+                "chunk_size": chunk_size,
+                "chunks": chunks,
+                "total": len(keys),
+            })
+    payload = json.loads(path.read_text())
+    if payload.get("version") != MANIFEST_VERSION:
+        raise ManifestError(
+            f"manifest {path} has version {payload.get('version')!r}, "
+            f"expected {MANIFEST_VERSION}"
+        )
+    if payload.get("spec_hash") != spec_hash:
+        raise ManifestError(
+            f"manifest {path} belongs to spec "
+            f"{payload.get('spec_hash')!r}, not {spec_hash!r}"
+        )
+    return mdir, payload
+
+
+def claim_chunk(mdir: pathlib.Path, chunk_id: int, worker_id: str) -> bool:
+    """Atomically claim one chunk; ``False`` if someone else has it."""
+    path = mdir / "claims" / f"{_chunk_name(chunk_id)}.claim"
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w") as handle:
+        json.dump({"worker": worker_id, "pid": os.getpid()}, handle)
+    return True
+
+
+def claim_next(
+    mdir: pathlib.Path, n_chunks: int, worker_id: str
+) -> int | None:
+    """Claim the lowest available chunk; ``None`` when none remain."""
+    for chunk_id in range(n_chunks):
+        if chunk_result_path(mdir, chunk_id).exists():
+            continue
+        if (mdir / "claims" / f"{_chunk_name(chunk_id)}.claim").exists():
+            continue
+        if claim_chunk(mdir, chunk_id, worker_id):
+            return chunk_id
+    return None
+
+
+def chunk_result_path(mdir: pathlib.Path, chunk_id: int) -> pathlib.Path:
+    return mdir / "results" / f"{_chunk_name(chunk_id)}.json"
+
+
+def write_chunk_result(
+    mdir: pathlib.Path, chunk_id: int, spec_hash: str, records: list[dict]
+) -> None:
+    """Persist one executed chunk's records (atomic, deterministic)."""
+    _write_atomic(chunk_result_path(mdir, chunk_id), {
+        "version": MANIFEST_VERSION,
+        "spec_hash": spec_hash,
+        "chunk": chunk_id,
+        "records": records,
+    })
+
+
+def read_chunk_result(
+    mdir: pathlib.Path, chunk_id: int
+) -> list[dict] | None:
+    """The chunk's records, or ``None`` while it is missing/in-flight."""
+    try:
+        payload = json.loads(chunk_result_path(mdir, chunk_id).read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != MANIFEST_VERSION:
+        return None
+    records = payload.get("records")
+    return records if isinstance(records, list) else None
+
+
+def reset_failed_chunks(mdir: pathlib.Path, payload: dict) -> int:
+    """Make chunks whose stored result captured a failure claimable again.
+
+    The engine deliberately never caches ``ok=False`` records — a
+    captured failure may be transient, so it re-runs on the next
+    invocation.  Chunk results must honor the same contract: a result
+    file containing any failed record is deleted (together with its
+    claim) when a new run attaches, so those trials re-execute instead
+    of replaying the stale failure forever.  Returns the number of
+    chunks reset.
+
+    Only safe while no worker is mid-flight on the chunk, which holds
+    at attach time: a chunk with a result file is finished, and the
+    worst case of two attaching workers racing here is a benign
+    double-execution of a deterministic chunk.
+    """
+    reset = 0
+    for chunk_id in range(len(payload["chunks"])):
+        records = read_chunk_result(mdir, chunk_id)
+        if records is None:
+            continue
+        if all(record.get("ok") for record in records):
+            continue
+        chunk_result_path(mdir, chunk_id).unlink(missing_ok=True)
+        claim = mdir / "claims" / f"{_chunk_name(chunk_id)}.claim"
+        claim.unlink(missing_ok=True)
+        reset += 1
+    return reset
+
+
+def manifest_status(mdir: pathlib.Path, payload: dict) -> dict:
+    """Progress counters: total/claimed/done chunk counts."""
+    n_chunks = len(payload["chunks"])
+    done = sum(
+        1 for i in range(n_chunks) if chunk_result_path(mdir, i).exists()
+    )
+    claimed = sum(
+        1 for i in range(n_chunks)
+        if (mdir / "claims" / f"{_chunk_name(i)}.claim").exists()
+    )
+    return {"chunks": n_chunks, "claimed": claimed, "done": done}
+
+
+def execute_chunk(
+    spec_hash: str,
+    keys: list[str],
+    by_key: dict,
+    provider: UXSProvider,
+) -> list[dict]:
+    """Execute one chunk's trials in manifest order."""
+    records = []
+    for key in keys:
+        try:
+            trial = by_key[key]
+        except KeyError:
+            raise ManifestError(
+                f"manifest for spec {spec_hash} names trial {key!r} "
+                "which the spec does not generate; the manifest is "
+                "stale — delete it to rebuild"
+            ) from None
+        records.append(execute_trial(trial, provider=provider).record())
+    return records
+
+
+class ManifestBackend:
+    """Claim chunks from the store's manifest; poll for the rest."""
+
+    name = "manifest"
+
+    def execute(self, ctx: BackendContext) -> Iterator[dict]:
+        store = ctx.store
+        if store is None or not hasattr(store, "root"):
+            raise BackendError(
+                "the manifest backend coordinates through a result "
+                "store directory; pass store=<dir> (and leave caching "
+                "enabled)"
+            )
+        spec = ctx.spec
+        chunk_size = int(
+            ctx.options.get("chunk_size", _DEFAULT_CHUNK_SIZE)
+        )
+        worker_id = str(
+            ctx.options.get("worker_id", f"engine-{os.getpid()}")
+        )
+        poll_interval = float(ctx.options.get("poll_interval", 0.2))
+        timeout = float(ctx.options.get("timeout", 600.0))
+        mdir, payload = ensure_manifest(store.root, spec, chunk_size)
+        reset_failed_chunks(mdir, payload)
+        chunks: list[list[str]] = payload["chunks"]
+        by_key = {t.key: t for t in spec.trials()}
+        # The engine only wants records for what it considers pending;
+        # chunks may also contain locally-cached trials (the manifest
+        # covers the full grid so all hosts agree on chunk identity).
+        pending_keys = {t.key for t in ctx.pending}
+        provider = UXSProvider(**ctx.provider_args)
+        seen: set[int] = set()
+
+        while True:
+            chunk_id = claim_next(mdir, len(chunks), worker_id)
+            if chunk_id is None:
+                break
+            records = execute_chunk(
+                payload["spec_hash"], chunks[chunk_id], by_key, provider
+            )
+            write_chunk_result(
+                mdir, chunk_id, payload["spec_hash"], records
+            )
+            seen.add(chunk_id)
+            for record in records:
+                if record["key"] in pending_keys:
+                    yield record
+
+        # Every remaining chunk is claimed by another worker: collect
+        # its result as it lands (deterministic execution makes the
+        # bytes identical to what this process would have produced).
+        deadline = time.monotonic() + timeout
+        while len(seen) < len(chunks):
+            progressed = False
+            for chunk_id in range(len(chunks)):
+                if chunk_id in seen:
+                    continue
+                records = read_chunk_result(mdir, chunk_id)
+                if records is None:
+                    continue
+                seen.add(chunk_id)
+                progressed = True
+                for record in records:
+                    if record["key"] in pending_keys:
+                        ctx.collected += 1
+                        yield record
+            if len(seen) == len(chunks):
+                break
+            if progressed:
+                deadline = time.monotonic() + timeout
+            elif time.monotonic() > deadline:
+                missing = sorted(set(range(len(chunks))) - seen)
+                raise ManifestError(
+                    f"timed out waiting for {len(missing)} chunk(s) "
+                    f"claimed by other workers: {missing}; if a worker "
+                    "crashed, delete its stale claims/ file(s) under "
+                    f"{mdir} and re-run"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,47 @@
+"""The multiprocessing backend: one trial per pool task.
+
+The original ``workers > 1`` path of the engine, extracted behind the
+:class:`~repro.runner.backends.base.ExecutionBackend` protocol.  Each
+pool worker builds its :class:`~repro.explore.uxs.UXSProvider` once in
+the initializer (pre-warmed for every size bound the grid needs) and
+receives plain trial dicts, so nothing graph-sized ever crosses the
+process boundary (see :mod:`repro.runner.worker`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator
+
+from .. import worker as worker_mod
+from .base import BackendContext
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheapest, fully deterministic), else spawn.
+
+    The workers only use picklable dicts and importable top-level
+    functions, so both start methods produce identical records.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ProcessBackend:
+    """Fan trials out over a ``multiprocessing`` pool, one per task."""
+
+    name = "process"
+
+    def execute(self, ctx: BackendContext) -> Iterator[dict]:
+        mp = pool_context()
+        payloads = [t.to_dict() for t in ctx.pending]
+        with mp.Pool(
+            processes=ctx.workers,
+            initializer=worker_mod.init_worker,
+            initargs=(ctx.provider_args, ctx.prewarm),
+        ) as pool:
+            yield from pool.imap_unordered(
+                worker_mod.run_trial_payload, payloads, chunksize=1
+            )

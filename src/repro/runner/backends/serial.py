@@ -1,0 +1,28 @@
+"""The serial reference backend: one process, canonical order.
+
+This is the byte-identical fallback every other backend is measured
+against: trials execute in canonical grid order, in-process, sharing a
+single :class:`~repro.explore.uxs.UXSProvider` so each exploration
+sequence is derived at most once per run.  It is the only backend that
+accepts specs with a custom ``graph_factory`` (factories are not
+generally picklable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...explore.uxs import UXSProvider
+from ..trial import execute_trial
+from .base import BackendContext
+
+
+class SerialBackend:
+    """Execute pending trials in-process, in canonical order."""
+
+    name = "serial"
+
+    def execute(self, ctx: BackendContext) -> Iterator[dict]:
+        provider = UXSProvider(**ctx.provider_args)
+        for trial in ctx.pending:
+            yield execute_trial(trial, provider=provider).record()

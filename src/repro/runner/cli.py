@@ -1,17 +1,23 @@
-"""``python -m repro sweep|query|compact`` — engine CLI front-ends.
+"""``python -m repro sweep|query|compact|worker|merge`` — engine CLI.
 
-``sweep`` runs a declarative trial grid with progress output, prints a
-result table, and memoizes completed trials under ``--cache-dir`` so a
-repeated invocation with the same spec does zero re-simulation::
+``sweep`` runs a declarative trial grid with progress output (trials/s
+and ETA), prints a result table, and memoizes completed trials under
+``--cache-dir`` so a repeated invocation with the same spec does zero
+re-simulation.  ``--backend`` picks the execution strategy (serial,
+process, pipelined, manifest) — all byte-identical::
 
     python -m repro sweep --sizes 4,6,8 --labels 1,2 --workers 4
     python -m repro sweep --algorithm gossip_known --family ring \\
         --sizes 4,6 --labels 1,2 --messages 101,01 --cache-dir .repro-cache
     python -m repro sweep --sizes 6 --wake simultaneous,staggered:2 \\
         --placement spread,eccentric --adversary fixed,worst_of:4
+    python -m repro sweep --family random_regular --sizes 20,30 \\
+        --workers 4 --backend pipelined
 
 ``query`` filters and aggregates the cached records without
-re-simulating anything::
+re-simulating anything — streamed shard by shard, never holding a
+whole study's records in memory (decomposable stats keep running
+aggregates per group; exact percentiles keep one number per record)::
 
     python -m repro query --list
     python -m repro query --where n=6 --where wake_schedule=staggered:2 \\
@@ -20,18 +26,30 @@ re-simulating anything::
 ``compact`` rewrites the store into canonical shards (healing corrupt
 or orphaned shard files).
 
-Sweep exit status is 0 when every trial succeeded, 1 otherwise (failed
-trials are reported in the table, never crash the sweep).  Query and
-compact exit 0 on success and 2 on a malformed request.
+``worker`` and ``merge`` are the multi-host pair: workers with the
+same spec arguments claim chunks from a shared file manifest and write
+their own stores; merge unions those stores into one canonical store
+(see docs/experiments.md for the two-terminal recipe)::
+
+    python -m repro worker --sizes 6,8 --seeds 0,1,2,3 \\
+        --manifest-dir shared --cache-dir store-a
+    python -m repro merge --into merged store-a store-b
+
+Sweep and worker exit status is 0 when every executed trial succeeded,
+1 otherwise (failed trials are reported, never crash the run).  Query,
+compact and merge exit 0 on success and 2 on a malformed request.
 """
 
 from __future__ import annotations
 
 import argparse
 import json as _json
+import os as _os
 import sys as _sys
+import time as _time
 
 from . import query as query_mod
+from .backends import BACKENDS, BackendError, ManifestError
 from .engine import run_experiment
 from .spec import PLACEMENTS, ExperimentSpec
 from .store import ResultStore
@@ -56,12 +74,9 @@ def _parse_sets(text: str, caster) -> tuple[tuple, ...]:
     return tuple(out)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro sweep",
-        description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Spec axes shared by ``sweep`` and ``worker`` (same grid, same
+    hash — a worker invoked with a sweep's arguments joins its study)."""
     parser.add_argument(
         "--algorithm", default="gather_known", choices=sorted(ALGORITHMS),
         help="algorithm to run (default: gather_known)",
@@ -111,9 +126,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="pass replicate seeds to the generator verbatim instead "
              "of deriving a per-trial seed",
     )
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Build the :class:`ExperimentSpec` shared arguments describe."""
+    label_sets = _parse_sets(args.labels, int)
+    message_sets = (
+        None
+        if args.messages is None
+        else _parse_sets(args.messages, str)
+    )
+    return ExperimentSpec(
+        algorithm=args.algorithm,
+        family=args.family,
+        sizes=args.sizes,
+        label_sets=label_sets,
+        message_sets=message_sets,
+        seeds=args.seeds,
+        n_bound=args.n_bound,
+        placements=_parse_str_list(args.placement),
+        wake_schedules=_parse_str_list(args.wake),
+        adversaries=_parse_str_list(args.adversary),
+        graph_seed_mode="fixed" if args.fixed_graph_seed else "derived",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_spec_arguments(parser)
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (1 = serial; default: 1)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=sorted(BACKENDS),
+        help="execution backend (default: serial for --workers 1, "
+             "process otherwise)",
     )
     parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
@@ -130,6 +182,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _ProgressMeter:
+    """Throughput and ETA for sweep progress lines.
+
+    Cached trials flood in before any simulation starts (the engine
+    reports them first); every cached line restarts the clock, so the
+    rate covers the simulation phase only — a warm cache skews neither
+    trials/s nor the ETA.
+    """
+
+    def __init__(self) -> None:
+        self.started = _time.monotonic()
+        self.simulated = 0
+
+    def reset_clock(self) -> None:
+        if not self.simulated:
+            self.started = _time.monotonic()
+
+    def line(self, done: int, total: int) -> str:
+        self.simulated += 1
+        elapsed = max(_time.monotonic() - self.started, 1e-9)
+        rate = self.simulated / elapsed
+        eta = (total - done) / rate
+        return f"{rate:.1f} trials/s, eta {eta:.0f}s"
+
+    def summary(self) -> str:
+        elapsed = max(_time.monotonic() - self.started, 1e-9)
+        if not self.simulated:
+            return ""
+        return (
+            f"  ({self.simulated / elapsed:.1f} trials/s, "
+            f"{elapsed:.1f}s)"
+        )
+
+
 def sweep_main(argv: list[str]) -> int:
     # Imported lazily: repro.analysis.sweeps itself imports this
     # package, and the table renderer is only needed by the CLI.
@@ -137,45 +223,44 @@ def sweep_main(argv: list[str]) -> int:
 
     args = build_parser().parse_args(argv)
     try:
-        label_sets = _parse_sets(args.labels, int)
-        message_sets = (
-            None
-            if args.messages is None
-            else _parse_sets(args.messages, str)
-        )
         if args.workers < 1:
             raise ValueError("--workers must be >= 1")
-        spec = ExperimentSpec(
-            algorithm=args.algorithm,
-            family=args.family,
-            sizes=args.sizes,
-            label_sets=label_sets,
-            message_sets=message_sets,
-            seeds=args.seeds,
-            n_bound=args.n_bound,
-            placements=_parse_str_list(args.placement),
-            wake_schedules=_parse_str_list(args.wake),
-            adversaries=_parse_str_list(args.adversary),
-            graph_seed_mode="fixed" if args.fixed_graph_seed else "derived",
-        )
+        spec = _spec_from_args(args)
     except ValueError as exc:  # SpecError is a ValueError
         print(f"error: {exc}")
         return 2
 
-    def report_progress(done: int, total: int, rec: dict, cache: bool) -> None:
-        if args.quiet:
-            return
-        status = "cached" if cache else (
-            "ok" if rec["ok"] else "FAILED"
-        )
-        print(f"[{done}/{total}] {rec['key']}  {status}")
+    meter = _ProgressMeter()
 
-    result = run_experiment(
-        spec,
-        workers=args.workers,
-        store=None if args.no_cache else args.cache_dir,
-        progress=report_progress,
-    )
+    def report_progress(done: int, total: int, rec: dict, cache: bool) -> None:
+        if cache:
+            meter.reset_clock()
+            if not args.quiet:
+                print(f"[{done}/{total}] {rec['key']}  cached")
+            return
+        detail = meter.line(done, total)
+        if not args.quiet:
+            status = "ok" if rec["ok"] else "FAILED"
+            print(f"[{done}/{total}] {rec['key']}  {status}  ({detail})")
+
+    try:
+        result = run_experiment(
+            spec,
+            workers=args.workers,
+            store=None if args.no_cache else args.cache_dir,
+            progress=report_progress,
+            backend=args.backend,
+        )
+    except BackendError as exc:
+        # e.g. --backend manifest together with --no-cache: a bad
+        # request, not a crash.
+        print(f"error: {exc}")
+        return 2
+    except ManifestError as exc:
+        # A runtime coordination failure (stale manifest, timed-out
+        # foreign claim): report like a failed run, not a traceback.
+        print(f"error: {exc}")
+        return 1
 
     table = ResultTable(
         f"sweep: {args.algorithm} on {args.family} "
@@ -199,7 +284,7 @@ def sweep_main(argv: list[str]) -> int:
     print(
         f"trials: {len(result.records)}  "
         f"simulated: {result.executed}  cached: {result.cached}  "
-        f"failed: {result.failed}"
+        f"failed: {result.failed}{meter.summary()}"
     )
     if not args.no_cache:
         print(f"result store: {args.cache_dir} (delete to force re-runs)")
@@ -321,27 +406,26 @@ def query_main(argv: list[str]) -> int:
 
     try:
         where = query_mod.parse_where(args.where)
-        records = list(store.iter_records(args.spec))
-        if not records:
+        group_by = _parse_str_list(args.group_by)
+        metrics = _parse_str_list(args.metrics)
+        stats = _parse_str_list(args.stats)
+        # One streaming pass, shard by shard: the store never
+        # materializes a whole spec's records.  Decomposable stats
+        # keep O(groups) running aggregates; exact percentiles keep
+        # one numeric value per aggregated record — never full dicts.
+        aggregator = query_mod.StreamAggregator(
+            where, group_by=group_by, metrics=metrics, stats=stats
+        )
+        for record in store.iter_records(args.spec):
+            aggregator.add(record)
+        if not aggregator.records:
             print(
                 "error: the matching store entries hold no records "
                 "(failed trials are never cached)",
                 file=err_stream,
             )
             return 2
-        group_by = _parse_str_list(args.group_by)
-        metrics = _parse_str_list(args.metrics)
-        query_mod.require_known_fields(
-            records, list(where) + list(group_by) + list(metrics)
-        )
-        matched = query_mod.filter_records(records, where)
-        # The store only ever persists ok records (failures are
-        # retried, not cached), but guard anyway for other backends.
-        aggregated = [r for r in matched if r.get("ok")]
-        stats = _parse_str_list(args.stats)
-        rows = query_mod.aggregate(
-            aggregated, group_by=group_by, metrics=metrics, stats=stats
-        )
+        rows = aggregator.rows()
     except ValueError as exc:  # QueryError, ambiguous --spec prefix
         print(f"error: {exc}", file=err_stream)
         return 2
@@ -376,8 +460,8 @@ def query_main(argv: list[str]) -> int:
             table.add_row(*cells)
         table.emit()
     print(
-        f"records: {len(records)}  matched: {len(matched)}  "
-        f"aggregated: {len(aggregated)}  groups: {len(rows)}",
+        f"records: {aggregator.records}  matched: {aggregator.matched}  "
+        f"aggregated: {aggregator.aggregated}  groups: {len(rows)}",
         file=err_stream,
     )
     return 0
@@ -417,5 +501,202 @@ def compact_main(argv: list[str]) -> int:
     print(
         f"compacted {stats['specs']} spec(s), {stats['records']} "
         f"record(s); removed {stats['removed']} stale file(s)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro worker`` — one participant of a multi-host sweep.
+# ----------------------------------------------------------------------
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Claim and execute trial chunks from a shared "
+                    "work manifest.  Start any number of workers with "
+                    "identical spec arguments and a shared "
+                    "--manifest-dir; each writes ordinary v2 shards "
+                    "into its own --cache-dir, which 'python -m repro "
+                    "merge' later unions into one canonical store.",
+    )
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--manifest-dir", default=None, metavar="DIR",
+        help="shared manifest root all workers coordinate through "
+             "(default: --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="this worker's own result store (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="name recorded in claim files (default: worker-<pid>)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=16, metavar="N",
+        help="trials per manifest chunk, applied when this worker "
+             "creates the manifest (default: 16)",
+    )
+    parser.add_argument(
+        "--max-chunks", type=int, default=None, metavar="N",
+        help="stop after claiming N chunks (default: run until no "
+             "chunk is claimable)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-chunk progress lines",
+    )
+    return parser
+
+
+def worker_main(argv: list[str]) -> int:
+    from ..explore.uxs import UXSProvider
+    from .backends import manifest as manifest_mod
+
+    args = build_worker_parser().parse_args(argv)
+    try:
+        if args.chunk_size < 1:
+            raise ValueError("--chunk-size must be >= 1")
+        if args.max_chunks is not None and args.max_chunks < 1:
+            raise ValueError("--max-chunks must be >= 1")
+        spec = _spec_from_args(args)
+        manifest_root = args.manifest_dir or args.cache_dir
+        mdir, payload = manifest_mod.ensure_manifest(
+            manifest_root, spec, chunk_size=args.chunk_size
+        )
+        # Chunks that previously captured a failure become claimable
+        # again: failures are retried, never replayed (the same
+        # contract the result store honors).
+        manifest_mod.reset_failed_chunks(mdir, payload)
+    except (ValueError, manifest_mod.ManifestError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    worker_id = args.worker_id or f"worker-{_os.getpid()}"
+    chunks: list[list[str]] = payload["chunks"]
+    by_key = {t.key: t for t in spec.trials()}
+    store = ResultStore(args.cache_dir)
+    provider = UXSProvider()
+    meter = _ProgressMeter()
+    ok_records: dict[str, dict] = dict(store.load(spec))
+    claimed = 0
+    executed = 0
+    failed = 0
+    # Saving re-serializes every accumulated shard, so doing it after
+    # *every* chunk turns a long sweep quadratic; throttle to one save
+    # per interval (a crash re-runs at most a few seconds of chunks,
+    # and their manifest results survive for the next worker's exit
+    # sweep below).
+    save_interval = 5.0
+    last_save = _time.monotonic()
+    while args.max_chunks is None or claimed < args.max_chunks:
+        chunk_id = manifest_mod.claim_next(mdir, len(chunks), worker_id)
+        if chunk_id is None:
+            break
+        claimed += 1
+        try:
+            records = manifest_mod.execute_chunk(
+                payload["spec_hash"], chunks[chunk_id], by_key, provider
+            )
+        except manifest_mod.ManifestError as exc:
+            print(f"error: {exc}")
+            return 2
+        manifest_mod.write_chunk_result(
+            mdir, chunk_id, payload["spec_hash"], records
+        )
+        executed += len(records)
+        failed += sum(1 for r in records if not r["ok"])
+        for record in records:
+            meter.simulated += 1
+            if record["ok"]:
+                ok_records[record["key"]] = record
+        if (
+            ok_records
+            and _time.monotonic() - last_save >= save_interval
+        ):
+            store.save(spec, ok_records)
+            last_save = _time.monotonic()
+        if not args.quiet:
+            status = manifest_mod.manifest_status(mdir, payload)
+            elapsed = max(_time.monotonic() - meter.started, 1e-9)
+            print(
+                f"[chunk {chunk_id}] {len(records)} trial(s)  "
+                f"done {status['done']}/{status['chunks']} chunks  "
+                f"({meter.simulated / elapsed:.1f} trials/s)"
+            )
+    # Exit sweep: fold in every chunk result that has landed —
+    # including chunks executed by workers that crashed before their
+    # own (throttled) save — so any one worker exiting normally after
+    # the last result is enough for 'merge' to see the whole study.
+    # Records are deterministic, so imports never disagree with ours.
+    for chunk_id in range(len(chunks)):
+        records = manifest_mod.read_chunk_result(mdir, chunk_id)
+        for record in records or ():
+            if record["ok"]:
+                ok_records.setdefault(record["key"], record)
+    # Failures are never stored (they re-run), as in the engine.
+    if ok_records:
+        store.save(spec, ok_records)
+    status = manifest_mod.manifest_status(mdir, payload)
+    print(
+        f"worker {worker_id}: claimed {claimed} chunk(s), "
+        f"executed {executed} trial(s), failed {failed}; manifest "
+        f"{status['done']}/{status['chunks']} chunks done"
+    )
+    print(f"result store: {args.cache_dir}")
+    return 0 if failed == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro merge`` — union sibling stores.
+# ----------------------------------------------------------------------
+
+def merge_main(argv: list[str]) -> int:
+    import warnings as _warnings
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro merge",
+        description="Union sibling result stores (e.g. per-worker "
+                    "stores of a manifest sweep) into one canonical "
+                    "store.  Duplicate trial keys are last-write-wins "
+                    "in source order; corrupt shards are skipped; "
+                    "legacy v1 sources land as v2 shards.",
+    )
+    parser.add_argument(
+        "--into", required=True, metavar="DIR",
+        help="destination store (created if missing; its own records "
+             "participate as the base layer)",
+    )
+    parser.add_argument(
+        "sources", nargs="+", metavar="SRC",
+        help="source store directories, lowest precedence first",
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="records per destination shard (default: the store's "
+             "default)",
+    )
+    args = parser.parse_args(argv)
+    kwargs = {}
+    if args.shard_size is not None:
+        kwargs["shard_size"] = args.shard_size
+    try:
+        dest = ResultStore(args.into, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not any(ResultStore(src).list_specs() for src in args.sources):
+        print("error: no cached results in any source store")
+        return 2
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always")
+        stats = dest.merge_from(args.sources)
+    for warning in caught:
+        print(f"warning: {warning.message}", file=_sys.stderr)
+    print(
+        f"merged {stats['specs']} spec(s), {stats['records']} "
+        f"record(s) into {args.into}; {stats['duplicates']} "
+        f"conflicting duplicate(s), {stats['skipped']} spec(s) skipped"
     )
     return 0

@@ -8,28 +8,28 @@ examples and the ``python -m repro sweep`` CLI:
    grid;
 2. subtract the trials already present in the :class:`ResultStore`
    (when caching is enabled);
-3. execute the remainder — serially for ``workers=1`` (bit-for-bit
-   reproducible reference path), or over a ``multiprocessing`` pool
-   whose workers each build their :class:`UXSProvider` once;
+3. hand the remainder to an execution backend
+   (:mod:`repro.runner.backends`) — ``serial`` in-process, ``process``
+   over a ``multiprocessing`` pool, ``pipelined`` with graph-grouped
+   prefetched batches, or ``manifest`` coordinating multiple hosts
+   through a file-based work queue;
 4. merge, persist, and return the records in canonical grid order.
 
-Records contain no timing or process information, so the result of a
-parallel run is byte-identical to a serial one; wall-clock effort only
-appears in the :class:`ExperimentResult` counters, never in records.
+Records contain no timing or process information, so every backend
+produces byte-identical records for the same spec; wall-clock effort
+only appears in the :class:`ExperimentResult` counters, never in
+records.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 from typing import Callable, cast
 
-from ..explore.uxs import UXSProvider
-from . import worker as worker_mod
+from .backends import BackendContext, get_backend
 from .spec import ExperimentSpec, SpecError
 from .store import ResultStore
-from .trial import execute_trial
 
 # progress callback: (done, total, record, from_cache) -> None
 ProgressFn = Callable[[int, int, dict, bool], None]
@@ -81,22 +81,14 @@ class ExperimentResult:
         )
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork is cheapest and fully deterministic here; fall back to spawn
-    # where fork is unavailable (the workers only use picklable dicts
-    # and importable top-level functions, so both methods work).
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-
-
 def run_experiment(
     spec: ExperimentSpec,
     workers: int = 1,
     store: ResultStore | str | None = None,
     progress: ProgressFn | None = None,
     provider_args: dict | None = None,
+    backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> ExperimentResult:
     """Run (or incrementally complete) an experiment grid.
 
@@ -106,25 +98,41 @@ def run_experiment(
         The declarative trial grid.
     workers:
         ``1`` executes in-process (serial reference path); ``>1`` fans
-        trials out over a process pool.  Both produce byte-identical
-        records.
+        trials out over a process pool.  Every backend and worker
+        count produces byte-identical records.
     store:
         A :class:`ResultStore`, a directory path, or ``None`` to
         disable memoization.  Ignored for non-cacheable specs (custom
-        ``graph_factory``).
+        ``graph_factory``); required by the ``manifest`` backend.
     progress:
         Optional callback ``(done, total, record, from_cache)`` invoked
         as each trial completes (cached trials first).
     provider_args:
         Keyword arguments for each worker's :class:`UXSProvider`
         (default: the provider's own defaults).
+    backend:
+        Execution-backend name (see :mod:`repro.runner.backends`).
+        Overrides ``spec.backend``; when both are ``None`` the
+        historical mapping applies — ``serial`` for ``workers=1``,
+        ``process`` otherwise.
+    backend_options:
+        Backend-specific knobs (e.g. ``batch_size`` for ``pipelined``,
+        ``chunk_size``/``worker_id``/``timeout`` for ``manifest``).
+        Never part of the spec identity.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if spec.graph_factory is not None and workers != 1:
+    backend_name = backend or spec.backend
+    if backend_name is None:
+        backend_name = "serial" if workers == 1 else "process"
+    executor = get_backend(backend_name)
+    if spec.graph_factory is not None and (
+        backend_name != "serial" or workers != 1
+    ):
         raise SpecError(
             "a spec with a custom graph_factory must run with workers=1 "
-            "(factories are not generally picklable)"
+            "on the serial backend (factories are not generally "
+            "picklable)"
         )
     trials = spec.trials()
     order = {t.key: i for i, t in enumerate(trials)}
@@ -159,33 +167,36 @@ def run_experiment(
 
     try:
         if pending:
-            prewarm = tuple(sorted({t.n_bound for t in pending}))
-            if workers == 1:
-                provider = UXSProvider(**provider_args)
-                for rec_trial in pending:
-                    record = execute_trial(
-                        rec_trial, provider=provider
-                    ).record()
-                    done_records[record["key"]] = record
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, record, False)
-            else:
-                ctx = _pool_context()
-                payloads = [t.to_dict() for t in pending]
-                with ctx.Pool(
-                    processes=workers,
-                    initializer=worker_mod.init_worker,
-                    initargs=(provider_args, prewarm),
-                ) as pool:
-                    results = pool.imap_unordered(
-                        worker_mod.run_trial_payload, payloads, chunksize=1
-                    )
-                    for record in results:
-                        done_records[record["key"]] = record
-                        done += 1
-                        if progress is not None:
-                            progress(done, total, record, False)
+            context = BackendContext(
+                spec=spec,
+                pending=pending,
+                workers=workers,
+                provider_args=provider_args,
+                prewarm=tuple(sorted({t.n_bound for t in pending})),
+                store=result_store if use_store else None,
+                options=backend_options,
+            )
+            for record in executor.execute(context):
+                done_records[record["key"]] = record
+                done += 1
+                if progress is not None:
+                    progress(done, total, record, False)
+            # Backends yield one record per pending trial; anything
+            # short of that (a manifest whose chunking diverged, a
+            # buggy third-party backend) must fail loudly, never
+            # return a silently incomplete result.
+            missing = [
+                t.key for t in pending if t.key not in done_records
+            ]
+            if missing:
+                raise RuntimeError(
+                    f"backend {backend_name!r} returned no record for "
+                    f"{len(missing)} pending trial(s), e.g. "
+                    f"{missing[0]!r}"
+                )
+            executed = len(pending) - context.collected
+        else:
+            executed = 0
     finally:
         # Persist whatever completed even if the sweep was interrupted
         # mid-grid, so a re-run only simulates the gap.  Failed trials
@@ -210,5 +221,5 @@ def run_experiment(
 
     ordered = sorted(done_records.values(), key=lambda r: order[r["key"]])
     return ExperimentResult(
-        spec, ordered, executed=len(pending), cached=cached
+        spec, ordered, executed=executed, cached=cached
     )

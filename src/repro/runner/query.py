@@ -228,6 +228,158 @@ def aggregate(
     return rows
 
 
+_PERCENTILE_STATS = frozenset({"p50", "p95"})
+
+
+class StreamAggregator:
+    """One-pass filter/group/aggregate over a record stream.
+
+    The list-based helpers above need every record in memory;
+    million-trial stores make that the query CLI's peak footprint.
+    This accumulator is fed one record at a time (shard by shard, via
+    :meth:`repro.runner.store.ResultStore.iter_spec_records`) and
+    never holds record dicts.  With only decomposable stats requested
+    (``count``/``mean``/``min``/``max``/``sum``) it keeps four running
+    numbers per group and metric — memory scales with the number of
+    groups.  Exact nearest-rank percentiles (``p50``/``p95``) are not
+    decomposable, so requesting them keeps the per-group numeric
+    values (one number per record — still far below whole records).
+    The output of :meth:`rows` is exactly what :func:`aggregate`
+    returns for the same records, and the counters match the CLI's
+    summary line.
+
+    Field validation is deferred to :meth:`rows`: a streaming pass
+    cannot know all addressable fields until it has seen every record,
+    so unknown-field errors surface after the scan, before any output.
+    """
+
+    def __init__(
+        self,
+        where: dict[str, str],
+        group_by: Sequence[str] = (),
+        metrics: Sequence[str] = ("rounds",),
+        stats: Sequence[str] = ("count", "mean", "p50", "p95", "max"),
+    ) -> None:
+        for stat in stats:
+            if stat not in STATS:
+                raise QueryError(f"unknown stat {stat!r}; known: {STATS}")
+        for metric in metrics:
+            if metric in ("count", "group"):
+                raise QueryError(
+                    f"{metric!r} is a row key, not a metric; "
+                    "'count' is always reported per group"
+                )
+        self.where = dict(where)
+        self.group_by = tuple(group_by)
+        self.metrics = tuple(metrics)
+        self.stats = tuple(stats)
+        self.records = 0
+        self.matched = 0
+        self.aggregated = 0
+        self._keep_values = bool(_PERCENTILE_STATS & set(stats))
+        self._known: set[str] = set()
+        self._groups: dict[tuple, dict] = {}
+
+    def add(self, record: dict) -> None:
+        """Fold one record into the aggregation."""
+        self.records += 1
+        self._known.update(record)
+        self._known.update(record.get("metrics") or {})
+        if not all(
+            _value_matches(record_field(record, field), wanted)
+            for field, wanted in self.where.items()
+        ):
+            return
+        self.matched += 1
+        if not record.get("ok"):
+            return
+        self.aggregated += 1
+        key = tuple(
+            record_field(record, field) for field in self.group_by
+        )
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = {
+                "count": 0,
+                # values: list of numerics (percentile path) or a
+                # running [count, total, min, max] (decomposable path)
+                "metrics": {
+                    metric: [] if self._keep_values else None
+                    for metric in self.metrics
+                },
+            }
+        group["count"] += 1
+        for metric in self.metrics:
+            value = record_field(record, metric)
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                continue
+            if self._keep_values:
+                group["metrics"][metric].append(value)
+            else:
+                running = group["metrics"][metric]
+                if running is None:
+                    group["metrics"][metric] = [1, value, value, value]
+                else:
+                    running[0] += 1
+                    running[1] += value
+                    running[2] = min(running[2], value)
+                    running[3] = max(running[3], value)
+
+    def _finalize_metric(self, state) -> dict:
+        """One metric's ``{stat: value}`` cell from its group state."""
+        if self._keep_values:
+            return {
+                stat: _stat(stat, state)
+                for stat in self.stats
+                if stat != "count"
+            }
+        # Running-aggregate path: reproduce _stat's semantics exactly,
+        # including the big-integer mean fallback and None for stats
+        # over zero numeric values.
+        if state is None:
+            return {
+                stat: None for stat in self.stats if stat != "count"
+            }
+        n, total, lowest, highest = state
+        try:
+            mean = total / n
+        except OverflowError:
+            mean = total // n
+        lookup = {
+            "mean": mean, "min": lowest, "max": highest, "sum": total,
+        }
+        return {
+            stat: lookup[stat] for stat in self.stats if stat != "count"
+        }
+
+    def rows(self) -> list[dict]:
+        """Finalize: validate fields, return :func:`aggregate`-shaped rows."""
+        self._known.discard("metrics")
+        for field in (
+            list(self.where) + list(self.group_by) + list(self.metrics)
+        ):
+            if field not in self._known:
+                raise QueryError(
+                    f"unknown field {field!r}: no cached record has it "
+                    f"(known fields: {', '.join(sorted(self._known))})"
+                )
+        rows = []
+        for key in sorted(self._groups, key=_group_sort_key):
+            group = self._groups[key]
+            row: dict = {
+                "group": dict(zip(self.group_by, key)),
+                "count": group["count"],
+            }
+            for metric in self.metrics:
+                row[metric] = self._finalize_metric(
+                    group["metrics"][metric]
+                )
+            rows.append(row)
+        return rows
+
+
 def format_value(value) -> str:
     """Render a table cell: compact floats, big-int-safe integers.
 

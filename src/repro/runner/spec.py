@@ -254,6 +254,15 @@ class ExperimentSpec:
     graph_factory:
         Optional ``callable(n) -> PortGraph`` overriding the family.
         Such specs are not cacheable and must run with ``workers=1``.
+    backend:
+        Preferred execution backend name (see
+        :mod:`repro.runner.backends`): ``serial``, ``process``,
+        ``pipelined`` or ``manifest``.  ``None`` keeps the historical
+        mapping (serial for ``workers=1``, process otherwise).  Purely
+        an execution detail: every backend produces byte-identical
+        records, so this field is *excluded* from :meth:`to_dict` and
+        :meth:`spec_hash` — the same study run on one host or twenty
+        shares one cache entry.
     """
 
     def __init__(
@@ -272,6 +281,7 @@ class ExperimentSpec:
         graph_seed_mode: str = "derived",
         algorithm_params: dict | None = None,
         graph_factory: Callable | None = None,
+        backend: str | None = None,
     ) -> None:
         def require_unique(name: str, values) -> None:
             seen = []
@@ -347,6 +357,17 @@ class ExperimentSpec:
             parse_adversary(a)
         if graph_seed_mode not in _SEED_MODES:
             raise SpecError(f"graph_seed_mode must be one of {_SEED_MODES}")
+        if backend is not None:
+            # Imported lazily: the backends package imports this module
+            # at load time, so a module-level import would cycle.
+            from .backends import BACKENDS
+
+            if backend not in BACKENDS:
+                raise SpecError(
+                    f"unknown execution backend {backend!r}; "
+                    f"known: {sorted(BACKENDS)}"
+                )
+        self.backend = backend
         self.algorithm = algorithm
         self.family = family
         self.sizes = sizes

@@ -30,13 +30,18 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Iterator
+import warnings
+from typing import Iterator, Sequence
 
 from .spec import ExperimentSpec
 
 _FORMAT_VERSION = 2
 _LEGACY_VERSION = 1
 _DEFAULT_SHARD_SIZE = 256
+
+
+class MergeWarning(UserWarning):
+    """A store merge lost information it could not reconcile."""
 
 
 def _shard_name(index: int) -> str:
@@ -94,10 +99,8 @@ class ResultStore:
         return self._backfill_scenario_fields(records)
 
     @staticmethod
-    def _backfill_scenario_fields(
-        records: dict[str, dict]
-    ) -> dict[str, dict]:
-        """Default the scenario axes on pre-scenario-matrix records.
+    def _backfill_record(record: dict) -> dict:
+        """Default the scenario axes on one pre-scenario-matrix record.
 
         Records cached before the wake/placement/adversary axes
         existed (legacy v1 stores, or shards migrated from them) lack
@@ -105,10 +108,18 @@ class ResultStore:
         ran, so the table renderer and ``query`` filters treat old and
         new records uniformly.
         """
+        record.setdefault("placement", "default")
+        record.setdefault("wake_schedule", "simultaneous")
+        record.setdefault("adversary", "fixed")
+        return record
+
+    @classmethod
+    def _backfill_scenario_fields(
+        cls, records: dict[str, dict]
+    ) -> dict[str, dict]:
+        """Backfill every record of a loaded map (see above)."""
         for record in records.values():
-            record.setdefault("placement", "default")
-            record.setdefault("wake_schedule", "simultaneous")
-            record.setdefault("adversary", "fixed")
+            cls._backfill_record(record)
         return records
 
     def _load_shards(self, directory: pathlib.Path) -> dict[str, dict]:
@@ -347,6 +358,48 @@ class ResultStore:
                 })
         return out
 
+    def iter_spec_records(self, spec_hash: str) -> Iterator[dict]:
+        """Stream one spec's records shard by shard.
+
+        Unlike :meth:`load`, at most one shard's records are in memory
+        at a time — this is what lets ``python -m repro query``
+        aggregate million-trial studies without materializing them.
+        Canonical stores chunk lexicographically sorted keys into
+        shards, so streaming shards in name order with sorted keys
+        inside yields the same global order :meth:`load` would.
+        Corrupt or version-mismatched shards are skipped, exactly as
+        in :meth:`load`.
+
+        Every key is yielded exactly once even when an interrupted
+        ``save`` left overlapping shards (only the key set is kept in
+        memory, never records).  On such overlap the *first* shard in
+        name order wins — the one a completed ``save`` wrote last —
+        whereas :meth:`load` lets the stale later shard win; the next
+        ``compact`` heals the store and removes the difference.
+        """
+        directory = self.dir_for(spec_hash)
+        if not directory.is_dir():
+            legacy = self._load_legacy(self.legacy_path_for(spec_hash))
+            for key in sorted(legacy):
+                yield self._backfill_record(legacy[key])
+            return
+        seen: set[str] = set()
+        for path in sorted(directory.glob("shard-*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # corrupt shard: its trials re-run
+            if payload.get("version") != _FORMAT_VERSION:
+                continue
+            trials = payload.get("trials")
+            if not isinstance(trials, dict):
+                continue
+            for key in sorted(trials):
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self._backfill_record(trials[key])
+
     def iter_records(
         self, spec_hash: str | None = None
     ) -> Iterator[dict]:
@@ -355,7 +408,9 @@ class ResultStore:
         ``spec_hash`` may be a unique prefix of a stored hash; an
         ambiguous or unmatched prefix raises :class:`ValueError`
         rather than silently merging experiments or reporting an
-        empty (typo'd) study as having no data.
+        empty (typo'd) study as having no data.  Records stream shard
+        by shard (see :meth:`iter_spec_records`): iteration never
+        holds a whole spec's records in memory.
         """
         entries = self.list_specs()
         if spec_hash is not None:
@@ -372,6 +427,97 @@ class ResultStore:
                     f"no cached spec matches prefix {spec_hash!r}"
                 )
         for entry in entries:
-            records = self.load(entry["spec_hash"])
-            for key in sorted(records):
-                yield records[key]
+            yield from self.iter_spec_records(entry["spec_hash"])
+
+    # ------------------------------------------------------------------
+    # Merge (multi-host sweeps).
+    # ------------------------------------------------------------------
+
+    def merge_from(
+        self, sources: Sequence["ResultStore | str | os.PathLike"]
+    ) -> dict:
+        """Union sibling stores into this one, spec by spec.
+
+        The multi-host recipe: every ``python -m repro worker`` writes
+        ordinary v2 shards into its own store directory, and this
+        method unions them (CLI: ``python -m repro merge``).  For each
+        spec hash found in any source:
+
+        * records are unioned in source order, **last write wins** on
+          duplicate trial keys — a :class:`MergeWarning` reports how
+          many duplicates disagreed (identical duplicates are the
+          normal overlap of workers that both covered a chunk and stay
+          silent);
+        * corrupt shards in a source are skipped (their records are
+          simply absent, exactly as on load);
+        * legacy v1 single-file sources are read and land as v2
+          shards — merging *is* the migration;
+        * this store's own records participate as the base layer, so
+          merging is incremental and idempotent.
+
+        Specs whose sidecar is unreadable in every source cannot be
+        re-saved (no canonical spec dict) and are skipped with a
+        :class:`MergeWarning`.  Returns ``{"specs", "records",
+        "duplicates", "skipped"}`` counters.
+        """
+        union: dict[str, dict] = {}
+
+        def ingest(store: "ResultStore", warn_duplicates: bool) -> int:
+            disagreements = 0
+            for entry in store.list_specs():
+                spec_hash = entry["spec_hash"]
+                bucket = union.setdefault(
+                    spec_hash, {"spec": None, "records": {}}
+                )
+                if bucket["spec"] is None:
+                    bucket["spec"] = entry["spec"]
+                records = bucket["records"]
+                for key, record in sorted(store.load(spec_hash).items()):
+                    if (
+                        warn_duplicates
+                        and key in records
+                        and records[key] != record
+                    ):
+                        disagreements += 1
+                    records[key] = record
+            return disagreements
+
+        ingest(self, warn_duplicates=False)  # base layer: own records
+        duplicates = 0
+        for source in sources:
+            if not isinstance(source, ResultStore):
+                source = ResultStore(source)
+            duplicates += ingest(source, warn_duplicates=True)
+        if duplicates:
+            warnings.warn(
+                f"{duplicates} duplicate trial key(s) disagreed across "
+                "sources; kept the last source's records",
+                MergeWarning,
+                stacklevel=2,
+            )
+        merged_specs = 0
+        merged_records = 0
+        skipped = 0
+        for spec_hash in sorted(union):
+            bucket = union[spec_hash]
+            payload = bucket["spec"]
+            try:
+                spec = ExperimentSpec.from_dict(payload or {})
+            except (KeyError, ValueError, TypeError):
+                skipped += 1
+                warnings.warn(
+                    f"spec {spec_hash} has no readable spec.json in any "
+                    "source; skipping (its records cannot be re-keyed)",
+                    MergeWarning,
+                    stacklevel=2,
+                )
+                continue
+            self.save(spec, bucket["records"], spec_hash=spec_hash)
+            merged_specs += 1
+            merged_records += len(bucket["records"])
+        return {
+            "specs": merged_specs,
+            "records": merged_records,
+            "duplicates": duplicates,
+            "skipped": skipped,
+        }

@@ -405,7 +405,9 @@ def _simulate_scenario(
 
 
 def execute_trial(
-    trial: TrialSpec, provider: UXSProvider | None = None
+    trial: TrialSpec,
+    provider: UXSProvider | None = None,
+    graph: PortGraph | None = None,
 ) -> TrialResult:
     """Run one trial, capturing any failure in the result record.
 
@@ -413,6 +415,12 @@ def execute_trial(
     lets a worker reuse its sequence cache across every trial it
     executes (sequences are pure functions of ``(N, seed, factor)``, so
     all workers agree without any cross-process traffic).
+
+    ``graph`` optionally skips graph construction: graphs are pure
+    functions of ``(family, n, graph_seed)``, so a caller that executes
+    many trials on the same graph (the pipelined backend's batches) can
+    build it once and share it — records stay byte-identical either
+    way.  Passing ``None`` builds (and failure-captures) as usual.
 
     With a ``worst_of``/``best_of`` adversary the trial simulates every
     scenario draw and records the extremal one, annotating the metrics
@@ -431,7 +439,8 @@ def execute_trial(
         )
     try:
         kind, draws = parse_adversary(trial.adversary)
-        graph = _build_graph(trial)
+        if graph is None:
+            graph = _build_graph(trial)
         if kind == "fixed":
             metrics = _simulate_scenario(
                 trial, graph, provider, algorithm, 0

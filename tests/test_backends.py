@@ -1,0 +1,518 @@
+"""Tests for the pluggable execution backends (``repro.runner.backends``).
+
+Covers the subsystem's hard guarantees:
+
+* registry — the four shipped backends resolve by name, unknown names
+  fail loudly, and ``ExperimentSpec.backend`` participates in backend
+  selection without ever touching the spec's identity;
+* equivalence — ``serial``, ``process``, ``pipelined`` and
+  ``manifest`` produce byte-identical records (and stores) for the
+  same spec, including captured failures;
+* pipelining — trials sharing a graph are batched so the graph is
+  built once per batch, not once per trial;
+* manifest — lock-free chunk claims, idempotent creation, stale/foreign
+  manifests rejected, the two-worker CLI flow (worker + worker + merge)
+  reproducing the serial store byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.runner import (
+    BACKENDS,
+    BackendError,
+    ExperimentSpec,
+    get_backend,
+    register_backend,
+    run_experiment,
+)
+from repro.runner import worker as worker_mod
+from repro.runner.backends import manifest as manifest_mod
+from repro.runner.backends.pipelined import plan_batches
+from repro.runner.spec import SpecError
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(4, 5),
+        label_sets=((1, 2),),
+        seeds=(1,),
+        graph_seed_mode="fixed",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def scenario_spec(**overrides) -> ExperimentSpec:
+    """A grid whose scenario axes share graphs (pipelining's target)."""
+    base = dict(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(5, 6),
+        label_sets=((1, 2),),
+        seeds=(0, 1),
+        wake_schedules=("simultaneous", "random:10"),
+        placements=("spread", "random"),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(autouse=True)
+def clean_graph_cache():
+    worker_mod._GRAPH_CACHE.clear()
+    yield
+    worker_mod._GRAPH_CACHE.clear()
+
+
+class TestRegistry:
+    def test_four_backends_ship(self):
+        assert set(BACKENDS) >= {
+            "serial", "process", "pipelined", "manifest"
+        }
+
+    def test_get_backend_resolves_by_name(self):
+        for name in ("serial", "process", "pipelined", "manifest"):
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_lists_known(self):
+        with pytest.raises(BackendError, match="serial"):
+            get_backend("quantum")
+
+    def test_register_requires_name(self):
+        class Anonymous:
+            name = ""
+
+            def execute(self, ctx):
+                return iter(())
+
+        with pytest.raises(BackendError):
+            register_backend(Anonymous())
+
+    def test_spec_rejects_unknown_backend(self):
+        with pytest.raises(SpecError, match="unknown execution backend"):
+            small_spec(backend="quantum")
+
+    def test_backend_is_not_part_of_spec_identity(self):
+        plain = small_spec()
+        pipelined = small_spec(backend="pipelined")
+        assert pipelined.backend == "pipelined"
+        assert "backend" not in pipelined.to_dict()
+        assert plain.to_dict() == pipelined.to_dict()
+        assert plain.spec_hash() == pipelined.spec_hash()
+
+    def test_spec_backend_drives_dispatch(self, monkeypatch):
+        calls: list[str] = []
+        real = get_backend("serial")
+
+        class Recording:
+            name = "serial"
+
+            def execute(self, ctx):
+                calls.append(self.name)
+                return real.execute(ctx)
+
+        monkeypatch.setitem(BACKENDS, "serial", Recording())
+        run_experiment(small_spec(backend="serial"), workers=4)
+        assert calls == ["serial"]  # spec.backend beat the workers=4 default
+
+    def test_explicit_backend_overrides_spec_backend(self, monkeypatch):
+        calls: list[str] = []
+        real = get_backend("serial")
+
+        class Recording:
+            name = "serial"
+
+            def execute(self, ctx):
+                calls.append(self.name)
+                return real.execute(ctx)
+
+        monkeypatch.setitem(BACKENDS, "serial", Recording())
+        run_experiment(
+            small_spec(backend="pipelined"), workers=1, backend="serial"
+        )
+        assert calls == ["serial"]
+
+    def test_factory_specs_need_the_serial_backend(self):
+        spec = small_spec(graph_factory=lambda n: None)
+        with pytest.raises(SpecError):
+            run_experiment(spec, workers=1, backend="pipelined")
+        with pytest.raises(SpecError):
+            run_experiment(spec, workers=2, backend="serial")
+
+
+class TestBackendEquivalence:
+    def test_all_backends_byte_identical(self, tmp_path):
+        reference = run_experiment(scenario_spec(), workers=1)
+        assert reference.failed == 0
+        runs = {
+            "serial": run_experiment(
+                scenario_spec(), workers=1, backend="serial"
+            ),
+            "process": run_experiment(
+                scenario_spec(), workers=2, backend="process"
+            ),
+            "pipelined-inline": run_experiment(
+                scenario_spec(), workers=1, backend="pipelined"
+            ),
+            "pipelined-pool": run_experiment(
+                scenario_spec(), workers=2, backend="pipelined"
+            ),
+            "manifest": run_experiment(
+                scenario_spec(), backend="manifest", store=tmp_path
+            ),
+        }
+        for name, result in runs.items():
+            assert (
+                result.canonical_json() == reference.canonical_json()
+            ), f"{name} diverged from the serial reference"
+
+    def test_failures_captured_identically(self):
+        # Size 2 is infeasible for the ring family: the failure record
+        # must be identical whether the graph is built per trial
+        # (serial) or once per batch (pipelined).
+        spec = small_spec(sizes=(2, 4))
+        serial = run_experiment(spec, workers=1)
+        pipelined = run_experiment(spec, workers=1, backend="pipelined")
+        pooled = run_experiment(spec, workers=2, backend="pipelined")
+        assert serial.failed == 1
+        assert serial.canonical_json() == pipelined.canonical_json()
+        assert serial.canonical_json() == pooled.canonical_json()
+
+    def test_manifest_store_matches_serial_store(self, tmp_path):
+        spec_kwargs = dict(sizes=(4, 5), seeds=(0, 1))
+        run_experiment(
+            small_spec(**spec_kwargs),
+            backend="manifest",
+            store=tmp_path / "m",
+        )
+        run_experiment(
+            small_spec(**spec_kwargs), workers=1, store=tmp_path / "s"
+        )
+        manifest_files = {
+            p.relative_to(tmp_path / "m"): p.read_bytes()
+            for p in sorted((tmp_path / "m").rglob("*.json"))
+            if "manifest" not in p.parts
+        }
+        serial_files = {
+            p.relative_to(tmp_path / "s"): p.read_bytes()
+            for p in sorted((tmp_path / "s").rglob("*.json"))
+        }
+        assert manifest_files == serial_files
+        assert manifest_files  # shards were actually written
+
+    def test_backend_runs_hit_each_others_cache(self, tmp_path):
+        spec = scenario_spec()
+        first = run_experiment(
+            spec, workers=2, backend="pipelined", store=tmp_path
+        )
+        assert first.executed == len(first.records)
+        rerun = run_experiment(
+            spec, workers=1, backend="serial", store=tmp_path
+        )
+        assert rerun.executed == 0
+        assert rerun.cached == len(first.records)
+
+
+class TestPipelined:
+    def test_plan_batches_groups_by_graph(self):
+        trials = scenario_spec().trials()
+        batches = plan_batches(trials, batch_size=100)
+        # One batch per distinct (family, n, graph_seed); every trial
+        # of a batch shares its graph coordinates.
+        keys = set()
+        total = 0
+        for batch in batches:
+            coords = {(t.family, t.n, t.graph_seed) for t in batch}
+            assert len(coords) == 1
+            keys |= coords
+            total += len(batch)
+        assert total == len(trials)
+        assert len(batches) == len(keys)
+
+    def test_plan_batches_splits_large_groups(self):
+        trials = scenario_spec().trials()
+        batches = plan_batches(trials, batch_size=3)
+        assert all(len(b) <= 3 for b in batches)
+        assert sum(len(b) for b in batches) == len(trials)
+        with pytest.raises(ValueError):
+            plan_batches(trials, batch_size=0)
+
+    def test_inline_pipelined_builds_each_graph_once(self, monkeypatch):
+        builds: list[tuple] = []
+        original = worker_mod._build_graph
+
+        def counting(trial):
+            builds.append((trial.family, trial.n, trial.graph_seed))
+            return original(trial)
+
+        monkeypatch.setattr(worker_mod, "_build_graph", counting)
+        spec = scenario_spec()
+        trials = spec.trials()
+        distinct = {(t.family, t.n, t.graph_seed) for t in trials}
+        assert len(distinct) < len(trials)  # scenarios share graphs
+        result = run_experiment(spec, workers=1, backend="pipelined")
+        assert result.failed == 0
+        assert len(builds) == len(distinct)
+
+    def test_batch_size_option_respected(self, monkeypatch):
+        batched: list[int] = []
+        original = plan_batches
+
+        def recording(pending, batch_size):
+            batched.append(batch_size)
+            return original(pending, batch_size)
+
+        import repro.runner.backends.pipelined as pipelined_mod
+
+        monkeypatch.setattr(pipelined_mod, "plan_batches", recording)
+        run_experiment(
+            small_spec(),
+            workers=1,
+            backend="pipelined",
+            backend_options={"batch_size": 3},
+        )
+        assert batched == [3]
+
+
+class TestManifest:
+    def test_ensure_manifest_is_idempotent(self, tmp_path):
+        spec = small_spec()
+        mdir_a, payload_a = manifest_mod.ensure_manifest(tmp_path, spec)
+        mdir_b, payload_b = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=99  # ignored: manifest exists
+        )
+        assert mdir_a == mdir_b
+        assert payload_a == payload_b
+        assert payload_a["total"] == len(spec.trials())
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(tmp_path, spec)
+        tampered = dict(payload, spec_hash="0" * 16)
+        (mdir / "manifest.json").write_text(json.dumps(tampered))
+        with pytest.raises(manifest_mod.ManifestError, match="belongs"):
+            manifest_mod.ensure_manifest(tmp_path, spec)
+
+    def test_claims_are_exclusive(self, tmp_path):
+        spec = small_spec()
+        mdir, _ = manifest_mod.ensure_manifest(tmp_path, spec)
+        assert manifest_mod.claim_chunk(mdir, 0, "alice")
+        assert not manifest_mod.claim_chunk(mdir, 0, "bob")
+
+    def test_manifest_backend_requires_a_store(self):
+        with pytest.raises(BackendError, match="store"):
+            run_experiment(small_spec(), backend="manifest")
+
+    def test_stuck_foreign_claim_times_out(self, tmp_path):
+        spec = small_spec(sizes=(4,))
+        mdir, _ = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=16
+        )
+        # Another (crashed) worker holds the only chunk forever.
+        assert manifest_mod.claim_chunk(mdir, 0, "ghost")
+        with pytest.raises(RuntimeError, match="timed out"):
+            run_experiment(
+                spec,
+                backend="manifest",
+                store=tmp_path,
+                backend_options={
+                    "chunk_size": 16,
+                    "timeout": 0.05,
+                    "poll_interval": 0.01,
+                },
+            )
+
+    def test_captured_failures_are_retried_not_replayed(
+        self, tmp_path, monkeypatch
+    ):
+        # Size 2 is infeasible for the ring family.  The failed
+        # trial's chunk result must not be served on the next run —
+        # failures re-run, exactly as with the result store.
+        spec = small_spec(sizes=(2, 4))
+        options = {"chunk_size": 1}
+        first = run_experiment(
+            spec, backend="manifest", store=tmp_path,
+            backend_options=options,
+        )
+        assert first.failed == 1
+        executions: list[int] = []
+        original = manifest_mod.execute_chunk
+
+        def counting(spec_hash, keys, by_key, provider):
+            executions.append(len(keys))
+            return original(spec_hash, keys, by_key, provider)
+
+        monkeypatch.setattr(manifest_mod, "execute_chunk", counting)
+        second = run_experiment(
+            spec, backend="manifest", store=tmp_path,
+            backend_options=options,
+        )
+        assert second.failed == 1
+        assert second.cached == 1  # the ok trial came from the store
+        assert executions == [1]  # only the failed chunk re-ran
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_sweep_cli_manifest_without_cache_is_an_error(self, capsys):
+        assert main([
+            "sweep", "--sizes", "4", "--backend", "manifest",
+            "--no-cache", "--quiet",
+        ]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_engine_joins_results_of_other_workers(self, tmp_path):
+        # Simulate a foreign worker by pre-executing chunk 0 out of
+        # band: the engine must claim the rest and still return the
+        # complete, byte-identical record set.
+        from repro.explore.uxs import UXSProvider
+
+        spec = small_spec(sizes=(4, 5), seeds=(0, 1))
+        mdir, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=1
+        )
+        by_key = {t.key: t for t in spec.trials()}
+        assert manifest_mod.claim_chunk(mdir, 0, "foreign")
+        records = manifest_mod.execute_chunk(
+            payload["spec_hash"], payload["chunks"][0], by_key,
+            UXSProvider(),
+        )
+        manifest_mod.write_chunk_result(
+            mdir, 0, payload["spec_hash"], records
+        )
+        result = run_experiment(
+            spec, backend="manifest", store=tmp_path,
+            backend_options={"chunk_size": 1, "timeout": 5.0},
+        )
+        reference = run_experiment(spec, workers=1)
+        assert result.canonical_json() == reference.canonical_json()
+        # Records collected from the foreign worker's chunk must not
+        # count as simulated by this invocation.
+        assert result.executed == len(spec.trials()) - 1
+
+
+class TestWorkerMergeCLI:
+    SPEC_ARGS = [
+        "--sizes", "4,5,6", "--seeds", "0,1",
+        "--wake", "simultaneous,random:10",
+        "--placement", "spread,random",
+    ]
+
+    def test_two_workers_merge_to_serial_bytes(self, tmp_path, capsys):
+        shared = str(tmp_path / "shared")
+        assert main([
+            "worker", *self.SPEC_ARGS,
+            "--manifest-dir", shared,
+            "--cache-dir", str(tmp_path / "store-a"),
+            "--worker-id", "A", "--chunk-size", "4",
+            "--max-chunks", "2", "--quiet",
+        ]) == 0
+        assert main([
+            "worker", *self.SPEC_ARGS,
+            "--manifest-dir", shared,
+            "--cache-dir", str(tmp_path / "store-b"),
+            "--worker-id", "B", "--chunk-size", "4", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker A: claimed 2 chunk(s)" in out
+        assert "6/6 chunks done" in out
+        assert main([
+            "merge", "--into", str(tmp_path / "merged"),
+            str(tmp_path / "store-a"), str(tmp_path / "store-b"),
+        ]) == 0
+        assert main([
+            "sweep", *self.SPEC_ARGS, "--quiet",
+            "--cache-dir", str(tmp_path / "reference"),
+        ]) == 0
+        merged = {
+            p.relative_to(tmp_path / "merged"): p.read_bytes()
+            for p in sorted((tmp_path / "merged").rglob("*.json"))
+        }
+        reference = {
+            p.relative_to(tmp_path / "reference"): p.read_bytes()
+            for p in sorted((tmp_path / "reference").rglob("*.json"))
+        }
+        assert merged == reference
+        assert merged  # non-empty store
+
+    def test_worker_resumes_partially_drained_manifest(self, tmp_path):
+        # Worker A dies after one chunk; a re-invoked worker (same
+        # store) claims the remainder — nothing is executed twice.
+        shared = str(tmp_path / "shared")
+        common = [
+            "worker", "--sizes", "4,5", "--seeds", "0,1",
+            "--manifest-dir", shared,
+            "--cache-dir", str(tmp_path / "store"),
+            "--chunk-size", "1", "--quiet",
+        ]
+        assert main(common + ["--max-chunks", "1"]) == 0
+        assert main(common) == 0
+        from repro.runner import ResultStore
+
+        spec = ExperimentSpec(
+            algorithm="gather_known", family="ring", sizes=(4, 5),
+            label_sets=((1, 2),), seeds=(0, 1),
+        )
+        assert len(ResultStore(tmp_path / "store").load(spec)) == 4
+
+    def test_worker_bad_args_exit_2(self, capsys):
+        assert main(["worker", "--chunk-size", "0"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_merge_without_sources_exit_2(self, tmp_path, capsys):
+        assert main([
+            "merge", "--into", str(tmp_path / "merged"),
+            str(tmp_path / "empty"),
+        ]) == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestSweepBackendCLI:
+    def test_sweep_backend_flag(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--sizes", "4,5", "--backend", "pipelined",
+            "--workers", "2", "--cache-dir", str(tmp_path / "p"),
+            "--quiet",
+        ]) == 0
+        assert main([
+            "sweep", "--sizes", "4,5", "--backend", "serial",
+            "--cache-dir", str(tmp_path / "s"), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        pipelined = {
+            p.relative_to(tmp_path / "p"): p.read_bytes()
+            for p in sorted((tmp_path / "p").rglob("*.json"))
+        }
+        serial = {
+            p.relative_to(tmp_path / "s"): p.read_bytes()
+            for p in sorted((tmp_path / "s").rglob("*.json"))
+        }
+        assert pipelined == serial
+
+    def test_progress_reports_throughput_and_eta(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--sizes", "4,5",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        progress = [line for line in out.splitlines() if "trials/s" in line]
+        assert any("eta" in line for line in progress)
+        # The summary line carries throughput and elapsed time too.
+        assert any(
+            line.startswith("trials:") and "trials/s" in line
+            for line in out.splitlines()
+        )
+        # A fully-cached re-run has no simulated trials: cached lines
+        # stay rate-free and the summary omits the throughput suffix.
+        assert main([
+            "sweep", "--sizes", "4,5",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        rerun = capsys.readouterr().out
+        assert "simulated: 0" in rerun
+        assert "trials/s" not in rerun

@@ -585,3 +585,313 @@ class TestQueryCLI:
         assert main(["compact", "--cache-dir", str(tmp_path),
                      "--shard-size", "0"]) == 2
         assert "error" in capsys.readouterr().out
+
+
+class TestStoreMerge:
+    """``ResultStore.merge_from`` — the multi-host union operation."""
+
+    def run_into(self, path, **overrides) -> ResultStore:
+        store = ResultStore(path)
+        run_experiment(spec_for(**overrides), workers=1, store=store)
+        return store
+
+    def split_store(self, tmp_path):
+        """One spec's records split across two disjoint worker stores."""
+        spec = spec_for()
+        records = {
+            r["key"]: r for r in run_experiment(spec, workers=1).records
+        }
+        keys = sorted(records)
+        half = len(keys) // 2
+        store_a = ResultStore(tmp_path / "a")
+        store_b = ResultStore(tmp_path / "b")
+        store_a.save(spec, {k: records[k] for k in keys[:half]})
+        store_b.save(spec, {k: records[k] for k in keys[half:]})
+        return spec, records, store_a, store_b
+
+    def test_disjoint_shards_union(self, tmp_path):
+        spec, records, store_a, store_b = self.split_store(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        stats = merged.merge_from([store_a, store_b])
+        assert stats == {
+            "specs": 1, "records": 4, "duplicates": 0, "skipped": 0,
+        }
+        assert merged.load(spec) == records
+
+    def test_merged_store_is_byte_canonical(self, tmp_path):
+        spec, records, store_a, store_b = self.split_store(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        merged.merge_from([store_a, store_b])
+        reference = ResultStore(tmp_path / "reference")
+        reference.save(spec, records)
+        assert tree_bytes(tmp_path / "merged") == tree_bytes(
+            tmp_path / "reference"
+        )
+
+    def test_identical_duplicates_stay_silent(self, tmp_path, recwarn):
+        # Two workers that both covered a chunk hold identical records
+        # for it: the normal overlap case must not spam warnings.
+        import warnings as warnings_mod
+
+        store_a = self.run_into(tmp_path / "a")
+        store_b = self.run_into(tmp_path / "b")
+        merged = ResultStore(tmp_path / "merged")
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")  # any warning fails
+            stats = merged.merge_from([store_a, store_b])
+        assert stats["duplicates"] == 0
+        assert stats["records"] == 4
+
+    def test_conflicting_duplicates_warn_last_wins(self, tmp_path):
+        from repro.runner import MergeWarning
+
+        spec = spec_for()
+        store_a = self.run_into(tmp_path / "a")
+        store_b = ResultStore(tmp_path / "b")
+        records = dict(store_a.load(spec))
+        doctored_key = sorted(records)[0]
+        doctored = json.loads(json.dumps(records[doctored_key]))
+        doctored["metrics"]["rounds"] = -1
+        store_b.save(spec, {**records, doctored_key: doctored})
+        merged = ResultStore(tmp_path / "merged")
+        with pytest.warns(MergeWarning, match="duplicate"):
+            stats = merged.merge_from([store_a, store_b])
+        assert stats["duplicates"] == 1
+        # Last source wins: the doctored record survives.
+        assert merged.load(spec)[doctored_key]["metrics"]["rounds"] == -1
+
+    def test_corrupt_shard_in_one_source(self, tmp_path):
+        spec, records, store_a, store_b = self.split_store(tmp_path)
+        # Corrupt one of store_b's shards: only its records go missing,
+        # and nothing crashes (matching load()'s recovery semantics).
+        shard = sorted(store_b.dir_for(spec).glob("shard-*.json"))[0]
+        lost = len(json.loads(shard.read_text())["trials"])
+        shard.write_text("{not json")
+        merged = ResultStore(tmp_path / "merged")
+        stats = merged.merge_from([store_a, store_b])
+        assert stats["records"] == len(records) - lost
+        survivors = merged.load(spec)
+        assert len(survivors) == len(records) - lost
+        assert all(records[k] == r for k, r in survivors.items())
+
+    def test_legacy_v1_source_is_migrated(self, tmp_path):
+        spec = spec_for()
+        records = {
+            r["key"]: r for r in run_experiment(spec, workers=1).records
+        }
+        legacy = ResultStore(tmp_path / "legacy")
+        legacy.legacy_path_for(spec).parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        legacy.legacy_path_for(spec).write_text(json.dumps({
+            "version": 1,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash(),
+            "trials": records,
+        }))
+        merged = ResultStore(tmp_path / "merged")
+        stats = merged.merge_from([legacy])
+        assert stats["specs"] == 1
+        # The destination is born sharded (v2): merging migrates.
+        assert merged.dir_for(spec).is_dir()
+        assert not merged.legacy_path_for(spec).exists()
+        assert merged.load(spec) == records
+
+    def test_unreadable_spec_sidecar_is_skipped(self, tmp_path):
+        from repro.runner import MergeWarning
+
+        spec = spec_for()
+        source = self.run_into(tmp_path / "src")
+        (source.dir_for(spec) / "spec.json").write_text("{broken")
+        merged = ResultStore(tmp_path / "merged")
+        with pytest.warns(MergeWarning, match="skipping"):
+            stats = merged.merge_from([source])
+        assert stats == {
+            "specs": 0, "records": 0, "duplicates": 0, "skipped": 1,
+        }
+
+    def test_merge_is_incremental_over_dest(self, tmp_path):
+        # The destination's own records are the base layer: merging a
+        # second worker store into an existing merge result composes.
+        spec, records, store_a, store_b = self.split_store(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        merged.merge_from([store_a])
+        merged.merge_from([store_b])
+        assert merged.load(spec) == records
+
+    def test_merge_cli_reports_and_warns(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = spec_for()
+        store_a = self.run_into(tmp_path / "a")
+        store_b = ResultStore(tmp_path / "b")
+        records = dict(store_a.load(spec))
+        key = sorted(records)[0]
+        doctored = json.loads(json.dumps(records[key]))
+        doctored["metrics"]["rounds"] = -1
+        store_b.save(spec, {key: doctored})
+        assert main([
+            "merge", "--into", str(tmp_path / "merged"),
+            str(tmp_path / "a"), str(tmp_path / "b"),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "merged 1 spec(s), 4 record(s)" in captured.out
+        assert "1 conflicting duplicate(s)" in captured.out
+        assert "warning:" in captured.err
+
+
+class TestStreamingQuery:
+    """The query CLI aggregates shard by shard, never whole specs."""
+
+    def sweep(self, tmp_path, shard_size=1) -> None:
+        store = ResultStore(tmp_path, shard_size=shard_size)
+        run_experiment(spec_for(), workers=1, store=store)
+
+    def test_iter_records_streams_per_shard(self, tmp_path):
+        self.sweep(tmp_path)  # four records, one per shard
+        store = ResultStore(tmp_path)
+        streamed = list(store.iter_records())
+        spec = spec_for()
+        assert streamed == [
+            store.load(spec)[k] for k in sorted(store.load(spec))
+        ]
+
+    def test_overlapping_shards_yield_each_key_once(self, tmp_path):
+        # An interrupted save can leave a stale shard whose keys also
+        # live in a fresh one; streaming must not double-count them.
+        self.sweep(tmp_path, shard_size=256)  # all keys in shard-0000
+        store = ResultStore(tmp_path)
+        spec = spec_for()
+        directory = store.dir_for(spec)
+        fresh = json.loads((directory / "shard-0000.json").read_text())
+        stale_key = sorted(fresh["trials"])[0]
+        stale = dict(fresh)
+        stale["shard"] = 1
+        stale["trials"] = {stale_key: fresh["trials"][stale_key]}
+        (directory / "shard-0001.json").write_text(json.dumps(stale))
+        streamed = list(store.iter_spec_records(spec.spec_hash()))
+        assert len(streamed) == len(store.load(spec)) == 4
+        assert len({r["key"] for r in streamed}) == 4
+
+    def test_query_cli_never_materializes_a_spec(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self.sweep(tmp_path)
+
+        def forbidden(self, spec):
+            raise AssertionError(
+                "query must stream shards, not load() whole specs"
+            )
+
+        monkeypatch.setattr(ResultStore, "load", forbidden)
+        from repro.__main__ import main
+
+        assert main([
+            "query", "--cache-dir", str(tmp_path),
+            "--group-by", "n", "--metrics", "rounds",
+        ]) == 0
+        assert "groups: 2" in capsys.readouterr().out
+
+    def test_streaming_rows_match_list_aggregation(self, tmp_path):
+        from repro.runner.query import StreamAggregator, aggregate
+
+        self.sweep(tmp_path)
+        store = ResultStore(tmp_path)
+        records = list(store.iter_records())
+        for where, group_by in (
+            ({}, ("n",)),
+            ({"n": "4"}, ("seed",)),
+            ({}, ("n", "seed")),
+        ):
+            reference = aggregate(
+                filter_records(records, where),
+                group_by=group_by,
+                metrics=("rounds", "moves"),
+            )
+            streaming = StreamAggregator(
+                where, group_by=group_by, metrics=("rounds", "moves")
+            )
+            for record in records:
+                streaming.add(record)
+            assert streaming.rows() == reference
+
+    def test_streaming_json_output_matches_reference(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+        from repro.runner.query import aggregate
+
+        self.sweep(tmp_path)
+        assert main([
+            "query", "--cache-dir", str(tmp_path),
+            "--group-by", "n", "--metrics", "rounds",
+            "--stats", "count,mean,p50,p95,max", "--json",
+        ]) == 0
+        emitted = json.loads(capsys.readouterr().out)
+        records = list(ResultStore(tmp_path).iter_records())
+        assert emitted == aggregate(records, group_by=("n",))
+
+    def test_decomposable_stats_use_running_aggregates(self, tmp_path):
+        # Without percentile stats the aggregator must not keep
+        # per-record values — only [count, total, min, max] per group
+        # — and still match the list-based reference exactly.
+        from repro.runner.query import StreamAggregator, aggregate
+
+        self.sweep(tmp_path)
+        records = list(ResultStore(tmp_path).iter_records())
+        stats = ("count", "mean", "min", "max", "sum")
+        streaming = StreamAggregator(
+            {}, group_by=("n",), metrics=("rounds",), stats=stats
+        )
+        for record in records:
+            streaming.add(record)
+        assert not streaming._keep_values
+        for group in streaming._groups.values():
+            state = group["metrics"]["rounds"]
+            assert state is None or len(state) == 4
+        assert streaming.rows() == aggregate(
+            records, group_by=("n",), metrics=("rounds",), stats=stats
+        )
+
+    def test_running_mean_survives_astronomical_rounds(self):
+        # gather_unknown round counts are exact integers with
+        # hundreds of digits; the running-aggregate mean must take
+        # the same integer-division fallback as _stat does.
+        from repro.runner.query import StreamAggregator, aggregate
+
+        records = [
+            {"ok": True, "n": 2, "metrics": {"rounds": 10 ** 400 + i}}
+            for i in range(3)
+        ]
+        stats = ("count", "mean", "max")
+        streaming = StreamAggregator({}, metrics=("rounds",), stats=stats)
+        for record in records:
+            streaming.add(record)
+        assert streaming.rows() == aggregate(
+            records, metrics=("rounds",), stats=stats
+        )
+
+    def test_streaming_counters_match_summary(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        self.sweep(tmp_path)
+        assert main([
+            "query", "--cache-dir", str(tmp_path),
+            "--where", "n=4",
+        ]) == 0
+        assert (
+            "records: 4  matched: 2  aggregated: 2  groups: 1"
+            in capsys.readouterr().out
+        )
+
+    def test_streaming_unknown_field_still_rejected(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        self.sweep(tmp_path)
+        assert main([
+            "query", "--cache-dir", str(tmp_path),
+            "--where", "wormholes=3",
+        ]) == 2
+        assert "unknown field 'wormholes'" in capsys.readouterr().out

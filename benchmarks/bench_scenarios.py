@@ -11,12 +11,18 @@ adversary (``worst_of:k``) can slow the algorithm but never break it.
 
 from __future__ import annotations
 
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
 import time
 
 from common import publish
 
 from repro.analysis import ResultTable
 from repro.runner import ExperimentSpec, run_experiment
+from repro.runner.search import SearchSpec, run_search
 
 WAKES = ("simultaneous", "staggered:4", "single_awake", "random:20")
 PLACEMENTS = ("default", "spread", "eccentric")
@@ -162,3 +168,231 @@ def test_e11c_pipelined_backend(benchmark):
         "byte-identical records"
     )
     publish("e11c_pipelined_backend", table, extra)
+
+
+def test_e11d_adaptive_search(benchmark):
+    """E11d: the adaptive adversary vs blind sampling, equal budget.
+
+    A ``worst_of:k`` adversary blindly samples k scenario draws; the
+    hill-climbing search spends the same k trials walking the *same*
+    seeded draw stream and improving on what it finds.  The search's
+    worst case must therefore be at least as bad — this is the
+    acceptance property of the search engine, measured here with its
+    wall-clock cost.
+    """
+    budget = 12
+    baseline = ExperimentSpec(
+        algorithm="gather_known",
+        family="ring",
+        sizes=(6,),
+        label_sets=((1, 2),),
+        seeds=(0,),
+        wake_schedules=("random:20",),
+        placements=("random",),
+        adversaries=(f"worst_of:{budget}",),
+    )
+    sampled = run_experiment(baseline, workers=1)
+    assert sampled.failed == 0, sampled.failures()
+    sampled_rounds = sampled.records[0]["metrics"]["rounds"]
+
+    spec = SearchSpec(
+        algorithm="gather_known",
+        family="ring",
+        n=6,
+        labels=(1, 2),
+        seed=0,
+        strategy="hill_climb",
+        budget=budget,
+        max_delay=20,
+    )
+
+    def workload():
+        return run_search(spec, workers=1)
+
+    result = benchmark.pedantic(workload, rounds=1, iterations=1)
+    assert result.best is not None
+    assert result.best_value >= sampled_rounds
+    table = ResultTable(
+        f"E11d: worst_of:{budget} sample vs hill_climb search "
+        "(gather_known, ring n=6, random wake+placement, seed 0)",
+        ["adversary", "worst rounds", "trials"],
+    )
+    table.add_row(f"worst_of:{budget}", sampled_rounds, budget)
+    table.add_row(
+        f"search hill_climb:{budget}", result.best_value,
+        result.evaluated,
+    )
+    extra = (
+        f"the adaptive adversary found a scenario "
+        f"{result.best_value - sampled_rounds} round(s) worse than the "
+        f"best of {budget} blind draws, at the same trial budget "
+        f"(scenario: {result.best['placement']} / "
+        f"{result.best['wake_schedule']})"
+    )
+    publish("e11d_adaptive_search", table, extra)
+
+
+# ----------------------------------------------------------------------
+# Benchmark-trend presets: ``python benchmarks/bench_scenarios.py``.
+#
+# CI runs the quick preset on every push, emits BENCH_scenarios.json
+# (trials/s per backend) as an artifact, and fails when throughput
+# regresses more than the tolerance against the committed baseline
+# (benchmarks/baselines/BENCH_scenarios.json).  Comparisons use
+# *normalized* throughput — trials/s multiplied by the runtime of a
+# fixed simulator-free calibration loop — so machine-speed differences
+# between the baseline host and the CI runner cancel out while real
+# engine regressions do not.
+# ----------------------------------------------------------------------
+
+TREND_BACKENDS = ("serial", "process", "pipelined")
+
+
+def trend_spec(quick: bool) -> ExperimentSpec:
+    """The timing grid: short talking trials, shared rejection-sampled
+    graphs — the workload the pipelined backend exists for."""
+    return ExperimentSpec(
+        algorithm="talking",
+        family="random_regular",
+        sizes=(8, 12),
+        label_sets=((1, 2),),
+        # Large enough that per-trial work, not pool startup, dominates
+        # the quick preset — a 25% regression gate on a too-short run
+        # would only measure timer noise.
+        seeds=tuple(range(12 if quick else 24)),
+        placements=("default", "spread", "random", "eccentric"),
+    )
+
+
+def _calibrate(loops: int = 200_000) -> float:
+    """Seconds for a fixed interpreter-bound loop (no simulator code),
+    so normalized throughput cancels machine speed but not engine
+    regressions."""
+    digest = b"bench-trend-calibration"
+    start = time.perf_counter()
+    for _ in range(loops):
+        digest = hashlib.sha256(digest).digest()
+    return time.perf_counter() - start
+
+
+def measure_trend(
+    quick: bool = True, repetitions: int = 3, workers: int = 2
+) -> dict:
+    """Time every trend backend; return the BENCH_scenarios payload."""
+    calibration = min(_calibrate() for _ in range(3))
+    spec = trend_spec(quick)
+    n_trials = len(spec.trials())
+    backends = {}
+    for backend in TREND_BACKENDS:
+        backend_workers = 1 if backend == "serial" else workers
+        # Pooled backends carry fork/startup cost and suffer core
+        # contention the single-threaded calibration loop does not;
+        # extra repetitions keep their best-of measurement stable.
+        reps = repetitions if backend == "serial" else repetitions + 2
+        best = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = run_experiment(
+                trend_spec(quick), workers=backend_workers,
+                backend=backend,
+            )
+            elapsed = time.perf_counter() - start
+            if result.failed:
+                raise RuntimeError(
+                    f"trend grid failed on {backend}: "
+                    f"{result.failures()[0]['error']}"
+                )
+            best = elapsed if best is None else min(best, elapsed)
+        trials_per_s = n_trials / best
+        backends[backend] = {
+            "seconds": round(best, 4),
+            "trials_per_s": round(trials_per_s, 2),
+            "normalized": round(trials_per_s * calibration, 4),
+        }
+    return {
+        "preset": "quick" if quick else "full",
+        "trials": n_trials,
+        "workers": workers,
+        "calibration_s": round(calibration, 4),
+        "backends": backends,
+    }
+
+
+def check_trend(
+    measured: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Regression messages (empty = within tolerance of the baseline)."""
+    failures = []
+    for backend, entry in sorted(baseline.get("backends", {}).items()):
+        got = measured["backends"].get(backend)
+        if got is None:
+            failures.append(f"{backend}: missing from this run")
+            continue
+        floor = entry["normalized"] * (1.0 - tolerance)
+        if got["normalized"] < floor:
+            failures.append(
+                f"{backend}: normalized throughput "
+                f"{got['normalized']:.4f} fell below "
+                f"{floor:.4f} (baseline {entry['normalized']:.4f} "
+                f"- {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure scenario-sweep throughput per backend, "
+                    "emit BENCH_scenarios.json, and optionally fail "
+                    "on regression against a committed baseline.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="the 96-trial CI preset (default: the 192-trial grid)",
+    )
+    parser.add_argument(
+        "--emit", metavar="PATH", default=None,
+        help="write the measurement JSON here",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against this baseline file and exit 1 on "
+             "regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional throughput drop (default: 0.25)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="workers for the pooled backends (default: 2)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3,
+        help="timing repetitions per backend, best kept (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    measured = measure_trend(
+        quick=args.quick, repetitions=args.repetitions,
+        workers=args.workers,
+    )
+    print(json.dumps(measured, sort_keys=True, indent=1))
+    if args.emit:
+        pathlib.Path(args.emit).write_text(
+            json.dumps(measured, sort_keys=True, indent=1) + "\n"
+        )
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_trend(measured, baseline, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION {failure}")
+        if failures:
+            return 1
+        print(
+            f"throughput within {args.tolerance:.0%} of the baseline "
+            f"for {len(baseline.get('backends', {}))} backend(s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

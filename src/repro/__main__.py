@@ -12,10 +12,12 @@ Experiments::
 
     python -m repro sweep      # parallel, cached experiment sweeps
                                # (see: python -m repro sweep --help)
+    python -m repro search     # adaptive adversary scenario search
     python -m repro query      # filter/aggregate cached sweep records
     python -m repro compact    # rewrite the store into canonical shards
     python -m repro worker     # claim chunks from a shared work manifest
     python -m repro merge      # union sibling stores into one
+    python -m repro manifest   # inspect work-manifest progress/claims
 """
 
 from __future__ import annotations
@@ -99,28 +101,20 @@ _DEMOS = {
 }
 
 
+# Engine commands, dispatched to repro.runner.cli lazily (the engine
+# pulls in multiprocessing machinery the demos never need).
+_ENGINE_COMMANDS = (
+    "sweep", "search", "query", "compact", "worker", "merge", "manifest",
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
-    if args and args[0] == "sweep":
-        from .runner.cli import sweep_main
+    if args and args[0] in _ENGINE_COMMANDS:
+        from .runner import cli as runner_cli
 
-        return sweep_main(args[1:])
-    if args and args[0] == "query":
-        from .runner.cli import query_main
-
-        return query_main(args[1:])
-    if args and args[0] == "compact":
-        from .runner.cli import compact_main
-
-        return compact_main(args[1:])
-    if args and args[0] == "worker":
-        from .runner.cli import worker_main
-
-        return worker_main(args[1:])
-    if args and args[0] == "merge":
-        from .runner.cli import merge_main
-
-        return merge_main(args[1:])
+        handler = getattr(runner_cli, f"{args[0]}_main")
+        return handler(args[1:])
     if len(args) != 1 or args[0] not in _DEMOS:
         print(__doc__)
         return 1

@@ -202,6 +202,64 @@ def message_length_sweep(
     return points
 
 
+def adversary_search_sweep(
+    strategy: str = "hill_climb",
+    budget: int = 32,
+    algorithm: str = "gather_known",
+    family: str = "ring",
+    n: int = 6,
+    labels: list[int] | None = None,
+    seed: int = 0,
+    max_delay: int = 16,
+    workers: int = 1,
+    store=None,
+    backend: str | None = None,
+) -> list[SweepPoint]:
+    """The adaptive adversary's progress, round by round.
+
+    Runs a :mod:`repro.runner.search` strategy against one grid point
+    and returns one :class:`SweepPoint` per search round: ``x`` is the
+    round index, ``rounds`` the worst gathering time found so far,
+    ``events`` the cumulative trial attempts spent, and ``detail`` the
+    incumbent scenario's ``placement / wake`` encoding.
+    Feeding the result to a table shows how quickly the search closes
+    in on the worst case a blind ``worst_of:k`` sample would need far
+    more trials to stumble upon.
+    """
+    from ..runner.search import SearchSpec, run_search
+
+    spec = SearchSpec(
+        algorithm=algorithm,
+        family=family,
+        n=n,
+        labels=tuple(labels) if labels is not None else (1, 2),
+        seed=seed,
+        strategy=strategy,
+        budget=budget,
+        max_delay=max_delay,
+    )
+    result = run_search(
+        spec, workers=workers, store=store, backend=backend
+    )
+    points = []
+    for rec in result.records:
+        if rec.get("kind") != "round":
+            continue
+        best = rec["metrics"].get("best_rounds")
+        if best is None:
+            continue
+        points.append(
+            SweepPoint(
+                rec["search_round"],
+                best,
+                0,
+                rec["metrics"]["attempts"],
+                f"{rec['placement']} / {rec['wake_schedule']}",
+            )
+        )
+    return points
+
+
 def scenario_sweep(
     wake_schedules: Sequence[str] = ("simultaneous",),
     placements: Sequence[str] = ("default",),

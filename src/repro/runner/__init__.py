@@ -49,6 +49,12 @@ from .backends import (
 )
 from .engine import ExperimentResult, run_experiment
 from .query import QueryError, aggregate, filter_records, record_field
+from .search import (
+    STRATEGIES as SEARCH_STRATEGIES,
+    SearchResult,
+    SearchSpec,
+    run_search,
+)
 from .spec import PLACEMENTS, ExperimentSpec, TrialSpec
 from .store import MergeWarning, ResultStore
 from .trial import TrialError, TrialResult, execute_trial, resolve_scenario
@@ -56,10 +62,14 @@ from .trial import ALGORITHMS, FAMILIES, PLACEMENT_RESOLVERS
 
 __all__ = [
     "ExperimentSpec",
+    "SearchResult",
+    "SearchSpec",
+    "SEARCH_STRATEGIES",
     "TrialSpec",
     "TrialResult",
     "TrialError",
     "ExperimentResult",
+    "run_search",
     "ExecutionBackend",
     "BackendContext",
     "BackendError",

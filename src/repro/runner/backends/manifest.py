@@ -247,6 +247,82 @@ def manifest_status(mdir: pathlib.Path, payload: dict) -> dict:
     return {"chunks": n_chunks, "claimed": claimed, "done": done}
 
 
+def detailed_status(
+    mdir: pathlib.Path, payload: dict, now: float | None = None
+) -> dict:
+    """Per-chunk progress plus the ages of in-flight claims.
+
+    A chunk is *done* when its result landed, *in flight* when it is
+    claimed but has no result yet, and *pending* otherwise.  In-flight
+    claims report their age (seconds since the claim file's mtime) and
+    the claiming worker — an in-flight claim much older than a chunk's
+    expected runtime is a crashed worker whose claim file should be
+    deleted (``python -m repro manifest status`` prints exactly this).
+    """
+    if now is None:
+        now = time.time()
+    n_chunks = len(payload["chunks"])
+    done = 0
+    pending = 0
+    in_flight: list[dict] = []
+    for chunk_id in range(n_chunks):
+        if chunk_result_path(mdir, chunk_id).exists():
+            done += 1
+            continue
+        claim = mdir / "claims" / f"{_chunk_name(chunk_id)}.claim"
+        try:
+            stat = claim.stat()
+        except OSError:
+            pending += 1
+            continue
+        worker = "?"
+        try:
+            parsed = json.loads(claim.read_text())
+        except (OSError, ValueError):
+            parsed = None
+        if isinstance(parsed, dict):
+            worker = parsed.get("worker", "?")
+        in_flight.append({
+            "chunk": chunk_id,
+            "worker": worker,
+            "age_s": max(0.0, now - stat.st_mtime),
+        })
+    return {
+        "chunks": n_chunks,
+        "done": done,
+        "in_flight": in_flight,
+        "pending": pending,
+        "total_trials": payload.get("total"),
+    }
+
+
+def scan_manifests(
+    root: str | os.PathLike,
+) -> list[tuple[str, pathlib.Path, dict]]:
+    """Every readable manifest under a store/manifest root.
+
+    Returns ``(spec_hash, manifest_dir, payload)`` triples in
+    spec-hash order; unreadable or version-mismatched manifests are
+    skipped (exactly as corrupt shards are on load).
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return []
+    out = []
+    for entry in sorted(root.iterdir()):
+        path = entry / "manifest" / "manifest.json"
+        if not path.is_file():
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if payload.get("version") != MANIFEST_VERSION:
+            continue
+        out.append((entry.name, path.parent, payload))
+    return out
+
+
 def execute_chunk(
     spec_hash: str,
     keys: list[str],

@@ -1,4 +1,5 @@
-"""``python -m repro sweep|query|compact|worker|merge`` — engine CLI.
+"""``python -m repro sweep|search|query|compact|worker|merge|manifest``
+— engine CLI.
 
 ``sweep`` runs a declarative trial grid with progress output (trials/s
 and ETA), prints a result table, and memoizes completed trials under
@@ -26,6 +27,18 @@ aggregates per group; exact percentiles keep one number per record)::
 ``compact`` rewrites the store into canonical shards (healing corrupt
 or orphaned shard files).
 
+``search`` replaces blind ``worst_of:k`` sampling with an adaptive
+adversary: a strategy (``hill_climb``, ``halving``, ``bisect``,
+``sample``) iteratively proposes scenarios, evaluates them through any
+execution backend, and refines toward the worst (or best) case under a
+trial budget.  Evaluations and per-round incumbents persist in the
+result store, so a re-run resumes from the cached frontier with zero
+re-simulation::
+
+    python -m repro search --size 6 --labels 1,2 --seed 0 \\
+        --strategy hill_climb --budget 32 --max-delay 20 \\
+        --workers 2 --backend pipelined
+
 ``worker`` and ``merge`` are the multi-host pair: workers with the
 same spec arguments claim chunks from a shared file manifest and write
 their own stores; merge unions those stores into one canonical store
@@ -35,9 +48,14 @@ their own stores; merge unions those stores into one canonical store
         --manifest-dir shared --cache-dir store-a
     python -m repro merge --into merged store-a store-b
 
-Sweep and worker exit status is 0 when every executed trial succeeded,
-1 otherwise (failed trials are reported, never crash the run).  Query,
-compact and merge exit 0 on success and 2 on a malformed request.
+``manifest status`` reports every manifest's chunk progress (done /
+in-flight / pending) and the age of each in-flight claim, so a crashed
+worker's stale claim is easy to spot and delete.
+
+Sweep, search and worker exit status is 0 when every executed trial
+succeeded, 1 otherwise (failed trials are reported, never crash the
+run).  Query, compact, merge and manifest exit 0 on success and 2 on a
+malformed request.
 """
 
 from __future__ import annotations
@@ -291,6 +309,291 @@ def sweep_main(argv: list[str]) -> int:
     for rec in result.failures():
         print(f"  FAILED {rec['key']}: {rec['error']}")
     return 0 if result.failed == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro search`` — adaptive adversary search.
+# ----------------------------------------------------------------------
+
+def build_search_parser() -> argparse.ArgumentParser:
+    from .search.spec import OBJECTIVES
+    from .search.strategies import STRATEGIES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro search",
+        description="Adaptively search the adversary's scenario space "
+                    "(wake schedules x placements) for the worst — or "
+                    "best — case of one algorithm on one graph, under "
+                    "a trial budget.  Evaluations and per-round "
+                    "incumbents persist in the result store: re-running "
+                    "the same search resumes from the cached frontier "
+                    "with zero re-simulation, and 'python -m repro "
+                    "query' can aggregate the records.",
+    )
+    parser.add_argument(
+        "--algorithm", default="gather_known", choices=sorted(ALGORITHMS),
+        help="algorithm under attack (default: gather_known)",
+    )
+    parser.add_argument(
+        "--family", default="ring", choices=sorted(FAMILIES),
+        help="graph family (default: ring)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=6, metavar="N",
+        help="graph size (default: 6)",
+    )
+    parser.add_argument(
+        "--labels", default="1,2", metavar="L,L,...",
+        help="agent labels (default: 1,2)",
+    )
+    parser.add_argument(
+        "--messages", default=None, metavar="M,M,...",
+        help="messages for gossip algorithms (binary strings)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="replicate seed: derives the graph, the sample stream "
+             "and the strategy RNG (default: 0)",
+    )
+    parser.add_argument(
+        "--n-bound", type=int, default=None,
+        help="known size bound (default: the graph size)",
+    )
+    parser.add_argument(
+        "--strategy", default="hill_climb", choices=sorted(STRATEGIES),
+        help="search strategy (default: hill_climb)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=32, metavar="K",
+        help="maximum scenario evaluations (default: 32)",
+    )
+    parser.add_argument(
+        "--objective", default="worst", choices=OBJECTIVES,
+        help="maximize ('worst', the adversary) or minimize ('best') "
+             "the metric (default: worst)",
+    )
+    parser.add_argument(
+        "--metric", default="rounds",
+        help="record metric to optimize (default: rounds)",
+    )
+    parser.add_argument(
+        "--max-delay", type=int, default=16, metavar="D",
+        help="wake-delay bound of the scenario space (default: 16)",
+    )
+    parser.add_argument(
+        "--dormant-pct", type=int, default=25, metavar="PCT",
+        help="dormancy percentage of sampled scenarios (default: 25)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=8, metavar="B",
+        help="candidate evaluations per search round (default: 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for candidate evaluation (default: 1)",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        choices=sorted(set(BACKENDS) - {"manifest"}),
+        help="execution backend for candidate batches (default: "
+             "serial for --workers 1, process otherwise)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-store directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable persistence (the search cannot resume)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-round progress lines",
+    )
+    return parser
+
+
+def search_main(argv: list[str]) -> int:
+    from ..analysis.tables import ResultTable
+    from .search import SearchSpec, run_search
+
+    args = build_search_parser().parse_args(argv)
+    try:
+        if args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+        spec = SearchSpec(
+            algorithm=args.algorithm,
+            family=args.family,
+            n=args.size,
+            labels=_parse_int_list(args.labels),
+            messages=(
+                None
+                if args.messages is None
+                else _parse_str_list(args.messages)
+            ),
+            seed=args.seed,
+            n_bound=args.n_bound,
+            strategy=args.strategy,
+            budget=args.budget,
+            objective=args.objective,
+            metric=args.metric,
+            max_delay=args.max_delay,
+            dormant_pct=args.dormant_pct,
+            batch=args.batch,
+        )
+    except ValueError as exc:  # SpecError is a ValueError
+        print(f"error: {exc}")
+        return 2
+
+    def report_progress(
+        round_index, attempts, budget, best_value, simulated, cached
+    ) -> None:
+        if args.quiet:
+            return
+        best = "-" if best_value is None else str(best_value)
+        print(
+            f"[round {round_index}] evaluated {attempts}/{budget}  "
+            f"best {args.metric}={best}  "
+            f"(simulated {simulated}, cached {cached})"
+        )
+
+    started = _time.monotonic()
+    try:
+        result = run_search(
+            spec,
+            workers=args.workers,
+            store=None if args.no_cache else args.cache_dir,
+            progress=report_progress,
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        # BackendError (e.g. the manifest backend) and SpecError (e.g.
+        # a --metric the algorithm's records don't carry, only
+        # detectable once the first record exists) are both malformed
+        # requests, not crashes.
+        print(f"error: {exc}")
+        return 2
+    elapsed = _time.monotonic() - started
+
+    table = ResultTable(
+        f"search: {args.strategy} ({args.objective} {args.metric}) on "
+        f"{args.algorithm}/{args.family} n={args.size} "
+        f"(spec {spec.spec_hash()})",
+        ["round", f"best {args.metric}", "incumbent scenario"],
+    )
+    for rec in result.records:
+        if rec.get("kind") != "round":
+            continue
+        table.add_row(
+            rec["search_round"],
+            query_mod.format_value(
+                rec["metrics"].get(f"best_{args.metric}")
+            ),
+            f"{rec['placement']} / {rec['wake_schedule']}",
+        )
+    table.emit()
+    if result.best is not None:
+        print(
+            f"worst case found: {args.metric}="
+            f"{query_mod.format_value(result.best_value)}  "
+            f"scenario {result.best['placement']} / "
+            f"{result.best['wake_schedule']}"
+        )
+    else:
+        print("no successful scenario evaluation")
+    print(
+        f"evaluated: {result.evaluated}/{spec.budget}  "
+        f"simulated: {result.simulated}  cached: {result.cached}  "
+        f"failed: {result.failed}  rounds: {result.rounds}  "
+        f"({elapsed:.1f}s)"
+    )
+    if not args.no_cache:
+        print(
+            f"result store: {args.cache_dir} (re-run resumes from the "
+            "cached frontier)"
+        )
+    # Same contract as sweep/worker: 0 only when every executed
+    # candidate evaluation succeeded (and something was found).
+    return 0 if result.best is not None and result.failed == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro manifest`` — work-manifest inspection.
+# ----------------------------------------------------------------------
+
+def manifest_main(argv: list[str]) -> int:
+    from ..analysis.tables import ResultTable
+    from .backends import manifest as manifest_mod
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro manifest",
+        description="Inspect the work manifests of multi-host sweeps: "
+                    "chunk progress per spec and the age of every "
+                    "in-flight claim (a claim far older than a chunk's "
+                    "runtime belongs to a crashed worker — delete its "
+                    "claims/ file to make the chunk claimable again).",
+    )
+    parser.add_argument(
+        "command", choices=("status",),
+        help="'status': chunk counts and stale-claim ages",
+    )
+    parser.add_argument(
+        "--manifest-dir", default=".repro-cache", metavar="DIR",
+        help="manifest/store root to scan (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="HASH",
+        help="restrict to one spec (hash or unique prefix)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the status as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    manifests = manifest_mod.scan_manifests(args.manifest_dir)
+    if args.spec is not None:
+        manifests = [
+            m for m in manifests if m[0].startswith(args.spec)
+        ]
+    if not manifests:
+        print(
+            f"error: no work manifests under {args.manifest_dir!r}"
+            + (f" matching {args.spec!r}" if args.spec else "")
+        )
+        return 2
+    now = _time.time()
+    statuses = []
+    for spec_hash, mdir, payload in manifests:
+        status = manifest_mod.detailed_status(mdir, payload, now=now)
+        status["spec_hash"] = spec_hash
+        statuses.append(status)
+    if args.as_json:
+        print(_json.dumps(statuses, sort_keys=True, indent=1))
+        return 0
+    table = ResultTable(
+        f"work manifests under {args.manifest_dir}",
+        ["spec", "chunks", "done", "in flight", "pending",
+         "oldest claim"],
+    )
+    for status in statuses:
+        ages = [c["age_s"] for c in status["in_flight"]]
+        table.add_row(
+            status["spec_hash"],
+            status["chunks"],
+            status["done"],
+            len(status["in_flight"]),
+            status["pending"],
+            f"{max(ages):.0f}s" if ages else "-",
+        )
+    table.emit()
+    for status in statuses:
+        for claim in status["in_flight"]:
+            print(
+                f"  in flight: spec {status['spec_hash']} chunk "
+                f"{claim['chunk']} claimed by {claim['worker']} "
+                f"({claim['age_s']:.0f}s ago)"
+            )
+    return 0
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,17 @@ from .store import ResultStore
 ProgressFn = Callable[[int, int, dict, bool], None]
 
 
+def coerce_store(store) -> ResultStore | None:
+    """Accept a :class:`ResultStore`, a path, ``None``, or a duck-typed
+    store (anything with ``load()``/``save()``) — shared by
+    :func:`run_experiment` and :func:`repro.runner.search.run_search`."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    if isinstance(store, (str, bytes, os.PathLike)):
+        return ResultStore(store)
+    return cast(ResultStore, store)
+
+
 class ExperimentResult:
     """All records of an experiment, in canonical grid order."""
 
@@ -138,15 +149,7 @@ def run_experiment(
     order = {t.key: i for i, t in enumerate(trials)}
     provider_args = dict(provider_args or {})
 
-    result_store: ResultStore | None
-    if store is None or isinstance(store, ResultStore):
-        result_store = store
-    elif isinstance(store, (str, bytes, os.PathLike)):
-        result_store = ResultStore(store)
-    else:
-        # Duck-typed store (e.g. an alternate backend or a test
-        # double): anything with load()/save() is accepted as-is.
-        result_store = cast(ResultStore, store)
+    result_store = coerce_store(store)
     use_store = result_store is not None and spec.cacheable
 
     known: dict[str, dict] = (

@@ -17,6 +17,7 @@ deterministic as the records themselves.
 
 from __future__ import annotations
 
+import json
 import math
 from typing import Iterable, Sequence
 
@@ -32,8 +33,10 @@ def record_field(record: dict, field: str):
     """Look up ``field`` in a record, falling through to ``metrics``.
 
     Returns ``None`` when the field is absent (e.g. ``moves`` on a
-    gossip record).  List values (``labels``) are joined with ``-`` so
-    they can serve as filter and group-by values.
+    gossip record).  List values (``labels``) are joined with ``-``
+    and dict values (a search record's ``frontier`` or an adaptive
+    trial's ``adversary_scenario``) render as canonical JSON, so both
+    can serve as filter and group-by values.
     """
     if field in record:
         value = record[field]
@@ -42,6 +45,8 @@ def record_field(record: dict, field: str):
         value = metrics.get(field)
     if isinstance(value, list):
         return "-".join(str(v) for v in value)
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
     return value
 
 

@@ -1,0 +1,52 @@
+"""Adaptive adversary search over the scenario space.
+
+The ``worst_of:<k>`` adversary (scenario-matrix engine) *samples* the
+scenario space; this package *searches* it.  A declarative
+:class:`SearchSpec` names a grid point, a strategy, an objective and a
+trial budget; :func:`run_search` drives the strategy's
+propose/evaluate/observe loop through any registered execution
+backend, persisting evaluations and per-round incumbents as
+first-class records in the v2 result store so searches resume
+incrementally and ``python -m repro query`` can aggregate them.  The
+same strategies power the in-trial ``adaptive:<strategy>:<budget>``
+adversary axis, which makes any existing experiment grid adaptive
+with one token.
+
+Quickstart::
+
+    from repro.runner.search import SearchSpec, run_search
+
+    spec = SearchSpec(
+        algorithm="gather_known", family="ring", n=6,
+        labels=(1, 2), strategy="hill_climb", budget=32,
+        max_delay=20,
+    )
+    result = run_search(spec, workers=2, store=".repro-cache")
+    print(result.best_value, result.best["key"])
+
+The CLI front-end is ``python -m repro search`` (see
+:mod:`repro.runner.cli`).
+"""
+
+from .engine import SearchResult, run_search
+from .space import ScenarioPoint, ScenarioSpace
+from .spec import OBJECTIVES, SearchSpec
+from .strategies import (
+    STRATEGIES,
+    SearchOutcome,
+    drive_search,
+    make_strategy,
+)
+
+__all__ = [
+    "OBJECTIVES",
+    "STRATEGIES",
+    "ScenarioPoint",
+    "ScenarioSpace",
+    "SearchOutcome",
+    "SearchResult",
+    "SearchSpec",
+    "drive_search",
+    "make_strategy",
+    "run_search",
+]

@@ -1,0 +1,332 @@
+"""The search engine: iterative scenario search over any backend.
+
+:func:`run_search` is the store-backed driver behind ``python -m repro
+search``: it expands a :class:`~repro.runner.search.spec.SearchSpec`
+into a deterministic search trajectory, evaluates each proposed
+candidate scenario as an ordinary trial through a registered
+:class:`~repro.runner.backends.base.ExecutionBackend`, and persists
+two kinds of first-class records in the v2
+:class:`~repro.runner.store.ResultStore` under the search's spec
+hash:
+
+* **eval records** (``kind="eval"``) — one per evaluated candidate,
+  the unmodified trial record of its ``nodes:``/``explicit:`` scenario
+  (plus the ``kind`` marker), keyed by the scenario-encoded trial key;
+* **round records** (``kind="round"``) — one per search round, keyed
+  ``round/<i>``, carrying the strategy's live frontier, the incumbent
+  scenario and the best objective value so far.
+
+Because strategies are deterministic in ``(seed, observed values)``
+and every candidate's record is a pure function of its trial spec, a
+re-run *replays* the trajectory: each proposal hits the eval-record
+cache and is never re-simulated, the round records are recomputed
+byte-identically, and the search continues live exactly where the
+budget last ran out.  The same property makes the records — and the
+on-disk store — byte-identical across execution backends and worker
+counts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Callable, cast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spec import ExperimentSpec
+
+from ..backends import BackendContext, BackendError, get_backend
+from ..engine import coerce_store
+from ..spec import SpecError, TrialSpec
+from ..store import ResultStore
+from ..trial import _build_graph, resolve_scenario
+from .space import ScenarioPoint, ScenarioSpace
+from .spec import SearchSpec
+from .strategies import drive_search, make_strategy
+
+# progress callback: (round, attempts, budget, best_value, simulated,
+# cached) -> None
+SearchProgressFn = Callable[[int, int, int, object, int, int], None]
+
+
+class SearchResult:
+    """Everything a finished search produced."""
+
+    __slots__ = (
+        "spec", "records", "best", "best_value", "evaluated",
+        "simulated", "cached", "rounds", "failed",
+    )
+
+    def __init__(
+        self,
+        spec: SearchSpec,
+        records: list[dict],
+        best: dict | None,
+        best_value,
+        evaluated: int,
+        simulated: int,
+        cached: int,
+        rounds: int,
+        failed: int,
+    ) -> None:
+        self.spec = spec
+        self.records = records
+        self.best = best
+        self.best_value = best_value
+        self.evaluated = evaluated
+        self.simulated = simulated
+        self.cached = cached
+        self.rounds = rounds
+        self.failed = failed
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization of the record list (for diffing)."""
+        return json.dumps(
+            self.records, sort_keys=True, separators=(",", ":")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SearchResult(best={self.best_value!r}, "
+            f"evaluated={self.evaluated}, simulated={self.simulated}, "
+            f"rounds={self.rounds})"
+        )
+
+
+def _record_signature(record: dict) -> str:
+    """The scenario signature of a stored eval record."""
+    return f"{record['placement']}|{record['wake_schedule']}"
+
+
+def run_search(
+    spec: SearchSpec,
+    workers: int = 1,
+    store: ResultStore | str | None = None,
+    progress: SearchProgressFn | None = None,
+    provider_args: dict | None = None,
+    backend: str | None = None,
+    backend_options: dict | None = None,
+) -> SearchResult:
+    """Run (or resume) an adaptive scenario search.
+
+    Parameters mirror :func:`repro.runner.engine.run_experiment`; the
+    ``manifest`` backend is rejected (an adaptive search is inherently
+    sequential across rounds — its within-round batches parallelize
+    through ``process``/``pipelined`` instead).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    backend_name = backend
+    if backend_name is None:
+        backend_name = "serial" if workers == 1 else "process"
+    if backend_name == "manifest":
+        raise BackendError(
+            "the manifest backend cannot drive an adaptive search "
+            "(rounds are sequential); use serial, process or pipelined"
+        )
+    executor = get_backend(backend_name)
+    result_store = coerce_store(store)
+    provider_args = dict(provider_args or {})
+
+    # The stream trial: the single-point experiment this search
+    # attacks, with fully random scenario components.  Its derived
+    # scenario seeds are exactly the ``worst_of`` adversary's draw
+    # stream on the same grid point, and its derived graph seed pins
+    # one shared graph for every candidate.
+    stream_trial = TrialSpec(
+        key=spec.base_key(),
+        algorithm=spec.algorithm,
+        family=spec.family,
+        n=spec.n,
+        n_bound=spec.effective_n_bound,
+        labels=spec.labels,
+        messages=spec.messages,
+        seed=spec.seed,
+        graph_seed=spec.graph_seed(),
+        placement="random",
+        wake_schedule=f"random:{spec.max_delay}:{spec.dormant_pct}",
+        adversary="fixed",
+    )
+    graph = _build_graph(stream_trial)
+    space = ScenarioSpace(
+        n=graph.n,
+        team=spec.team,
+        max_delay=spec.max_delay,
+        dormant_pct=spec.dormant_pct,
+        search_placement=True,
+        search_wake=True,
+    )
+
+    def stream(draw: int) -> ScenarioPoint:
+        nodes, wake = resolve_scenario(stream_trial, graph, draw)
+        return space.from_resolved(nodes, wake)
+
+    def make_trial(point: ScenarioPoint) -> TrialSpec:
+        placement, wake = space.encode(point)
+        assert placement is not None and wake is not None
+        parts = [
+            spec.algorithm,
+            spec.family,
+            f"n={spec.n}",
+            "labels=" + "-".join(str(v) for v in spec.labels),
+        ]
+        if spec.messages is not None:
+            parts.append("msg=" + ",".join(spec.messages))
+        parts.append(f"place={placement}")
+        parts.append(f"wake={wake}")
+        parts.append(f"seed={spec.seed}")
+        return TrialSpec(
+            key="/".join(parts),
+            algorithm=spec.algorithm,
+            family=spec.family,
+            n=spec.n,
+            n_bound=spec.effective_n_bound,
+            labels=spec.labels,
+            messages=spec.messages,
+            seed=spec.seed,
+            graph_seed=spec.graph_seed(),
+            placement=placement,
+            wake_schedule=wake,
+            adversary="fixed",
+        )
+
+    # Resume: previously evaluated candidates are served from the
+    # store; the deterministic replay turns them into pure cache hits.
+    all_records: dict[str, dict] = {}
+    eval_cache: dict[str, dict] = {}
+    if result_store is not None:
+        for key, record in result_store.load(spec).items():
+            all_records[key] = record
+            if record.get("kind") == "eval":
+                eval_cache[_record_signature(record)] = record
+
+    maximize = spec.objective == "worst"
+    strategy = make_strategy(
+        spec.strategy,
+        space,
+        seed=spec.strategy_seed(),
+        budget=spec.budget,
+        maximize=maximize,
+        stream=stream,
+        options={"batch": spec.batch, **spec.strategy_options},
+    )
+
+    counters = {"simulated": 0, "cached": 0, "failed": 0}
+
+    def metric_value(record: dict):
+        metrics = record.get("metrics") or {}
+        if spec.metric not in metrics:
+            raise SpecError(
+                f"metric {spec.metric!r} is not in this algorithm's "
+                f"records (has: {sorted(metrics)})"
+            )
+        return metrics[spec.metric]
+
+    def evaluate_batch(points: list[ScenarioPoint]) -> list:
+        values: list[Any] = [None] * len(points)
+        pending: list[TrialSpec] = []
+        order: list[int] = []
+        for i, point in enumerate(points):
+            cached = eval_cache.get(space.signature(point))
+            if cached is not None:
+                counters["cached"] += 1
+                values[i] = metric_value(cached)
+                continue
+            pending.append(make_trial(point))
+            order.append(i)
+        if pending:
+            context = BackendContext(
+                # Duck-typed: no backend this engine accepts reads the
+                # spec (only manifest would, and it is rejected above).
+                spec=cast("ExperimentSpec", spec),
+                pending=pending,
+                workers=workers,
+                provider_args=provider_args,
+                prewarm=(spec.effective_n_bound,),
+                store=None,
+                options=backend_options,
+            )
+            by_key = {}
+            for record in executor.execute(context):
+                by_key[record["key"]] = record
+            for i, trial in zip(order, pending):
+                record = by_key.get(trial.key)
+                if record is None:
+                    raise RuntimeError(
+                        f"backend {backend_name!r} returned no record "
+                        f"for candidate {trial.key!r}"
+                    )
+                counters["simulated"] += 1
+                if not record["ok"]:
+                    counters["failed"] += 1
+                    continue  # failures re-run next time, as always
+                record["kind"] = "eval"
+                sig = _record_signature(record)
+                eval_cache[sig] = record
+                all_records[record["key"]] = record
+                values[i] = metric_value(record)
+        return values
+
+    def on_round(
+        round_index: int, results, best_point, best_value, attempts
+    ) -> None:
+        placement, wake = (
+            space.encode(best_point)
+            if best_point is not None
+            else (None, None)
+        )
+        record = {
+            "key": f"round/{round_index:04d}",
+            "kind": "round",
+            "ok": True,
+            "error": None,
+            "algorithm": spec.algorithm,
+            "family": spec.family,
+            "n": spec.n,
+            "labels": list(spec.labels),
+            "seed": spec.seed,
+            "placement": placement or "-",
+            "wake_schedule": wake or "-",
+            "adversary": f"adaptive:{spec.strategy}:{spec.budget}",
+            "search_round": round_index,
+            "frontier": strategy.frontier(),
+            "metrics": {
+                f"best_{spec.metric}": best_value,
+                "attempts": attempts,
+                "evaluated_round": len(results),
+            },
+        }
+        all_records[record["key"]] = record
+        if result_store is not None:
+            result_store.save(spec, all_records)
+        if progress is not None:
+            progress(
+                round_index, attempts, spec.budget, best_value,
+                counters["simulated"], counters["cached"],
+            )
+
+    outcome = drive_search(
+        strategy,
+        evaluate_batch,
+        spec.budget,
+        maximize=maximize,
+        on_round=on_round,
+    )
+
+    if result_store is not None and all_records:
+        result_store.save(spec, all_records)
+
+    best_record = None
+    if outcome.best_point is not None:
+        best_record = eval_cache.get(space.signature(outcome.best_point))
+    ordered = [all_records[key] for key in sorted(all_records)]
+    return SearchResult(
+        spec,
+        ordered,
+        best=best_record,
+        best_value=outcome.best_value,
+        evaluated=outcome.attempts,
+        simulated=counters["simulated"],
+        cached=counters["cached"],
+        rounds=outcome.rounds,
+        failed=counters["failed"],
+    )

@@ -1,0 +1,295 @@
+"""The scenario space an adaptive adversary searches.
+
+A *scenario point* is a concrete assignment of the components the
+adversary controls: where each agent starts (``nodes``) and when it
+wakes (``wake`` — a delay per agent, or ``None`` for dormant).  The
+:class:`ScenarioSpace` knows which components are actually searchable
+(mirroring the ``worst_of``/``best_of`` convention, only *randomized*
+components are the adversary's to vary), bounds the wake delays, and
+provides the deterministic operators the search strategies are built
+from: seeded sampling, single-coordinate mutation, delay scaling, and
+coordinate substitution.
+
+Points encode to the declarative axis strings the rest of the engine
+already understands — ``nodes:<v0>-<v1>-...`` placements and
+``explicit:<d0>-<d1>-...`` wake schedules — so a candidate scenario
+becomes an ordinary :class:`~repro.runner.spec.TrialSpec` whose record
+is a pure function of the spec: cacheable, queryable, and
+byte-identical across execution backends.
+
+Wake schedules are *normalized*: the smallest awake delay is shifted
+to round 0.  The adversary only controls relative offsets — without
+normalization every search would trivially saturate its delay budget
+by delaying everyone, which measures nothing about the algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..spec import SpecError, format_placement_nodes
+from ...sim.adversary import format_explicit_wake
+
+
+class ScenarioPoint:
+    """One concrete scenario: start nodes + wake delays.
+
+    Immutable plain data.  A component the space does not search is
+    ``None`` here and resolves to the trial's own (fixed) component at
+    evaluation time.
+    """
+
+    __slots__ = ("nodes", "wake")
+
+    def __init__(
+        self,
+        nodes: tuple[int, ...] | None,
+        wake: tuple[int | None, ...] | None,
+    ) -> None:
+        self.nodes = nodes
+        self.wake = wake
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ScenarioPoint)
+            and self.nodes == other.nodes
+            and self.wake == other.wake
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.wake))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ScenarioPoint(nodes={self.nodes}, wake={self.wake})"
+
+
+class ScenarioSpace:
+    """Bounds and operators for one search's scenario points.
+
+    Parameters
+    ----------
+    n:
+        Number of graph nodes (placement range).
+    team:
+        Number of agents.
+    max_delay:
+        Largest wake delay the adversary may assign.
+    dormant_pct:
+        Percentage chance a sampled agent is dormant (0 disables
+        dormancy everywhere, including mutations).
+    search_placement / search_wake:
+        Whether the adversary controls that component.  At least one
+        must be searchable.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        team: int,
+        max_delay: int = 16,
+        dormant_pct: int = 25,
+        search_placement: bool = True,
+        search_wake: bool = True,
+    ) -> None:
+        if team < 1:
+            raise SpecError("team must be >= 1")
+        if n < team:
+            raise SpecError(
+                f"cannot place {team} agents on {n} nodes"
+            )
+        if max_delay < 0:
+            raise SpecError("max_delay must be non-negative")
+        if not 0 <= dormant_pct <= 100:
+            raise SpecError("dormant_pct must be 0..100")
+        if not (search_placement or search_wake):
+            raise SpecError(
+                "a scenario space must search at least one component"
+            )
+        self.n = n
+        self.team = team
+        self.max_delay = max_delay
+        self.dormant_pct = dormant_pct
+        self.search_placement = search_placement
+        self.search_wake = search_wake
+
+    # ------------------------------------------------------------------
+    # Canonical form.
+    # ------------------------------------------------------------------
+
+    def normalize_wake(
+        self, wake: Sequence[int | None]
+    ) -> tuple[int | None, ...]:
+        """Clamp delays to the budget and shift the earliest to 0.
+
+        Also guarantees at least one awake agent (agent 0 wakes if a
+        mutation made everyone dormant) — an all-dormant schedule
+        deadlocks by construction and measures nothing.
+        """
+        entries: list[int | None] = [
+            None if d is None else max(0, min(int(d), self.max_delay))
+            for d in wake
+        ]
+        if all(d is None for d in entries):
+            entries[0] = 0
+        earliest = min(d for d in entries if d is not None)
+        if earliest:
+            entries = [
+                None if d is None else d - earliest for d in entries
+            ]
+        return tuple(entries)
+
+    def canonical(self, point: ScenarioPoint) -> ScenarioPoint:
+        """Normalize a point into the space (bounds + wake shift)."""
+        nodes = point.nodes
+        if nodes is not None:
+            nodes = tuple(int(v) for v in nodes)
+        wake = point.wake
+        if wake is not None:
+            wake = self.normalize_wake(wake)
+        return ScenarioPoint(nodes, wake)
+
+    def from_resolved(
+        self,
+        start_nodes: Sequence[int] | None,
+        wake_rounds: Sequence[int | None],
+    ) -> ScenarioPoint:
+        """A point from a ``resolve_scenario`` result.
+
+        Keeps only the searched components, so stream draws (the
+        seeded samples matched to the ``worst_of`` adversary's draw
+        stream) land inside this space.
+        """
+        nodes = (
+            tuple(start_nodes)
+            if self.search_placement and start_nodes is not None
+            else None
+        )
+        wake = (
+            self.normalize_wake(wake_rounds)
+            if self.search_wake
+            else None
+        )
+        return ScenarioPoint(nodes, wake)
+
+    # ------------------------------------------------------------------
+    # Encoding: points -> declarative axis strings.
+    # ------------------------------------------------------------------
+
+    def encode(self, point: ScenarioPoint) -> tuple[str | None, str | None]:
+        """``(placement_str, wake_str)``; ``None`` for unsearched parts."""
+        placement = (
+            None
+            if point.nodes is None
+            else format_placement_nodes(point.nodes)
+        )
+        wake = (
+            None
+            if point.wake is None
+            else format_explicit_wake(point.wake)
+        )
+        return placement, wake
+
+    def signature(self, point: ScenarioPoint) -> str:
+        """Stable identity string (dedup key, frontier/record field)."""
+        placement, wake = self.encode(point)
+        return f"{placement or '-'}|{wake or '-'}"
+
+    # ------------------------------------------------------------------
+    # Operators.
+    # ------------------------------------------------------------------
+
+    def random_point(
+        self, rng: random.Random, delay_budget: int | None = None
+    ) -> ScenarioPoint:
+        """Sample a fresh point (used by halving's rung populations)."""
+        budget = self.max_delay if delay_budget is None else min(
+            delay_budget, self.max_delay
+        )
+        nodes = (
+            tuple(rng.sample(range(self.n), self.team))
+            if self.search_placement
+            else None
+        )
+        wake: tuple[int | None, ...] | None = None
+        if self.search_wake:
+            entries: list[int | None] = []
+            for _ in range(self.team):
+                if rng.random() < self.dormant_pct / 100.0:
+                    entries.append(None)
+                else:
+                    entries.append(rng.randint(0, budget))
+            wake = self.normalize_wake(entries)
+        return ScenarioPoint(nodes, wake)
+
+    def mutate(
+        self, point: ScenarioPoint, rng: random.Random
+    ) -> ScenarioPoint:
+        """One random single-coordinate move (a hill-climb neighbor)."""
+        moves = []
+        if self.search_placement:
+            moves.append("place")
+        if self.search_wake:
+            moves.append("wake")
+        move = moves[0] if len(moves) == 1 else rng.choice(moves)
+        if move == "place":
+            nodes = list(point.nodes or ())
+            agent = rng.randrange(self.team)
+            free = [v for v in range(self.n) if v not in nodes]
+            if free and (self.team < 2 or rng.random() < 0.5):
+                nodes[agent] = rng.choice(free)
+            else:
+                other = rng.randrange(self.team)
+                nodes[agent], nodes[other] = nodes[other], nodes[agent]
+            return self.canonical(ScenarioPoint(tuple(nodes), point.wake))
+        wake = list(point.wake or ())
+        agent = rng.randrange(self.team)
+        if (
+            self.dormant_pct
+            and rng.random() < self.dormant_pct / 100.0
+        ):
+            wake[agent] = None if wake[agent] is not None else rng.randint(
+                0, self.max_delay
+            )
+        elif wake[agent] is None:
+            wake[agent] = rng.randint(0, self.max_delay)
+        else:
+            step = rng.choice((1, max(1, self.max_delay // 4)))
+            wake[agent] = wake[agent] + (step if rng.random() < 0.5
+                                         else -step)
+        return self.canonical(ScenarioPoint(point.nodes, tuple(wake)))
+
+    def scale_delays(
+        self, point: ScenarioPoint, factor: int, budget: int
+    ) -> ScenarioPoint:
+        """Stretch a survivor's schedule into a larger delay budget
+        (successive halving's rung promotion)."""
+        if point.wake is None:
+            return point
+        wake = tuple(
+            None if d is None else min(d * factor, budget, self.max_delay)
+            for d in point.wake
+        )
+        return self.canonical(ScenarioPoint(point.nodes, wake))
+
+    def with_delay(
+        self, point: ScenarioPoint, agent: int, delay: int
+    ) -> ScenarioPoint:
+        """Set one agent's wake delay (bisection's wake coordinate)."""
+        wake = list(point.wake or ())
+        wake[agent] = delay
+        return self.canonical(ScenarioPoint(point.nodes, tuple(wake)))
+
+    def with_node(
+        self, point: ScenarioPoint, agent: int, node: int
+    ) -> ScenarioPoint:
+        """Move one agent to ``node`` (bisection's placement
+        coordinate), swapping with any agent already there so nodes
+        stay distinct."""
+        nodes = list(point.nodes or ())
+        if node in nodes:
+            other = nodes.index(node)
+            nodes[agent], nodes[other] = nodes[other], nodes[agent]
+        else:
+            nodes[agent] = node
+        return self.canonical(ScenarioPoint(tuple(nodes), point.wake))

@@ -1,0 +1,252 @@
+"""Declarative search specifications (the search analogue of
+:class:`~repro.runner.spec.ExperimentSpec`).
+
+A :class:`SearchSpec` names everything that determines a search's
+trajectory — the algorithm and graph point under attack, the scenario
+space bounds, the strategy, the trial budget and the objective — and
+nothing about *how* it executes (workers, backend).  Its canonical
+dictionary form carries ``"kind": "search"`` so stores can tell search
+sidecars from experiment sidecars, and hashes exactly like an
+experiment spec: the hash keys the on-disk store directory where
+evaluation records and per-round incumbents persist, which is what
+makes searches resumable (a re-run replays the deterministic
+trajectory out of cache) and queryable (``python -m repro query``
+aggregates the records like any cached study).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..spec import (
+    SpecError,
+    _canonical_json,
+    derive_seed,
+)
+
+OBJECTIVES = ("worst", "best")
+
+
+class SearchSpec:
+    """Declarative description of one adaptive scenario search.
+
+    Parameters
+    ----------
+    algorithm, family, n, labels, messages, n_bound:
+        The single grid point under attack (same registries as
+        :class:`~repro.runner.spec.ExperimentSpec`; the graph seed is
+        derived exactly as an experiment with ``graph_seed_mode=
+        "derived"`` would derive it, so a search and a sweep of the
+        same point run on the identical graph).
+    seed:
+        Replicate seed; derives the graph seed, the scenario sample
+        stream (matched to the ``worst_of`` adversary's draw stream on
+        the same point) and the strategy's RNG.
+    strategy:
+        A :data:`repro.runner.search.strategies.STRATEGIES` name:
+        ``sample``, ``hill_climb``, ``halving``, ``bisect``.
+    budget:
+        Maximum scenario evaluations (trials) the search may spend.
+    objective:
+        ``worst`` maximizes ``metric`` (the adversary), ``best``
+        minimizes it.
+    metric:
+        Record metric being optimized (default ``rounds``).
+    max_delay / dormant_pct:
+        Wake-delay bound and dormancy percentage of the scenario
+        space.
+    batch:
+        Proposal batch size per round (part of the identity: it
+        changes which candidates are evaluated).
+    strategy_options:
+        Extra strategy knobs (``neighbors``, ``patience``,
+        ``population``, ``passes``); part of the identity.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        family: str = "ring",
+        n: int = 6,
+        labels=(1, 2),
+        messages=None,
+        seed: int = 0,
+        n_bound: int | None = None,
+        strategy: str = "hill_climb",
+        budget: int = 32,
+        objective: str = "worst",
+        metric: str = "rounds",
+        max_delay: int = 16,
+        dormant_pct: int = 25,
+        batch: int = 8,
+        strategy_options: dict | None = None,
+    ) -> None:
+        # Imported lazily to keep module load order flexible (the
+        # strategies module imports ..spec, which this module shares).
+        from .strategies import STRATEGIES
+
+        if strategy not in STRATEGIES:
+            raise SpecError(
+                f"unknown search strategy {strategy!r}; "
+                f"known: {sorted(STRATEGIES)}"
+            )
+        if objective not in OBJECTIVES:
+            raise SpecError(
+                f"objective must be one of {OBJECTIVES}: {objective!r}"
+            )
+        if budget < 1:
+            raise SpecError("budget must be >= 1")
+        if batch < 1:
+            raise SpecError("batch must be >= 1")
+        if n < 1:
+            raise SpecError("n must be >= 1")
+        if max_delay < 0:
+            raise SpecError("max_delay must be non-negative")
+        if not 0 <= dormant_pct <= 100:
+            raise SpecError("dormant_pct must be 0..100")
+        labels = tuple(int(v) for v in labels)
+        if not labels or len(set(labels)) != len(labels):
+            raise SpecError("labels must be non-empty and distinct")
+        if len(labels) > n:
+            raise SpecError(
+                f"cannot place {len(labels)} agents on {n} nodes"
+            )
+        if messages is not None:
+            messages = tuple(str(m) for m in messages)
+            if len(messages) != len(labels):
+                raise SpecError(
+                    "one message per label: "
+                    f"{messages!r} vs labels {labels!r}"
+                )
+            for m in messages:
+                if set(m) - {"0", "1"}:
+                    raise SpecError(
+                        f"messages are binary strings, got {m!r}"
+                    )
+        self.algorithm = algorithm
+        self.family = family
+        self.n = int(n)
+        self.labels = labels
+        self.messages = messages
+        self.seed = int(seed)
+        self.n_bound = n_bound
+        self.strategy = strategy
+        self.budget = int(budget)
+        self.objective = objective
+        self.metric = str(metric)
+        self.max_delay = int(max_delay)
+        self.dormant_pct = int(dormant_pct)
+        self.batch = int(batch)
+        self.strategy_options = dict(strategy_options or {})
+
+    # ------------------------------------------------------------------
+    # Identity.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical declarative form (``spec.json`` sidecar payload)."""
+        return {
+            "kind": "search",
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "labels": list(self.labels),
+            "messages": (
+                None if self.messages is None else list(self.messages)
+            ),
+            "seed": self.seed,
+            "n_bound": self.n_bound,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "objective": self.objective,
+            "metric": self.metric,
+            "max_delay": self.max_delay,
+            "dormant_pct": self.dormant_pct,
+            "batch": self.batch,
+            "strategy_options": dict(self.strategy_options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchSpec":
+        if payload.get("kind") != "search":
+            raise SpecError(
+                "not a search spec payload (missing kind='search')"
+            )
+        return cls(
+            algorithm=payload["algorithm"],
+            family=payload.get("family", "ring"),
+            n=payload["n"],
+            labels=payload["labels"],
+            messages=payload.get("messages"),
+            seed=payload.get("seed", 0),
+            n_bound=payload.get("n_bound"),
+            strategy=payload.get("strategy", "hill_climb"),
+            budget=payload.get("budget", 32),
+            objective=payload.get("objective", "worst"),
+            metric=payload.get("metric", "rounds"),
+            max_delay=payload.get("max_delay", 16),
+            dormant_pct=payload.get("dormant_pct", 25),
+            batch=payload.get("batch", 8),
+            strategy_options=payload.get("strategy_options"),
+        )
+
+    def spec_hash(self) -> str:
+        """Stable content hash keying the on-disk store directory.
+
+        Mixes in the package version like
+        :meth:`~repro.runner.spec.ExperimentSpec.spec_hash`, so cached
+        search trajectories are invalidated when the simulator code
+        changes.
+        """
+        from ... import __version__
+
+        blob = _canonical_json(self.to_dict()).encode()
+        blob += f"|repro={__version__}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Derived coordinates.
+    # ------------------------------------------------------------------
+
+    @property
+    def team(self) -> int:
+        return len(self.labels)
+
+    @property
+    def effective_n_bound(self) -> int:
+        return self.n_bound if self.n_bound is not None else self.n
+
+    def base_key(self) -> str:
+        """The trial key of the equivalent single-point experiment.
+
+        Matches :meth:`ExperimentSpec._trial_key` for a grid whose
+        scenario axes are single-valued (those segments are omitted
+        there), so the derived graph seed — and therefore the graph —
+        is identical to what a sweep of the same point uses, and the
+        scenario sample stream matches the ``worst_of`` adversary's
+        draws on that sweep's trials.
+        """
+        parts = [
+            self.algorithm,
+            self.family,
+            f"n={self.n}",
+            "labels=" + "-".join(str(v) for v in self.labels),
+        ]
+        if self.messages is not None:
+            parts.append("msg=" + ",".join(self.messages))
+        parts.append(f"seed={self.seed}")
+        return "/".join(parts)
+
+    def graph_seed(self) -> int:
+        return derive_seed(self.seed, self.base_key())
+
+    def strategy_seed(self) -> int:
+        return derive_seed(
+            self.seed, f"{self.base_key()}|search|{self.strategy}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SearchSpec({self.strategy}:{self.budget} over "
+            f"{self.algorithm}/{self.family} n={self.n})"
+        )

@@ -1,0 +1,639 @@
+"""Adaptive search strategies: propose/observe drivers over scenarios.
+
+A strategy is an *ask-tell* state machine: :meth:`propose` returns the
+next batch of unevaluated :class:`~repro.runner.search.space
+.ScenarioPoint` candidates (never more than the remaining budget,
+never a point it already proposed), and :meth:`observe` folds the
+evaluated objective values back in.  The generic :func:`drive_search`
+loop owns budget accounting and incumbent tracking, so the same
+strategies serve both the store-backed search engine
+(:mod:`repro.runner.search.engine`) and the in-trial
+``adaptive:<strategy>:<budget>`` adversary
+(:mod:`repro.runner.trial`).
+
+Everything is deterministic in ``(seed, observed values)``: proposals
+are derived from a seeded RNG and observations are folded in proposal
+order, so a search replays identically — which is what makes resumed
+searches pure cache hits and search records byte-identical across
+execution backends.
+
+Strategies:
+
+``sample``
+    Blind seeded sampling of the scenario stream — exactly the
+    ``worst_of:<k>`` adversary expressed as a search (the baseline the
+    adaptive strategies must beat).
+``hill_climb``
+    Seeded random-restart hill climbing: climb from a stream draw via
+    single-coordinate mutations; after ``patience`` stalled rounds,
+    restart from the next draw.
+``halving``
+    Successive halving over wake-delay budgets: a large population
+    explores a small delay budget, survivors are promoted into doubled
+    budgets (their schedules stretched) and re-evaluated, halving the
+    population each rung.
+``bisect``
+    Coordinate bisection: narrow each scenario coordinate (an agent's
+    wake delay, an agent's start node) to the better half-interval,
+    cycling through coordinates for a fixed number of passes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from ..spec import SpecError
+from .space import ScenarioPoint, ScenarioSpace
+
+# A stream maps a draw index to the seeded scenario sample the
+# ``worst_of`` adversary would evaluate for the same draw — strategies
+# restart/seed from it so adaptive and sampled adversaries explore the
+# same distribution.
+Stream = Callable[[int], ScenarioPoint]
+
+_STREAM_ATTEMPT_CAP = 64  # consecutive already-seen draws before giving up
+
+
+class SearchOutcome:
+    """What a finished (or budget-exhausted) search found."""
+
+    __slots__ = ("best_point", "best_value", "attempts", "rounds")
+
+    def __init__(
+        self,
+        best_point: ScenarioPoint | None,
+        best_value,
+        attempts: int,
+        rounds: int,
+    ) -> None:
+        self.best_point = best_point
+        self.best_value = best_value
+        self.attempts = attempts
+        self.rounds = rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SearchOutcome(best={self.best_value!r}, "
+            f"attempts={self.attempts}, rounds={self.rounds})"
+        )
+
+
+def improved(value, incumbent, maximize: bool) -> bool:
+    """Strict improvement (ties keep the earlier point)."""
+    if incumbent is None:
+        return True
+    return value > incumbent if maximize else value < incumbent
+
+
+class _Strategy:
+    """Shared bookkeeping: seen-set, value map, incumbent, stream."""
+
+    name = "?"
+
+    def __init__(
+        self,
+        space: ScenarioSpace,
+        seed: int,
+        budget: int,
+        maximize: bool = True,
+        stream: Stream | None = None,
+        options: dict | None = None,
+    ) -> None:
+        self.space = space
+        self.budget = budget
+        self.maximize = maximize
+        self.stream = stream
+        self.options = dict(options or {})
+        self.rng = random.Random(seed)
+        self._seen: set[str] = set()
+        self._values: dict[str, Any] = {}
+        self.incumbent: ScenarioPoint | None = None
+        self.incumbent_value: Any = None
+
+    # -- helpers -------------------------------------------------------
+
+    def _sig(self, point: ScenarioPoint) -> str:
+        return self.space.signature(point)
+
+    def _mark(self, point: ScenarioPoint) -> bool:
+        """Reserve a point for proposal; ``False`` if already seen."""
+        sig = self._sig(point)
+        if sig in self._seen:
+            return False
+        self._seen.add(sig)
+        return True
+
+    def _next_stream_point(self) -> ScenarioPoint | None:
+        """The next not-yet-seen stream draw (``None`` if exhausted)."""
+        if self.stream is None:
+            return None
+        for _ in range(_STREAM_ATTEMPT_CAP):
+            point = self.stream(self._stream_index())
+            self._advance_stream()
+            if self._mark(point):
+                return point
+        return None
+
+    def _stream_index(self) -> int:
+        return getattr(self, "_stream_i", 0)
+
+    def _advance_stream(self) -> None:
+        self._stream_i = self._stream_index() + 1
+
+    # -- protocol ------------------------------------------------------
+
+    def prime(self, point: ScenarioPoint, value) -> None:
+        """Pre-seed an already-evaluated point.
+
+        The in-trial ``adaptive`` adversary evaluates the trial's
+        fixed (draw-0) scenario before searching — priming it means
+        the strategy never re-proposes it and, where meaningful,
+        starts from it, which is what guarantees ``adaptive`` can
+        never report a milder outcome than ``fixed``.
+        """
+        sig = self._sig(point)
+        self._seen.add(sig)
+        self._values[sig] = value
+        if value is not None and improved(
+            value, self.incumbent_value, self.maximize
+        ):
+            self.incumbent, self.incumbent_value = point, value
+        self._prime(point, value)
+
+    def _prime(self, point: ScenarioPoint, value) -> None:
+        pass
+
+    def propose(self, remaining: int) -> list[ScenarioPoint]:
+        raise NotImplementedError
+
+    def observe(
+        self, results: Sequence[tuple[ScenarioPoint, Any]]
+    ) -> None:
+        """Fold evaluated values in (``None`` value = failed trial)."""
+        for point, value in results:
+            self._values[self._sig(point)] = value
+            if value is not None and improved(
+                value, self.incumbent_value, self.maximize
+            ):
+                self.incumbent, self.incumbent_value = point, value
+        self._observe(results)
+
+    def _observe(
+        self, results: Sequence[tuple[ScenarioPoint, Any]]
+    ) -> None:
+        pass
+
+    def frontier(self) -> dict:
+        """JSON-safe snapshot of the strategy's live state."""
+        out = {
+            "strategy": self.name,
+            "evaluated": len(self._values),
+            "incumbent": (
+                None
+                if self.incumbent is None
+                else self._sig(self.incumbent)
+            ),
+        }
+        out.update(self._frontier())
+        return out
+
+    def _frontier(self) -> dict:
+        return {}
+
+
+class SampleStrategy(_Strategy):
+    """Blind seeded sampling — ``worst_of:<k>`` as a search strategy."""
+
+    name = "sample"
+
+    def propose(self, remaining: int) -> list[ScenarioPoint]:
+        batch_size = min(int(self.options.get("batch", 8)), remaining)
+        batch = []
+        for _ in range(batch_size):
+            point = self._next_stream_point()
+            if point is None:
+                break
+            batch.append(point)
+        return batch
+
+    def _frontier(self) -> dict:
+        return {"next_draw": self._stream_index()}
+
+
+class HillClimbStrategy(_Strategy):
+    """Seeded random-restart hill climbing over scenario mutations."""
+
+    name = "hill_climb"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.neighbors = int(self.options.get("neighbors", 4))
+        self.patience = int(self.options.get("patience", 2))
+        if self.neighbors < 1:
+            raise SpecError("hill_climb needs neighbors >= 1")
+        if self.patience < 1:
+            raise SpecError("hill_climb needs patience >= 1")
+        self._current: ScenarioPoint | None = None
+        self._current_value: Any = None
+        self._stalls = 0
+        self._restarts = 0
+        self._awaiting_restart = False
+
+    def _prime(self, point, value) -> None:
+        if value is not None:
+            self._current, self._current_value = point, value
+
+    def propose(self, remaining: int) -> list[ScenarioPoint]:
+        if self._current is None:
+            point = self._next_stream_point()
+            if point is None:
+                return []
+            self._awaiting_restart = True
+            return [point]
+        batch = []
+        for _ in range(min(self.neighbors, remaining)):
+            for _ in range(8):  # bounded retries for unseen neighbors
+                neighbor = self.space.mutate(self._current, self.rng)
+                if self._mark(neighbor):
+                    batch.append(neighbor)
+                    break
+        if not batch:
+            # The neighborhood is exhausted: force a restart.
+            self._current = None
+            self._current_value = None
+            self._stalls = 0
+            return self.propose(remaining)
+        return batch
+
+    def _observe(self, results) -> None:
+        if self._awaiting_restart:
+            self._awaiting_restart = False
+            point, value = results[0]
+            self._restarts += 1
+            if value is None:
+                self._current = None  # failed restart: draw again
+                return
+            self._current, self._current_value = point, value
+            self._stalls = 0
+            return
+        best_point, best_value = None, None
+        for point, value in results:
+            if value is not None and improved(
+                value, best_value, self.maximize
+            ):
+                best_point, best_value = point, value
+        if best_value is not None and improved(
+            best_value, self._current_value, self.maximize
+        ):
+            self._current, self._current_value = best_point, best_value
+            self._stalls = 0
+        else:
+            self._stalls += 1
+            if self._stalls >= self.patience:
+                self._current = None
+                self._current_value = None
+                self._stalls = 0
+
+    def _frontier(self) -> dict:
+        return {
+            "restarts": self._restarts,
+            "stalls": self._stalls,
+            "climbing_from": (
+                None
+                if self._current is None
+                else self._sig(self._current)
+            ),
+        }
+
+
+class HalvingStrategy(_Strategy):
+    """Successive halving over wake-delay budgets."""
+
+    name = "halving"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        population = int(
+            self.options.get("population", max(2, self.budget // 2))
+        )
+        if population < 2:
+            raise SpecError("halving needs a population >= 2")
+        self._rungs = 1
+        while (1 << self._rungs) < population:
+            self._rungs += 1
+        self._rungs += 1  # final rung runs at the full delay budget
+        self._rung = 0
+        self._queue: list[ScenarioPoint] = []
+        self._rung_results: list[tuple[ScenarioPoint, Any]] = []
+        self._pending = 0
+        for _ in range(population):
+            point = self.space.random_point(
+                self.rng, delay_budget=self._delay_budget(0)
+            )
+            if self._mark(point):
+                self._queue.append(point)
+
+    def _delay_budget(self, rung: int) -> int:
+        shift = self._rungs - 1 - rung
+        return max(1, self.space.max_delay >> shift)
+
+    def propose(self, remaining: int) -> list[ScenarioPoint]:
+        if not self._queue and not self._pending:
+            if not self._advance_rung():
+                return self._tail(remaining)
+        batch = self._queue[:remaining]
+        self._queue = self._queue[len(batch):]
+        self._pending += len(batch)
+        return batch
+
+    def _observe(self, results) -> None:
+        self._pending -= len(results)
+        self._rung_results.extend(results)
+
+    def _advance_rung(self) -> bool:
+        """Rank the finished rung, promote survivors; ``False`` at end."""
+        if self._rung + 1 >= self._rungs or len(self._rung_results) < 2:
+            return False
+        ranked = sorted(
+            (
+                (point, value)
+                for point, value in self._rung_results
+                if value is not None
+            ),
+            key=lambda pv: (
+                -pv[1] if self.maximize else pv[1],
+                self._sig(pv[0]),
+            ),
+        )
+        survivors = ranked[: max(1, (len(ranked) + 1) // 2)]
+        self._rung += 1
+        self._rung_results = []
+        budget = self._delay_budget(self._rung)
+        for point, value in survivors:
+            promoted = self.space.scale_delays(point, 2, budget)
+            if self._mark(promoted):
+                self._queue.append(promoted)
+            else:
+                # Already evaluated (e.g. no delays to stretch): its
+                # value is known — it competes in the rung for free.
+                self._rung_results.append(
+                    (promoted, self._values[self._sig(promoted)])
+                )
+        return bool(self._queue)
+
+    def _tail(self, remaining: int) -> list[ScenarioPoint]:
+        """Spend leftover budget on fresh full-budget samples."""
+        batch = []
+        for _ in range(min(int(self.options.get("batch", 8)), remaining)):
+            for _ in range(8):
+                point = self.space.random_point(self.rng)
+                if self._mark(point):
+                    batch.append(point)
+                    break
+        return batch
+
+    def _frontier(self) -> dict:
+        return {
+            "rung": self._rung,
+            "rungs": self._rungs,
+            "delay_budget": self._delay_budget(
+                min(self._rung, self._rungs - 1)
+            ),
+            "queued": len(self._queue),
+        }
+
+
+class BisectStrategy(_Strategy):
+    """Cyclic coordinate bisection over placement/schedule space."""
+
+    name = "bisect"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.passes = int(self.options.get("passes", 2))
+        if self.passes < 1:
+            raise SpecError("bisect needs passes >= 1")
+        self._current: ScenarioPoint | None = None
+        self._pass = 0
+        self._coords: list[tuple[str, int]] = []
+        self._coord_i = 0
+        self._interval: tuple[int, int] | None = None
+        self._trio: list[ScenarioPoint] = []
+        self._trio_values: dict[str, Any] = {}
+        self._awaiting_start = False
+
+    def _prime(self, point, value) -> None:
+        if value is not None:
+            self._current = point
+
+    def _start_pass(self) -> None:
+        self._coords = []
+        assert self._current is not None
+        if self.space.search_wake:
+            for agent, delay in enumerate(self._current.wake or ()):
+                if delay is not None:  # dormancy is not bisectable
+                    self._coords.append(("wake", agent))
+        if self.space.search_placement:
+            for agent in range(self.space.team):
+                self._coords.append(("node", agent))
+        self._coord_i = 0
+        self._interval = None
+
+    def _coord_range(self, coord: tuple[str, int]) -> tuple[int, int]:
+        if coord[0] == "wake":
+            return 0, self.space.max_delay
+        return 0, self.space.n - 1
+
+    def _apply(
+        self, coord: tuple[str, int], position: int
+    ) -> ScenarioPoint:
+        assert self._current is not None
+        kind, agent = coord
+        if kind == "wake":
+            return self.space.with_delay(self._current, agent, position)
+        return self.space.with_node(self._current, agent, position)
+
+    def propose(self, remaining: int) -> list[ScenarioPoint]:
+        while True:
+            if self._current is None:
+                point = self._next_stream_point()
+                if point is None:
+                    return []
+                self._awaiting_start = True
+                return [point]
+            if not self._coords:
+                if self._pass >= self.passes:
+                    return []
+                self._start_pass()
+                if not self._coords:
+                    return []
+            coord = self._coords[self._coord_i]
+            if self._interval is None:
+                self._interval = self._coord_range(coord)
+            lo, hi = self._interval
+            if hi - lo <= 1 and not self._trio:
+                self._next_coordinate()
+                continue
+            if not self._trio:
+                mid = (lo + hi) // 2
+                self._trio = []
+                self._trio_values = {}
+                fresh = []
+                for position in (lo, mid, hi):
+                    candidate = self._apply(coord, position)
+                    sig = self._sig(candidate)
+                    self._trio.append(candidate)
+                    if sig in self._values:
+                        self._trio_values[sig] = self._values[sig]
+                    elif self._mark(candidate):
+                        fresh.append(candidate)
+                    else:
+                        # Proposed earlier but its value never came
+                        # back (a failed trial): treat as known-bad.
+                        self._trio_values[sig] = None
+                if fresh:
+                    return fresh[:remaining]
+            if not self._narrow():
+                self._next_coordinate()
+
+    def _narrow(self) -> bool:
+        """Shrink the interval toward the best trio value.
+
+        Returns ``False`` when every trio value is known-bad (the
+        coordinate is abandoned for this pass).
+        """
+        lo_pt, mid_pt, hi_pt = self._trio
+        self._trio = []
+        lo, hi = self._interval  # type: ignore[misc]
+        mid = (lo + hi) // 2
+        values = [
+            self._trio_values.get(self._sig(p), self._values.get(
+                self._sig(p)
+            ))
+            for p in (lo_pt, mid_pt, hi_pt)
+        ]
+        best_i = None
+        best_v: Any = None
+        for i, v in enumerate(values):
+            if v is not None and improved(v, best_v, self.maximize):
+                best_i, best_v = i, v
+        if best_i is None:
+            return False
+        if improved(best_v, self._values.get(
+            self._sig(self._current)  # type: ignore[arg-type]
+        ), self.maximize):
+            self._current = (lo_pt, mid_pt, hi_pt)[best_i]
+        if best_i == 0:
+            self._interval = (lo, mid)
+        elif best_i == 2:
+            self._interval = (mid, hi)
+        else:
+            self._interval = ((lo + mid) // 2, (mid + hi + 1) // 2)
+        lo2, hi2 = self._interval
+        return hi2 - lo2 > 1
+
+    def _next_coordinate(self) -> None:
+        self._trio = []
+        self._trio_values = {}
+        self._interval = None
+        self._coord_i += 1
+        if self._coord_i >= len(self._coords):
+            self._coords = []
+            self._pass += 1
+
+    def _observe(self, results) -> None:
+        if self._awaiting_start:
+            self._awaiting_start = False
+            point, value = results[0]
+            if value is None:
+                self._current = None
+                return
+            self._current = point
+            self._pass = 0
+            return
+        for point, value in results:
+            self._trio_values[self._sig(point)] = value
+
+    def _frontier(self) -> dict:
+        return {
+            "pass": self._pass,
+            "passes": self.passes,
+            "coordinate": (
+                list(self._coords[self._coord_i])
+                if self._coords and self._coord_i < len(self._coords)
+                else None
+            ),
+            "interval": (
+                None if self._interval is None else list(self._interval)
+            ),
+        }
+
+
+STRATEGIES: dict[str, type[_Strategy]] = {
+    "sample": SampleStrategy,
+    "hill_climb": HillClimbStrategy,
+    "halving": HalvingStrategy,
+    "bisect": BisectStrategy,
+}
+
+
+def make_strategy(
+    name: str,
+    space: ScenarioSpace,
+    seed: int,
+    budget: int,
+    maximize: bool = True,
+    stream: Stream | None = None,
+    options: dict | None = None,
+) -> _Strategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown search strategy {name!r}; "
+            f"known: {sorted(STRATEGIES)}"
+        ) from None
+    return cls(
+        space, seed, budget, maximize=maximize, stream=stream,
+        options=options,
+    )
+
+
+def drive_search(
+    strategy: _Strategy,
+    evaluate_batch: Callable[[list[ScenarioPoint]], list],
+    budget: int,
+    maximize: bool = True,
+    on_round: Callable | None = None,
+) -> SearchOutcome:
+    """The generic search loop: propose, evaluate, observe, repeat.
+
+    ``evaluate_batch`` returns one objective value per point, aligned
+    with the batch (``None`` for a failed evaluation).  Budget counts
+    every proposed point — including failures — so a search always
+    terminates.  ``on_round(round_index, results, best_point,
+    best_value, attempts)`` fires after each observed batch (the
+    engine's persistence/progress hook).
+    """
+    best_point: ScenarioPoint | None = None
+    best_value: Any = None
+    attempts = 0
+    rounds = 0
+    while attempts < budget:
+        batch = strategy.propose(budget - attempts)
+        batch = batch[: budget - attempts]
+        if not batch:
+            break
+        values = evaluate_batch(batch)
+        attempts += len(batch)
+        results = list(zip(batch, values))
+        strategy.observe(results)
+        for point, value in results:
+            if value is not None and improved(value, best_value, maximize):
+                best_point, best_value = point, value
+        rounds += 1
+        if on_round is not None:
+            on_round(rounds, results, best_point, best_value, attempts)
+    return SearchOutcome(best_point, best_value, attempts, rounds)

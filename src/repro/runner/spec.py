@@ -39,19 +39,65 @@ from ..sim.adversary import parse_wake_strategy
 
 PLACEMENTS = ("default", "spread", "random", "eccentric")
 _SEED_MODES = ("derived", "fixed")
-_ADVERSARY_KINDS = ("fixed", "worst_of", "best_of")
+_ADVERSARY_KINDS = ("fixed", "worst_of", "best_of", "adaptive")
 
 
 class SpecError(ValueError):
     """The experiment specification is malformed."""
 
 
+def parse_placement(placement: str) -> tuple[str, tuple[int, ...]]:
+    """Validate a placement string; return ``(kind, nodes)``.
+
+    Either a named strategy from :data:`PLACEMENTS` (empty ``nodes``),
+    or an explicit assignment ``nodes:<v0>-<v1>-...`` giving agent
+    ``i``'s start node — the placement analogue of the ``explicit``
+    wake strategy, used by the adaptive-adversary search to express a
+    concrete scenario it found as an ordinary declarative axis value.
+    Node ids must be distinct non-negative integers (range-checked
+    against the concrete graph at execution time).
+    """
+    if placement in PLACEMENTS:
+        return placement, ()
+    kind, _, tail = placement.partition(":")
+    if kind != "nodes" or not tail:
+        raise SpecError(
+            f"placement {placement!r} must be one of {PLACEMENTS} or "
+            "an explicit 'nodes:<v0>-<v1>-...' assignment"
+        )
+    try:
+        nodes = tuple(int(part) for part in tail.split("-"))
+    except ValueError:
+        raise SpecError(
+            f"explicit placement nodes must be integers: {placement!r}"
+        ) from None
+    if any(v < 0 for v in nodes):
+        raise SpecError(
+            f"explicit placement nodes must be non-negative: {placement!r}"
+        )
+    if len(set(nodes)) != len(nodes):
+        raise SpecError(
+            f"explicit placement nodes must be distinct: {placement!r}"
+        )
+    return "nodes", nodes
+
+
+def format_placement_nodes(nodes) -> str:
+    """The ``nodes:...`` string describing a concrete placement."""
+    return "nodes:" + "-".join(str(v) for v in nodes)
+
+
 def parse_adversary(strategy: str) -> tuple[str, int]:
     """Validate an adversary strategy string; return ``(kind, draws)``.
 
-    ``fixed`` (one scenario, draw index 0), or ``worst_of:<k>`` /
+    ``fixed`` (one scenario, draw index 0), ``worst_of:<k>`` /
     ``best_of:<k>`` (the adversary evaluates ``k`` seed-derived
-    scenario draws and keeps the worst/best round count).
+    scenario draws and keeps the worst/best round count), or
+    ``adaptive:<strategy>:<budget>`` (the adversary *searches* the
+    randomized scenario components with a
+    :mod:`repro.runner.search` strategy — ``hill_climb``, ``halving``,
+    ``bisect``, ``sample`` — under a budget of ``budget`` scenario
+    evaluations, and keeps the worst outcome it found).
     """
     kind, _, arg = strategy.partition(":")
     if kind not in _ADVERSARY_KINDS:
@@ -65,6 +111,29 @@ def parse_adversary(strategy: str) -> tuple[str, int]:
                 f"the 'fixed' adversary takes no arguments: {strategy!r}"
             )
         return "fixed", 1
+    if kind == "adaptive":
+        # Imported lazily: the search package imports this module at
+        # load time, so a module-level import would cycle.
+        from .search.strategies import STRATEGIES
+
+        search_strategy, _, budget_arg = arg.partition(":")
+        if search_strategy not in STRATEGIES:
+            raise SpecError(
+                f"unknown search strategy in {strategy!r}; known: "
+                f"{sorted(STRATEGIES)} (adaptive:<strategy>:<budget>)"
+            )
+        try:
+            budget = int(budget_arg)
+        except ValueError:
+            raise SpecError(
+                f"the adaptive adversary needs an integer budget, e.g. "
+                f"'adaptive:{search_strategy}:16': {strategy!r}"
+            ) from None
+        if budget < 1:
+            raise SpecError(
+                f"adaptive adversary budget must be >= 1: {strategy!r}"
+            )
+        return "adaptive", budget
     try:
         draws = int(arg)
     except ValueError:
@@ -327,10 +396,7 @@ class ExperimentSpec:
         require_unique("wake_schedules", wake_schedules)
         require_unique("adversaries", adversaries)
         for p in placements:
-            if p not in PLACEMENTS:
-                raise SpecError(
-                    f"placement {p!r} must be one of {PLACEMENTS}"
-                )
+            parse_placement(p)
         if not wake_schedules:
             raise SpecError("wake_schedules must be non-empty")
         max_team = max(len(ls) for ls in label_sets)

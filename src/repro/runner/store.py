@@ -48,6 +48,23 @@ def _shard_name(index: int) -> str:
     return f"shard-{index:04d}.json"
 
 
+def spec_from_payload(payload: dict):
+    """Rebuild the spec object a ``spec.json`` sidecar describes.
+
+    Experiment and search stores share one on-disk layout; the search
+    sidecar carries ``"kind": "search"`` and rebuilds into a
+    :class:`~repro.runner.search.spec.SearchSpec`, everything else
+    into an :class:`ExperimentSpec` — so ``compact`` and
+    ``merge_from`` treat both kinds of store uniformly.
+    """
+    if isinstance(payload, dict) and payload.get("kind") == "search":
+        # Imported lazily: the search package imports this module.
+        from .search.spec import SearchSpec
+
+        return SearchSpec.from_dict(payload)
+    return ExperimentSpec.from_dict(payload)
+
+
 class ResultStore:
     """Directory of per-spec sharded result directories."""
 
@@ -255,7 +272,7 @@ class ResultStore:
                 if payload is None:
                     continue
                 try:
-                    rebuilt = ExperimentSpec.from_dict(payload)
+                    rebuilt = spec_from_payload(payload)
                 except (KeyError, ValueError, TypeError):
                     continue
                 targets.append((rebuilt, entry["spec_hash"]))
@@ -502,7 +519,7 @@ class ResultStore:
             bucket = union[spec_hash]
             payload = bucket["spec"]
             try:
-                spec = ExperimentSpec.from_dict(payload or {})
+                spec = spec_from_payload(payload or {})
             except (KeyError, ValueError, TypeError):
                 skipped += 1
                 warnings.warn(

@@ -35,9 +35,9 @@ from ..core.runs import (
 from ..explore.uxs import UXSProvider
 from ..graphs import generators
 from ..graphs.port_graph import PortGraph
-from ..sim.adversary import schedule_from_strategy
+from ..sim.adversary import parse_wake_strategy, schedule_from_strategy
 from .spec import PLACEMENTS as spec_placement_names
-from .spec import TrialSpec, derive_seed, parse_adversary
+from .spec import TrialSpec, derive_seed, parse_adversary, parse_placement
 
 
 class TrialError(RuntimeError):
@@ -216,14 +216,33 @@ def resolve_scenario(
     stay byte-identical across worker counts.
     """
     k = len(trial.labels)
-    try:
-        place = PLACEMENT_RESOLVERS[trial.placement]
-    except KeyError:
-        raise TrialError(
-            f"unknown placement {trial.placement!r}; "
-            f"known: {sorted(PLACEMENT_RESOLVERS)}"
-        ) from None
-    start_nodes = place(graph, k, _scenario_seed(trial, "placement", draw))
+    if trial.placement.startswith("nodes:"):
+        # An explicit assignment (the adaptive search's encoding of a
+        # concrete scenario): no seed, no strategy — just range checks
+        # against the concrete graph.
+        _, nodes = parse_placement(trial.placement)
+        if len(nodes) != k:
+            raise ValueError(
+                f"explicit placement has {len(nodes)} nodes for "
+                f"{k} agents: {trial.placement!r}"
+            )
+        if any(v >= graph.n for v in nodes):
+            raise ValueError(
+                f"explicit placement node out of range for a "
+                f"{graph.n}-node graph: {trial.placement!r}"
+            )
+        start_nodes: list[int] | None = list(nodes)
+    else:
+        try:
+            place = PLACEMENT_RESOLVERS[trial.placement]
+        except KeyError:
+            raise TrialError(
+                f"unknown placement {trial.placement!r}; "
+                f"known: {sorted(PLACEMENT_RESOLVERS)}"
+            ) from None
+        start_nodes = place(
+            graph, k, _scenario_seed(trial, "placement", draw)
+        )
     wake_rounds = schedule_from_strategy(
         trial.wake_schedule, k, seed=_scenario_seed(trial, "wake", draw)
     )
@@ -404,6 +423,117 @@ def _simulate_scenario(
     return algorithm(trial, graph, provider, start_nodes, wake_rounds)
 
 
+def _run_adaptive_adversary(
+    trial: TrialSpec,
+    graph: PortGraph,
+    provider: UXSProvider | None,
+    algorithm: Callable,
+    budget: int,
+) -> dict:
+    """Execute an ``adaptive:<strategy>:<budget>`` adversary trial.
+
+    The adversary evaluates the trial's fixed (draw-0) scenario first,
+    then spends the remaining budget *searching* the randomized
+    scenario components with the named strategy
+    (:mod:`repro.runner.search`), keeping the worst outcome.  Priming
+    the search with the fixed scenario makes ``adaptive >= fixed`` a
+    structural guarantee, exactly as draw-0 sharing makes ``worst_of
+    >= fixed`` one.  Everything is derived from the trial's scenario
+    seed, so records stay byte-identical across backends and worker
+    counts.  Deterministic scenario components are not searched
+    (mirroring ``worst_of``): with nothing randomized the budget
+    collapses to a single evaluation.
+    """
+    # Imported lazily: the search package imports this module's
+    # sibling spec module at load time.
+    from .search.space import ScenarioSpace
+    from .search.strategies import drive_search, make_strategy
+
+    strategy_name = trial.adversary.split(":")[1]
+    base_nodes, base_wake = resolve_scenario(trial, graph, 0)
+    base_metrics = algorithm(trial, graph, provider, base_nodes, base_wake)
+    evaluated = 1
+    chosen = base_metrics
+    chosen_scenario: dict[str, str] = {
+        "placement": trial.placement,
+        "wake": trial.wake_schedule,
+    }
+    if budget > 1 and _scenario_is_randomized(trial):
+        wake_kind, wake_args = parse_wake_strategy(trial.wake_schedule)
+        search_wake = wake_kind == "random"
+        max_delay = (
+            wake_args[0] if search_wake and wake_args else 16
+        )
+        dormant_pct = (
+            wake_args[1] if search_wake and len(wake_args) > 1 else 25
+        )
+        space = ScenarioSpace(
+            n=graph.n,
+            team=len(trial.labels),
+            max_delay=max_delay,
+            dormant_pct=dormant_pct,
+            search_placement=trial.placement == "random",
+            search_wake=search_wake,
+        )
+
+        def stream(draw: int):
+            nodes, wake = resolve_scenario(trial, graph, draw)
+            return space.from_resolved(nodes, wake)
+
+        strategy = make_strategy(
+            strategy_name,
+            space,
+            seed=_scenario_seed(trial, "adaptive", 0),
+            budget=budget - 1,
+            maximize=True,
+            stream=stream,
+        )
+        metrics_by_sig: dict[str, dict] = {}
+        base_point = space.from_resolved(base_nodes, base_wake)
+        strategy.prime(base_point, base_metrics["rounds"])
+        metrics_by_sig[space.signature(base_point)] = base_metrics
+
+        def evaluate_batch(points) -> list:
+            values = []
+            for point in points:
+                nodes = (
+                    list(point.nodes)
+                    if point.nodes is not None
+                    else base_nodes
+                )
+                wake = (
+                    list(point.wake)
+                    if point.wake is not None
+                    else base_wake
+                )
+                metrics = algorithm(trial, graph, provider, nodes, wake)
+                metrics_by_sig[space.signature(point)] = metrics
+                values.append(metrics["rounds"])
+            return values
+
+        outcome = drive_search(
+            strategy, evaluate_batch, budget - 1, maximize=True
+        )
+        evaluated += outcome.attempts
+        if (
+            outcome.best_point is not None
+            and outcome.best_value is not None
+            and outcome.best_value > base_metrics["rounds"]
+        ):
+            signature = space.signature(outcome.best_point)
+            chosen = metrics_by_sig[signature]
+            placement, wake = space.encode(outcome.best_point)
+            chosen_scenario = {
+                "placement": placement or trial.placement,
+                "wake": wake or trial.wake_schedule,
+            }
+    metrics = dict(chosen)
+    metrics["adversary_draws"] = budget
+    metrics["adversary_evaluated"] = evaluated
+    metrics["adversary_scenario"] = chosen_scenario
+    return metrics
+
+
 def execute_trial(
     trial: TrialSpec,
     provider: UXSProvider | None = None,
@@ -444,6 +574,10 @@ def execute_trial(
         if kind == "fixed":
             metrics = _simulate_scenario(
                 trial, graph, provider, algorithm, 0
+            )
+        elif kind == "adaptive":
+            metrics = _run_adaptive_adversary(
+                trial, graph, provider, algorithm, budget=draws
             )
         else:
             # With fully deterministic scenario components every draw

@@ -83,7 +83,59 @@ def _check(team_size: int) -> None:
 # Named, seed-derivable strategies (the experiment engine's wake axis).
 # ----------------------------------------------------------------------
 
-WAKE_STRATEGIES = ("simultaneous", "staggered", "single_awake", "random")
+WAKE_STRATEGIES = (
+    "simultaneous", "staggered", "single_awake", "random", "explicit",
+)
+
+
+def parse_explicit_wake(strategy: str) -> tuple[int | None, ...]:
+    """Validate an ``explicit`` strategy string; return its entries.
+
+    The form is ``explicit:<e0>-<e1>-...`` with one entry per agent:
+    a non-negative integer wake round, or ``x`` for a dormant agent
+    (woken only when an awake agent crosses its start node).  This is
+    how the adaptive-adversary search (:mod:`repro.runner.search`)
+    encodes a *concrete* schedule it found as an ordinary declarative
+    axis value — the resulting trials stay pure functions of their
+    spec, so search evaluations are cacheable and byte-reproducible
+    like any other trial.  At least one entry must be awake.
+    """
+    kind, _, tail = strategy.partition(":")
+    if kind != "explicit" or not tail:
+        raise ValueError(
+            f"explicit wake strategies are 'explicit:<e0>-<e1>-...' "
+            f"with integer or 'x' entries: {strategy!r}"
+        )
+    entries: list[int | None] = []
+    for part in tail.split("-"):
+        if part == "x":
+            entries.append(None)
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise ValueError(
+                f"explicit wake entries are non-negative integers or "
+                f"'x': {strategy!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"explicit wake rounds must be non-negative: {strategy!r}"
+            )
+        entries.append(value)
+    if all(entry is None for entry in entries):
+        raise ValueError(
+            f"an explicit schedule needs at least one awake agent: "
+            f"{strategy!r}"
+        )
+    return tuple(entries)
+
+
+def format_explicit_wake(entries) -> str:
+    """The ``explicit:...`` string describing a concrete schedule."""
+    return "explicit:" + "-".join(
+        "x" if entry is None else str(entry) for entry in entries
+    )
 
 
 def parse_wake_strategy(strategy: str) -> tuple[str, tuple[int, ...]]:
@@ -95,7 +147,10 @@ def parse_wake_strategy(strategy: str) -> tuple[str, tuple[int, ...]]:
         staggered[:gap]              default gap 1
         single_awake[:index]         default index 0
         random[:max_delay[:pct]]     default max_delay 16, dormant pct 25
+        explicit:<e0>-<e1>-...       one entry per agent; 'x' = dormant
 
+    For ``explicit`` the returned args are empty — its entries are not
+    plain integers; use :func:`parse_explicit_wake` to read them.
     Raises :class:`ValueError` on anything else, so experiment specs
     can reject a malformed axis at construction time rather than a
     thousand trials in.
@@ -110,6 +165,9 @@ def parse_wake_strategy(strategy: str) -> tuple[str, tuple[int, ...]]:
         raise ValueError(
             f"trailing ':' without an argument: {strategy!r}"
         )
+    if kind == "explicit":
+        parse_explicit_wake(strategy)
+        return kind, ()
     args: tuple[int, ...] = ()
     if tail:
         try:
@@ -145,6 +203,14 @@ def schedule_from_strategy(
     consumed by the ``random`` strategy.
     """
     kind, args = parse_wake_strategy(strategy)
+    if kind == "explicit":
+        entries = parse_explicit_wake(strategy)
+        if len(entries) != team_size:
+            raise ValueError(
+                f"explicit schedule has {len(entries)} entries for a "
+                f"team of {team_size}: {strategy!r}"
+            )
+        return list(entries)
     if kind == "simultaneous":
         return simultaneous(team_size)
     if kind == "staggered":

@@ -310,6 +310,73 @@ class TestManifest:
         with pytest.raises(BackendError, match="store"):
             run_experiment(small_spec(), backend="manifest")
 
+    def test_detailed_status_reports_claim_ages(self, tmp_path):
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=2
+        )
+        assert manifest_mod.claim_chunk(mdir, 0, "alice")
+        status = manifest_mod.detailed_status(mdir, payload)
+        assert status["done"] == 0
+        assert status["pending"] == len(payload["chunks"]) - 1
+        (claim,) = status["in_flight"]
+        assert claim["chunk"] == 0
+        assert claim["worker"] == "alice"
+        assert claim["age_s"] >= 0.0
+
+    def test_detailed_status_tolerates_corrupt_claims(self, tmp_path):
+        # A truncated claim that parses as non-dict JSON (or not at
+        # all) must degrade to worker '?', not crash the status tool.
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=2
+        )
+        claim = mdir / "claims" / "chunk-0000.claim"
+        claim.write_text('["not", "a", "dict"]')
+        status = manifest_mod.detailed_status(mdir, payload)
+        assert status["in_flight"][0]["worker"] == "?"
+
+    def test_scan_manifests_skips_unreadable(self, tmp_path):
+        spec = small_spec()
+        mdir, _ = manifest_mod.ensure_manifest(tmp_path, spec)
+        rotten = tmp_path / "deadbeef" / "manifest"
+        rotten.mkdir(parents=True)
+        (rotten / "manifest.json").write_text("{not json")
+        scanned = manifest_mod.scan_manifests(tmp_path)
+        assert [entry[0] for entry in scanned] == [spec.spec_hash()]
+
+    def test_manifest_status_cli(self, tmp_path, capsys):
+        spec = small_spec()
+        mdir, _ = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=2
+        )
+        manifest_mod.claim_chunk(mdir, 0, "ghost-worker")
+        assert main([
+            "manifest", "status", "--manifest-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert spec.spec_hash() in out
+        assert "ghost-worker" in out
+
+    def test_manifest_status_cli_json(self, tmp_path, capsys):
+        spec = small_spec()
+        manifest_mod.ensure_manifest(tmp_path, spec, chunk_size=2)
+        assert main([
+            "manifest", "status", "--manifest-dir", str(tmp_path),
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["spec_hash"] == spec.spec_hash()
+        assert payload[0]["done"] == 0
+
+    def test_manifest_status_cli_without_manifests(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "manifest", "status", "--manifest-dir", str(tmp_path),
+        ]) == 2
+        assert "error" in capsys.readouterr().out
+
     def test_stuck_foreign_claim_times_out(self, tmp_path):
         spec = small_spec(sizes=(4,))
         mdir, _ = manifest_mod.ensure_manifest(

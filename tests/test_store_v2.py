@@ -895,3 +895,120 @@ class TestStreamingQuery:
             "--where", "wormholes=3",
         ]) == 2
         assert "unknown field 'wormholes'" in capsys.readouterr().out
+
+
+class TestCorruptIndexRecovery:
+    """A damaged ``index.json`` must never lose records or listings."""
+
+    def sweep(self, tmp_path):
+        spec = spec_for()
+        store = ResultStore(tmp_path)
+        run_experiment(spec, workers=1, store=store)
+        return spec, store
+
+    def index_path(self, spec, tmp_path):
+        return tmp_path / spec.spec_hash() / "index.json"
+
+    def test_garbage_index_falls_back_to_shard_scan(self, tmp_path):
+        spec, store = self.sweep(tmp_path)
+        self.index_path(spec, tmp_path).write_text("{not json")
+        (entry,) = store.list_specs()
+        assert entry["trials"] == 4
+        assert len(store.load(spec)) == 4
+
+    def test_missing_index_falls_back_to_shard_scan(self, tmp_path):
+        spec, store = self.sweep(tmp_path)
+        self.index_path(spec, tmp_path).unlink()
+        (entry,) = store.list_specs()
+        assert entry["trials"] == 4
+
+    def test_wrong_version_index_falls_back(self, tmp_path):
+        spec, store = self.sweep(tmp_path)
+        self.index_path(spec, tmp_path).write_text(
+            json.dumps({"version": 99, "total": 0})
+        )
+        (entry,) = store.list_specs()
+        assert entry["trials"] == 4
+
+    def test_compact_heals_a_corrupt_index(self, tmp_path):
+        spec, store = self.sweep(tmp_path)
+        healthy = tree_bytes(tmp_path)
+        self.index_path(spec, tmp_path).write_text("{not json")
+        stats = store.compact()
+        assert stats == {"specs": 1, "records": 4, "removed": 0}
+        assert tree_bytes(tmp_path) == healthy
+
+    def test_rerun_with_corrupt_index_simulates_nothing(self, tmp_path):
+        # The engine's cache subtraction reads shards, not the index:
+        # a corrupt index alone never forces a re-simulation.
+        spec, store = self.sweep(tmp_path)
+        self.index_path(spec, tmp_path).write_text("garbage")
+        result = run_experiment(spec, workers=1, store=store)
+        assert result.executed == 0
+        assert result.cached == 4
+
+
+class TestMergeWithSearchRecords:
+    """``merge_from`` when a sibling store holds search records."""
+
+    def populate(self, tmp_path):
+        from repro.runner.search import SearchSpec, run_search
+
+        sweep_store = ResultStore(tmp_path / "sweep")
+        run_experiment(spec_for(), workers=1, store=sweep_store)
+        search_spec = SearchSpec(
+            algorithm="gather_known", family="ring", n=6,
+            labels=(1, 2), strategy="hill_climb", budget=6,
+            max_delay=20,
+        )
+        search_store = ResultStore(tmp_path / "search")
+        result = run_search(search_spec, store=search_store)
+        return sweep_store, search_store, search_spec, result
+
+    def test_merge_unions_search_and_sweep_stores(self, tmp_path):
+        sweep_store, search_store, spec, result = self.populate(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        stats = merged.merge_from([sweep_store, search_store])
+        assert stats["specs"] == 2
+        assert stats["skipped"] == 0
+        assert stats["duplicates"] == 0
+        loaded = merged.load(spec)
+        assert loaded == search_store.load(spec)
+        kinds = {r.get("kind") for r in loaded.values()}
+        assert kinds == {"eval", "round"}
+
+    def test_merged_search_store_is_byte_canonical(self, tmp_path):
+        _, search_store, spec, _ = self.populate(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        merged.merge_from([search_store])
+        assert tree_bytes(tmp_path / "merged") == tree_bytes(
+            tmp_path / "search"
+        )
+
+    def test_merged_search_sidecar_keeps_its_kind(self, tmp_path):
+        sweep_store, search_store, spec, _ = self.populate(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        merged.merge_from([sweep_store, search_store])
+        sidecar = json.loads(
+            (tmp_path / "merged" / spec.spec_hash() / "spec.json")
+            .read_text()
+        )
+        assert sidecar["spec"]["kind"] == "search"
+
+    def test_search_resumes_from_a_merged_store(self, tmp_path):
+        from repro.runner.search import run_search
+
+        sweep_store, search_store, spec, first = self.populate(tmp_path)
+        merged = ResultStore(tmp_path / "merged")
+        merged.merge_from([sweep_store, search_store])
+        resumed = run_search(spec, store=merged)
+        assert resumed.simulated == 0
+        assert resumed.best_value == first.best_value
+
+    def test_compact_covers_search_stores(self, tmp_path):
+        _, search_store, spec, result = self.populate(tmp_path)
+        before = tree_bytes(tmp_path / "search")
+        stats = search_store.compact()
+        assert stats["specs"] == 1
+        assert stats["records"] == len(result.records)
+        assert tree_bytes(tmp_path / "search") == before

@@ -248,6 +248,64 @@ def test_e11d_adaptive_search(benchmark):
 TREND_BACKENDS = ("serial", "process", "pipelined")
 
 
+def scheduler_specs(quick: bool) -> list[ExperimentSpec]:
+    """The EXPLO-heavy scheduler workload: walk-dominated trials.
+
+    These trials are where the event scheduler itself (not the
+    engine's fan-out) is the bottleneck: ``gather_known`` at n >= 10
+    walks ~10^5 UXS edges per trial, and the EST-dominated
+    ``gather_unknown`` points exercise signature walks against a token
+    group.  The walk-segment fast path (PR 5) is gated by this entry.
+    """
+    seeds = (0, 1) if quick else (0, 1, 2, 3)
+    return [
+        ExperimentSpec(
+            algorithm="gather_known",
+            family="ring",
+            sizes=(10, 12),
+            label_sets=((1, 2),),
+            seeds=seeds,
+            placements=("spread", "eccentric"),
+        ),
+        ExperimentSpec(
+            algorithm="gather_unknown",
+            family="edge",
+            sizes=(2,),
+            label_sets=((1, 2), (2, 3), (1, 3)),
+            seeds=seeds,
+        ),
+    ]
+
+
+def measure_scheduler(
+    quick: bool, calibration: float, repetitions: int = 3
+) -> dict:
+    """Time the walk-heavy workload (serial backend, best of reps)."""
+    specs = scheduler_specs(quick)
+    n_trials = sum(len(spec.trials()) for spec in specs)
+    best = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        for spec in specs:
+            result = run_experiment(spec, workers=1)
+            if result.failed:
+                raise RuntimeError(
+                    f"scheduler grid failed: "
+                    f"{result.failures()[0]['error']}"
+                )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    trials_per_s = n_trials / best
+    return {
+        "walk_heavy": {
+            "trials": n_trials,
+            "seconds": round(best, 4),
+            "trials_per_s": round(trials_per_s, 2),
+            "normalized": round(trials_per_s * calibration, 4),
+        }
+    }
+
+
 def trend_spec(quick: bool) -> ExperimentSpec:
     """The timing grid: short talking trials, shared rejection-sampled
     graphs — the workload the pipelined backend exists for."""
@@ -315,6 +373,7 @@ def measure_trend(
         "workers": workers,
         "calibration_s": round(calibration, 4),
         "backends": backends,
+        "scheduler": measure_scheduler(quick, calibration),
     }
 
 
@@ -323,19 +382,24 @@ def check_trend(
 ) -> list[str]:
     """Regression messages (empty = within tolerance of the baseline)."""
     failures = []
-    for backend, entry in sorted(baseline.get("backends", {}).items()):
-        got = measured["backends"].get(backend)
-        if got is None:
-            failures.append(f"{backend}: missing from this run")
-            continue
-        floor = entry["normalized"] * (1.0 - tolerance)
-        if got["normalized"] < floor:
-            failures.append(
-                f"{backend}: normalized throughput "
-                f"{got['normalized']:.4f} fell below "
-                f"{floor:.4f} (baseline {entry['normalized']:.4f} "
-                f"- {tolerance:.0%})"
-            )
+    sections = (
+        ("backends", "backends"),
+        ("scheduler", "scheduler"),
+    )
+    for section, label in sections:
+        for name, entry in sorted(baseline.get(section, {}).items()):
+            got = measured.get(section, {}).get(name)
+            if got is None:
+                failures.append(f"{label}/{name}: missing from this run")
+                continue
+            floor = entry["normalized"] * (1.0 - tolerance)
+            if got["normalized"] < floor:
+                failures.append(
+                    f"{label}/{name}: normalized throughput "
+                    f"{got['normalized']:.4f} fell below "
+                    f"{floor:.4f} (baseline {entry['normalized']:.4f} "
+                    f"- {tolerance:.0%})"
+                )
     return failures
 
 
@@ -387,9 +451,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"REGRESSION {failure}")
         if failures:
             return 1
+        gated = len(baseline.get("backends", {})) + len(
+            baseline.get("scheduler", {})
+        )
         print(
             f"throughput within {args.tolerance:.0%} of the baseline "
-            f"for {len(baseline.get('backends', {}))} backend(s)"
+            f"for {gated} gated entr(ies)"
         )
     return 0
 

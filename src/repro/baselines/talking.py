@@ -81,9 +81,14 @@ def _talking_program(
 
     def program(ctx: AgentContext):
         # Wake everyone, then let the late risers finish their tour.
+        # The tours here and inside tz() are walk plans: merged groups
+        # walk them in lockstep as joint scheduler segments, truncated
+        # by the ("gt", c) watch at the exact meeting edge.
         yield from explo(ctx, provider, n_bound)
         yield from wait(ctx, t_explo)
         while True:
+            # O(1) per call: the simulation resolves the label through
+            # the index built at construction time.
             group = oracle.labels_here(ctx.label)
             if len(group) == team_size:
                 yield from declare(ctx, min(group))

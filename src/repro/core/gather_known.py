@@ -10,6 +10,14 @@ full phase passes with its group intact and a complete label learned.
 The phase-``i`` body is a line-by-line translation of Algorithm 3; the
 pseudo-code's two interruptible begin-end blocks map onto
 ``try/except WatchTriggered`` with a ``CurCard > c`` watch.
+
+Every tour below (the merge-attempt EXPLOs, the TZ exploration slots
+and the Communicate subgroup tours) is emitted as a *walk plan*, so
+the scheduler's segment fast path executes the long quiet stretches —
+a lone group touring while everyone else sits out a ``d(i)`` wait — in
+O(1) events per stretch; the ``CurCard > c`` watch truncates a segment
+at the exact edge where a meeting would have interrupted the per-step
+walk (see ``sim/scheduler.py``, "Walk segments").
 """
 
 from __future__ import annotations

@@ -28,7 +28,14 @@ from __future__ import annotations
 
 from ..explore.est import est_plus
 from ..graphs.port_graph import iter_all_walks
-from ..sim.agent import AgentContext, WatchTriggered, declare, move, wait
+from ..sim.agent import (
+    AgentContext,
+    WatchTriggered,
+    declare,
+    move,
+    wait,
+    walk,
+)
 from .results import GatherOutcome
 from .unknown_parameters import UnknownBoundSchedule
 
@@ -79,10 +86,14 @@ def move_to_central(ctx: AgentContext, sched: UnknownBoundSchedule, h: int):
     cfg = sched.config(h)
     if not cfg.has_label(ctx.label):
         return False
-    for port in cfg.path_to_central(ctx.label):
-        if port >= ctx.degree():
-            return False
-        yield from move(ctx, port)
+    # The hypothesised path is a precomputed plan of absolute ports; it
+    # may not exist on the real graph, so the walk stops quietly before
+    # the first port the current node does not have (exactly the
+    # per-step guard of Algorithm 8, line 2).
+    path = tuple(cfg.path_to_central(ctx.label))
+    reached_trace = yield from walk(ctx, path, stop_before_invalid=True)
+    if len(reached_trace) < len(path):
+        return False
     window = sched.s(h) + cfg.n
     reached = False
     try:
@@ -144,18 +155,25 @@ def ensure_clean_exploration(
     cfg = sched.config(h)
     k_h = cfg.k
     length = sched.ece_length(h)
+    # "Any round with a cardinality other than k_h fails immediately"
+    # is exactly a CurCard != k_h watch on the forward walks; the
+    # backtracks are unchecked, as in Algorithm 10.  The whole group
+    # walks the same plans in lockstep, which the scheduler executes
+    # jointly as segments.
     for _sweep in (1, 2):
         for word in iter_all_walks(length, cfg.n - 1):
-            entries: list[int] = []
-            for port in word:
-                if port >= ctx.degree():
-                    break
-                obs = yield from move(ctx, port)
-                if obs.curcard != k_h:
-                    return False
-                entries.append(obs.entry_port)
-            for back in reversed(entries):
-                yield from move(ctx, back)
+            try:
+                trace = yield from walk(
+                    ctx,
+                    tuple(word),
+                    watch=("ne", k_h),
+                    stop_before_invalid=True,
+                )
+            except WatchTriggered:
+                return False
+            yield from walk(
+                ctx, tuple(reversed([rec[2] for rec in trace]))
+            )
     return True
 
 

@@ -33,8 +33,8 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..sim.agent import AgentContext, move
-from .uxs import UXSProvider, first_exit_port, next_exit_port
+from ..sim.agent import AgentContext, walk
+from .uxs import UXSProvider
 
 Signature = tuple
 
@@ -92,34 +92,33 @@ def est(
     every move made (callers backtrack with it).
     """
     sequence = provider.sequence(n_hat)
+    signature_steps = provider.walk_plan(n_hat)
     entries: list[int] = []
     state = {"moves": 0}
 
-    def do_move(port: int):
-        obs = yield from move(ctx, port)
-        entries.append(obs.entry_port)
-        state["moves"] += 1
-        return obs
+    def do_walk(steps):
+        """Walk a plan, logging entry ports and the move count."""
+        trace = yield from walk(ctx, steps)
+        entries.extend(rec[2] for rec in trace)
+        state["moves"] += len(trace)
+        return trace
 
     def take_signature():
-        """Signature of the current node: U-walk out and back."""
+        """Signature of the current node: U-walk out and back.
+
+        Each half is one walk plan; during ``GraphSizeCheck`` the
+        waiting token group are plain statics, so the scheduler
+        typically runs the whole 2L-edge walk as two events while
+        still reporting the exact per-edge CurCard trace (the
+        ``token_flag`` bits below).
+        """
         sig: list[tuple[int, int, bool]] = [
             (ctx.degree(), -1, ctx.curcard() > 1)
         ]
-        walk_entries: list[int] = []
-        entry: int | None = None
-        for offset in sequence:
-            degree = ctx.degree()
-            if entry is None:
-                port = first_exit_port(degree, offset)
-            else:
-                port = next_exit_port(entry, offset, degree)
-            obs = yield from do_move(port)
-            entry = obs.entry_port
-            walk_entries.append(entry)
-            sig.append((obs.degree, entry, obs.curcard > 1))
-        for e in reversed(walk_entries):
-            yield from do_move(e)
+        forward = yield from do_walk(signature_steps)
+        walk_entries = [rec[2] for rec in forward]
+        sig.extend((rec[1], rec[2], rec[3] > 1) for rec in forward)
+        yield from do_walk(tuple(reversed(walk_entries)))
         return tuple(sig)
 
     def result(completed: bool, size: int | None, reason: str) -> ESTResult:
@@ -145,19 +144,17 @@ def est(
         probe_cost = 2 * (len(path) + 1) + sig_cost
         if state["moves"] + probe_cost > budget:
             return result(False, None, "budget")
-        nav_entries: list[int] = []
-        for p in path:
-            obs = yield from do_move(p)
-            nav_entries.append(obs.entry_port)
-        obs = yield from do_move(port)
-        back_port = obs.entry_port
+        probe = yield from do_walk(tuple(path) + (port,))
+        nav_entries = [rec[2] for rec in probe[:-1]]
+        back_port = probe[-1][2]
         sig = yield from take_signature()
         y = known.get(sig)
         if y is None:
             if len(known) >= n_hat:
                 # More nodes than hypothesised: walk home and stop.
-                for e in reversed(nav_entries + [back_port]):
-                    yield from do_move(e)
+                yield from do_walk(
+                    tuple(reversed(nav_entries + [back_port]))
+                )
                 return result(False, len(known) + 1, "too-many-nodes")
             y = len(known)
             known[sig] = y
@@ -165,8 +162,7 @@ def est(
             degrees[y] = sig[0][0]
             pending.extend((y, p) for p in range(sig[0][0]) if p != back_port)
         edge_map[(x, port)] = (y, back_port)
-        for e in reversed(nav_entries + [back_port]):
-            yield from do_move(e)
+        yield from do_walk(tuple(reversed(nav_entries + [back_port])))
     # Consistency: every recorded edge must be symmetric.
     for (x, port), (y, back_port) in edge_map.items():
         other = edge_map.get((y, back_port))
@@ -189,6 +185,5 @@ def est_plus(
     Algorithm 11 line 7).
     """
     outcome = yield from est(ctx, provider, n_hat, budget)
-    for e in reversed(outcome.entries):
-        yield from move(ctx, e)
+    yield from walk(ctx, tuple(reversed(outcome.entries)))
     return outcome.completed and outcome.size == n_hat

@@ -11,14 +11,18 @@ is the length of the exploration sequence for size ``N``:
 
 The generator below is written against :class:`~repro.sim.agent.
 AgentContext` only — it steers by the observed degree and entry port,
-never by node identity, exactly as the model allows.
+never by node identity, exactly as the model allows.  Both halves are
+emitted as *walk plans* (offset-rule steps for the effective part,
+absolute entry ports for the backtrack): the plan is a pure function
+of information the agent legitimately has, and the scheduler's segment
+fast path merely executes it without a per-edge generator resume.
 """
 
 from __future__ import annotations
 
-from ..sim.agent import AgentContext, move
+from ..sim.agent import AgentContext, walk
 from ..sim.ops import Watch
-from .uxs import UXSProvider, first_exit_port, next_exit_port
+from .uxs import UXSProvider
 
 
 class ExploStats:
@@ -52,27 +56,25 @@ def explo(
     Raises :class:`~repro.sim.agent.WatchTriggered` as soon as the
     watch fires on any arrival observation.
     """
-    sequence = provider.sequence(n)
-    length = len(sequence)
+    plan = provider.walk_plan(n)
+    length = len(plan)
     total = 2 * length if limit is None else min(limit, 2 * length)
     min_card = ctx.curcard()
-    entries: list[int] = []
-    entry: int | None = None
     effective = min(length, total)
-    for i in range(effective):
-        degree = ctx.degree()
-        if entry is None:
-            port = first_exit_port(degree, sequence[i])
-        else:
-            port = next_exit_port(entry, sequence[i], degree)
-        obs = yield from move(ctx, port, watch)
-        entry = obs.entry_port
-        entries.append(entry)
-        if obs.curcard < min_card:
-            min_card = obs.curcard
+    # Effective part: one precomputed UXS walk plan; the scheduler runs
+    # every interaction-free stretch of it as a single event.
+    forward = yield from walk(ctx, plan[:effective], watch)
+    entries = [rec[2] for rec in forward]
+    for rec in forward:
+        if rec[3] < min_card:
+            min_card = rec[3]
     remaining = total - effective
-    for e in list(reversed(entries))[:remaining]:
-        obs = yield from move(ctx, e, watch)
-        if obs.curcard < min_card:
-            min_card = obs.curcard
+    if remaining > 0:
+        # Backtrack part: the recorded entry ports, absolute, reversed.
+        backward = yield from walk(
+            ctx, tuple(reversed(entries))[:remaining], watch
+        )
+        for rec in backward:
+            if rec[3] < min_card:
+                min_card = rec[3]
     return ExploStats(min_card, total)

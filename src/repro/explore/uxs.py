@@ -28,6 +28,7 @@ import random
 
 from ..graphs.enumerate_graphs import iter_all_port_graphs
 from ..graphs.port_graph import PortGraph
+from ..sim.ops import iter_walk, uxs_walk_steps
 
 # Exhaustively certified sequences (see tests/test_uxs.py).  The entry
 # for N covers every connected port-labelled graph with at most N
@@ -73,19 +74,19 @@ def next_exit_port(entry_port: int, offset: int, degree: int) -> int:
 def walk_ports(
     graph: PortGraph, start: int, sequence: tuple[int, ...]
 ) -> list[int]:
-    """Exit ports taken when walking ``sequence`` from ``start``."""
-    ports: list[int] = []
-    node = start
-    entry: int | None = None
-    for offset in sequence:
-        degree = graph.degree(node)
-        if entry is None:
-            port = first_exit_port(degree, offset)
-        else:
-            port = next_exit_port(entry, offset, degree)
-        ports.append(port)
-        node, entry = graph.neighbor(node, port)
-    return ports
+    """Exit ports taken when walking ``sequence`` from ``start``.
+
+    Both walk helpers (and the scheduler's segment planner) share the
+    step iterator in :mod:`repro.sim.ops`, so offline certification,
+    agent-side walks and the fast path cannot disagree on step
+    semantics.
+    """
+    return [
+        port
+        for port, _node, _entry in iter_walk(
+            graph, start, uxs_walk_steps(sequence)
+        )
+    ]
 
 
 def nodes_visited(
@@ -93,15 +94,9 @@ def nodes_visited(
 ) -> set[int]:
     """Set of nodes visited when walking ``sequence`` from ``start``."""
     visited = {start}
-    node = start
-    entry: int | None = None
-    for offset in sequence:
-        degree = graph.degree(node)
-        if entry is None:
-            port = first_exit_port(degree, offset)
-        else:
-            port = next_exit_port(entry, offset, degree)
-        node, entry = graph.neighbor(node, port)
+    for _port, node, _entry in iter_walk(
+        graph, start, uxs_walk_steps(sequence)
+    ):
         visited.add(node)
     return visited
 
@@ -158,6 +153,7 @@ class UXSProvider:
         self.seed = seed
         self.lengths = dict(lengths) if lengths else {}
         self._cache: dict[int, tuple[int, ...]] = {}
+        self._plan_cache: dict[int, tuple[int, ...]] = {}
 
     def sequence(self, n: int) -> tuple[int, ...]:
         """The exploration sequence for graphs of size at most ``n``."""
@@ -178,6 +174,18 @@ class UXSProvider:
         self._cache[n] = seq
         return seq
 
+    def walk_plan(self, n: int) -> tuple[int, ...]:
+        """The sequence for ``n`` encoded as a walk plan (rule steps).
+
+        Cached: EXPLO / signature emitters slice this tuple instead of
+        re-encoding the sequence on every tour.
+        """
+        cached = self._plan_cache.get(n)
+        if cached is None:
+            cached = uxs_walk_steps(self.sequence(n))
+            self._plan_cache[n] = cached
+        return cached
+
     def length(self, n: int) -> int:
         """Number of edge traversals of the effective part of EXPLO(n)."""
         return len(self.sequence(n))
@@ -189,6 +197,7 @@ class UXSProvider:
     def pin(self, n: int, sequence: tuple[int, ...]) -> None:
         """Install a custom (externally certified) sequence for ``n``."""
         self._cache[n] = tuple(sequence)
+        self._plan_cache.pop(n, None)
 
     def verify_for_graph(self, n: int, graph: PortGraph) -> None:
         """Pre-flight check: raise unless the sequence covers ``graph``.

@@ -1,13 +1,26 @@
 """Event-driven simulator for synchronous mobile agents."""
 
-from .agent import AgentContext, WatchTriggered, declare, move, wait, wait_stable
+from .agent import (
+    AgentContext,
+    WatchTriggered,
+    declare,
+    move,
+    wait,
+    wait_stable,
+    walk,
+)
 from .ops import (
     BudgetExceededError,
     DeadlockError,
     Observation,
     SimulationError,
+    WalkObservation,
+    iter_walk,
+    resolve_walk_step,
+    uxs_walk_steps,
     watch_hit,
 )
+from .reference import ReferenceSimulation
 from .adversary import random_schedule, simultaneous, single_awake, staggered
 from .scheduler import AgentOutcome, AgentSpec, Simulation, SimulationResult
 from .timeline import Milestone, extract_milestones, narrate, occupancy_histogram
@@ -30,9 +43,15 @@ __all__ = [
     "move",
     "wait",
     "wait_stable",
+    "walk",
     "declare",
     "Observation",
+    "WalkObservation",
+    "iter_walk",
+    "resolve_walk_step",
+    "uxs_walk_steps",
     "watch_hit",
+    "ReferenceSimulation",
     "SimulationError",
     "DeadlockError",
     "BudgetExceededError",

@@ -19,7 +19,17 @@ from __future__ import annotations
 
 from typing import Generator
 
-from .ops import DECLARE, MOVE, WAIT, WAIT_STABLE, Observation, Watch, watch_hit
+from .ops import (
+    DECLARE,
+    MOVE,
+    Observation,
+    resolve_walk_step,
+    WAIT,
+    WAIT_STABLE,
+    WALK,
+    Watch,
+    watch_hit,
+)
 
 AgentGen = Generator[tuple, Observation, object]
 
@@ -84,6 +94,65 @@ def move(ctx: AgentContext, port: int, watch: Watch | None = None) -> AgentGen:
     if watch is not None and watch_hit(watch, obs.curcard):
         raise WatchTriggered(obs)
     return obs
+
+
+def walk(
+    ctx: AgentContext,
+    steps,
+    watch: Watch | None = None,
+    stop_before_invalid: bool = False,
+) -> AgentGen:
+    """Walk a deterministic multi-edge segment, one round per edge.
+
+    ``steps`` is a walk plan (see :mod:`repro.sim.ops`): a tuple of
+    ints where ``step >= 0`` is an absolute exit port and ``step < 0``
+    is a UXS-rule step with offset ``~step``.  The scheduler may
+    execute any interaction-free prefix as a single event; this helper
+    loops until the whole plan has run, so agent code sees exactly the
+    per-edge history of the per-step model.
+
+    Returns a list of per-edge records ``(round, degree, entry_port,
+    curcard)`` — what :func:`move` would have observed on each arrival.
+    Raises :class:`WatchTriggered` on the first arrival whose CurCard
+    fires ``watch``, after recording that edge (like :func:`move`).
+
+    With ``stop_before_invalid`` the walk ends quietly *before* the
+    first absolute step that is not a valid port of the current node
+    (for plans hypothesised against an unknown graph, cf. Algorithm 8);
+    otherwise such a step is rejected by the scheduler exactly like a
+    bad ``move``.
+    """
+    steps = tuple(steps)
+    trace: list[tuple[int, int, int, int]] = []
+    entry: int | None = None  # UXS rule state along the walk
+    i = 0
+    total = len(steps)
+    while i < total:
+        degree = ctx.degree()
+        port = resolve_walk_step(steps[i], entry, degree)
+        if stop_before_invalid and (port < 0 or port >= degree):
+            return trace
+        obs = yield (WALK, port, steps, i, watch)
+        ctx.obs = obs
+        walked = getattr(obs, "walked", None)
+        if walked is None:
+            # Slow path: the scheduler executed exactly one edge with
+            # the ordinary simultaneous-move machinery.
+            entry = obs.entry_port
+            trace.append((obs.round, obs.degree, entry, obs.curcard))
+            if ctx.entries_log is not None:
+                ctx.entries_log.append(entry)
+            i += 1
+        else:
+            # Fast path: a whole segment ran as one event.
+            trace.extend(walked)
+            if ctx.entries_log is not None:
+                ctx.entries_log.extend(rec[2] for rec in walked)
+            entry = walked[-1][2]
+            i += len(walked)
+        if watch is not None and watch_hit(watch, obs.curcard):
+            raise WatchTriggered(obs)
+    return trace
 
 
 def wait(ctx: AgentContext, rounds: int, watch: Watch | None = None) -> AgentGen:

@@ -35,6 +35,7 @@ from typing import Callable
 
 # Op kind tags (tuples keep the hot path allocation-light).
 MOVE = "move"
+WALK = "walk"
 WAIT = "wait"
 WAIT_STABLE = "wait_stable"
 DECLARE = "declare"
@@ -55,6 +56,66 @@ def watch_hit(watch: Watch | None, curcard: int) -> bool:
         return False
     kind, value = watch
     return _WATCH_PREDICATES[kind](curcard, value)
+
+
+# ----------------------------------------------------------------------
+# Walk plans.
+#
+# A ``walk`` op describes a whole deterministic multi-edge segment in
+# one op, so the scheduler can execute it as a *single* event when no
+# interaction is possible (see the segment planner in ``scheduler.py``).
+# A plan is a tuple of *walk steps*, each a plain int:
+#
+# * ``step >= 0`` — an absolute exit port (backtracks, stored paths);
+# * ``step < 0``  — a UXS-rule step encoding the offset ``x`` as
+#   ``~x``: the exit port is ``(entry + x) mod degree``, or ``x mod
+#   degree`` for the first edge of a fresh walk (no entry port yet).
+#
+# The encoding keeps plans allocation-light (flat int tuples) while
+# letting agents precompute entire EXPLO / signature walks without
+# knowing the graph: the offsets are known in advance, and the
+# scheduler (which does know the graph) resolves them edge by edge.
+# ----------------------------------------------------------------------
+
+WalkStep = int
+
+
+def uxs_walk_steps(offsets) -> tuple[int, ...]:
+    """Encode a UXS offset sequence as a walk plan (rule steps)."""
+    return tuple(~x for x in offsets)
+
+
+def resolve_walk_step(step: WalkStep, entry: int | None, degree: int) -> int:
+    """Exit port of one walk step given the rule state ``entry``.
+
+    Absolute steps are returned as-is (callers validate the range, so
+    an out-of-range port fails exactly like a bad ``move`` op would).
+    """
+    if step >= 0:
+        return step
+    offset = ~step
+    if entry is None:
+        return offset % degree
+    return (entry + offset) % degree
+
+
+def iter_walk(graph, start: int, steps, entry: int | None = None):
+    """Shared step iterator: yield ``(port, node, entry)`` per edge.
+
+    Resolves a walk plan against a concrete graph from ``start`` with
+    initial rule state ``entry``, stopping before the first absolute
+    step that is not a valid port.  Used by the UXS helpers
+    (:mod:`repro.explore.uxs`), the scheduler's segment planner and the
+    reference scheduler, so all three agree on step semantics.
+    """
+    node = start
+    for step in steps:
+        degree = graph.degree(node)
+        port = resolve_walk_step(step, entry, degree)
+        if port < 0 or port >= degree:
+            return
+        node, entry = graph.neighbor(node, port)
+        yield port, node, entry
 
 
 class Observation:
@@ -100,6 +161,33 @@ class Observation:
             f"entry_port={self.entry_port}, curcard={self.curcard}, "
             f"triggered={self.triggered})"
         )
+
+
+class WalkObservation(Observation):
+    """Observation delivered at the end of a fast-path walk segment.
+
+    ``walked`` holds one record per edge of the segment, each the
+    ``(round, degree, entry_port, curcard)`` the agent *would* have
+    observed under per-edge execution; the inherited fields describe
+    the final arrival (and duplicate the last record).  The ``walk``
+    helper in :mod:`repro.sim.agent` replays ``walked`` into the
+    agent-side bookkeeping, so algorithm code sees per-edge history
+    bit-for-bit identical to the per-step model.
+    """
+
+    __slots__ = ("walked",)
+
+    def __init__(
+        self,
+        round: int,
+        degree: int,
+        entry_port: int | None,
+        curcard: int,
+        triggered: bool,
+        walked: list,
+    ) -> None:
+        super().__init__(round, degree, entry_port, curcard, triggered)
+        self.walked = walked
 
 
 class SimulationError(RuntimeError):

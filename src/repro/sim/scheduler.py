@@ -7,7 +7,7 @@ is hopeless here — ``GatherUnknownUpperBound`` contains waiting periods
 of ``7 * 2**64`` rounds and the known-bound algorithm waits for
 millions of rounds between moves.
 
-This scheduler exploits a simple invariant: *node occupancancies only
+This scheduler exploits a simple invariant: *node occupancies only
 change in rounds in which some agent moves.*  Time therefore advances
 directly from one "interesting" round to the next through a priority
 queue of wake events; a wait of any length is O(1).  Rounds are plain
@@ -24,6 +24,38 @@ Semantics of a round ``r``:
    watching agents are woken at ``r + 1``;
 4. a dormant agent whose node receives an arrival in round ``r + 1``
    wakes (starts its program) at ``r + 1``.
+
+Walk segments
+-------------
+The paper's algorithms are walk-dominated (one EXPLO(N) is ~4 N^2
+log N edges), so deterministic walks get the same O(1) treatment as
+waits: a ``walk`` op carries a whole precomputed plan of exit ports,
+and the segment planner executes the longest prefix during which the
+per-step model could not have diverged as a *single* event.  Round
+semantics of a segment of ``m`` edges starting at round ``r``: the
+walker moves in rounds ``r .. r+m-1`` exactly as if it had issued
+``m`` individual moves (occupancies and ``last_change`` of every
+transited node are updated accordingly, and in trace mode the segment
+expands into per-edge ``move_log`` entries), and its next op is read
+at round ``r+m``.  All walkers due in the same round are planned
+*jointly* — their mutual meetings, and therefore the exact CurCard
+each observes on every arrival, are computed by the planner — and the
+segment is truncated at the first round where anything outside the
+cohort could act:
+
+* another agent's scheduled heap event falls due (``<= r+m``);
+* a walker would step onto a node with a watching (``wait``-watch or
+  ``wait_stable``) or dormant agent, whose wake-up needs the ordinary
+  machinery (a node occupied by plain waiters is safe to transit: its
+  occupants observe nothing, and their cardinality contributes to the
+  walker's computed CurCard trace);
+* a walker's own watch fires on a computed CurCard (that edge is the
+  segment's last);
+* a plan runs out, an absolute step is an invalid port, or the round /
+  event budget would be crossed mid-segment.
+
+The ``events`` counter stays bit-for-bit compatible with the per-step
+model: a segment of ``m`` edges counts ``m`` (virtual) resumes.
 """
 
 from __future__ import annotations
@@ -34,6 +66,7 @@ from typing import Callable, Iterable
 from ..graphs.port_graph import PortGraph
 from .agent import AgentContext
 from .ops import (
+    _WATCH_PREDICATES,
     BudgetExceededError,
     DeadlockError,
     DECLARE,
@@ -42,6 +75,8 @@ from .ops import (
     SimulationError,
     WAIT,
     WAIT_STABLE,
+    WALK,
+    WalkObservation,
     watch_hit,
 )
 
@@ -225,6 +260,8 @@ class Simulation:
         self._entry_port: list[int | None] = [None] * k
         self._watch: list = [None] * k  # active wait-watch, if any
         self._stable: list[int | None] = [None] * k  # wait_stable window
+        self._walk_trace: list = [None] * k  # pending fast-path segment
+        self._label_index = {s.label: i for i, s in enumerate(self.specs)}
         self._outcomes = [AgentOutcome(s.label, s.start_node) for s in self.specs]
 
         self._counts = [0] * graph.n
@@ -238,6 +275,11 @@ class Simulation:
         self._seq = 0
         self._events = 0
         self._active = 0  # agents not DONE (dormant agents count)
+        # Fast-path diagnostics (not part of SimulationResult): how
+        # many walk segments ran as single events, and how many edges
+        # they covered in total.
+        self.segments = 0
+        self.segment_edges = 0
 
         for idx, s in enumerate(self.specs):
             self._active += 1
@@ -255,11 +297,11 @@ class Simulation:
         This is the *traditional* model's perception ("co-located
         agents can talk"), deliberately unavailable to the paper's
         algorithms; only the baseline implementations in
-        :mod:`repro.baselines` call it.
+        :mod:`repro.baselines` call it.  Every talking-baseline agent
+        calls this on each scheduling round, so the label lookup uses
+        the map built once in ``__init__`` rather than a linear scan.
         """
-        idx = next(
-            i for i, s in enumerate(self.specs) if s.label == label
-        )
+        idx = self._label_index[label]
         node = self._pos[idx]
         return sorted(
             s.label
@@ -288,6 +330,16 @@ class Simulation:
         graph = self.graph
         heap = self._heap
         while self._active > 0:
+            # Drop stale heads (superseded epochs, finished agents)
+            # before reading the clock: the round budget and deadlock
+            # checks below must see the next *real* event, exactly as
+            # the reference oracle derives it.
+            while heap:
+                _, _, i0, ep0 = heap[0]
+                if ep0 != self._epoch[i0] or self._state[i0] == _DONE:
+                    heapq.heappop(heap)
+                else:
+                    break
             if not heap:
                 raise DeadlockError(
                     f"{self._active} agent(s) can never run again "
@@ -299,6 +351,7 @@ class Simulation:
                     f"round budget exceeded: next event at round {round_}"
                 )
             pending_moves: list[tuple[int, int]] = []  # (idx, port)
+            pending_walks: list[tuple] = []  # (idx, head, steps, pos, watch)
             resumes = 0
             while heap and heap[0][0] == round_:
                 _, _, idx, epoch = heapq.heappop(heap)
@@ -321,6 +374,8 @@ class Simulation:
                 kind = op[0]
                 if kind == MOVE:
                     pending_moves.append((idx, op[1]))
+                elif kind == WALK:
+                    pending_walks.append((idx, op[1], op[2], op[3], op[4]))
                 elif kind == WAIT:
                     self._begin_wait(idx, round_, op[1], op[2])
                 elif kind == WAIT_STABLE:
@@ -329,6 +384,8 @@ class Simulation:
                     self._finish(idx, round_, op[1], declared=True)
                 else:
                     raise SimulationError(f"unknown op {op!r}")
+            if pending_walks:
+                self._exec_walks(pending_walks, round_, pending_moves)
             if pending_moves:
                 self._apply_moves(pending_moves, round_)
         final_round = max(
@@ -348,13 +405,25 @@ class Simulation:
         self, idx: int, round_: int, triggered: bool
     ) -> Observation:
         node = self._pos[idx]
-        obs = Observation(
-            round_,
-            self.graph.degree(node),
-            self._entry_port[idx],
-            self._counts[node],
-            triggered,
-        )
+        walked = self._walk_trace[idx]
+        if walked is None:
+            obs = Observation(
+                round_,
+                self.graph.degree(node),
+                self._entry_port[idx],
+                self._counts[node],
+                triggered,
+            )
+        else:
+            self._walk_trace[idx] = None
+            obs = WalkObservation(
+                round_,
+                self.graph.degree(node),
+                self._entry_port[idx],
+                self._counts[node],
+                triggered,
+                walked,
+            )
         self._entry_port[idx] = None
         return obs
 
@@ -392,7 +461,7 @@ class Simulation:
         except StopIteration as stop:
             self._finish(idx, round_, stop.value, declared=False)
             return None
-        if op[0] == MOVE:
+        if op[0] == MOVE or op[0] == WALK:
             port = op[1]
             node = self._pos[idx]
             if not isinstance(port, int) or port < 0 or port >= self.graph.degree(node):
@@ -456,6 +525,319 @@ class Simulation:
             self._watchers[self._pos[idx]].discard(idx)
 
     # ------------------------------------------------------------------
+    # Walk segments (the multi-edge fast path).
+    # ------------------------------------------------------------------
+
+    def _exec_walks(
+        self,
+        walks: list[tuple],
+        round_: int,
+        pending_moves: list[tuple[int, int]],
+    ) -> None:
+        """Execute the round's walk ops: one fast segment, or fall back.
+
+        All walkers due this round are planned jointly.  When a useful
+        segment exists (>= 2 edges for everyone) it runs as a single
+        event per walker; otherwise every walk degrades to its first
+        edge through the ordinary simultaneous-move machinery, which
+        handles watcher wake-ups, dormant starts and same-round movers
+        exactly as the per-step model does.
+        """
+        plan = None if pending_moves else self._plan_segment(walks, round_)
+        if plan is None:
+            for idx, head, _steps, _pos, _watch in walks:
+                pending_moves.append((idx, head))
+            return
+        self._apply_segment(walks, round_, *plan)
+
+    def _plan_segment(self, walks: list[tuple], round_: int):
+        """Longest prefix the cohort can walk without possible divergence.
+
+        Returns ``(m, routes, entries, degrees, curcards)`` — the
+        segment length and, per walker, the node route ``[v_0 .. v_m]``
+        plus the entry port, arrival degree and exact CurCard of each
+        arrival — or ``None`` when no segment of at least two edges is
+        safe.  This is the hot loop of walk-dominated runs, so it works
+        on the graph's adjacency list directly and mutates ``_counts``
+        in place (walkers off their start nodes) for the duration of
+        the planning.
+        """
+        counts = self._counts
+        heap = self._heap
+        watchers = self._watchers
+        dormant_at = self._dormant_at
+        adj = self.graph._adj  # hot path: one indexing per step
+        # Tighten the horizon: stale heap entries (superseded epochs,
+        # finished agents) would otherwise truncate segments for free.
+        while heap:
+            _, _, i0, ep0 = heap[0]
+            if ep0 != self._epoch[i0] or self._state[i0] == _DONE:
+                heapq.heappop(heap)
+            else:
+                break
+        m = min(len(steps) - pos for _, _, steps, pos, _ in walks)
+        if heap:
+            m = min(m, heap[0][0] - round_)
+        if self.max_round is not None:
+            # Truncating here reproduces the per-step budget raise: the
+            # segment-end resume lands at max_round + 1 and the main
+            # loop rejects it with the exact per-step message.
+            m = min(m, self.max_round - round_ + 1)
+        if self.max_events is not None:
+            # Cap so the virtual resumes cannot cross the budget inside
+            # the segment; the violating resume then happens (and
+            # raises) at the segment-end round, as per-step execution
+            # would.
+            m = min(
+                m, (self.max_events - self._events) // len(walks) + 1
+            )
+        if m < 2:
+            return None
+        # A departure from a watched start node must notify the
+        # watchers through the ordinary machinery.
+        for idx, _head, _steps, _pos, _watch in walks:
+            if watchers[self._pos[idx]]:
+                return None
+        # Walkers leave their start nodes in the first round; every
+        # other agent (waiting, finished, dormant) is static for the
+        # whole segment.  Taking the walkers out of ``_counts`` while
+        # planning makes ``counts[v]`` the static occupancy directly
+        # (restored before returning).
+        for idx, _head, _steps, _pos, _watch in walks:
+            counts[self._pos[idx]] -= 1
+        try:
+            # Pass 1 — structural: simulate each route, truncating
+            # before any node whose occupants the ordinary machinery
+            # must wake.
+            routes: list[list[int]] = []
+            entries: list[list[int]] = []
+            degrees: list[list[int]] = []
+            for idx, head, steps, pos, _watch in walks:
+                node = self._pos[idx]
+                route = [node]
+                ents: list[int] = []
+                degs: list[int] = []
+                node, entry = adj[node][head]  # head validated by _resume
+                t = 0
+                while True:
+                    if watchers[node] or dormant_at[node]:
+                        m = t  # stop before waking anyone
+                        break
+                    route.append(node)
+                    ents.append(entry)
+                    ports = adj[node]
+                    degree = len(ports)
+                    degs.append(degree)
+                    t += 1
+                    if t >= m:
+                        break
+                    step = steps[pos + t]
+                    if step >= 0:
+                        if step >= degree:
+                            m = t  # invalid step ends the joint segment
+                            break
+                        port = step
+                    else:
+                        port = (entry + ~step) % degree
+                    node, entry = ports[port]
+                if m < 2:
+                    return None
+                routes.append(route)
+                entries.append(ents)
+                degrees.append(degs)
+            # Pass 2 — exact CurCard per arrival (statics + cohort
+            # co-location), truncating at the first firing walk watch.
+            # Watch predicates are resolved once per walker, with the
+            # CurCard-1 verdict precomputed (the overwhelmingly common
+            # cardinality on walk-dominated runs).
+            if len(walks) == 1:
+                route = routes[0]
+                watch = walks[0][4]
+                cards = [counts[route[t]] + 1 for t in range(1, m + 1)]
+                if watch is not None:
+                    hit = _WATCH_PREDICATES[watch[0]]
+                    value = watch[1]
+                    hit1 = hit(1, value)
+                    for t, card in enumerate(cards):
+                        if hit1 if card == 1 else hit(card, value):
+                            m = t + 1  # the firing edge is the last
+                            del cards[m:]
+                            break
+                if m < 2:
+                    return None
+                curcards = [cards]
+            elif len(walks) == 2:
+                # The dominant cohort: a pair — either a merged group
+                # touring in lockstep or two groups exploring in
+                # parallel.  No per-round allocation.
+                route_a, route_b = routes
+                watch_a, watch_b = walks[0][4], walks[1][4]
+                if watch_a is not None:
+                    hit_a = _WATCH_PREDICATES[watch_a[0]]
+                    val_a = watch_a[1]
+                    hit1_a = hit_a(1, val_a)
+                else:
+                    hit_a = None
+                    val_a = 0
+                    hit1_a = False
+                if watch_b is not None:
+                    hit_b = _WATCH_PREDICATES[watch_b[0]]
+                    val_b = watch_b[1]
+                    hit1_b = hit_b(1, val_b)
+                else:
+                    hit_b = None
+                    val_b = 0
+                    hit1_b = False
+                cards_a: list[int] = []
+                cards_b: list[int] = []
+                for t in range(1, m + 1):
+                    va = route_a[t]
+                    vb = route_b[t]
+                    if va == vb:
+                        card_a = card_b = counts[va] + 2
+                    else:
+                        card_a = counts[va] + 1
+                        card_b = counts[vb] + 1
+                    cards_a.append(card_a)
+                    cards_b.append(card_b)
+                    fired_a = (
+                        hit1_a
+                        if card_a == 1
+                        else hit_a is not None and hit_a(card_a, val_a)
+                    )
+                    fired_b = (
+                        hit1_b
+                        if card_b == 1
+                        else hit_b is not None and hit_b(card_b, val_b)
+                    )
+                    if fired_a or fired_b:
+                        m = t  # the firing edge is the segment's last
+                        break
+                if m < 2:
+                    return None
+                curcards = [cards_a, cards_b]
+            else:
+                curcards = [[] for _ in walks]
+                for t in range(1, m + 1):
+                    occ: dict[int, int] = {}
+                    for route in routes:
+                        v = route[t]
+                        occ[v] = occ.get(v, 0) + 1
+                    fired = False
+                    for w, (idx, _head, _steps, _pos, watch) in enumerate(
+                        walks
+                    ):
+                        v = routes[w][t]
+                        card = counts[v] + occ[v]
+                        curcards[w].append(card)
+                        if watch is not None and watch_hit(watch, card):
+                            fired = True
+                    if fired:
+                        m = t  # the firing edge is the segment's last
+                        break
+                if m < 2:
+                    return None
+        finally:
+            for idx, _head, _steps, _pos, _watch in walks:
+                counts[self._pos[idx]] += 1
+        return m, routes, entries, degrees, curcards
+
+    def _apply_segment(
+        self,
+        walks: list[tuple],
+        round_: int,
+        m: int,
+        routes: list[list[int]],
+        entries: list[list[int]],
+        degrees: list[list[int]],
+        curcards: list[list[int]],
+    ) -> None:
+        """Commit an ``m``-edge segment for every walker as one event.
+
+        Performs the per-step model's bookkeeping for the whole
+        traversed prefix — occupancies, ``last_change`` of every
+        transited node, move counts, virtual ``events`` and (in trace
+        mode) per-edge ``move_log`` entries — then schedules each
+        walker's next resume at ``round_ + m`` with its per-edge
+        observation history attached.
+        """
+        counts = self._counts
+        last_change = self._last_change
+        end_round = round_ + m
+        obs_rounds = range(round_ + 1, end_round + 1)
+        self.segments += 1
+        self.segment_edges += m * len(walks)
+        for w, (idx, _head, _steps, _pos, _watch) in enumerate(walks):
+            route = routes[w]
+            ents = entries[w]
+            counts[route[0]] -= 1
+            counts[route[m]] += 1
+            self._pos[idx] = route[m]
+            self._entry_port[idx] = ents[m - 1]
+            self._outcomes[idx].moves += m
+            self._walk_trace[idx] = list(
+                zip(obs_rounds, degrees[w], ents, curcards[w])
+            )
+            self._push(end_round, idx)
+        # Virtual per-edge resumes: byte-compatible events accounting.
+        self._events += len(walks) * (m - 1)
+        # last_change per transited node, exactly as _apply_moves would
+        # have set it round by round (zero-delta rounds excluded: a
+        # node where arrivals balanced departures shows no CurCard
+        # variation, Section 1.4).
+        if len(walks) == 1:
+            route = routes[0]
+            for t in range(m):
+                src, dst = route[t], route[t + 1]
+                if src != dst:
+                    last_change[src] = round_ + t + 1
+                    last_change[dst] = round_ + t + 1
+        elif len(walks) == 2:
+            route_a, route_b = routes
+            for t in range(m):
+                rd = round_ + t + 1
+                sa, da = route_a[t], route_a[t + 1]
+                sb, db = route_b[t], route_b[t + 1]
+                if sa == sb and da == db:  # lockstep pair
+                    if sa != da:
+                        last_change[sa] = rd
+                        last_change[da] = rd
+                elif (
+                    sa != da and sb != db and sa != sb
+                    and da != db and sa != db and sb != da
+                ):  # fully disjoint moves
+                    last_change[sa] = rd
+                    last_change[sb] = rd
+                    last_change[da] = rd
+                    last_change[db] = rd
+                else:  # crossings / self-loops: exact per-node deltas
+                    deltas = {sa: -1}
+                    deltas[da] = deltas.get(da, 0) + 1
+                    deltas[sb] = deltas.get(sb, 0) - 1
+                    deltas[db] = deltas.get(db, 0) + 1
+                    for v, delta in deltas.items():
+                        if delta:
+                            last_change[v] = rd
+        else:
+            for t in range(m):
+                deltas2: dict[int, int] = {}
+                for route in routes:
+                    src, dst = route[t], route[t + 1]
+                    deltas2[src] = deltas2.get(src, 0) - 1
+                    deltas2[dst] = deltas2.get(dst, 0) + 1
+                for v, delta in deltas2.items():
+                    if delta:
+                        last_change[v] = round_ + t + 1
+        if self.trace:
+            order = sorted(range(len(walks)), key=lambda w: walks[w][0])
+            for t in range(m):
+                for w in order:
+                    route = routes[w]
+                    self.move_log.append(
+                        (round_ + t, walks[w][0], route[t], route[t + 1])
+                    )
+
+    # ------------------------------------------------------------------
     # Move application (end of round).
     # ------------------------------------------------------------------
 
@@ -465,6 +847,10 @@ class Simulation:
         graph = self.graph
         counts = self._counts
         next_round = round_ + 1
+        # Canonical per-round order (by agent index): moves are
+        # simultaneous, so this only fixes the trace order, making it
+        # comparable across schedulers.
+        pending.sort()
         deltas: dict[int, int] = {}
         arrivals: set[int] = set()
         for idx, port in pending:

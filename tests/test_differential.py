@@ -1,11 +1,19 @@
 """Differential testing: event-compressed scheduler vs naive reference.
 
-Randomized agent scripts (moves, watched waits, stability waits) run
-on both the production scheduler (`repro.sim.scheduler`) and the
-independent round-by-round reference (`tests/naive_sim.py`); every
-observation an agent makes — round, cardinality, entry port, trigger
-flag — must agree exactly, as must the final outcomes.  This is the
-strongest check that skipping quiet rounds never changes semantics.
+Randomized agent scripts (moves, multi-edge walks, watched waits,
+stability waits) run on both the production scheduler
+(:mod:`repro.sim.scheduler`) and the independent round-by-round
+reference (:mod:`repro.sim.reference`).  The two runs must agree
+*byte for byte*: every field of every :class:`AgentOutcome`, the
+``events`` counter (the fast path counts a virtual resume per walked
+edge), the trace-mode ``move_log``, and — where budgets bite — the
+exception type and message.  This is the strongest check that walk
+segments and quiet-round skipping never change semantics.
+
+The seeded randomized suite runs 210 deterministic scenarios across a
+ring, a torus and random regular graphs (acceptance bar: >= 200),
+each mixing walk plans (rule and absolute steps), dormant agents woken
+mid-plan, and watches firing mid-segment.
 """
 
 from __future__ import annotations
@@ -16,7 +24,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from tests.naive_sim import NaiveSimulation
 from repro.graphs import (
     path_graph,
     random_regular,
@@ -26,7 +33,8 @@ from repro.graphs import (
     torus,
 )
 from repro.sim import AgentSpec, Simulation, WatchTriggered
-from repro.sim.agent import move, wait, wait_stable
+from repro.sim.agent import move, wait, wait_stable, walk
+from repro.sim.reference import ReferenceSimulation
 
 GRAPHS = {
     "edge": single_edge(),
@@ -35,10 +43,10 @@ GRAPHS = {
     "star4": star_graph(4),
 }
 
-# Non-ring families for the extended randomized suite: a 3x3 torus and
-# two seeded random regular graphs (all degree >= 3, with cycles and
-# chords that the small hand-picked graphs above lack).
+# Families for the extended randomized suite: a ring, a 3x3 torus and
+# two seeded random regular graphs (cycles, chords and degree >= 3).
 EXTENDED_GRAPHS = {
+    "ring6": ring(6),
     "torus33": torus(3, 3, seed=11),
     "regular6": random_regular(6, 3, seed=2),
     "regular8": random_regular(8, 3, seed=5),
@@ -58,6 +66,11 @@ op_strategy = st.one_of(
         st.sampled_from(WATCHES),
     ),
     st.tuples(st.just("stable"), st.integers(1, 8)),
+    st.tuples(
+        st.just("walk"),
+        st.lists(st.integers(-6, -1), min_size=1, max_size=10).map(tuple),
+        st.sampled_from(WATCHES),
+    ),
 )
 
 script_strategy = st.lists(op_strategy, min_size=0, max_size=10)
@@ -93,6 +106,16 @@ def scripted_program(script):
                         ("wait!", trig.observation.round,
                          trig.observation.curcard)
                     )
+            elif kind == "walk":
+                try:
+                    trace = yield from walk(ctx, op[1], watch=op[2])
+                    log.append(("walk", tuple(trace)))
+                except WatchTriggered as trig:
+                    log.append(
+                        ("walk!", trig.observation.round,
+                         trig.observation.curcard,
+                         trig.observation.entry_port)
+                    )
             else:
                 yield from wait_stable(ctx, op[1])
                 log.append(("stable", ctx.obs.round, ctx.obs.curcard))
@@ -101,44 +124,88 @@ def scripted_program(script):
     return program
 
 
-def run_both(graph, scripts, wakes):
-    starts = list(range(len(scripts)))
-    specs_a = [
+def _specs(scripts, wakes, starts=None):
+    if starts is None:
+        starts = list(range(len(scripts)))
+    return [
         AgentSpec(i + 1, starts[i], scripted_program(scripts[i]), wakes[i])
         for i in range(len(scripts))
     ]
-    specs_b = [
-        AgentSpec(i + 1, starts[i], scripted_program(scripts[i]), wakes[i])
-        for i in range(len(scripts))
-    ]
-    fast = Simulation(graph, specs_a)
-    fast_result = fast.run()
-    naive = NaiveSimulation(graph, specs_b, max_rounds=5_000)
-    naive_agents = naive.run()
-    return fast_result, naive_agents
 
 
-def assert_equivalent(fast_result, naive_agents):
-    for out, ref in zip(fast_result.outcomes, naive_agents):
-        assert out.payload == ref.payload, "observation logs diverged"
-        assert out.finish_round == ref.finish_round
-        assert out.finish_node == ref.finish_node
-        assert out.moves == ref.moves
+def run_both(
+    graph,
+    scripts,
+    wakes,
+    starts=None,
+    max_events=None,
+    max_round=None,
+):
+    """Run the same scenario on both schedulers (trace mode).
+
+    Returns ``(fast_sim, fast_outcome), (ref_sim, ref_outcome)`` where
+    each outcome is either a :class:`SimulationResult` or the raised
+    exception.
+    """
+    fast = Simulation(
+        graph,
+        _specs(scripts, wakes, starts),
+        max_events=max_events,
+        max_round=max_round,
+        trace=True,
+    )
+    try:
+        fast_out = fast.run()
+    except Exception as exc:  # compared against the reference's error
+        fast_out = exc
+    ref = ReferenceSimulation(
+        graph,
+        _specs(scripts, wakes, starts),
+        max_events=max_events,
+        max_round=max_round,
+        trace=True,
+    )
+    try:
+        ref_out = ref.run()
+    except Exception as exc:
+        ref_out = exc
+    return (fast, fast_out), (ref, ref_out)
+
+
+def assert_equivalent(fast_pair, ref_pair):
+    """Byte-for-byte equality of results, events and move logs."""
+    fast, fast_out = fast_pair
+    ref, ref_out = ref_pair
+    if isinstance(fast_out, Exception) or isinstance(ref_out, Exception):
+        assert type(fast_out) is type(ref_out), (fast_out, ref_out)
+        assert str(fast_out) == str(ref_out)
+        return
+    assert fast_out.events == ref_out.events
+    assert fast_out.final_round == ref_out.final_round
+    assert fast_out.total_moves == ref_out.total_moves
+    for out, exp in zip(fast_out.outcomes, ref_out.outcomes):
+        assert out.label == exp.label
+        assert out.start_node == exp.start_node
+        assert out.wake_round == exp.wake_round
+        assert out.finish_round == exp.finish_round
+        assert out.finish_node == exp.finish_node
+        assert out.payload == exp.payload, "observation logs diverged"
+        assert out.declared == exp.declared
+        assert out.moves == exp.moves
+    assert fast.move_log == ref.move_log
 
 
 class TestHandPickedScenarios:
     def test_two_sitters(self):
         scripts = [[("wait", 5, None)], [("wait", 9, None)]]
-        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(GRAPHS["edge"], scripts, [0, 0]))
 
     def test_watched_wait_interrupted(self):
         scripts = [
             [("wait", 100, ("gt", 1))],
             [("wait", 7, None), ("move", 0, None), ("wait", 50, None)],
         ]
-        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(GRAPHS["edge"], scripts, [0, 0]))
 
     def test_stability_restarts(self):
         scripts = [
@@ -149,24 +216,21 @@ class TestHandPickedScenarios:
                 ("wait", 40, None),
             ],
         ]
-        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(GRAPHS["edge"], scripts, [0, 0]))
 
     def test_crossing_on_edge(self):
         scripts = [
             [("move", 0, ("gt", 1)), ("wait", 5, None)],
             [("move", 0, ("gt", 1)), ("wait", 5, None)],
         ]
-        fast, naive = run_both(GRAPHS["edge"], scripts, [0, 0])
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(GRAPHS["edge"], scripts, [0, 0]))
 
     def test_delayed_wake(self):
         scripts = [
             [("move", 0, None), ("wait", 30, None)],
             [("wait", 2, None), ("move", 1, None)],
         ]
-        fast, naive = run_both(GRAPHS["ring4"], scripts, [0, 13])
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(GRAPHS["ring4"], scripts, [0, 13]))
 
     def test_three_agents_star(self):
         scripts = [
@@ -174,8 +238,145 @@ class TestHandPickedScenarios:
             [("wait", 4, None), ("move", 0, None), ("wait", 20, None)],
             [("wait", 8, None), ("move", 0, None), ("wait", 20, None)],
         ]
-        fast, naive = run_both(GRAPHS["star4"], scripts, [0, 0, 0])
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(GRAPHS["star4"], scripts, [0, 0, 0]))
+
+
+class TestWalkSegments:
+    """Hand-picked scenarios aimed at the walk fast path."""
+
+    def test_solo_walk_around_ring(self):
+        scripts = [
+            [("walk", (~0, ~0, ~0, ~0, ~0, ~0), None), ("wait", 4, None)],
+            [("wait", 60, None)],
+        ]
+        assert_equivalent(*run_both(EXTENDED_GRAPHS["ring6"], scripts, [0, 0]))
+
+    def test_walk_through_plain_waiter(self):
+        """A walk transits the node of a plain-waiting static agent:
+        the walker's CurCard trace must show the meeting, the waiter
+        must observe nothing, and last_change must feed a later
+        wait_stable correctly."""
+        scripts = [
+            [("walk", (~0,) * 12, None), ("wait", 3, None)],
+            [("wait", 40, None), ("stable", 5)],
+        ]
+        assert_equivalent(
+            *run_both(EXTENDED_GRAPHS["ring6"], scripts, [0, 0], [0, 3])
+        )
+
+    def test_walk_watch_fires_mid_segment(self):
+        """Two walkers head toward each other; the (gt, 1) watch must
+        fire at the exact meeting edge."""
+        scripts = [
+            [("walk", (~0,) * 6, ("gt", 1)), ("wait", 9, None)],
+            [("walk", (~1,) * 6, ("gt", 1)), ("wait", 9, None)],
+        ]
+        assert_equivalent(
+            *run_both(EXTENDED_GRAPHS["ring6"], scripts, [0, 0], [0, 3])
+        )
+
+    def test_walk_wakes_dormant_mid_plan(self):
+        """The route crosses a dormant agent's start node: the segment
+        must truncate so the wake-up happens at per-step timing."""
+        scripts = [
+            [("walk", (~0,) * 10, None), ("wait", 30, None)],
+            [("move", 1, None), ("wait", 10, None)],
+        ]
+        assert_equivalent(
+            *run_both(EXTENDED_GRAPHS["ring6"], scripts, [0, None], [0, 4])
+        )
+
+    def test_walk_into_watching_waiter(self):
+        """The route crosses a *watching* waiter: truncation must let
+        the ordinary machinery deliver the trigger."""
+        scripts = [
+            [("walk", (~0,) * 10, None), ("wait", 30, None)],
+            [("wait", 50, ("gt", 1)), ("move", 0, None)],
+        ]
+        assert_equivalent(
+            *run_both(EXTENDED_GRAPHS["ring6"], scripts, [0, 0], [0, 4])
+        )
+
+    def test_lockstep_pair_walks_jointly(self):
+        """Two co-located agents walk the same plan with a (ne, 2)
+        watch — the merged-group EXPLO pattern."""
+        tour = (~0, ~1, ~0, ~1, ~2, ~0)
+        scripts = [
+            [("move", 0, None), ("walk", tour, ("ne", 2)),
+             ("wait", 7, None)],
+            [("wait", 1, None), ("walk", tour, ("ne", 2)),
+             ("wait", 7, None)],
+        ]
+        # Agent 1 moves onto agent 2's node in round 0; from round 1
+        # they walk in lockstep.
+        assert_equivalent(
+            *run_both(
+                EXTENDED_GRAPHS["torus33"], scripts, [0, 0],
+                [1, 0],
+            )
+        )
+
+    def test_absolute_and_rule_steps_mixed(self):
+        scripts = [
+            [("walk", (1, ~2, 0, ~1, 1, 0), None), ("wait", 5, None)],
+            [("wait", 25, None)],
+        ]
+        assert_equivalent(
+            *run_both(EXTENDED_GRAPHS["regular6"], scripts, [0, 0])
+        )
+
+    def test_invalid_absolute_step_rejected_identically(self):
+        scripts = [
+            [("walk", (0, 9, 0), None)],
+            [("wait", 9, None)],
+        ]
+        assert_equivalent(
+            *run_both(EXTENDED_GRAPHS["ring6"], scripts, [0, 0])
+        )
+
+    def test_event_budget_crossed_mid_segment(self):
+        scripts = [
+            [("walk", (~0,) * 10, None), ("wait", 5, None)],
+            [("wait", 40, None)],
+        ]
+        for budget in (3, 5, 8, 11, 12, 13):
+            assert_equivalent(
+                *run_both(
+                    EXTENDED_GRAPHS["ring6"], scripts, [0, 0],
+                    max_events=budget,
+                )
+            )
+
+    def test_round_budget_crossed_mid_segment(self):
+        scripts = [
+            [("walk", (~0,) * 10, None), ("wait", 5, None)],
+            [("wait", 40, None)],
+        ]
+        for budget in (2, 4, 9, 10, 11):
+            assert_equivalent(
+                *run_both(
+                    EXTENDED_GRAPHS["ring6"], scripts, [0, 0],
+                    max_round=budget,
+                )
+            )
+
+    def test_stale_heap_entry_never_trips_round_budget(self):
+        """A watch-interrupted long wait leaves a superseded heap entry
+        at its original wake round; with an unvisited dormant agent
+        remaining, both schedulers must report the deadlock — the fast
+        one must not mistake the stale entry for a round-budget breach
+        at a phantom round."""
+        scripts = [
+            [("wait", 1000, ("gt", 1))],
+            [("move", 0, None)],
+            [("wait", 2, None)],
+        ]
+        assert_equivalent(
+            *run_both(
+                GRAPHS["path3"], scripts, [0, 0, None],
+                max_round=500,
+            )
+        )
 
 
 def covering_tour(graph, start=0):
@@ -202,66 +403,78 @@ def covering_tour(graph, start=0):
     return ports
 
 
-def random_script(rng, max_ops=8):
-    """A seeded random op script mixing moves, watched waits and
-    stability waits (same op vocabulary as the hypothesis strategy)."""
+def random_script(rng, min_degree, max_ops=8):
+    """A seeded random op script mixing moves, walks, watched waits
+    and stability waits.  Walk plans mix rule steps (always valid)
+    with absolute ports below ``min_degree`` (valid on every node)."""
     script = []
     for _ in range(rng.randrange(max_ops + 1)):
-        kind = rng.choice(("move", "wait", "stable"))
+        kind = rng.choice(("move", "wait", "stable", "walk", "walk"))
         if kind == "move":
             script.append(("move", rng.randrange(4), rng.choice(WATCHES)))
         elif kind == "wait":
             script.append(
                 ("wait", rng.randrange(1, 26), rng.choice(WATCHES))
             )
+        elif kind == "walk":
+            steps = tuple(
+                ~rng.randrange(6)
+                if rng.random() < 0.6
+                else rng.randrange(min_degree)
+                for _ in range(rng.randrange(1, 13))
+            )
+            script.append(("walk", steps, rng.choice(WATCHES)))
         else:
             script.append(("stable", rng.randrange(1, 9)))
     return script
 
 
-class TestExtendedFamilies:
-    """Randomized differential runs on torus / random regular graphs,
-    exercising wait_stable, watches and dormant-agent wakeups.
+class TestSeededRandomizedSuite:
+    """210 deterministic differential scenarios (>= 200 required) on
+    ring / torus / random-regular graphs, every one exercising walk
+    plans alongside watches, wait_stable and dormant wake-ups."""
 
-    Every scenario is seeded and deterministic: agent 0 walks a
-    covering tour (waking all dormant agents), the rest run random
-    scripts from a per-seed RNG.
-    """
+    SEEDS_PER_GRAPH = 70
+    FAMILIES = ("ring6", "torus33", "regular8")
 
-    @pytest.mark.parametrize("graph_name", sorted(EXTENDED_GRAPHS))
-    @pytest.mark.parametrize("seed", range(8))
-    def test_randomized_scripts_agree(self, graph_name, seed):
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    @pytest.mark.parametrize("seed", range(SEEDS_PER_GRAPH))
+    def test_randomized_programs_agree(self, graph_name, seed):
         graph = EXTENDED_GRAPHS[graph_name]
-        rng = random.Random((graph_name, seed).__repr__())
-        tour = [("move", p, None) for p in covering_tour(graph)]
-        scripts = [tour + random_script(rng, max_ops=4)]
+        min_degree = min(graph.degree(v) for v in graph.nodes())
+        rng = random.Random(f"{graph_name}/{seed}")
+        # Agent 0 walks a covering tour as one big absolute-step walk
+        # plan (waking every dormant agent), then improvises.
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("walk", tour, rng.choice(WATCHES))]
+            + random_script(rng, min_degree, max_ops=4)
+        ]
         agents = rng.randrange(2, min(5, graph.n) + 1)
         for _ in range(agents - 1):
-            scripts.append(random_script(rng))
+            scripts.append(random_script(rng, min_degree))
         # Mix of adversary wakes and dormant (visit-woken) agents; the
         # tour guarantees the dormant ones always start eventually.
         wakes = [0] + [
             rng.choice([None, 0, rng.randrange(1, 7)])
             for _ in range(agents - 1)
         ]
-        fast, naive = run_both(graph, scripts, wakes)
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(graph, scripts, wakes))
 
     @pytest.mark.parametrize("graph_name", sorted(EXTENDED_GRAPHS))
     def test_all_dormant_but_one(self, graph_name):
         """Every agent except the tourer starts dormant and is woken
         purely by visits; both simulators must agree on wake timing."""
         graph = EXTENDED_GRAPHS[graph_name]
-        tour = [("move", p, None) for p in covering_tour(graph)]
+        tour = tuple(covering_tour(graph))
         scripts = [
-            tour + [("wait", 5, None)],
+            [("walk", tour, None), ("wait", 5, None)],
             [("stable", 4), ("move", 1, None)],
             [("wait", 3, ("gt", 1)), ("move", 2, None)],
             [("stable", 2), ("wait", 6, ("eq", 2))],
         ]
         wakes = [0, None, None, None]
-        fast, naive = run_both(graph, scripts, wakes)
-        assert_equivalent(fast, naive)
+        assert_equivalent(*run_both(graph, scripts, wakes))
 
     @pytest.mark.parametrize("seed", range(4))
     def test_stability_watch_interplay_on_torus(self, seed):
@@ -269,14 +482,15 @@ class TestExtendedFamilies:
         waiter's node, with watch-carrying waits in between."""
         graph = EXTENDED_GRAPHS["torus33"]
         rng = random.Random(9000 + seed)
-        tour = [("move", p, None) for p in covering_tour(graph)]
+        tour = tuple(covering_tour(graph))
         scripts = [
-            tour + tour,
+            [("walk", tour + tour, None)],
             [("stable", rng.randrange(2, 9))] * 3,
             [("wait", 50, ("gt", 1)), ("stable", 5), ("wait", 4, None)],
         ]
-        fast, naive = run_both(graph, scripts, [0, 0, rng.randrange(0, 5)])
-        assert_equivalent(fast, naive)
+        assert_equivalent(
+            *run_both(graph, scripts, [0, 0, rng.randrange(0, 5)])
+        )
 
 
 @settings(max_examples=120, deadline=None)
@@ -296,5 +510,4 @@ def test_differential_property(graph_name, scripts, wake_picks, data):
     if len(scripts) > graph.n:
         scripts = scripts[: graph.n]
     wakes = [0] + [wake_picks[i % 3] for i in range(len(scripts) - 1)]
-    fast, naive = run_both(graph, scripts, wakes)
-    assert_equivalent(fast, naive)
+    assert_equivalent(*run_both(graph, scripts, wakes))

@@ -539,3 +539,146 @@ class TestLocalClock:
 
         result = run_single(single_edge(), program)
         assert result.outcomes[0].payload == [0, 0]
+
+
+class TestWalkSegments:
+    """White-box tests of the multi-edge walk fast path."""
+
+    def _ring6(self):
+        from repro.graphs import ring
+
+        return ring(6)
+
+    def test_solo_walk_is_one_segment(self):
+        """A lone walker with a far-future co-waiter: the whole plan
+        runs as a single segment (one physical event, m virtual)."""
+        from repro.sim.agent import walk
+
+        def walker(ctx):
+            trace = yield from walk(ctx, (~1,) * 6)
+            return trace
+
+        def sitter(ctx):
+            yield from wait(ctx, 50)
+            return "sat"
+
+        g = self._ring6()
+        sim = Simulation(
+            g,
+            [AgentSpec(1, 0, walker), AgentSpec(2, 3, sitter)],
+            trace=True,
+        )
+        result = sim.run()
+        assert sim.segments == 1
+        assert sim.segment_edges == 6
+        # events stay per-step compatible: walker wake + 6 virtual
+        # moves... (wake resume is the first of them) + end-of-walk
+        # resume + sitter wake + sitter wait-end.
+        assert result.outcomes[0].moves == 6
+        # The trace expands into per-edge entries.
+        walker_moves = [entry for entry in sim.move_log if entry[1] == 0]
+        assert [r for r, _, _, _ in walker_moves] == list(range(6))
+        # The walker's per-edge CurCard history reports the transit of
+        # the sitter's node (round-3 arrival at node 3: CurCard 2)
+        # without the segment breaking: plain waiters are safe to
+        # visit.
+        trace = result.outcomes[0].payload
+        assert [rec[3] for rec in trace] == [1, 1, 2, 1, 1, 1]
+        assert [rec[0] for rec in trace] == [1, 2, 3, 4, 5, 6]
+
+    def test_lockstep_pair_is_one_cohort_segment(self):
+        from repro.sim.agent import walk
+
+        def walker(ctx):
+            trace = yield from walk(ctx, (~1,) * 5, watch=("ne", 2))
+            return [rec[3] for rec in trace]
+
+        def mover(ctx):
+            yield from move(ctx, 0)
+            trace = yield from walk(ctx, (~1,) * 5, watch=("ne", 2))
+            return [rec[3] for rec in trace]
+
+        g = self._ring6()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 1, walker, wake_round=1),
+                AgentSpec(2, 0, mover, wake_round=0),
+            ],
+        )
+        result = sim.run()
+        # Agent 2 joins agent 1 in round 0; from round 1 both walk the
+        # same plan in lockstep as one joint segment.
+        assert sim.segments >= 1
+        assert result.outcomes[0].payload == [2] * 5
+        assert result.outcomes[1].payload == [2] * 5
+
+    def test_walk_truncates_before_dormant_node(self):
+        from repro.sim.agent import walk
+
+        def walker(ctx):
+            trace = yield from walk(ctx, (~1,) * 4)
+            return [rec[3] for rec in trace]
+
+        def dormant(ctx):
+            yield from wait(ctx, 2)
+            return ctx.obs.round
+
+        g = self._ring6()
+        sim = Simulation(
+            g,
+            [
+                AgentSpec(1, 0, walker),
+                AgentSpec(2, 2, dormant, wake_round=None),
+            ],
+        )
+        result = sim.run()
+        # The walker circles 0 -> 5 -> 4 -> 3 -> 2: the segment covers
+        # the first three edges, the step onto the dormant node 2 goes
+        # through the ordinary machinery (arrival observed in round 4,
+        # CurCard 2), and the dormant agent starts in round 4.
+        assert result.outcomes[0].payload == [1, 1, 1, 2]
+        assert result.outcomes[1].wake_round == 4
+        assert result.outcomes[1].payload == 6
+
+    def test_event_budget_mid_segment_matches_per_step(self):
+        from repro.sim.agent import walk
+
+        def walker(ctx):
+            yield from walk(ctx, (~1,) * 6)
+            return "done"
+
+        g = self._ring6()
+        sim = Simulation(g, [AgentSpec(1, 0, walker)], max_events=4)
+        with pytest.raises(BudgetExceededError, match="round 4"):
+            sim.run()
+        # Exactly the per-step state: events overflows to budget + 1,
+        # moves applied for the rounds before the violating resume.
+        assert sim._events == 5
+        assert sim._outcomes[0].moves == 4
+
+    def test_round_budget_mid_segment_matches_per_step(self):
+        from repro.sim.agent import walk
+
+        def walker(ctx):
+            yield from walk(ctx, (~1,) * 6)
+            return "done"
+
+        g = self._ring6()
+        sim = Simulation(g, [AgentSpec(1, 0, walker)], max_round=3)
+        with pytest.raises(
+            BudgetExceededError, match="next event at round 4"
+        ):
+            sim.run()
+        assert sim._outcomes[0].moves == 4
+
+    def test_walk_observation_round_sequence(self):
+        from repro.sim.agent import walk
+
+        def walker(ctx):
+            trace = yield from walk(ctx, (~1, ~1, ~1))
+            return [(rec[0], rec[2]) for rec in trace]
+
+        g = self._ring6()
+        result = run_single(g, walker)
+        assert result.outcomes[0].payload == [(1, 1), (2, 1), (3, 1)]

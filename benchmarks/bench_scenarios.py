@@ -277,17 +277,38 @@ def scheduler_specs(quick: bool) -> list[ExperimentSpec]:
     ]
 
 
-def measure_scheduler(
-    quick: bool, calibration: float, repetitions: int = 3
-) -> dict:
-    """Time the walk-heavy workload (serial backend, best of reps)."""
-    specs = scheduler_specs(quick)
+def cohort_specs(quick: bool) -> list[ExperimentSpec]:
+    """Same-graph trial cohorts for the lockstep executor (PR 6).
+
+    ``graph_seed_mode="fixed"`` makes every ``(size, seed)`` graph
+    shared by all label-set x placement variants, so the pipelined
+    backend's batch plan hands the cohort executor groups of four
+    same-graph trials to advance in lockstep.
+    """
+    seeds = (0, 1) if quick else (0, 1, 2, 3)
+    return [
+        ExperimentSpec(
+            algorithm="gather_known",
+            family="ring",
+            sizes=(10, 12),
+            label_sets=((1, 2), (3, 1)),
+            seeds=seeds,
+            placements=("spread", "eccentric"),
+            graph_seed_mode="fixed",
+        ),
+    ]
+
+
+def _timed_specs(
+    specs: list[ExperimentSpec], repetitions: int, backend: str | None
+) -> tuple[int, float]:
+    """(trial count, best wall-clock) of running ``specs`` in-process."""
     n_trials = sum(len(spec.trials()) for spec in specs)
     best = None
     for _ in range(repetitions):
         start = time.perf_counter()
         for spec in specs:
-            result = run_experiment(spec, workers=1)
+            result = run_experiment(spec, workers=1, backend=backend)
             if result.failed:
                 raise RuntimeError(
                     f"scheduler grid failed: "
@@ -295,15 +316,33 @@ def measure_scheduler(
                 )
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
-    trials_per_s = n_trials / best
-    return {
-        "walk_heavy": {
+    return n_trials, best
+
+
+def measure_scheduler(
+    quick: bool, calibration: float, repetitions: int = 3
+) -> dict:
+    """Time the walk-heavy workloads (in-process, best of reps).
+
+    ``walk_heavy`` runs the mixed serial workload; ``walk_heavy_cohort``
+    pushes same-graph cohorts through the pipelined backend's inline
+    batch plan, i.e. the lockstep cohort executor
+    (:mod:`repro.sim.cohort`) with scalar ejection.
+    """
+    entries = {}
+    for name, specs, backend in (
+        ("walk_heavy", scheduler_specs(quick), None),
+        ("walk_heavy_cohort", cohort_specs(quick), "pipelined"),
+    ):
+        n_trials, best = _timed_specs(specs, repetitions, backend)
+        trials_per_s = n_trials / best
+        entries[name] = {
             "trials": n_trials,
             "seconds": round(best, 4),
             "trials_per_s": round(trials_per_s, 2),
             "normalized": round(trials_per_s * calibration, 4),
         }
-    }
+    return entries
 
 
 def trend_spec(quick: bool) -> ExperimentSpec:

@@ -33,6 +33,7 @@ from ..sim.agent import (
     WatchTriggered,
     declare,
     move,
+    observe,
     wait,
     walk,
 )
@@ -106,6 +107,22 @@ def move_to_central(ctx: AgentContext, sched: UnknownBoundSchedule, h: int):
     return ctx.curcard() == cfg.k
 
 
+# Bounce plans of the StarCheck dance, by meeting-node degree.  Each
+# pair ``(port, ~0)`` visits one neighbour and bounces straight back
+# (the rule step with offset 0 exits by the port of entry).  Cached so
+# the plan tuple keeps a stable identity, which lets the scheduler's
+# route cache reuse the chased dance route across turns and trials.
+_DANCE_PLANS: dict[int, tuple[int, ...]] = {}
+
+
+def _dance_plan(degree: int) -> tuple[int, ...]:
+    plan = _DANCE_PLANS.get(degree)
+    if plan is None:
+        plan = tuple(s for port in range(degree) for s in (port, ~0))
+        _DANCE_PLANS[degree] = plan
+    return plan
+
+
 def star_check(ctx: AgentContext, sched: UnknownBoundSchedule, h: int):
     """Algorithm 9: the rank-ordered neighbourhood dance.
 
@@ -114,6 +131,13 @@ def star_check(ctx: AgentContext, sched: UnknownBoundSchedule, h: int):
     stand still and verify the cardinality oscillation k, k-1, k, ...
     Any outsider — or any missing insider — breaks the pattern for
     everyone.  Total duration: exactly ``4 d k_h`` rounds.
+
+    The dance is one ``walk`` plan (out + bounce-back per neighbour)
+    and the verifiers one ``observe`` per turn, so the scheduler can
+    execute a whole turn as a single joint segment; the per-arrival
+    records carry exactly what per-edge ``move`` / per-round ``wait``
+    would have observed (odd indices: away from the meeting node; even
+    indices: back on it).
     """
     cfg = sched.config(h)
     k_h = cfg.k
@@ -123,21 +147,20 @@ def star_check(ctx: AgentContext, sched: UnknownBoundSchedule, h: int):
     for t in (1, 2):
         for turn in range(k_h):
             if turn == my_rank and (t == 1 or good):
-                for port in range(degree):
-                    obs = yield from move(ctx, port)
-                    if t == 1 and obs.curcard != 1:
-                        good = False
-                    obs = yield from move(ctx, obs.entry_port)
-                    if obs.curcard != k_h:
+                trace = yield from walk(ctx, _dance_plan(degree))
+                for j, rec in enumerate(trace, start=1):
+                    if j % 2 == 1:
+                        if t == 1 and rec[3] != 1:
+                            good = False
+                    elif rec[3] != k_h:
                         good = False
             else:
-                for j in range(1, 2 * degree + 1):
-                    yield from wait(ctx, 1)
-                    card = ctx.curcard()
+                records = yield from observe(ctx, 2 * degree)
+                for j, rec in enumerate(records, start=1):
                     if j % 2 == 1:
-                        if card != k_h - 1:
+                        if rec[3] != k_h - 1:
                             good = False
-                    elif card != k_h:
+                    elif rec[3] != k_h:
                         good = False
     return good
 

@@ -26,6 +26,32 @@ class RunValidationError(AssertionError):
     """The simulation finished but violated a guarantee of the paper."""
 
 
+class PreparedRun:
+    """A fully built, not-yet-run simulation plus its validation step.
+
+    The ``prepare_*`` front-ends below split run assembly (placement,
+    pre-flight UXS verification, agent program construction) from
+    execution so the cohort executor can collect many same-graph
+    simulations and drive them in lockstep; ``finalize`` turns a
+    :class:`~repro.sim.scheduler.SimulationResult` — however obtained —
+    into the same validated report ``run()`` returns.
+    """
+
+    __slots__ = ("simulation", "_finalize")
+
+    def __init__(self, simulation: Simulation, finalize) -> None:
+        self.simulation = simulation
+        self._finalize = finalize
+
+    def finalize(self, sim_result: SimulationResult):
+        """Validate a result of :attr:`simulation` into a report."""
+        return self._finalize(sim_result)
+
+    def run(self):
+        """Execute the simulation and validate, like the ``run_*`` API."""
+        return self._finalize(self.simulation.run())
+
+
 class GatherReport:
     """Validated result of a gathering run."""
 
@@ -90,6 +116,32 @@ def _resolve_placement(
     return start_nodes, wake_rounds
 
 
+def prepare_gather_known(
+    graph: PortGraph,
+    labels: list[int],
+    n_bound: int,
+    start_nodes: list[int] | None = None,
+    wake_rounds: list[int | None] | None = None,
+    provider: UXSProvider | None = None,
+    max_events: int | None = 300_000_000,
+) -> PreparedRun:
+    """Assemble a ``GatherKnownUpperBound`` run without executing it."""
+    start_nodes, wake_rounds = _resolve_placement(
+        graph, labels, start_nodes, wake_rounds
+    )
+    params = KnownBoundParameters(n_bound, provider)
+    params.provider.verify_for_graph(n_bound, graph)
+    budget = params.max_phases(smallest_label_length(labels)) + 2
+    program = gather_known_program(params, max_phases=budget)
+    specs = [
+        AgentSpec(label, node, program, wake)
+        for label, node, wake in zip(labels, start_nodes, wake_rounds)
+    ]
+    sim = Simulation(graph, specs, max_events=max_events)
+    labels = list(labels)
+    return PreparedRun(sim, lambda result: GatherReport(result, labels))
+
+
 def run_gather_known(
     graph: PortGraph,
     labels: list[int],
@@ -113,19 +165,15 @@ def run_gather_known(
         Placement and adversary wake schedule; ``None`` wake means the
         agent stays dormant until visited.
     """
-    start_nodes, wake_rounds = _resolve_placement(
-        graph, labels, start_nodes, wake_rounds
-    )
-    params = KnownBoundParameters(n_bound, provider)
-    params.provider.verify_for_graph(n_bound, graph)
-    budget = params.max_phases(smallest_label_length(labels)) + 2
-    program = gather_known_program(params, max_phases=budget)
-    specs = [
-        AgentSpec(label, node, program, wake)
-        for label, node, wake in zip(labels, start_nodes, wake_rounds)
-    ]
-    sim = Simulation(graph, specs, max_events=max_events)
-    return GatherReport(sim.run(), labels)
+    return prepare_gather_known(
+        graph,
+        labels,
+        n_bound,
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
+        provider=provider,
+        max_events=max_events,
+    ).run()
 
 
 class GossipReport:
@@ -318,6 +366,34 @@ def _prepare_unknown(
     return start_nodes, wake_rounds, sched, true_index
 
 
+def prepare_gather_unknown(
+    graph: PortGraph,
+    labels: list[int],
+    start_nodes: list[int] | None = None,
+    wake_rounds: list[int | None] | None = None,
+    omega=None,
+    provider: UXSProvider | None = None,
+    max_events: int | None = 50_000_000,
+) -> PreparedRun:
+    """Assemble a ``GatherUnknownUpperBound`` run without executing it."""
+    start_nodes, wake_rounds, sched, true_index = _prepare_unknown(
+        graph, labels, start_nodes, wake_rounds, omega, provider
+    )
+    program = gather_unknown_program(sched, max_hypotheses=true_index)
+    specs = [
+        AgentSpec(label, node, program, wake)
+        for label, node, wake in zip(labels, start_nodes, wake_rounds)
+    ]
+    sim = Simulation(graph, specs, max_events=max_events)
+    labels = list(labels)
+    return PreparedRun(
+        sim,
+        lambda result: UnknownGatherReport(
+            result, labels, graph.n, true_index
+        ),
+    )
+
+
 def run_gather_unknown(
     graph: PortGraph,
     labels: list[int],
@@ -335,16 +411,15 @@ def run_gather_unknown(
     executable (every earlier hypothesis has ``n_h = 2``; see DESIGN.md
     Section 4 for why size-3 hypotheses are beyond any computer).
     """
-    start_nodes, wake_rounds, sched, true_index = _prepare_unknown(
-        graph, labels, start_nodes, wake_rounds, omega, provider
-    )
-    program = gather_unknown_program(sched, max_hypotheses=true_index)
-    specs = [
-        AgentSpec(label, node, program, wake)
-        for label, node, wake in zip(labels, start_nodes, wake_rounds)
-    ]
-    sim = Simulation(graph, specs, max_events=max_events)
-    return UnknownGatherReport(sim.run(), labels, graph.n, true_index)
+    return prepare_gather_unknown(
+        graph,
+        labels,
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
+        omega=omega,
+        provider=provider,
+        max_events=max_events,
+    ).run()
 
 
 def run_gossip_unknown(

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..sim.agent import AgentContext, walk
+from ..sim.agent import AgentContext, intern_plan as _intern_plan, walk
 from .uxs import UXSProvider
 
 Signature = tuple
@@ -98,7 +98,7 @@ def est(
 
     def do_walk(steps):
         """Walk a plan, logging entry ports and the move count."""
-        trace = yield from walk(ctx, steps)
+        trace = yield from walk(ctx, _intern_plan(tuple(steps)))
         entries.extend(rec[2] for rec in trace)
         state["moves"] += len(trace)
         return trace
@@ -185,5 +185,5 @@ def est_plus(
     Algorithm 11 line 7).
     """
     outcome = yield from est(ctx, provider, n_hat, budget)
-    yield from walk(ctx, tuple(reversed(outcome.entries)))
+    yield from walk(ctx, _intern_plan(tuple(reversed(outcome.entries))))
     return outcome.completed and outcome.size == n_hat

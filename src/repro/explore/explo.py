@@ -20,7 +20,7 @@ fast path merely executes it without a per-edge generator resume.
 
 from __future__ import annotations
 
-from ..sim.agent import AgentContext, walk
+from ..sim.agent import AgentContext, intern_plan, walk_cols
 from ..sim.ops import Watch
 from .uxs import UXSProvider
 
@@ -62,19 +62,25 @@ def explo(
     min_card = ctx.curcard()
     effective = min(length, total)
     # Effective part: one precomputed UXS walk plan; the scheduler runs
-    # every interaction-free stretch of it as a single event.
-    forward = yield from walk(ctx, plan[:effective], watch)
-    entries = [rec[2] for rec in forward]
-    for rec in forward:
-        if rec[3] < min_card:
-            min_card = rec[3]
+    # every interaction-free stretch of it as a single event.  Plans
+    # are interned so the route cache (keyed by plan identity) hits on
+    # every repeated EXPLO of the same agent or group; the full slice
+    # is already the provider's canonical tuple.
+    entries, _degs, cards = yield from walk_cols(
+        ctx, intern_plan(plan[:effective]), watch
+    )
+    if cards:
+        low = min(cards)
+        if low < min_card:
+            min_card = low
     remaining = total - effective
     if remaining > 0:
         # Backtrack part: the recorded entry ports, absolute, reversed.
-        backward = yield from walk(
-            ctx, tuple(reversed(entries))[:remaining], watch
+        _bents, _bdegs, bcards = yield from walk_cols(
+            ctx, intern_plan(tuple(reversed(entries))[:remaining]), watch
         )
-        for rec in backward:
-            if rec[3] < min_card:
-                min_card = rec[3]
+        if bcards:
+            low = min(bcards)
+            if low < min_card:
+                min_card = low
     return ExploStats(min_card, total)

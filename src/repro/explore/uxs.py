@@ -58,6 +58,10 @@ SAMPLED_LENGTHS: dict[int, tuple[int, int]] = {
     8: (144, 7204482),
     10: (230, 9007168),
     12: (354, 10811005),
+    14: (482, 12600001),
+    16: (630, 14400000),
+    18: (810, 16200000),
+    20: (1000, 18000000),
 }
 
 
@@ -152,38 +156,61 @@ class UXSProvider:
         self.factor = factor
         self.seed = seed
         self.lengths = dict(lengths) if lengths else {}
-        self._cache: dict[int, tuple[int, ...]] = {}
-        self._plan_cache: dict[int, tuple[int, ...]] = {}
+        # Both caches are keyed by the *source descriptor* of the
+        # sequence — ``(kind, n, length, seed)`` — not by the bare
+        # ``n``.  A bare-``n`` key served stale entries when
+        # ``SAMPLED_LENGTHS`` is extended at runtime (tests mutate it)
+        # or when ``pin()`` replaced a sequence that a plan had already
+        # been derived from.
+        self._pins: dict[int, tuple[int, ...]] = {}
+        self._pin_version: dict[int, int] = {}
+        self._cache: dict[tuple, tuple[int, ...]] = {}
+        self._plan_cache: dict[tuple, tuple[int, ...]] = {}
+
+    def _source_key(self, n: int) -> tuple:
+        """Descriptor of where ``sequence(n)`` currently comes from."""
+        if n in self._pins:
+            return ("pin", n, self._pin_version[n])
+        if n in self.lengths:
+            return ("len", n, self.lengths[n], self.seed + n)
+        if n in _PINNED:
+            return ("exhaustive", n)
+        if n in SAMPLED_LENGTHS:
+            length, seed = SAMPLED_LENGTHS[n]
+            return ("sampled", n, length, seed)
+        return ("gen", n, _default_length(n, self.factor), self.seed + n)
 
     def sequence(self, n: int) -> tuple[int, ...]:
         """The exploration sequence for graphs of size at most ``n``."""
         if n < 1:
             raise ValueError("n must be >= 1")
-        cached = self._cache.get(n)
+        key = self._source_key(n)
+        cached = self._cache.get(key)
         if cached is not None:
             return cached
-        if n in self.lengths:
-            seq = generate_sequence(self.lengths[n], self.seed + n)
-        elif n in _PINNED:
+        kind = key[0]
+        if kind == "pin":
+            seq = self._pins[n]
+        elif kind == "exhaustive":
             seq = _PINNED[n]
-        elif n in SAMPLED_LENGTHS:
-            length, seed = SAMPLED_LENGTHS[n]
-            seq = generate_sequence(length, seed)
-        else:
-            seq = generate_sequence(_default_length(n, self.factor), self.seed + n)
-        self._cache[n] = seq
+        else:  # "len" / "sampled" / "gen" all carry (length, seed)
+            seq = generate_sequence(key[2], key[3])
+        self._cache[key] = seq
         return seq
 
     def walk_plan(self, n: int) -> tuple[int, ...]:
         """The sequence for ``n`` encoded as a walk plan (rule steps).
 
         Cached: EXPLO / signature emitters slice this tuple instead of
-        re-encoding the sequence on every tour.
+        re-encoding the sequence on every tour.  The stable identity of
+        the returned tuple also lets the scheduler's route cache key
+        chased routes by plan identity.
         """
-        cached = self._plan_cache.get(n)
+        key = self._source_key(n)
+        cached = self._plan_cache.get(key)
         if cached is None:
             cached = uxs_walk_steps(self.sequence(n))
-            self._plan_cache[n] = cached
+            self._plan_cache[key] = cached
         return cached
 
     def length(self, n: int) -> int:
@@ -195,9 +222,14 @@ class UXSProvider:
         return 2 * self.length(n)
 
     def pin(self, n: int, sequence: tuple[int, ...]) -> None:
-        """Install a custom (externally certified) sequence for ``n``."""
-        self._cache[n] = tuple(sequence)
-        self._plan_cache.pop(n, None)
+        """Install a custom (externally certified) sequence for ``n``.
+
+        Bumping the pin version retires every cache entry derived from
+        the previous source — both the sequence and its walk plan —
+        without touching entries for other sizes.
+        """
+        self._pins[n] = tuple(sequence)
+        self._pin_version[n] = self._pin_version.get(n, 0) + 1
 
     def verify_for_graph(self, n: int, graph: PortGraph) -> None:
         """Pre-flight check: raise unless the sequence covers ``graph``.

@@ -258,6 +258,12 @@ def detailed_status(
     the claiming worker — an in-flight claim much older than a chunk's
     expected runtime is a crashed worker whose claim file should be
     deleted (``python -m repro manifest status`` prints exactly this).
+
+    On multi-host sweeps over a shared filesystem the claim mtime is
+    stamped by the *worker's* clock; a worker running ahead of the
+    observer yields a negative raw age.  Such ages are clamped to zero
+    and flagged ``skewed`` instead of being reported as-is — a claim
+    "-37s old" would poison the oldest-claim stale diagnostics.
     """
     if now is None:
         now = time.time()
@@ -282,10 +288,12 @@ def detailed_status(
             parsed = None
         if isinstance(parsed, dict):
             worker = parsed.get("worker", "?")
+        raw_age = now - stat.st_mtime
         in_flight.append({
             "chunk": chunk_id,
             "worker": worker,
-            "age_s": max(0.0, now - stat.st_mtime),
+            "age_s": max(0.0, raw_age),
+            "skewed": raw_age < 0,
         })
     return {
         "chunks": n_chunks,

@@ -36,7 +36,6 @@ from typing import Iterator
 from ...explore.uxs import UXSProvider
 from .. import worker as worker_mod
 from ..spec import TrialSpec
-from ..trial import execute_trial
 from .base import BackendContext
 from .process import pool_context
 
@@ -85,14 +84,15 @@ class PipelinedBackend:
         ctx: BackendContext, batches: list[list[TrialSpec]]
     ) -> Iterator[dict]:
         # Same batch plan, no pool: the graph of each batch is still
-        # built exactly once, so the dedup win survives workers=1.
+        # built exactly once, so the dedup win survives workers=1 —
+        # and same-graph cohort-eligible trials run in lockstep.
         provider = UXSProvider(**ctx.provider_args)
         for batch in batches:
             graph = worker_mod.shared_graph(batch[0])
-            for trial in batch:
-                yield execute_trial(
-                    trial, provider=provider, graph=graph
-                ).record()
+            for result in worker_mod.execute_trial_batch(
+                batch, provider=provider, graph=graph
+            ):
+                yield result.record()
 
     @staticmethod
     def _execute_pool(

@@ -217,17 +217,27 @@ class _ProgressMeter:
         if not self.simulated:
             self.started = _time.monotonic()
 
+    # Below one coarse timer tick an elapsed of exactly 0.0 is
+    # possible (first batch finishing instantly), and any rate built
+    # on it is noise — billions of trials/s, ETA 0 — when it isn't an
+    # outright ZeroDivisionError.
+    _MIN_ELAPSED = 1e-6
+
     def line(self, done: int, total: int) -> str:
         self.simulated += 1
-        elapsed = max(_time.monotonic() - self.started, 1e-9)
+        elapsed = _time.monotonic() - self.started
+        if elapsed < self._MIN_ELAPSED:
+            return "-- trials/s, eta --:--"
         rate = self.simulated / elapsed
         eta = (total - done) / rate
         return f"{rate:.1f} trials/s, eta {eta:.0f}s"
 
     def summary(self) -> str:
-        elapsed = max(_time.monotonic() - self.started, 1e-9)
         if not self.simulated:
             return ""
+        elapsed = max(
+            _time.monotonic() - self.started, self._MIN_ELAPSED
+        )
         return (
             f"  ({self.simulated / elapsed:.1f} trials/s, "
             f"{elapsed:.1f}s)"
@@ -588,10 +598,14 @@ def manifest_main(argv: list[str]) -> int:
     table.emit()
     for status in statuses:
         for claim in status["in_flight"]:
+            # A "skewed" claim was stamped by a worker clock running
+            # ahead of ours; its true age is unknowable but >= 0, so
+            # it is never evidence of staleness.
+            note = " [skewed]" if claim.get("skewed") else ""
             print(
                 f"  in flight: spec {status['spec_hash']} chunk "
                 f"{claim['chunk']} claimed by {claim['worker']} "
-                f"({claim['age_s']:.0f}s ago)"
+                f"({claim['age_s']:.0f}s ago){note}"
             )
     return 0
 

@@ -17,6 +17,7 @@ deterministic as the records themselves.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from typing import Iterable, Sequence
@@ -29,6 +30,25 @@ class QueryError(ValueError):
 STATS = ("count", "mean", "p50", "p95", "min", "max", "sum")
 
 
+def _record_spec_hash(record: dict) -> str:
+    """Short content hash naming a record in query error messages.
+
+    Hashes the record's spec coordinates (everything except the
+    outcome fields), the same canonical-JSON construction
+    :meth:`repro.runner.spec.ExperimentSpec.spec_hash` uses, so the
+    offending trial can be located regardless of which store shard it
+    sits in.
+    """
+    spec = {
+        k: v for k, v in record.items()
+        if k not in ("ok", "error", "metrics")
+    }
+    blob = json.dumps(
+        spec, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 def record_field(record: dict, field: str):
     """Look up ``field`` in a record, falling through to ``metrics``.
 
@@ -37,12 +57,35 @@ def record_field(record: dict, field: str):
     and dict values (a search record's ``frontier`` or an adaptive
     trial's ``adversary_scenario``) render as canonical JSON, so both
     can serve as filter and group-by values.
+
+    A dotted ``field`` descends into nested dict values (e.g.
+    ``adversary_scenario.wake`` on an adaptive-search record).  A
+    missing key or a non-dict intermediate along the dotted path
+    raises :class:`QueryError` naming the full field path and the
+    offending record's spec hash — never a bare ``KeyError`` /
+    ``TypeError`` from deep inside a shard scan.
     """
-    if field in record:
-        value = record[field]
+    head, dotted, rest = field.partition(".")
+    if head in record:
+        value = record[head]
     else:
         metrics = record.get("metrics") or {}
-        value = metrics.get(field)
+        value = metrics.get(head)
+    if dotted:
+        path = head
+        for part in rest.split("."):
+            if not isinstance(value, dict):
+                raise QueryError(
+                    f"field {field!r}: {path!r} is not a dict on "
+                    f"record {_record_spec_hash(record)}"
+                )
+            if part not in value:
+                raise QueryError(
+                    f"field {field!r}: no key {part!r} under {path!r} "
+                    f"on record {_record_spec_hash(record)}"
+                )
+            value = value[part]
+            path = f"{path}.{part}"
     if isinstance(value, list):
         return "-".join(str(v) for v in value)
     if isinstance(value, dict):
@@ -116,11 +159,13 @@ def require_known_fields(
     A typo'd ``--where`` field or metric would otherwise silently
     match nothing / aggregate nothing, reading as "no such trials are
     cached".  Fields present on only some records (e.g. ``moves`` on
-    gather but not gossip) stay legal.
+    gather but not gossip) stay legal.  Dotted paths are validated by
+    their head field only — the nested keys are checked per record by
+    :func:`record_field`, which names the offender on a miss.
     """
     known = known_fields(records)
     for field in fields:
-        if field not in known:
+        if field.partition(".")[0] not in known:
             raise QueryError(
                 f"unknown field {field!r}: no cached record has it "
                 f"(known fields: {', '.join(sorted(known))})"
@@ -365,7 +410,7 @@ class StreamAggregator:
         for field in (
             list(self.where) + list(self.group_by) + list(self.metrics)
         ):
-            if field not in self._known:
+            if field.partition(".")[0] not in self._known:
                 raise QueryError(
                     f"unknown field {field!r}: no cached record has it "
                     f"(known fields: {', '.join(sorted(self._known))})"

@@ -27,6 +27,8 @@ from typing import Callable
 
 from ..baselines import run_random_walk_gather, run_talking_gather
 from ..core.runs import (
+    prepare_gather_known,
+    prepare_gather_unknown,
     run_gather_known,
     run_gather_unknown,
     run_gossip_known,
@@ -257,6 +259,31 @@ def _scenario_is_randomized(trial: TrialSpec) -> bool:
     )
 
 
+def _gather_known_metrics(report, graph: PortGraph) -> dict:
+    return {
+        "rounds": report.round,
+        "moves": report.total_moves,
+        "events": report.events,
+        "phases": report.phases,
+        "leader": report.leader,
+        "node": report.node,
+        "edges": graph.num_edges(),
+    }
+
+
+def _gather_unknown_metrics(report, graph: PortGraph) -> dict:
+    return {
+        "rounds": report.round,
+        "moves": report.total_moves,
+        "events": report.events,
+        "leader": report.leader,
+        "node": report.node,
+        "hypothesis": report.hypothesis,
+        "size": report.size,
+        "edges": graph.num_edges(),
+    }
+
+
 def _run_gather_known(trial: TrialSpec, graph: PortGraph,
                       provider: UXSProvider | None,
                       start_nodes: list[int] | None,
@@ -269,15 +296,7 @@ def _run_gather_known(trial: TrialSpec, graph: PortGraph,
         wake_rounds=wake_rounds,
         provider=provider,
     )
-    return {
-        "rounds": report.round,
-        "moves": report.total_moves,
-        "events": report.events,
-        "phases": report.phases,
-        "leader": report.leader,
-        "node": report.node,
-        "edges": graph.num_edges(),
-    }
+    return _gather_known_metrics(report, graph)
 
 
 def _run_gather_unknown(trial: TrialSpec, graph: PortGraph,
@@ -294,16 +313,7 @@ def _run_gather_unknown(trial: TrialSpec, graph: PortGraph,
         wake_rounds=wake_rounds,
         provider=provider,
     )
-    return {
-        "rounds": report.round,
-        "moves": report.total_moves,
-        "events": report.events,
-        "leader": report.leader,
-        "node": report.node,
-        "hypothesis": report.hypothesis,
-        "size": report.size,
-        "edges": graph.num_edges(),
-    }
+    return _gather_unknown_metrics(report, graph)
 
 
 def _run_gossip_known(trial: TrialSpec, graph: PortGraph,
@@ -606,3 +616,74 @@ def execute_trial(
             trial, ok=False, error=f"{type(exc).__name__}: {exc}"
         )
     return TrialResult(trial, ok=True, metrics=metrics)
+
+
+class PreparedTrial:
+    """A trial resolved down to a ready-to-run :class:`Simulation`.
+
+    Produced by :func:`prepare_trial` for cohort-eligible trials; the
+    cohort executor drives :attr:`simulation` (together with its
+    same-graph batch-mates) and calls :meth:`finalize` on the raw
+    :class:`~repro.sim.scheduler.SimulationResult` to obtain exactly
+    the metrics dict :func:`execute_trial` would have recorded.
+    """
+
+    __slots__ = ("trial", "graph", "prepared", "_metrics_fn")
+
+    def __init__(self, trial: TrialSpec, graph: PortGraph,
+                 prepared, metrics_fn) -> None:
+        self.trial = trial
+        self.graph = graph
+        self.prepared = prepared
+        self._metrics_fn = metrics_fn
+
+    @property
+    def simulation(self):
+        return self.prepared.simulation
+
+    def finalize(self, sim_result) -> dict:
+        """Validate a result into the trial's canonical metrics dict."""
+        report = self.prepared.finalize(sim_result)
+        return self._metrics_fn(report, self.graph)
+
+
+def prepare_trial(
+    trial: TrialSpec,
+    graph: PortGraph,
+    provider: UXSProvider | None = None,
+) -> PreparedTrial | None:
+    """Resolve a cohort-eligible trial into a :class:`PreparedTrial`.
+
+    Returns ``None`` when the trial cannot run in a lockstep cohort —
+    anything but a ``fixed`` adversary (multi-draw adversaries run
+    many simulations per trial) or an algorithm without a prepare
+    front-end — in which case the caller falls back to
+    :func:`execute_trial`.  Exceptions raised here (scenario
+    resolution, pre-flight verification, simulation construction) are
+    exactly those :func:`execute_trial` captures, so callers convert
+    them into identical failure records.
+    """
+    if trial.algorithm not in ("gather_known", "gather_unknown"):
+        return None
+    kind, _draws = parse_adversary(trial.adversary)
+    if kind != "fixed":
+        return None
+    start_nodes, wake_rounds = resolve_scenario(trial, graph, 0)
+    if trial.algorithm == "gather_known":
+        prepared = prepare_gather_known(
+            graph,
+            list(trial.labels),
+            trial.n_bound,
+            start_nodes=start_nodes,
+            wake_rounds=wake_rounds,
+            provider=provider,
+        )
+        return PreparedTrial(trial, graph, prepared, _gather_known_metrics)
+    prepared = prepare_gather_unknown(
+        graph,
+        list(trial.labels),
+        start_nodes=start_nodes,
+        wake_rounds=wake_rounds,
+        provider=provider,
+    )
+    return PreparedTrial(trial, graph, prepared, _gather_unknown_metrics)

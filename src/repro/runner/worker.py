@@ -21,7 +21,18 @@ from __future__ import annotations
 from ..explore.uxs import UXSProvider
 from ..graphs.port_graph import PortGraph
 from .spec import TrialSpec
-from .trial import _build_graph, execute_trial
+from .trial import (
+    PreparedTrial,
+    TrialResult,
+    _build_graph,
+    execute_trial,
+    prepare_trial,
+)
+
+try:
+    from ..sim.cohort import HAVE_NUMPY as _COHORTS_AVAILABLE
+except ImportError:  # pragma: no cover - cohort ships with sim
+    _COHORTS_AVAILABLE = False
 
 # Process-global state, set once per worker by :func:`init_worker`.
 _PROVIDER: UXSProvider | None = None
@@ -87,18 +98,109 @@ def run_trial_payload(payload: dict) -> dict:
         return rec
 
 
+def _error_result(trial: TrialSpec, exc: BaseException) -> TrialResult:
+    """The exact failure record :func:`execute_trial` would produce."""
+    return TrialResult(
+        trial, ok=False, error=f"{type(exc).__name__}: {exc}"
+    )
+
+
+def _finish_prepared(prepared: PreparedTrial) -> TrialResult:
+    """Run a prepared trial's simulation scalar and record it."""
+    try:
+        metrics = prepared.finalize(prepared.simulation.run())
+    except Exception as exc:
+        return _error_result(prepared.trial, exc)
+    return TrialResult(prepared.trial, ok=True, metrics=metrics)
+
+
+def execute_trial_batch(
+    trials: list[TrialSpec],
+    provider: UXSProvider | None = None,
+    graph: PortGraph | None = None,
+) -> list[TrialResult]:
+    """Execute trials sharing one graph, cohorting where possible.
+
+    Cohort-eligible trials (see :func:`repro.runner.trial
+    .prepare_trial`) are prepared into same-graph simulations and run
+    in lockstep by :class:`repro.sim.cohort.CohortScheduler`; the rest
+    take the ordinary per-trial path.  Results are byte-identical to
+    serial execution in either case — preparation failures are
+    captured in the same ``"{type}: {message}"`` form as
+    :func:`execute_trial`'s, and an ejected or completed cohort trial
+    finalizes through the same validation code.
+    """
+    results: list[TrialResult | None] = [None] * len(trials)
+    cohort: list[tuple[int, PreparedTrial]] = []
+    if graph is not None and _COHORTS_AVAILABLE:
+        for i, trial in enumerate(trials):
+            try:
+                prepared = prepare_trial(trial, graph, provider)
+            except Exception as exc:
+                results[i] = _error_result(trial, exc)
+                continue
+            if prepared is not None:
+                cohort.append((i, prepared))
+    if len(cohort) >= 2:
+        from ..sim.cohort import CohortScheduler
+
+        outcomes = CohortScheduler(
+            graph, [p.simulation for _i, p in cohort]
+        ).run()
+        for (i, prepared), outcome in zip(cohort, outcomes):
+            if outcome.error is not None:
+                results[i] = _error_result(prepared.trial, outcome.error)
+                continue
+            try:
+                metrics = prepared.finalize(outcome.result)
+            except Exception as exc:
+                results[i] = _error_result(prepared.trial, exc)
+                continue
+            results[i] = TrialResult(
+                prepared.trial, ok=True, metrics=metrics
+            )
+    else:
+        # A cohort of one gains nothing from lockstep; run it scalar
+        # (the simulation is already built).
+        for i, prepared in cohort:
+            results[i] = _finish_prepared(prepared)
+    return [
+        result
+        if result is not None
+        else execute_trial(trials[i], provider=provider, graph=graph)
+        for i, result in enumerate(results)
+    ]
+
+
 def run_trial_batch(payload: dict) -> list[dict]:
     """Execute a batch of trial dicts sharing one graph; never raises.
 
     The pipelined backend groups trials by ``(family, n, graph_seed)``
     and ships each group as one task, so the graph is built once per
-    batch instead of once per trial.  Records are byte-identical to
-    the per-trial path: the shared graph is the same pure function of
-    the trial coordinates the serial path computes.
+    batch instead of once per trial — and same-graph cohort-eligible
+    trials run in lockstep (:func:`execute_trial_batch`).  Records are
+    byte-identical to the per-trial path: the shared graph is the same
+    pure function of the trial coordinates the serial path computes,
+    and the cohort ejects to scalar execution on any divergence.
     """
     records: list[dict] = []
     trials = [TrialSpec.from_dict(p) for p in payload["trials"]]
     graph = shared_graph(trials[0]) if trials else None
+    try:
+        results = execute_trial_batch(trials, provider=_PROVIDER, graph=graph)
+    except Exception:  # pragma: no cover - defense in depth
+        results = None
+    if results is not None:
+        for trial, result in zip(trials, results):
+            try:
+                records.append(result.record())
+            except Exception as exc:  # pragma: no cover - defense in depth
+                rec = trial.to_dict()
+                rec["ok"] = False
+                rec["error"] = f"{type(exc).__name__}: {exc}"
+                rec["metrics"] = {}
+                records.append(rec)
+        return records
     for trial in trials:
         try:
             records.append(

@@ -17,11 +17,13 @@ readable translation::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Generator
 
 from .ops import (
     DECLARE,
     MOVE,
+    OBSERVE,
     Observation,
     resolve_walk_step,
     WAIT,
@@ -32,6 +34,27 @@ from .ops import (
 )
 
 AgentGen = Generator[tuple, Observation, object]
+
+# Walk-plan interner.  Algorithms re-derive the same plans over and
+# over as fresh tuples (EXPLO backtracks, EST tree-path probes, ECE
+# word sweeps); the scheduler's route cache keys chased routes by plan
+# *identity*, so equal plans must be funnelled through one canonical
+# tuple to hit it.  Bounded LRU; plans are graph-independent port/rule
+# sequences, so sharing across agents and trials is safe.
+_PLAN_INTERN: OrderedDict[tuple, tuple] = OrderedDict()
+_PLAN_INTERN_CAP = 4096
+
+
+def intern_plan(steps: tuple) -> tuple:
+    """The canonical tuple equal to ``steps`` (inserted if new)."""
+    hit = _PLAN_INTERN.get(steps)
+    if hit is not None:
+        _PLAN_INTERN.move_to_end(steps)
+        return hit
+    _PLAN_INTERN[steps] = steps
+    if len(_PLAN_INTERN) > _PLAN_INTERN_CAP:
+        _PLAN_INTERN.popitem(last=False)
+    return steps
 
 
 class WatchTriggered(Exception):
@@ -153,6 +176,88 @@ def walk(
         if watch is not None and watch_hit(watch, obs.curcard):
             raise WatchTriggered(obs)
     return trace
+
+
+def walk_cols(
+    ctx: AgentContext,
+    steps,
+    watch: Watch | None = None,
+) -> AgentGen:
+    """:func:`walk`, returning column lists instead of row tuples.
+
+    Returns ``(entries, degrees, curcards)`` — the per-edge history as
+    three parallel lists.  Same op stream, same watch semantics and
+    same scheduler-visible behavior as :func:`walk`; walk-dominated
+    algorithms (``EXPLO``) use this to reduce whole segments with C
+    primitives (``min``, slicing) instead of scanning row tuples.
+    """
+    steps = tuple(steps)
+    ents: list[int] = []
+    degs: list[int] = []
+    cards: list[int] = []
+    entry: int | None = None  # UXS rule state along the walk
+    i = 0
+    total = len(steps)
+    entries_log = ctx.entries_log
+    while i < total:
+        degree = ctx.degree()
+        port = resolve_walk_step(steps[i], entry, degree)
+        obs = yield (WALK, port, steps, i, watch)
+        ctx.obs = obs
+        cols = getattr(obs, "walked_cols", None)
+        if cols is None:
+            # Slow path: exactly one edge via the ordinary machinery.
+            entry = obs.entry_port
+            ents.append(entry)
+            degs.append(obs.degree)
+            cards.append(obs.curcard)
+            if entries_log is not None:
+                entries_log.append(entry)
+            i += 1
+        else:
+            # Fast path: a whole segment ran as one event.
+            _rounds, cdegs, cents, ccards = cols
+            ents.extend(cents)
+            degs.extend(cdegs)
+            cards.extend(ccards)
+            if entries_log is not None:
+                entries_log.extend(cents)
+            entry = ents[-1]
+            i += len(cents)
+        if watch is not None and watch_hit(watch, obs.curcard):
+            raise WatchTriggered(obs)
+    return ents, degs, cards
+
+
+def observe(ctx: AgentContext, rounds: int) -> AgentGen:
+    """Observe CurCard for ``rounds`` consecutive rounds while waiting.
+
+    Byte-identical to ``rounds`` iterations of ``wait(ctx, 1)`` each
+    followed by a CurCard reading — same events, same round arithmetic —
+    but issued as ``observe`` ops so the scheduler's segment planner
+    can advance a stationary observer together with a walking cohort
+    (the rank-ordered dance of ``StarCheck`` is the motivating case).
+
+    Returns a list of per-round records ``(round, degree, entry_port,
+    curcard)``; ``entry_port`` is always ``None`` (the agent does not
+    move).  Does not touch ``ctx.entries_log``.  ``rounds <= 0`` is a
+    no-op returning an empty list.
+    """
+    records: list[tuple[int, int, None, int]] = []
+    remaining = rounds
+    while remaining > 0:
+        obs = yield (OBSERVE, remaining, None)
+        ctx.obs = obs
+        walked = getattr(obs, "walked", None)
+        if walked is None:
+            # Slow path: one round observed via the ordinary machinery.
+            records.append((obs.round, obs.degree, None, obs.curcard))
+            remaining -= 1
+        else:
+            # Fast path: a whole segment of rounds ran as one event.
+            records.extend(walked)
+            remaining -= len(walked)
+    return records
 
 
 def wait(ctx: AgentContext, rounds: int, watch: Watch | None = None) -> AgentGen:

@@ -1,0 +1,659 @@
+"""Lockstep trial cohorts and the numpy-vectorized segment planner.
+
+Two related fast paths live here, both strictly optional (the scalar
+scheduler remains complete without numpy) and both bound by the same
+contract as the segment planner itself: **byte-identity** with per-step
+execution, checked by the differential suite against
+:mod:`repro.sim.reference`.
+
+1. **Vectorized segment planning** (:func:`plan_segment`).  The scalar
+   planner in :mod:`repro.sim.scheduler` re-chases every walk route
+   step by step in Python on every segment.  Routes, however, are pure
+   functions of ``(graph, plan, position in plan, node, exit port)`` —
+   so a :class:`RouteCache` chases each distinct start state once,
+   registers every suffix of the chase (the continuation from any
+   mid-plan state is a suffix of the same chase), and serves numpy
+   array views thereafter.  Truncation bounds, exact per-arrival
+   CurCards, watch evaluation and ``last_change`` updates are then
+   vector operations over those views.  The planner also understands
+   stationary ``observe`` cohort members (see :mod:`repro.sim.ops`),
+   which is what lets ``StarCheck``'s waiters share a segment with the
+   dancing agent.
+
+2. **Lockstep cohorts** (:class:`CohortScheduler`).  K same-graph
+   trials advance one event-round at a time in lockstep, with the
+   scheduler state mirrored in ``(K, ·)`` numpy arrays — agent
+   positions, CurCard counters, ``last_change`` and wake rounds — used
+   for frontier selection and divergence auditing.  The moment a trial
+   diverges (a watch fires, a walk segment falls back to per-edge
+   execution, a dormant agent is woken, trace mode, or any error) it
+   is *ejected*: its mirror row is verified against the scalar
+   scheduler's exported state, re-imported, and the very same
+   :class:`~repro.sim.scheduler.Simulation` object runs to completion
+   on the scalar path.  Python generators cannot be snapshotted, so
+   mid-trial state never leaves its ``Simulation``; the export/import
+   hooks carry the *scheduler arrays* (positions, counts,
+   ``last_change``, entry ports, events), which is exactly what the
+   cohort mirrors and what the ejection hand-off re-validates.
+
+Round-valued arrays use ``dtype=object``: the unknown-bound algorithm
+runs clocks past ``2**64`` and rounds must stay exact big ints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from ..graphs.port_graph import PortGraph
+from .ops import SimulationError
+from .scheduler import _DONE, Simulation, SimulationResult
+
+HAVE_NUMPY = np is not None
+
+
+class CohortDesyncError(SimulationError):
+    """The cohort's mirror arrays disagree with a trial's scheduler.
+
+    Raised at ejection hand-off; indicates an internal bookkeeping bug
+    (the mirrors are refreshed from ``export_state`` after every step),
+    never a model outcome.
+    """
+
+
+# ----------------------------------------------------------------------
+# Route cache: chased walk routes keyed by plan identity.
+# ----------------------------------------------------------------------
+
+class _PlanRoutes:
+    """Chased routes of one walk plan on one graph.
+
+    A walk's future is a pure function of its *state* ``(position in
+    plan, node, exit port)``: the exit port determines the next edge,
+    the traversed edge determines the entry port, and every later step
+    resolves from entry ports alone.  Each chase therefore registers
+    all of its intermediate states, so a walk resuming anywhere along a
+    previously chased route is an O(1) dict hit returning array views.
+    """
+
+    __slots__ = ("steps", "_suffix", "_chases")
+
+    def __init__(self, steps: tuple[int, ...]) -> None:
+        # Strong reference: keeps id(steps) valid for the cache key.
+        self.steps = steps
+        self._suffix: dict[tuple[int, int, int], tuple[int, int]] = {}
+        self._chases: list[tuple] = []
+
+    def route(self, graph: PortGraph, pos: int, node: int, port: int):
+        """Arrays ``(nodes, entries, degrees)`` of the remaining route.
+
+        ``nodes`` has the start node at index 0; ``entries[j]`` /
+        ``degrees[j]`` describe the arrival at ``nodes[j + 1]``.  The
+        route ends at the plan's end or just before the first invalid
+        absolute step, exactly like the scalar planner's walk-out.
+        """
+        key = (pos, node, port)
+        hit = self._suffix.get(key)
+        if hit is None:
+            self._chase(graph, pos, node, port)
+            hit = self._suffix[key]
+        ci, off = hit
+        nodes, ents, degs = self._chases[ci]
+        return nodes[off:], ents[off:], degs[off:]
+
+    def _chase(self, graph: PortGraph, pos: int, node: int, port: int) -> None:
+        steps = self.steps
+        adj = graph._adj
+        total = len(steps)
+        nodes = [node]
+        ents: list[int] = []
+        degs: list[int] = []
+        states = [(pos, node, port)]
+        t = pos
+        while True:
+            node, entry = adj[node][port]
+            nodes.append(node)
+            ents.append(entry)
+            degree = len(adj[node])
+            degs.append(degree)
+            t += 1
+            if t >= total:
+                break
+            step = steps[t]
+            if step >= 0:
+                if step >= degree:
+                    break  # invalid absolute step ends the route
+                port = step
+            else:
+                port = (entry + ~step) % degree
+            states.append((t, node, port))
+        ci = len(self._chases)
+        self._chases.append((
+            np.asarray(nodes, dtype=np.int64),
+            np.asarray(ents, dtype=np.int64),
+            np.asarray(degs, dtype=np.int64),
+        ))
+        suffix = self._suffix
+        for off, key in enumerate(states):
+            # A state reached by two chases has identical continuations
+            # (the walk is deterministic), so first registration wins.
+            suffix.setdefault(key, (ci, off))
+
+
+class RouteCache:
+    """Per-graph cache of :class:`_PlanRoutes`, keyed by plan identity.
+
+    Plans are keyed by ``id(steps)`` with a strong reference kept in
+    the entry, so a hit is only served for the *same tuple object*
+    (providers return cached tuples; fresh tuples simply miss and pay
+    one chase).  Bounded LRU so ad-hoc plans cannot grow it forever.
+    """
+
+    __slots__ = ("graph", "_plans")
+    _MAX_PLANS = 64
+
+    def __init__(self, graph: PortGraph) -> None:
+        self.graph = graph
+        self._plans: OrderedDict[int, _PlanRoutes] = OrderedDict()
+
+    def route(self, steps: tuple[int, ...], pos: int, node: int, port: int):
+        key = id(steps)
+        pr = self._plans.get(key)
+        if pr is None or pr.steps is not steps:
+            pr = _PlanRoutes(steps)
+            self._plans[key] = pr
+            if len(self._plans) > self._MAX_PLANS:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return pr.route(self.graph, pos, node, port)
+
+
+# Shared per-graph caches: trials executed on the same graph object
+# (the pipelined backend's batches, cohort members) reuse chased
+# routes automatically.  Keyed by id with a strong graph reference —
+# PortGraph has no __weakref__ slot — and LRU-bounded.
+_GRAPH_CACHES: OrderedDict[int, tuple[PortGraph, RouteCache]] = OrderedDict()
+_GRAPH_CACHE_CAP = 8
+
+
+def route_cache_for(graph: PortGraph) -> RouteCache:
+    """The shared :class:`RouteCache` of ``graph`` (created on demand)."""
+    key = id(graph)
+    hit = _GRAPH_CACHES.get(key)
+    if hit is not None and hit[0] is graph:
+        _GRAPH_CACHES.move_to_end(key)
+        return hit[1]
+    cache = RouteCache(graph)
+    _GRAPH_CACHES[key] = (graph, cache)
+    if len(_GRAPH_CACHES) > _GRAPH_CACHE_CAP:
+        _GRAPH_CACHES.popitem(last=False)
+    return cache
+
+
+# ----------------------------------------------------------------------
+# Vectorized joint segment planning.
+# ----------------------------------------------------------------------
+
+def _commit_last_change(
+    last_change: list, round_: int, endpoint_arrs, idx
+) -> None:
+    """Write each endpoint node's latest changed round into ``last_change``.
+
+    ``endpoint_arrs`` are equal-length arrays of changed nodes, all
+    indexed by the (ascending) round indices ``idx``.  One sort over
+    the interleaved endpoints replaces a per-round scatter matrix: the
+    first occurrence of a node in the reversed round-ordered sequence
+    is its latest change.
+    """
+    k = len(idx)
+    e = len(endpoint_arrs)
+    seq = np.empty(e * k, dtype=np.int64)
+    for j, arr in enumerate(endpoint_arrs):
+        seq[j::e] = arr
+    rev = seq[::-1]
+    uniq, first = np.unique(rev, return_index=True)
+    tidx = idx[(e * k - 1 - first) // e]
+    for v, t in zip(uniq.tolist(), tidx.tolist()):
+        last_change[v] = round_ + int(t) + 1
+
+
+class SegmentPlan:
+    """Output of :func:`plan_segment`, consumed by the scheduler.
+
+    ``walkers[w]`` is ``(nodes, entries, degrees, curcards)`` as plain
+    Python lists (``tolist()`` keeps observations and traces free of
+    numpy scalars); ``observer_cards[o]`` is the per-round CurCard
+    trace of the o-th observer.  ``_nodes`` retains the walker routes
+    as an ``(W, m+1)`` int64 matrix for the last_change update.
+    ``watch_fired`` marks a segment whose last edge fires a walk
+    watch — the walk helper will raise :class:`WatchTriggered` at the
+    resume, a divergence the lockstep cohort ejects on.
+    """
+
+    __slots__ = ("m", "walkers", "observer_cards", "_nodes", "watch_fired")
+
+    def __init__(
+        self, m, walkers, observer_cards, nodes_matrix,
+        watch_fired=False,
+    ) -> None:
+        self.m = m
+        self.walkers = walkers
+        self.observer_cards = observer_cards
+        self._nodes = nodes_matrix
+        self.watch_fired = watch_fired
+
+    def apply_last_change(self, last_change: list, round_: int, n: int) -> None:
+        """Set ``last_change`` exactly as m rounds of per-step moves would.
+
+        Per round, a node's cardinality changed iff its arrival/departure
+        delta is non-zero; the latest such round wins.  Observers never
+        move, so a pure-observe segment changes nothing.  One and two
+        walkers (the overwhelmingly common cohorts) avoid the per-round
+        delta matrix: their cancellation cases are enumerable, so the
+        changed endpoints come straight from endpoint comparisons.
+        """
+        arr = self._nodes
+        if arr is None:
+            return
+        m = self.m
+        W = arr.shape[0]
+        if W == 1:
+            a = arr[0]
+            src = a[:m]
+            dst = a[1:]
+            idx = np.nonzero(src != dst)[0]
+            if len(idx):
+                _commit_last_change(
+                    last_change, round_, (src[idx], dst[idx]), idx
+                )
+            return
+        if W == 2:
+            sa, da = arr[0, :m], arr[0, 1:]
+            sb, db = arr[1, :m], arr[1, 1:]
+            lock = (sa == sb) & (da == db)
+            disjoint = (
+                ~lock
+                & (sa != da) & (sb != db) & (sa != sb)
+                & (da != db) & (sa != db) & (sb != da)
+            )
+            lastr = np.full(n, -1, dtype=np.int64)
+            idx = np.nonzero(lock & (sa != da))[0]
+            if len(idx):
+                np.maximum.at(lastr, sa[idx], idx)
+                np.maximum.at(lastr, da[idx], idx)
+            idx = np.nonzero(disjoint)[0]
+            if len(idx):
+                for ends in (sa, da, sb, db):
+                    np.maximum.at(lastr, ends[idx], idx)
+            # Crossings cancel exactly: each node loses one walker and
+            # gains the other, so neither endpoint's CurCard changes.
+            swap = ~lock & (sa == db) & (sb == da)
+            # Remaining collisions / splits / self-loops: exact
+            # per-node deltas (rare rounds).
+            for t in np.nonzero(~(lock | disjoint | swap))[0].tolist():
+                deltas = {int(sa[t]): -1}
+                for v, d in (
+                    (int(da[t]), 1), (int(sb[t]), -1), (int(db[t]), 1)
+                ):
+                    deltas[v] = deltas.get(v, 0) + d
+                for v, delta in deltas.items():
+                    if delta and t > lastr[v]:
+                        lastr[v] = t
+            for v in np.nonzero(lastr >= 0)[0].tolist():
+                last_change[v] = round_ + int(lastr[v]) + 1
+            return
+        cols = np.arange(m)
+        delta = np.zeros((n, m), dtype=np.int16)
+        np.add.at(delta, (arr[:, :m], cols), -1)
+        np.add.at(delta, (arr[:, 1:m + 1], cols), 1)
+        changed = delta != 0
+        rows = np.nonzero(changed.any(axis=1))[0]
+        if not len(rows):
+            return
+        last_idx = m - 1 - changed[:, ::-1].argmax(axis=1)
+        for v in rows.tolist():
+            last_change[v] = round_ + int(last_idx[v]) + 1
+
+
+def plan_segment(
+    sim: Simulation,
+    walks: list[tuple],
+    observes: list[tuple[int, int]],
+    round_: int,
+) -> SegmentPlan | None:
+    """Vectorized twin of ``Simulation._plan_segment``.
+
+    Same contract, same truncation rules (documented in
+    ``scheduler.py``), plus stationary observers: the longest joint
+    prefix during which the per-step model could not have diverged, or
+    ``None`` when no segment of at least two rounds is safe.  All
+    truncation bounds are order-independent minima, so per-walker
+    bounds are intersected instead of re-scanned sequentially.
+    """
+    heap = sim._heap
+    epoch = sim._epoch
+    state = sim._state
+    while heap:
+        _, _, i0, ep0 = heap[0]
+        if ep0 != epoch[i0] or state[i0] == _DONE:
+            heapq.heappop(heap)
+        else:
+            break
+    cohort = len(walks) + len(observes)
+    bounds = [len(steps) - pos for _i, _h, steps, pos, _w in walks]
+    bounds.extend(rem for _i, rem in observes)
+    m = min(bounds)
+    if heap:
+        gap = heap[0][0] - round_
+        if gap < m:
+            m = gap
+    if sim.max_round is not None:
+        # Truncating here reproduces the per-step budget raise at the
+        # segment-end resume (see the scalar planner).
+        gap = sim.max_round - round_ + 1
+        if gap < m:
+            m = gap
+    if sim.max_events is not None:
+        gap = (sim.max_events - sim._events) // cohort + 1
+        if gap < m:
+            m = gap
+    if m < 2:
+        return None
+    pos_of = sim._pos
+    watchers = sim._watchers
+    for idx, _h, _s, _p, _w in walks:
+        # Departures from a watched node notify through the ordinary
+        # machinery.
+        if watchers[pos_of[idx]]:
+            return None
+    n = sim.graph.n
+    cache = sim.route_cache
+    # Structural pass: cached routes; a route ending early (plan end
+    # was already bounded above, so this is an invalid absolute step)
+    # truncates the joint segment.
+    routes = []
+    for idx, head, steps, pos, _w in walks:
+        nodes, ents, degs = cache.route(steps, pos, pos_of[idx], head)
+        avail = len(ents)
+        if avail < m:
+            m = avail
+        routes.append((nodes, ents, degs))
+    if m < 2:
+        return None
+    dormant_at = sim._dormant_at
+    blocked = [v for v in range(n) if watchers[v] or dormant_at[v]]
+    if blocked and routes:
+        mask = np.zeros(n, dtype=bool)
+        mask[blocked] = True
+        for nodes, _e, _d in routes:
+            hits = mask[nodes[1:m + 1]]
+            if hits.any():
+                t = int(hits.argmax())  # stop before waking anyone
+                if t < m:
+                    m = t
+                    if m < 2:
+                        return None
+    # Card pass: statics are _counts minus the walkers (observers are
+    # static and stay in); cohort co-location comes from the occupancy
+    # matrix.  Exact per-arrival CurCards, truncated at the first
+    # firing walk watch (that edge is the segment's last).
+    counts_np = np.array(sim._counts, dtype=np.int64)
+    W = len(walks)
+    nodes_matrix = None
+    body = None
+    cards = None
+    occ = None
+    watch_fired = False
+    if W:
+        for i, _h, _s, _p, _w in walks:
+            counts_np[pos_of[i]] -= 1
+        nodes_matrix = np.empty((W, m + 1), dtype=np.int64)
+        for w, (nodes, _e, _d) in enumerate(routes):
+            nodes_matrix[w] = nodes[:m + 1]
+        body = nodes_matrix[:, 1:]
+        if W == 1:
+            cards = counts_np[body] + 1
+        elif W == 2:
+            # Pair cohort: co-location is a single equality row, no
+            # occupancy matrix needed.
+            together = body[0] == body[1]
+            cards = counts_np[body] + 1
+            cards[0] += together
+            cards[1] += together
+        else:
+            cols = np.arange(m)
+            occ = np.zeros((n, m), dtype=np.int64)
+            np.add.at(occ, (body, cols), 1)
+            cards = counts_np[body] + occ[body, cols]
+        fired = None
+        for w, (_i, _h, _s, _p, watch) in enumerate(walks):
+            if watch is None:
+                continue
+            kind, value = watch
+            row = cards[w]
+            if kind == "gt":
+                f = row > value
+            elif kind == "ne":
+                f = row != value
+            elif kind == "eq":
+                f = row == value
+            else:  # "lt"
+                f = row < value
+            fired = f if fired is None else (fired | f)
+        if fired is not None and fired.any():
+            watch_fired = True
+            m = int(fired.argmax()) + 1  # the firing edge is the last
+            if m < 2:
+                return None
+            nodes_matrix = nodes_matrix[:, :m + 1]
+            body = nodes_matrix[:, 1:]
+            if occ is not None:
+                occ = occ[:, :m]
+            cards = cards[:, :m]
+    observer_cards: list[list[int]] = []
+    if observes:
+        obs_nodes = np.array([pos_of[i] for i, _r in observes],
+                             dtype=np.int64)
+        base = counts_np[obs_nodes][:, None]
+        if not W:
+            ocards = np.broadcast_to(base, (len(observes), m))
+        elif occ is not None:
+            ocards = base + occ[obs_nodes]
+        else:
+            # W <= 2: per-round co-walker occupancy of each observer's
+            # node is a direct equality test against the routes.
+            ocards = base + (body[0] == obs_nodes[:, None])
+            if W == 2:
+                ocards = ocards + (body[1] == obs_nodes[:, None])
+        observer_cards = [row.tolist() for row in ocards]
+    walkers = []
+    for w, (nodes, ents, degs) in enumerate(routes):
+        walkers.append((
+            nodes[:m + 1].tolist(),
+            ents[:m].tolist(),
+            degs[:m].tolist(),
+            cards[w].tolist(),
+        ))
+    return SegmentPlan(
+        m, walkers, observer_cards, nodes_matrix, watch_fired
+    )
+
+
+# ----------------------------------------------------------------------
+# Lockstep cohort execution.
+# ----------------------------------------------------------------------
+
+class CohortOutcome:
+    """Per-trial outcome of a cohort run.
+
+    Exactly one of ``result`` / ``error`` is set; ``ejected`` is the
+    divergence tag when the trial left the lockstep loop (``None`` for
+    trials that completed inside it).
+    """
+
+    __slots__ = ("result", "error", "ejected")
+
+    def __init__(self, result=None, error=None, ejected=None) -> None:
+        self.result: SimulationResult | None = result
+        self.error: BaseException | None = error
+        self.ejected: str | None = ejected
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "ok" if self.error is None else f"error={self.error!r}"
+        return f"CohortOutcome({status}, ejected={self.ejected})"
+
+
+# Mirror fields refreshed from Simulation.export_state after each step
+# and re-verified at ejection.
+_MIRROR_FIELDS = ("positions", "counts", "last_change", "events")
+
+
+class CohortScheduler:
+    """Run K same-graph trials in lockstep, ejecting on divergence.
+
+    Every trial is a fully built :class:`Simulation` (its agent
+    generators live nowhere else); the cohort holds the *scheduler*
+    state of all K trials as ``(K, ·)`` numpy arrays and advances the
+    frontier — the minimum next-event round across live trials — one
+    event-round at a time.  Ejection rules (divergence from the vector
+    path): a fired watch, a walk-segment fallback, a dormant wake-up,
+    trace mode, or any raised error.  An ejected trial's mirror row is
+    verified against ``export_state()``, re-imported through
+    ``import_state()``, and the trial finishes on the scalar path —
+    the same object, so results are byte-identical by construction
+    (and re-checked against the reference oracle by the test suite).
+    """
+
+    def __init__(self, graph: PortGraph, sims: list[Simulation]) -> None:
+        if np is None:  # pragma: no cover - numpy is baked into the image
+            raise SimulationError("cohort execution requires numpy")
+        if not sims:
+            raise SimulationError("empty cohort")
+        for sim in sims:
+            if sim.graph is not graph:
+                raise SimulationError(
+                    "cohort trials must share one graph object"
+                )
+        self.graph = graph
+        self.sims = sims
+        k = len(sims)
+        n = graph.n
+        amax = max(len(sim.specs) for sim in sims)
+        # (K, ·) mirrors.  Rounds are exact big ints -> object dtype.
+        self.positions = np.full((k, amax), -1, dtype=np.int64)
+        self.counts = np.zeros((k, n), dtype=np.int64)
+        self.last_change = np.zeros((k, n), dtype=object)
+        self.wake_rounds = np.full((k, amax), None, dtype=object)
+        self.next_rounds = np.full(k, None, dtype=object)
+        self.events = np.zeros(k, dtype=object)
+        self.ejected: list[str | None] = [None] * k
+        self._outcomes: list[CohortOutcome | None] = [None] * k
+        for i, sim in enumerate(sims):
+            for a, spec in enumerate(sim.specs):
+                self.wake_rounds[i, a] = spec.wake_round
+            self._refresh(i, sim)
+
+    # -- mirror bookkeeping -------------------------------------------
+
+    def _refresh(self, i: int, sim: Simulation) -> None:
+        # Straight off the scheduler arrays: a full export_state()
+        # per step would rescan the event heap, and the mirrors only
+        # track what export_state would copy anyway (the snapshot is
+        # still taken — and audited against these rows — at ejection).
+        pos = sim._pos
+        self.positions[i, :len(pos)] = pos
+        self.counts[i] = sim._counts
+        self.last_change[i] = sim._last_change
+        self.events[i] = sim._events
+
+    def _verify_row(self, i: int, state: dict) -> None:
+        k = len(state["positions"])
+        mirror = {
+            "positions": self.positions[i, :k].tolist(),
+            "counts": self.counts[i].tolist(),
+            "last_change": self.last_change[i].tolist(),
+            "events": int(self.events[i]),
+        }
+        for field in _MIRROR_FIELDS:
+            if mirror[field] != state[field]:
+                raise CohortDesyncError(
+                    f"cohort trial {i}: mirrored {field} diverged from "
+                    f"the scheduler ({mirror[field]!r} != {state[field]!r})"
+                )
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self) -> list[CohortOutcome]:
+        """Execute all trials; never raises for per-trial failures."""
+        sims = self.sims
+        k = len(sims)
+        for i, sim in enumerate(sims):
+            if sim.trace:
+                # Per-edge move logs are exactly what the vector path
+                # does not track: straight to the scalar scheduler.
+                self.ejected[i] = "trace"
+        while True:
+            live = [
+                i for i in range(k)
+                if self._outcomes[i] is None and self.ejected[i] is None
+            ]
+            if not live:
+                break
+            for i in live:
+                self.next_rounds[i] = sims[i].next_event_round()
+            # An empty heap with live agents is a deadlock; step those
+            # trials immediately so they raise the scalar error.
+            due = [i for i in live if self.next_rounds[i] is None]
+            if not due:
+                frontier = min(self.next_rounds[i] for i in live)
+                due = [i for i in live if self.next_rounds[i] == frontier]
+            for i in due:
+                self._step(i)
+        self._finish_ejected()
+        return [out for out in self._outcomes if True]  # type: ignore[misc]
+
+    def _step(self, i: int) -> None:
+        sim = self.sims[i]
+        try:
+            sim.step_round()
+        except Exception as exc:
+            self._outcomes[i] = CohortOutcome(error=exc)
+            return
+        if sim.finished:
+            self._outcomes[i] = CohortOutcome(result=sim.result())
+            return
+        self._refresh(i, sim)
+        tag = sim.last_step_divergence
+        if tag is not None:
+            self.ejected[i] = tag
+
+    def _finish_ejected(self) -> None:
+        for i, sim in enumerate(self.sims):
+            if self._outcomes[i] is not None:
+                continue
+            tag = self.ejected[i]
+            try:
+                if tag != "trace":
+                    # Hand-off audit: the mirror row must agree with
+                    # the scheduler before the trial resumes scalar.
+                    state = sim.export_state()
+                    self._verify_row(i, state)
+                    sim.import_state(state)
+                result = sim.run()
+            except Exception as exc:
+                self._outcomes[i] = CohortOutcome(error=exc, ejected=tag)
+            else:
+                self._outcomes[i] = CohortOutcome(result=result, ejected=tag)
+
+
+def run_cohort(
+    graph: PortGraph, sims: list[Simulation]
+) -> list[CohortOutcome]:
+    """Convenience wrapper: build a :class:`CohortScheduler` and run it."""
+    return CohortScheduler(graph, sims).run()

@@ -39,6 +39,15 @@ WALK = "walk"
 WAIT = "wait"
 WAIT_STABLE = "wait_stable"
 DECLARE = "declare"
+# ``(OBSERVE, remaining, None)`` — observe CurCard for ``remaining``
+# consecutive rounds while staying put.  Semantically identical to
+# ``remaining`` one-round waits each followed by a CurCard reading, but
+# expressed as one op so the segment planner can run a stationary
+# observer as a cohort member of a multi-round segment (the planner
+# computes the per-round CurCard trace it would have seen).  The
+# scheduler may deliver any prefix of the requested rounds; the agent
+# helper re-issues the op with the rest, like ``walk``.
+OBSERVE = "observe"
 
 Watch = tuple[str, int]
 
@@ -173,9 +182,15 @@ class WalkObservation(Observation):
     helper in :mod:`repro.sim.agent` replays ``walked`` into the
     agent-side bookkeeping, so algorithm code sees per-edge history
     bit-for-bit identical to the per-step model.
+
+    The scheduler hands the history over as *columns* — equal-length
+    sequences of rounds, degrees, entry ports and CurCards — because
+    walk-dominated algorithms (``EXPLO``) reduce them wholesale and
+    never look at row tuples; ``walked`` zips the rows on first access
+    for everyone else.
     """
 
-    __slots__ = ("walked",)
+    __slots__ = ("walked_cols", "_walked")
 
     def __init__(
         self,
@@ -184,10 +199,18 @@ class WalkObservation(Observation):
         entry_port: int | None,
         curcard: int,
         triggered: bool,
-        walked: list,
+        walked_cols: tuple,
     ) -> None:
         super().__init__(round, degree, entry_port, curcard, triggered)
-        self.walked = walked
+        self.walked_cols = walked_cols
+        self._walked: list | None = None
+
+    @property
+    def walked(self) -> list:
+        rows = self._walked
+        if rows is None:
+            rows = self._walked = list(zip(*self.walked_cols))
+        return rows
 
 
 class SimulationError(RuntimeError):

@@ -49,6 +49,7 @@ from .ops import (
     DeadlockError,
     DECLARE,
     MOVE,
+    OBSERVE,
     Observation,
     SimulationError,
     WAIT,
@@ -232,6 +233,17 @@ class ReferenceSimulation:
                 )
             agent.state = "stable"
             agent.stable_window = window
+        elif kind == OBSERVE:
+            # One observed round at a time: the agent helper re-issues
+            # the op with the remaining count, so the reference never
+            # needs segment semantics.
+            if op[1] < 1:
+                raise SimulationError(
+                    f"observe duration must be >= 1, got {op[1]}"
+                )
+            agent.state = "waiting"
+            agent.resume_round = round_ + 1
+            agent.watch = None
         elif kind == DECLARE:
             self._finish(agent, round_, op[1], declared=True)
         else:

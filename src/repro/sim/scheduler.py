@@ -61,6 +61,7 @@ model: a segment of ``m`` edges counts ``m`` (virtual) resumes.
 from __future__ import annotations
 
 import heapq
+from itertools import repeat
 from typing import Callable, Iterable
 
 from ..graphs.port_graph import PortGraph
@@ -71,6 +72,7 @@ from .ops import (
     DeadlockError,
     DECLARE,
     MOVE,
+    OBSERVE,
     Observation,
     SimulationError,
     WAIT,
@@ -222,6 +224,13 @@ class Simulation:
     trace:
         When true, record every move as ``(round, agent_index,
         from_node, to_node)`` in :attr:`move_log`.
+    route_cache:
+        Controls the vectorized segment planner's route cache:
+        ``None`` (default) shares the per-graph cache from
+        :func:`repro.sim.cohort.route_cache_for` when numpy is
+        available, ``False`` disables the vectorized planner entirely
+        (pure-scalar planning), and an explicit
+        :class:`~repro.sim.cohort.RouteCache` is used as given.
     """
 
     def __init__(
@@ -231,6 +240,7 @@ class Simulation:
         max_events: int | None = None,
         max_round: int | None = None,
         trace: bool = False,
+        route_cache=None,
     ) -> None:
         self.graph = graph
         self.specs = list(specs)
@@ -280,6 +290,17 @@ class Simulation:
         # they covered in total.
         self.segments = 0
         self.segment_edges = 0
+        # Vectorized planner, resolved lazily on the first walk round
+        # (importing cohort / building the route cache costs nothing on
+        # walk-free runs).
+        self._route_cache_opt = route_cache
+        self.route_cache = None
+        self._planner = None
+        self._planner_resolved = False
+        # Set by step_round() when the round did something the lockstep
+        # vector path cannot express (see repro.sim.cohort): "watch",
+        # "dormant-wake" or "walk-fallback"; None otherwise.
+        self.last_step_divergence: str | None = None
 
         for idx, s in enumerate(self.specs):
             self._active += 1
@@ -326,68 +347,43 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Execute until every agent terminates."""
-        graph = self.graph
-        heap = self._heap
+        """Execute until every agent terminates.
+
+        Resumable: callers (the cohort executor) may interleave
+        :meth:`step_round` calls with ``run()``; the loop simply
+        continues from the current state.
+        """
         while self._active > 0:
-            # Drop stale heads (superseded epochs, finished agents)
-            # before reading the clock: the round budget and deadlock
-            # checks below must see the next *real* event, exactly as
-            # the reference oracle derives it.
-            while heap:
-                _, _, i0, ep0 = heap[0]
-                if ep0 != self._epoch[i0] or self._state[i0] == _DONE:
-                    heapq.heappop(heap)
-                else:
-                    break
-            if not heap:
-                raise DeadlockError(
-                    f"{self._active} agent(s) can never run again "
-                    "(dormant and unvisited, or waiting forever)"
-                )
-            round_ = heap[0][0]
-            if self.max_round is not None and round_ > self.max_round:
-                raise BudgetExceededError(
-                    f"round budget exceeded: next event at round {round_}"
-                )
-            pending_moves: list[tuple[int, int]] = []  # (idx, port)
-            pending_walks: list[tuple] = []  # (idx, head, steps, pos, watch)
-            resumes = 0
-            while heap and heap[0][0] == round_:
-                _, _, idx, epoch = heapq.heappop(heap)
-                if epoch != self._epoch[idx] or self._state[idx] == _DONE:
-                    continue
-                resumes += 1
-                if resumes > _MAX_RESUMES_PER_ROUND:
-                    raise SimulationError(
-                        f"agent resumed too often in round {round_}; "
-                        "non-advancing program?"
-                    )
-                self._events += 1
-                if self.max_events is not None and self._events > self.max_events:
-                    raise BudgetExceededError(
-                        f"event budget exceeded at round {round_}"
-                    )
-                op = self._resume(idx, round_)
-                if op is None:
-                    continue  # agent terminated
-                kind = op[0]
-                if kind == MOVE:
-                    pending_moves.append((idx, op[1]))
-                elif kind == WALK:
-                    pending_walks.append((idx, op[1], op[2], op[3], op[4]))
-                elif kind == WAIT:
-                    self._begin_wait(idx, round_, op[1], op[2])
-                elif kind == WAIT_STABLE:
-                    self._begin_wait_stable(idx, round_, op[1])
-                elif kind == DECLARE:
-                    self._finish(idx, round_, op[1], declared=True)
-                else:
-                    raise SimulationError(f"unknown op {op!r}")
-            if pending_walks:
-                self._exec_walks(pending_walks, round_, pending_moves)
-            if pending_moves:
-                self._apply_moves(pending_moves, round_)
+            self.step_round()
+        return self.result()
+
+    def next_event_round(self) -> int | None:
+        """Round of the next real event, or ``None`` if the heap is dry.
+
+        Drops stale heads (superseded epochs, finished agents) so the
+        round budget and deadlock checks see the next *real* event,
+        exactly as the reference oracle derives it.
+        """
+        heap = self._heap
+        while heap:
+            _, _, i0, ep0 = heap[0]
+            if ep0 != self._epoch[i0] or self._state[i0] == _DONE:
+                heapq.heappop(heap)
+            else:
+                return heap[0][0]
+        return None
+
+    @property
+    def finished(self) -> bool:
+        """True once every agent has terminated."""
+        return self._active == 0
+
+    def result(self) -> SimulationResult:
+        """The aggregate outcome; only valid once :attr:`finished`."""
+        if self._active > 0:
+            raise SimulationError(
+                f"simulation still has {self._active} active agent(s)"
+            )
         final_round = max(
             (o.finish_round for o in self._outcomes if o.finish_round is not None),
             default=0,
@@ -396,6 +392,68 @@ class Simulation:
         return SimulationResult(
             self._outcomes, self._events, final_round, total_moves
         )
+
+    def step_round(self) -> None:
+        """Drain and execute exactly one event-round."""
+        self.last_step_divergence = None
+        heap = self._heap
+        round_ = self.next_event_round()
+        if round_ is None:
+            raise DeadlockError(
+                f"{self._active} agent(s) can never run again "
+                "(dormant and unvisited, or waiting forever)"
+            )
+        if self.max_round is not None and round_ > self.max_round:
+            raise BudgetExceededError(
+                f"round budget exceeded: next event at round {round_}"
+            )
+        pending_moves: list[tuple[int, int]] = []  # (idx, port)
+        pending_walks: list[tuple] = []  # (idx, head, steps, pos, watch)
+        pending_observes: list[tuple[int, int]] = []  # (idx, remaining)
+        resumes = 0
+        while heap and heap[0][0] == round_:
+            _, _, idx, epoch = heapq.heappop(heap)
+            if epoch != self._epoch[idx] or self._state[idx] == _DONE:
+                continue
+            resumes += 1
+            if resumes > _MAX_RESUMES_PER_ROUND:
+                raise SimulationError(
+                    f"agent resumed too often in round {round_}; "
+                    "non-advancing program?"
+                )
+            self._events += 1
+            if self.max_events is not None and self._events > self.max_events:
+                raise BudgetExceededError(
+                    f"event budget exceeded at round {round_}"
+                )
+            op = self._resume(idx, round_)
+            if op is None:
+                continue  # agent terminated
+            kind = op[0]
+            if kind == MOVE:
+                pending_moves.append((idx, op[1]))
+            elif kind == WALK:
+                pending_walks.append((idx, op[1], op[2], op[3], op[4]))
+            elif kind == WAIT:
+                self._begin_wait(idx, round_, op[1], op[2])
+            elif kind == WAIT_STABLE:
+                self._begin_wait_stable(idx, round_, op[1])
+            elif kind == OBSERVE:
+                if op[1] < 1:
+                    raise SimulationError(
+                        f"observe duration must be >= 1, got {op[1]}"
+                    )
+                pending_observes.append((idx, op[1]))
+            elif kind == DECLARE:
+                self._finish(idx, round_, op[1], declared=True)
+            else:
+                raise SimulationError(f"unknown op {op!r}")
+        if pending_walks or pending_observes:
+            self._exec_walks(
+                pending_walks, pending_observes, round_, pending_moves
+            )
+        if pending_moves:
+            self._apply_moves(pending_moves, round_)
 
     # ------------------------------------------------------------------
     # Agent resumption.
@@ -437,6 +495,8 @@ class Simulation:
             watch = self._watch[idx]
             if watch is not None:
                 triggered = watch_hit(watch, self._counts[self._pos[idx]])
+                if triggered:
+                    self.last_step_divergence = "watch"
                 self._unwatch(idx)
             if self._stable[idx] is not None:
                 window = self._stable[idx]
@@ -528,27 +588,118 @@ class Simulation:
     # Walk segments (the multi-edge fast path).
     # ------------------------------------------------------------------
 
+    def _resolve_planner(self) -> None:
+        """Bind the vectorized planner and route cache, if available."""
+        self._planner_resolved = True
+        if self._route_cache_opt is False:
+            return
+        try:
+            from . import cohort
+        except ImportError:  # pragma: no cover - cohort ships with sim
+            return
+        if not cohort.HAVE_NUMPY:
+            return
+        self.route_cache = (
+            self._route_cache_opt
+            if self._route_cache_opt is not None
+            else cohort.route_cache_for(self.graph)
+        )
+        self._planner = cohort.plan_segment
+
     def _exec_walks(
         self,
         walks: list[tuple],
+        observes: list[tuple[int, int]],
         round_: int,
         pending_moves: list[tuple[int, int]],
     ) -> None:
-        """Execute the round's walk ops: one fast segment, or fall back.
+        """Execute the round's walk/observe ops: one segment, or fall back.
 
-        All walkers due this round are planned jointly.  When a useful
-        segment exists (>= 2 edges for everyone) it runs as a single
-        event per walker; otherwise every walk degrades to its first
-        edge through the ordinary simultaneous-move machinery, which
-        handles watcher wake-ups, dormant starts and same-round movers
-        exactly as the per-step model does.
+        All walkers and observers due this round are planned jointly.
+        When a useful segment exists (>= 2 rounds for everyone) it runs
+        as a single event per cohort member; otherwise every walk
+        degrades to its first edge and every observe to a one-round
+        observation through the ordinary machinery, which handles
+        watcher wake-ups, dormant starts and same-round movers exactly
+        as the per-step model does.
         """
-        plan = None if pending_moves else self._plan_segment(walks, round_)
-        if plan is None:
-            for idx, head, _steps, _pos, _watch in walks:
-                pending_moves.append((idx, head))
-            return
-        self._apply_segment(walks, round_, *plan)
+        if not self._planner_resolved:
+            self._resolve_planner()
+        if not pending_moves:
+            if self._planner is not None:
+                plan = self._planner(self, walks, observes, round_)
+                if plan is not None:
+                    self._apply_segment_vec(walks, observes, round_, plan)
+                    return
+            elif walks and not observes:
+                scalar = self._plan_segment(walks, round_)
+                if scalar is not None:
+                    self._apply_segment(walks, round_, *scalar)
+                    return
+        # Per-edge / per-round fallback — the divergence the lockstep
+        # cohort ejects on.  Observers degrade first: their next-round
+        # heap events bound any later walker segment exactly like the
+        # one-round waits they are equivalent to.
+        self.last_step_divergence = "walk-fallback"
+        for idx, _remaining in observes:
+            self._push(round_ + 1, idx)
+        for idx, head, _steps, _pos, _watch in walks:
+            pending_moves.append((idx, head))
+
+    def _apply_segment_vec(
+        self,
+        walks: list[tuple],
+        observes: list[tuple[int, int]],
+        round_: int,
+        plan,
+    ) -> None:
+        """Commit a vectorized :class:`~repro.sim.cohort.SegmentPlan`.
+
+        Identical bookkeeping to :meth:`_apply_segment`, extended with
+        stationary observers: an observer neither moves nor changes any
+        occupancy, it just receives the per-round CurCard trace of its
+        node and resumes at the segment end, exactly as ``m`` one-round
+        observations would.
+        """
+        counts = self._counts
+        m = plan.m
+        end_round = round_ + m
+        obs_rounds = range(round_ + 1, end_round + 1)
+        self.segments += 1
+        self.segment_edges += m * len(walks)
+        if plan.watch_fired:
+            # The segment's last edge fires a walk watch: the walk
+            # helper raises WatchTriggered at the resume and the
+            # agent's op stream leaves the planned route — eject.
+            self.last_step_divergence = "watch"
+        for w, (idx, _head, _steps, _pos, _watch) in enumerate(walks):
+            nodes, ents, degs, cards = plan.walkers[w]
+            counts[nodes[0]] -= 1
+            counts[nodes[m]] += 1
+            self._pos[idx] = nodes[m]
+            self._entry_port[idx] = ents[m - 1]
+            self._outcomes[idx].moves += m
+            self._walk_trace[idx] = (obs_rounds, degs, ents, cards)
+            self._push(end_round, idx)
+        for o, (idx, _remaining) in enumerate(observes):
+            cards = plan.observer_cards[o]
+            degree = self.graph.degree(self._pos[idx])
+            # Constant columns as repeat(): zip stops at the cards.
+            self._walk_trace[idx] = (
+                obs_rounds, repeat(degree), repeat(None), cards
+            )
+            self._push(end_round, idx)
+        # Virtual per-edge/per-round resumes: byte-compatible events.
+        self._events += (len(walks) + len(observes)) * (m - 1)
+        plan.apply_last_change(self._last_change, round_, self.graph.n)
+        if self.trace and walks:
+            order = sorted(range(len(walks)), key=lambda w: walks[w][0])
+            for t in range(m):
+                for w in order:
+                    nodes = plan.walkers[w][0]
+                    self.move_log.append(
+                        (round_ + t, walks[w][0], nodes[t], nodes[t + 1])
+                    )
 
     def _plan_segment(self, walks: list[tuple], round_: int):
         """Longest prefix the cohort can walk without possible divergence.
@@ -775,9 +926,7 @@ class Simulation:
             self._pos[idx] = route[m]
             self._entry_port[idx] = ents[m - 1]
             self._outcomes[idx].moves += m
-            self._walk_trace[idx] = list(
-                zip(obs_rounds, degrees[w], ents, curcards[w])
-            )
+            self._walk_trace[idx] = (obs_rounds, degrees[w], ents, curcards[w])
             self._push(end_round, idx)
         # Virtual per-edge resumes: byte-compatible events accounting.
         self._events += len(walks) * (m - 1)
@@ -880,6 +1029,7 @@ class Simulation:
                     watch = self._watch[widx]
                     if watch is not None:
                         if watch_hit(watch, new_count):
+                            self.last_step_divergence = "watch"
                             self._reschedule(next_round, widx)
                     elif self._stable[widx] is not None:
                         self._reschedule(
@@ -891,7 +1041,96 @@ class Simulation:
             if self._dormant_at[node]:
                 for didx in list(self._dormant_at[node]):
                     if self._state[didx] == _DORMANT:
+                        self.last_step_divergence = "dormant-wake"
                         self._reschedule(next_round, didx)
                         # Leave the agent in _dormant_at; _start_agent
                         # removes it, and the epoch bump above already
                         # invalidated any later adversary wake entry.
+
+    # ------------------------------------------------------------------
+    # Mid-trial state export / import (cohort ejection hand-off).
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot of the scheduler-array state.
+
+        Agent generators are deliberately *not* part of the snapshot
+        (Python generators cannot be copied); the cohort executor keeps
+        each trial's generators inside its own ``Simulation`` object
+        and uses this snapshot only to mirror, audit and re-install the
+        scheduler arrays around an ejection.
+        """
+        nxt: list[int | None] = [None] * len(self.specs)
+        for round_, _seq, idx, ep in self._heap:
+            if ep == self._epoch[idx] and self._state[idx] != _DONE:
+                if nxt[idx] is None or round_ < nxt[idx]:
+                    nxt[idx] = round_
+        return {
+            "positions": list(self._pos),
+            "entry_ports": list(self._entry_port),
+            "counts": list(self._counts),
+            "last_change": list(self._last_change),
+            "states": list(self._state),
+            "moves": [o.moves for o in self._outcomes],
+            "events": self._events,
+            "active": self._active,
+            "next_rounds": nxt,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Re-install a snapshot from :meth:`export_state`.
+
+        Only the scheduler arrays are installed; lifecycle state, the
+        event heap and the agent generators must already agree with the
+        snapshot (validated below, :class:`SimulationError` on any
+        inconsistency).  Watching or dormant agents cannot be relocated
+        — the per-node watcher/dormant index sets are keyed by their
+        current positions.
+        """
+        k = len(self.specs)
+        n = self.graph.n
+        pos = list(state["positions"])
+        counts = list(state["counts"])
+        if (
+            len(pos) != k
+            or len(state["entry_ports"]) != k
+            or len(state["moves"]) != k
+            or len(counts) != n
+            or len(state["last_change"]) != n
+        ):
+            raise SimulationError("imported state has wrong dimensions")
+        if any(not isinstance(p, int) or p < 0 or p >= n for p in pos):
+            raise SimulationError("imported position out of range")
+        derived = [0] * n
+        for p in pos:
+            derived[p] += 1
+        if derived != counts:
+            raise SimulationError(
+                "imported counts are inconsistent with imported positions"
+            )
+        if list(state["states"]) != self._state:
+            raise SimulationError(
+                "imported lifecycle states do not match this simulation"
+            )
+        if state["active"] != self._active:
+            raise SimulationError(
+                "imported active count does not match this simulation"
+            )
+        for idx in range(k):
+            anchored = (
+                self._watch[idx] is not None
+                or self._stable[idx] is not None
+                or self._state[idx] == _DORMANT
+            )
+            if anchored and pos[idx] != self._pos[idx]:
+                raise SimulationError(
+                    f"agent {self.specs[idx].label} is watching or dormant "
+                    "and cannot be relocated by import_state"
+                )
+        self._pos = pos
+        self._entry_port = list(state["entry_ports"])
+        self._counts = counts
+        self._last_change = list(state["last_change"])
+        for out, moved in zip(self._outcomes, state["moves"]):
+            out.moves = moved
+        self._events = state["events"]

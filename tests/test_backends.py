@@ -18,6 +18,7 @@ Covers the subsystem's hard guarantees:
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -323,6 +324,32 @@ class TestManifest:
         assert claim["chunk"] == 0
         assert claim["worker"] == "alice"
         assert claim["age_s"] >= 0.0
+
+    def test_detailed_status_clamps_skewed_claims(self, tmp_path):
+        # A claim stamped by a worker clock running ahead of ours has
+        # a negative raw age: clamp to zero and flag it, so it can
+        # never masquerade as (or hide) a stale claim.
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=2
+        )
+        assert manifest_mod.claim_chunk(mdir, 0, "alice")
+        claim_path = mdir / "claims" / "chunk-0000.claim"
+        future = claim_path.stat().st_mtime + 3600
+        os.utime(claim_path, (future, future))
+        status = manifest_mod.detailed_status(mdir, payload)
+        (claim,) = status["in_flight"]
+        assert claim["age_s"] == 0.0
+        assert claim["skewed"] is True
+
+    def test_detailed_status_marks_normal_claims_unskewed(self, tmp_path):
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=2
+        )
+        assert manifest_mod.claim_chunk(mdir, 0, "alice")
+        status = manifest_mod.detailed_status(mdir, payload)
+        assert status["in_flight"][0]["skewed"] is False
 
     def test_detailed_status_tolerates_corrupt_claims(self, tmp_path):
         # A truncated claim that parses as non-dict JSON (or not at

@@ -43,3 +43,33 @@ class TestCLI:
         assert main(["gossip"]) == 0
         out = capsys.readouterr().out
         assert "101" in out
+
+
+class TestProgressMeter:
+    """The sweep progress line must survive a zero-tick first batch."""
+
+    def test_zero_elapsed_renders_placeholder(self):
+        from repro.runner.cli import _ProgressMeter
+
+        meter = _ProgressMeter()
+        # Force "the first batch finished within one timer tick".
+        import time
+
+        meter.started = time.monotonic() + 10.0
+        line = meter.line(1, 100)
+        assert line == "-- trials/s, eta --:--"
+        assert "inf" not in line
+
+    def test_normal_rate_renders_numbers(self):
+        from repro.runner.cli import _ProgressMeter
+
+        meter = _ProgressMeter()
+        meter.started -= 2.0  # pretend two seconds have passed
+        line = meter.line(1, 3)
+        assert "trials/s" in line
+        assert "--:--" not in line
+
+    def test_summary_is_empty_before_simulation(self):
+        from repro.runner.cli import _ProgressMeter
+
+        assert _ProgressMeter().summary() == ""

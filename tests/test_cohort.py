@@ -1,0 +1,487 @@
+"""Lockstep cohort execution: ejection rules, byte-identity, caches.
+
+The cohort scheduler advances K same-graph trials one event-round at a
+time with numpy-mirrored state and *ejects* a trial to the scalar
+scheduler the moment it diverges from the vector path (a fired watch,
+a walk-segment fallback, a dormant wake-up, trace mode, or an error).
+These tests pin down each ejection rule individually and — the actual
+contract — byte-identity of every ejected or completed trial against
+the independent :mod:`repro.sim.reference` oracle, parametrized over
+ring / torus / random-regular graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs import random_regular, ring, torus
+from repro.sim import AgentSpec, Simulation, SimulationError
+from repro.sim.cohort import (
+    CohortDesyncError,
+    CohortScheduler,
+    RouteCache,
+    route_cache_for,
+    run_cohort,
+)
+from repro.sim.reference import ReferenceSimulation
+from test_differential import (
+    covering_tour,
+    random_script,
+    scripted_program,
+)
+
+GRAPHS = {
+    "ring6": ring(6),
+    "torus33": torus(3, 3, seed=11),
+    "regular8": random_regular(8, 3, seed=5),
+}
+
+GRAPH_NAMES = sorted(GRAPHS)
+
+
+def _specs(scripts, wakes, starts=None):
+    if starts is None:
+        starts = list(range(len(scripts)))
+    return [
+        AgentSpec(i + 1, starts[i], scripted_program(scripts[i]), wakes[i])
+        for i in range(len(scripts))
+    ]
+
+
+def build_sim(graph, scenario, **kwargs):
+    scripts, wakes, starts = scenario
+    return Simulation(graph, _specs(scripts, wakes, starts), **kwargs)
+
+
+def reference_outcome(graph, scenario, **kwargs):
+    scripts, wakes, starts = scenario
+    ref = ReferenceSimulation(
+        graph, _specs(scripts, wakes, starts), **kwargs
+    )
+    try:
+        return ref, ref.run()
+    except Exception as exc:
+        return ref, exc
+
+
+def assert_matches_reference(sim, outcome, graph, scenario, **kwargs):
+    """Byte-for-byte: a cohort trial's outcome vs the naive reference."""
+    ref, ref_out = reference_outcome(graph, scenario, **kwargs)
+    if outcome.error is not None or isinstance(ref_out, Exception):
+        assert type(outcome.error) is type(ref_out), (
+            outcome.error, ref_out,
+        )
+        assert str(outcome.error) == str(ref_out)
+        return
+    result = outcome.result
+    assert result.events == ref_out.events
+    assert result.final_round == ref_out.final_round
+    assert result.total_moves == ref_out.total_moves
+    for out, exp in zip(result.outcomes, ref_out.outcomes):
+        assert out.label == exp.label
+        assert out.start_node == exp.start_node
+        assert out.wake_round == exp.wake_round
+        assert out.finish_round == exp.finish_round
+        assert out.finish_node == exp.finish_node
+        assert out.payload == exp.payload, "observation logs diverged"
+        assert out.declared == exp.declared
+        assert out.moves == exp.moves
+    assert sim.move_log == ref.move_log
+
+
+# ----------------------------------------------------------------------
+# Scenario builders (scripts, wakes, starts) per ejection rule.
+# ----------------------------------------------------------------------
+
+def watch_fire_scenario(graph):
+    """A mover steps onto a watched waiter a few rounds in."""
+    mover_start, back_port = graph.neighbor(1, 0)
+    return (
+        [
+            [("wait", 3, None), ("move", back_port, None),
+             ("wait", 4, None)],
+            [("wait", 50, ("gt", 1)), ("move", 0, None)],
+        ],
+        [0, 0],
+        [mover_start, 1],
+    )
+
+
+def walk_watch_scenario(graph):
+    """A touring walker carries a watch that fires mid-segment."""
+    tour = tuple(covering_tour(graph))
+    return (
+        [
+            [("walk", tour, ("gt", 1)), ("wait", 3, None)],
+            [("wait", 40, None)],
+        ],
+        [0, 0],
+        [0, graph.n // 2],
+    )
+
+
+def dormant_wake_scenario(graph):
+    """A touring walker wakes a dormant agent mid-walk."""
+    tour = tuple(covering_tour(graph))
+    return (
+        [
+            [("walk", tour, None), ("wait", 5, None)],
+            [("wait", 4, None), ("move", 0, None)],
+        ],
+        [0, None],
+        [0, graph.n - 1],
+    )
+
+
+def budget_error_scenario(graph):
+    """Plain long walks; paired with a tight ``max_events`` budget."""
+    tour = tuple(covering_tour(graph))
+    return (
+        [
+            [("walk", tour + tour, None)],
+            [("wait", 30, None)],
+        ],
+        [0, 0],
+        [0, 1],
+    )
+
+
+def quiet_scenario(graph):
+    """Walks and waits only: completes without ever leaving lockstep."""
+    tour = tuple(covering_tour(graph))
+    return (
+        [
+            [("walk", tour, None), ("wait", 2, None)],
+            [("wait", 3, None), ("wait", 8, None)],
+            [("observe", 6)],
+        ],
+        [0, 0, 0],
+        [0, 1, min(2, graph.n - 1)],
+    )
+
+
+# ----------------------------------------------------------------------
+# Ejection rules.
+# ----------------------------------------------------------------------
+
+class TestEjectionRules:
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_fired_watch_ejects(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = watch_fire_scenario(graph)
+        sims = [build_sim(graph, scenario) for _ in range(3)]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            assert outcome.ejected == "watch"
+            assert_matches_reference(sim, outcome, graph, scenario)
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_mid_segment_walk_watch_ejects(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = walk_watch_scenario(graph)
+        sims = [build_sim(graph, scenario) for _ in range(3)]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            # The firing edge ends the segment; depending on where the
+            # watched node sits the trigger lands on the vectorized
+            # resume ("watch") or on the degraded first edge of an
+            # unsegmentable walk ("walk-fallback").  Either way the
+            # trial must leave the lockstep loop.
+            assert outcome.ejected in ("watch", "walk-fallback")
+            assert_matches_reference(sim, outcome, graph, scenario)
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_dormant_wakeup_ejects(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = dormant_wake_scenario(graph)
+        sims = [build_sim(graph, scenario) for _ in range(3)]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            # Segments stop *before* entering a dormant node, so the
+            # waking edge itself executes per-step.
+            assert outcome.ejected in ("dormant-wake", "walk-fallback")
+            assert_matches_reference(sim, outcome, graph, scenario)
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_budget_error_matches_reference(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = budget_error_scenario(graph)
+        budget = {"max_events": 7}
+        sims = [build_sim(graph, scenario, **budget) for _ in range(3)]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            assert outcome.error is not None
+            assert isinstance(outcome.error, SimulationError)
+            assert_matches_reference(
+                sim, outcome, graph, scenario, **budget
+            )
+
+    def test_trace_mode_ejects_before_lockstep(self):
+        graph = GRAPHS["ring6"]
+        scenario = quiet_scenario(graph)
+        traced = build_sim(graph, scenario, trace=True)
+        plain = build_sim(graph, scenario)
+        outcomes = run_cohort(graph, [traced, plain])
+        assert outcomes[0].ejected == "trace"
+        assert outcomes[1].ejected is None
+        assert_matches_reference(
+            traced, outcomes[0], graph, scenario, trace=True
+        )
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_quiet_cohort_never_ejects(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = quiet_scenario(graph)
+        sims = [build_sim(graph, scenario) for _ in range(4)]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            assert outcome.ejected is None
+            assert outcome.error is None
+            assert_matches_reference(sim, outcome, graph, scenario)
+
+
+class TestCohortRandomized:
+    """Mixed-script cohorts must match the reference trial by trial."""
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_cohort_matches_reference(self, graph_name, seed):
+        graph = GRAPHS[graph_name]
+        min_degree = min(graph.degree(v) for v in graph.nodes())
+        rng = random.Random(f"cohort/{graph_name}/{seed}")
+        tour = tuple(covering_tour(graph))
+        scenarios = []
+        for _ in range(4):
+            scripts = [
+                [("walk", tour, None)] + random_script(rng, min_degree, 3)
+            ]
+            agents = rng.randrange(2, 4)
+            for _ in range(agents - 1):
+                scripts.append(random_script(rng, min_degree))
+            wakes = [0] + [
+                rng.choice([None, 0, rng.randrange(1, 5)])
+                for _ in range(agents - 1)
+            ]
+            starts = [0] + rng.sample(range(1, graph.n), agents - 1)
+            scenarios.append((scripts, wakes, starts))
+        sims = [build_sim(graph, sc) for sc in scenarios]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome, sc in zip(sims, outcomes, scenarios):
+            assert_matches_reference(sim, outcome, graph, sc)
+
+
+# ----------------------------------------------------------------------
+# Export / import hand-off.
+# ----------------------------------------------------------------------
+
+class TestExportImport:
+    def test_round_trip_resumes_identically(self):
+        graph = GRAPHS["torus33"]
+        scenario = quiet_scenario(graph)
+        solo = build_sim(graph, scenario)
+        expected = solo.run()
+        sim = build_sim(graph, scenario)
+        sim.step_round()
+        sim.step_round()
+        state = sim.export_state()
+        sim.import_state(state)
+        result = sim.run()
+        assert result.events == expected.events
+        assert result.final_round == expected.final_round
+        assert result.total_moves == expected.total_moves
+        for out, exp in zip(result.outcomes, expected.outcomes):
+            assert out.payload == exp.payload
+            assert out.finish_round == exp.finish_round
+
+    def test_import_rejects_relocated_agents(self):
+        graph = GRAPHS["ring6"]
+        scenario = quiet_scenario(graph)
+        sim = build_sim(graph, scenario)
+        sim.step_round()
+        state = sim.export_state()
+        state["positions"] = list(state["positions"])
+        state["positions"][0] = (state["positions"][0] + 1) % graph.n
+        with pytest.raises(SimulationError):
+            sim.import_state(state)
+
+    def test_desync_audit_names_the_field(self):
+        graph = GRAPHS["ring6"]
+        scenario = quiet_scenario(graph)
+        sims = [build_sim(graph, scenario) for _ in range(2)]
+        cohort = CohortScheduler(graph, sims)
+        cohort.counts[0, 0] += 5  # corrupt one mirror row
+        with pytest.raises(CohortDesyncError, match="counts"):
+            cohort._verify_row(0, sims[0].export_state())
+
+
+class TestCohortGuards:
+    def test_rejects_empty_cohort(self):
+        with pytest.raises(SimulationError, match="empty"):
+            CohortScheduler(GRAPHS["ring6"], [])
+
+    def test_rejects_mixed_graphs(self):
+        g1, g2 = ring(6), ring(6)
+        scenario = quiet_scenario(g1)
+        with pytest.raises(SimulationError, match="share"):
+            CohortScheduler(g1, [build_sim(g2, scenario)])
+
+
+# ----------------------------------------------------------------------
+# Route cache.
+# ----------------------------------------------------------------------
+
+def naive_chase(graph, steps, pos, node, port):
+    """Independent per-edge replay of a walk plan's route."""
+    nodes, ents, degs = [node], [], []
+    t = pos
+    while True:
+        node, entry = graph.neighbor(node, port)
+        nodes.append(node)
+        ents.append(entry)
+        degree = graph.degree(node)
+        degs.append(degree)
+        t += 1
+        if t >= len(steps):
+            break
+        step = steps[t]
+        if step >= 0:
+            if step >= degree:
+                break
+            port = step
+        else:
+            port = (entry + ~step) % degree
+    return nodes, ents, degs
+
+
+class TestRouteCache:
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_routes_match_naive_chase(self, graph_name):
+        graph = GRAPHS[graph_name]
+        cache = RouteCache(graph)
+        rng = random.Random(f"routes/{graph_name}")
+        for _ in range(20):
+            steps = tuple(
+                ~rng.randrange(4) if rng.random() < 0.5
+                else rng.randrange(4)
+                for _ in range(rng.randrange(1, 8))
+            )
+            node = rng.randrange(graph.n)
+            port = steps[0] if steps[0] >= 0 else ~steps[0]
+            if port >= graph.degree(node):
+                continue
+            nodes, ents, degs = cache.route(steps, 0, node, port)
+            exp = naive_chase(graph, steps, 0, node, port)
+            assert (nodes.tolist(), ents.tolist(), degs.tolist()) == exp
+
+    def test_suffix_states_share_one_chase(self):
+        graph = ring(6)
+        cache = RouteCache(graph)
+        steps = (0, ~1, ~1, ~1)
+        nodes, ents, degs = cache.route(steps, 0, 0, 0)
+        assert len(nodes) == 5
+        (pr,) = cache._plans.values()
+        assert len(pr._chases) == 1
+        # Resuming mid-plan is a suffix of the same chase: no re-chase,
+        # and the suffix view matches the full route's tail.  The exit
+        # port at position 2 follows the ~1 rule from the entry port.
+        port2 = (int(ents[1]) + 1) % int(degs[1])
+        nodes2, _, _ = cache.route(steps, 2, int(nodes[2]), port2)
+        assert len(pr._chases) == 1
+        assert nodes2.tolist() == nodes.tolist()[2:]
+
+    def test_keyed_by_plan_identity_not_equality(self):
+        graph = ring(6)
+        cache = RouteCache(graph)
+        # Built dynamically: equal literals would be constant-folded
+        # into one interned tuple object.
+        a = tuple([0, 0])
+        b = tuple([0, 0])
+        cache.route(a, 0, 0, 0)
+        cache.route(b, 0, 0, 0)
+        assert len(cache._plans) == 2
+
+    def test_invalid_absolute_step_ends_route(self):
+        graph = ring(6)
+        cache = RouteCache(graph)
+        steps = (0, 5, 0)  # port 5 does not exist on a ring node
+        nodes, ents, _ = cache.route(steps, 0, 0, 0)
+        assert len(nodes) == 2
+        assert len(ents) == 1
+
+    def test_shared_graph_cache_is_per_object(self):
+        g = ring(6)
+        assert route_cache_for(g) is route_cache_for(g)
+        assert route_cache_for(g) is not route_cache_for(ring(6))
+
+
+# ----------------------------------------------------------------------
+# Runner integration: cohort batches vs per-trial execution.
+# ----------------------------------------------------------------------
+
+class TestRunnerCohorts:
+    @pytest.mark.parametrize(
+        "algorithm,family,n",
+        [
+            ("gather_known", "ring", 8),
+            ("gather_known", "torus", 9),
+            ("gather_unknown", "edge", 2),
+        ],
+    )
+    def test_batch_records_match_serial(self, algorithm, family, n):
+        from repro.runner.spec import ExperimentSpec
+        from repro.runner.trial import execute_trial
+        from repro.runner.worker import execute_trial_batch, shared_graph
+
+        spec = ExperimentSpec(
+            algorithm=algorithm,
+            family=family,
+            sizes=(n,),
+            label_sets=((1, 2), (3, 1)),
+            seeds=(0, 1),
+            placements=("spread", "eccentric"),
+            graph_seed_mode="fixed",
+        )
+        trials = spec.trials()
+        assert len(trials) >= 4  # a real same-graph cohort
+        graph = shared_graph(trials[0])
+        assert graph is not None
+        batch_records = [
+            r.record()
+            for r in execute_trial_batch(trials, graph=graph)
+        ]
+        serial_records = [
+            execute_trial(t, graph=graph).record() for t in trials
+        ]
+        assert batch_records == serial_records
+
+    def test_batch_captures_prepare_errors_like_serial(self):
+        from repro.runner.spec import ExperimentSpec
+        from repro.runner.trial import execute_trial
+        from repro.runner.worker import execute_trial_batch, shared_graph
+
+        # gather_known needs distinct labels; duplicate labels fail at
+        # run construction, which cohort preparation must capture in
+        # the exact "{type}: {message}" form the serial path records.
+        spec = ExperimentSpec(
+            algorithm="gather_known",
+            family="ring",
+            sizes=(6,),
+            label_sets=((2, 2),),
+            seeds=(0, 1),
+            graph_seed_mode="fixed",
+        )
+        trials = spec.trials()
+        graph = shared_graph(trials[0])
+        batch_records = [
+            r.record()
+            for r in execute_trial_batch(trials, graph=graph)
+        ]
+        serial_records = [
+            execute_trial(t, graph=graph).record() for t in trials
+        ]
+        assert batch_records == serial_records
+        assert not batch_records[0]["ok"]

@@ -33,7 +33,7 @@ from repro.graphs import (
     torus,
 )
 from repro.sim import AgentSpec, Simulation, WatchTriggered
-from repro.sim.agent import move, wait, wait_stable, walk
+from repro.sim.agent import move, observe, wait, wait_stable, walk
 from repro.sim.reference import ReferenceSimulation
 
 GRAPHS = {
@@ -71,6 +71,7 @@ op_strategy = st.one_of(
         st.lists(st.integers(-6, -1), min_size=1, max_size=10).map(tuple),
         st.sampled_from(WATCHES),
     ),
+    st.tuples(st.just("observe"), st.integers(1, 12)),
 )
 
 script_strategy = st.lists(op_strategy, min_size=0, max_size=10)
@@ -116,6 +117,9 @@ def scripted_program(script):
                          trig.observation.curcard,
                          trig.observation.entry_port)
                     )
+            elif kind == "observe":
+                records = yield from observe(ctx, op[1])
+                log.append(("observe", tuple(records)))
             else:
                 yield from wait_stable(ctx, op[1])
                 log.append(("stable", ctx.obs.round, ctx.obs.curcard))
@@ -404,12 +408,15 @@ def covering_tour(graph, start=0):
 
 
 def random_script(rng, min_degree, max_ops=8):
-    """A seeded random op script mixing moves, walks, watched waits
-    and stability waits.  Walk plans mix rule steps (always valid)
-    with absolute ports below ``min_degree`` (valid on every node)."""
+    """A seeded random op script mixing moves, walks, watched waits,
+    per-round observations and stability waits.  Walk plans mix rule
+    steps (always valid) with absolute ports below ``min_degree``
+    (valid on every node)."""
     script = []
     for _ in range(rng.randrange(max_ops + 1)):
-        kind = rng.choice(("move", "wait", "stable", "walk", "walk"))
+        kind = rng.choice(
+            ("move", "wait", "stable", "walk", "walk", "observe")
+        )
         if kind == "move":
             script.append(("move", rng.randrange(4), rng.choice(WATCHES)))
         elif kind == "wait":
@@ -424,6 +431,8 @@ def random_script(rng, min_degree, max_ops=8):
                 for _ in range(rng.randrange(1, 13))
             )
             script.append(("walk", steps, rng.choice(WATCHES)))
+        elif kind == "observe":
+            script.append(("observe", rng.randrange(1, 10)))
         else:
             script.append(("stable", rng.randrange(1, 9)))
     return script

@@ -29,6 +29,7 @@ from repro.runner.query import (
     parse_where,
     percentile,
     record_field,
+    require_known_fields,
 )
 
 
@@ -354,6 +355,39 @@ class TestQueryLayer:
         )
         assert record_field(record, "labels") == "1-2"
         assert record_field(record, "no_such_field") is None
+
+    def test_record_field_dotted_path_descends(self):
+        record = {
+            "key": "k", "ok": True,
+            "metrics": {"frontier": {"depth": 3, "meta": {"tag": "x"}}},
+        }
+        assert record_field(record, "frontier.depth") == 3
+        assert record_field(record, "frontier.meta.tag") == "x"
+
+    def test_record_field_dotted_missing_key_is_query_error(self):
+        record = {
+            "key": "k", "ok": True, "metrics": {"frontier": {"depth": 3}},
+        }
+        with pytest.raises(QueryError) as err:
+            record_field(record, "frontier.width")
+        # The error names the full path and the offending record.
+        assert "frontier.width" in str(err.value)
+        assert "record" in str(err.value)
+
+    def test_record_field_dotted_non_dict_is_query_error(self):
+        # A scalar where a dict was expected (e.g. a sidecar written
+        # by an older engine) must not surface as a bare TypeError.
+        record = {"key": "k", "ok": True, "metrics": {"frontier": 7}}
+        with pytest.raises(QueryError, match="frontier.depth"):
+            record_field(record, "frontier.depth")
+
+    def test_dotted_fields_validate_by_head(self, tmp_path):
+        records = self.records(tmp_path)
+        # A dotted path is validated by its head field only; nested
+        # misses are reported per record by record_field instead.
+        with pytest.raises(QueryError, match="unknown field"):
+            require_known_fields(records, ["no_such.thing"])
+        require_known_fields(records, ["rounds"])
 
     def test_aggregate_group_by(self, tmp_path):
         rows = aggregate(

@@ -18,6 +18,7 @@ Experiments::
     python -m repro worker     # claim chunks from a shared work manifest
     python -m repro merge      # union sibling stores into one
     python -m repro manifest   # inspect work-manifest progress/claims
+    python -m repro trace      # validate/replay --events JSONL traces
 """
 
 from __future__ import annotations
@@ -105,6 +106,7 @@ _DEMOS = {
 # pulls in multiprocessing machinery the demos never need).
 _ENGINE_COMMANDS = (
     "sweep", "search", "query", "compact", "worker", "merge", "manifest",
+    "trace",
 )
 
 

@@ -1,0 +1,131 @@
+"""``python -m repro trace`` — validate, replay and render traces.
+
+Subcommands:
+
+``validate FILE``
+    Schema-check every line (header + payloads); print per-type
+    counts.  Exit 0 when clean, 1 when invalid.
+``replay FILE [--html OUT]``
+    Round-trip every payload through the typed-event codec (the
+    replay contract) and print a summary; ``--html`` additionally
+    writes the self-contained replay viewer.
+``summary FILE``
+    Per-type counts and trial/simulation tallies, ``--json`` for
+    machine consumption.
+``schema``
+    Print the event schema derived from the dataclass definitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from . import replay as replay_mod
+from . import schema as schema_mod
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Validate, summarize and replay JSONL event traces "
+                    "captured with --events (see docs/observability.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser(
+        "validate", help="schema-check a trace file line by line",
+    )
+    p_validate.add_argument("trace", help="JSONL trace file")
+    p_validate.add_argument(
+        "--json", action="store_true", help="emit the report as JSON",
+    )
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="round-trip every event through the typed codec; "
+             "optionally render the HTML replay viewer",
+    )
+    p_replay.add_argument("trace", help="JSONL trace file")
+    p_replay.add_argument(
+        "--html", metavar="OUT", default=None,
+        help="write the self-contained HTML replay viewer to OUT",
+    )
+
+    p_summary = sub.add_parser(
+        "summary", help="per-type event counts and tallies",
+    )
+    p_summary.add_argument("trace", help="JSONL trace file")
+    p_summary.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON",
+    )
+
+    sub.add_parser("schema", help="print the event schema as JSON")
+    return parser
+
+
+def trace_main(argv: list[str]) -> int:
+    args = build_trace_parser().parse_args(argv)
+
+    if args.command == "schema":
+        print(json.dumps(schema_mod.describe(), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "validate":
+        report = schema_mod.validate_trace(args.trace)
+        if args.json:
+            print(json.dumps({
+                "path": report.path,
+                "ok": report.ok,
+                "events": report.events,
+                "counts": report.counts,
+                "errors": report.errors,
+            }, indent=2, sort_keys=True))
+        else:
+            for error in report.errors:
+                print(f"INVALID {error}")
+            for name, count in sorted(report.counts.items()):
+                print(f"  {name}: {count}")
+            verdict = "ok" if report.ok else "INVALID"
+            print(f"{report.path}: {report.events} events  {verdict}")
+        return 0 if report.ok else 1
+
+    try:
+        header, payloads = replay_mod.load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+    if args.command == "summary":
+        summary = replay_mod.summarize(payloads)
+        if args.json:
+            print(json.dumps(
+                {"header": header, **summary}, indent=2, sort_keys=True
+            ))
+        else:
+            for name, count in summary["counts"].items():
+                print(f"  {name}: {count}")
+            print(
+                f"{args.trace}: {summary['events']} events, "
+                f"{summary['trials']} trials, "
+                f"{summary['simulations']} simulations "
+                f"(schema v{header.get('version')})"
+            )
+        return 0
+
+    # replay
+    try:
+        checked = replay_mod.round_trip(payloads)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+    summary = replay_mod.summarize(payloads)
+    print(
+        f"{args.trace}: {checked} events round-trip cleanly "
+        f"({summary['simulations']} simulations, "
+        f"{summary['trials']} trials)"
+    )
+    if args.html is not None:
+        scenes = replay_mod.render_html(payloads, args.html)
+        print(f"replay viewer: {args.html} ({scenes} scenes)")
+    return 0

@@ -1,0 +1,160 @@
+"""Schema introspection and trace validation.
+
+The schema is derived from the dataclass definitions in ``types.py``
+— there is exactly one source of truth.  ``describe()`` renders it as
+a JSON-friendly dict (used by ``python -m repro trace`` and by
+``tools/check_trace_schema.py`` to pin the contract in CI);
+``validate_payload`` checks one event payload and ``validate_trace``
+checks a whole JSONL file including its header line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from .types import EVENT_TYPES, SCHEMA_NAME, SCHEMA_VERSION
+
+
+def _check_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+_CHECKERS = {
+    "int": _check_int,
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "int | None": lambda v: v is None or _check_int(v),
+    "str | None": lambda v: v is None or isinstance(v, str),
+    "tuple": lambda v: isinstance(v, (list, tuple)),
+    # ``object`` fields carry any JSON scalar (SearchRoundFrontier's
+    # best_value may be an int, a float, or None).
+    "object": lambda v: v is None or isinstance(v, (int, float, str, bool)),
+}
+
+
+def describe() -> dict:
+    """The full schema as a JSON-friendly dict."""
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "events": {
+            name: {f.name: f.type for f in fields(cls)}
+            for name, cls in sorted(EVENT_TYPES.items())
+        },
+    }
+
+
+def validate_payload(payload) -> list[str]:
+    """Validate one event payload; returns a list of problems."""
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    name = payload.get("type")
+    if not isinstance(name, str):
+        return ["payload has no 'type' tag"]
+    cls = EVENT_TYPES.get(name)
+    if cls is None:
+        return [f"unknown event type {name!r}"]
+    errors = []
+    spec = {f.name: f.type for f in fields(cls)}
+    for fname, ftype in spec.items():
+        if fname not in payload:
+            errors.append(f"{name}: missing field {fname!r}")
+            continue
+        checker = _CHECKERS.get(ftype)
+        if checker is not None and not checker(payload[fname]):
+            errors.append(
+                f"{name}.{fname}: expected {ftype}, "
+                f"got {type(payload[fname]).__name__}"
+            )
+    for fname in payload:
+        if fname != "type" and fname not in spec:
+            errors.append(f"{name}: unexpected field {fname!r}")
+    return errors
+
+
+def validate_header(header) -> list[str]:
+    """Validate the trace header line."""
+    if not isinstance(header, dict):
+        return ["header must be an object"]
+    errors = []
+    if header.get("schema") != SCHEMA_NAME:
+        errors.append(
+            f"header schema is {header.get('schema')!r}, "
+            f"expected {SCHEMA_NAME!r}"
+        )
+    version = header.get("version")
+    if not _check_int(version):
+        errors.append("header has no integer 'version'")
+    elif version > SCHEMA_VERSION:
+        errors.append(
+            f"trace version {version} is newer than this reader "
+            f"(schema version {SCHEMA_VERSION})"
+        )
+    elif version < 1:
+        errors.append(f"nonsensical trace version {version}")
+    return errors
+
+
+@dataclass
+class TraceReport:
+    """Outcome of :func:`validate_trace`."""
+
+    path: str
+    header: dict | None = None
+    events: int = 0
+    counts: dict = field(default_factory=dict)
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_trace(path, *, max_errors: int = 20) -> TraceReport:
+    """Validate a JSONL trace file line by line.
+
+    Error strings carry 1-based line numbers.  Validation keeps going
+    after an invalid line (up to ``max_errors``) so one bad record
+    doesn't hide the rest of the report.
+    """
+    import json
+
+    report = TraceReport(path=str(path))
+
+    def record(lineno: int, problems: list[str]) -> None:
+        for problem in problems:
+            if len(report.errors) < max_errors:
+                report.errors.append(f"line {lineno}: {problem}")
+
+    try:
+        fh = open(path, encoding="utf-8")
+    except OSError as exc:
+        report.errors.append(str(exc))
+        return report
+    with fh:
+        saw_header = False
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = json.loads(raw)
+            except ValueError as exc:
+                record(lineno, [f"invalid JSON ({exc})"])
+                continue
+            if not saw_header:
+                saw_header = True
+                report.header = payload if isinstance(payload, dict) else None
+                record(lineno, validate_header(payload))
+                continue
+            problems = validate_payload(payload)
+            record(lineno, problems)
+            if not problems:
+                report.events += 1
+                name = payload["type"]
+                report.counts[name] = report.counts.get(name, 0) + 1
+    if not saw_header:
+        report.errors.append("empty trace: missing schema header line")
+    if len(report.errors) >= max_errors:
+        report.errors.append(f"... (stopped after {max_errors} errors)")
+    return report

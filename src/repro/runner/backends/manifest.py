@@ -46,6 +46,8 @@ import pathlib
 import time
 from typing import Iterator
 
+from ...events import stream as _event_stream
+from ...events.types import BackendChunkClaimed as _EvBackendChunkClaimed
 from ...explore.uxs import UXSProvider
 from ..spec import ExperimentSpec
 from ..trial import execute_trial
@@ -385,10 +387,18 @@ class ManifestBackend:
         provider = UXSProvider(**ctx.provider_args)
         seen: set[int] = set()
 
+        emit = _event_stream.current()
         while True:
             chunk_id = claim_next(mdir, len(chunks), worker_id)
             if chunk_id is None:
                 break
+            if emit is not None:
+                emit.emit(_EvBackendChunkClaimed(
+                    chunk=chunk_id,
+                    chunks=len(chunks),
+                    worker=worker_id,
+                    spec_hash=payload["spec_hash"],
+                ))
             records = execute_chunk(
                 payload["spec_hash"], chunks[chunk_id], by_key, provider
             )

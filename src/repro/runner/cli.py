@@ -66,6 +66,16 @@ import os as _os
 import sys as _sys
 import time as _time
 
+from ..events import stream as _event_stream
+from ..events.processors import (
+    ConsoleProgressProcessor,
+    JsonlTraceProcessor,
+    ProgressMeter as _ProgressMeter,  # noqa: F401 - public via this module
+)
+from ..events.types import (
+    BackendChunkClaimed as _EvBackendChunkClaimed,
+    SweepProgress as _EvSweepProgress,
+)
 from . import query as query_mod
 from .backends import BACKENDS, BackendError, ManifestError
 from .engine import run_experiment
@@ -197,51 +207,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-trial progress lines",
     )
+    _add_events_argument(parser)
     return parser
 
 
-class _ProgressMeter:
-    """Throughput and ETA for sweep progress lines.
+# The meter moved to repro.events.processors (the console processor
+# embeds one); the historical name stays importable for tests and any
+# external callers.
 
-    Cached trials flood in before any simulation starts (the engine
-    reports them first); every cached line restarts the clock, so the
-    rate covers the simulation phase only — a warm cache skews neither
-    trials/s nor the ETA.
-    """
 
-    def __init__(self) -> None:
-        self.started = _time.monotonic()
-        self.simulated = 0
+def _trace_processor(args: argparse.Namespace, source: str):
+    """The ``--events`` trace processor, or ``None`` when not asked for."""
+    path = getattr(args, "events", None)
+    if not path:
+        return None
+    return JsonlTraceProcessor(path, source=source)
 
-    def reset_clock(self) -> None:
-        if not self.simulated:
-            self.started = _time.monotonic()
 
-    # Below one coarse timer tick an elapsed of exactly 0.0 is
-    # possible (first batch finishing instantly), and any rate built
-    # on it is noise — billions of trials/s, ETA 0 — when it isn't an
-    # outright ZeroDivisionError.
-    _MIN_ELAPSED = 1e-6
-
-    def line(self, done: int, total: int) -> str:
-        self.simulated += 1
-        elapsed = _time.monotonic() - self.started
-        if elapsed < self._MIN_ELAPSED:
-            return "-- trials/s, eta --:--"
-        rate = self.simulated / elapsed
-        eta = (total - done) / rate
-        return f"{rate:.1f} trials/s, eta {eta:.0f}s"
-
-    def summary(self) -> str:
-        if not self.simulated:
-            return ""
-        elapsed = max(
-            _time.monotonic() - self.started, self._MIN_ELAPSED
-        )
-        return (
-            f"  ({self.simulated / elapsed:.1f} trials/s, "
-            f"{elapsed:.1f}s)"
-        )
+def _add_events_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="capture a typed JSONL event trace to FILE (inspect with "
+             "'python -m repro trace validate|replay|summary FILE')",
+    )
 
 
 def sweep_main(argv: list[str]) -> int:
@@ -258,27 +246,33 @@ def sweep_main(argv: list[str]) -> int:
         print(f"error: {exc}")
         return 2
 
-    meter = _ProgressMeter()
+    # Progress rendering goes through the console processor: each line
+    # is one atomic locked write to stderr, so concurrent workers
+    # sharing the terminal never interleave mid-line, and stdout stays
+    # clean for the result table and summary.  The processor is fed
+    # from the engine's progress callback rather than the global event
+    # stream — attaching to the stream would switch on simulation-level
+    # emission (one event per agent move) that the console never
+    # renders.  ``--events`` attaches the trace processor globally and
+    # captures everything.
+    console = ConsoleProgressProcessor(quiet=args.quiet)
 
     def report_progress(done: int, total: int, rec: dict, cache: bool) -> None:
-        if cache:
-            meter.reset_clock()
-            if not args.quiet:
-                print(f"[{done}/{total}] {rec['key']}  cached")
-            return
-        detail = meter.line(done, total)
-        if not args.quiet:
-            status = "ok" if rec["ok"] else "FAILED"
-            print(f"[{done}/{total}] {rec['key']}  {status}  ({detail})")
+        console.on_event(_EvSweepProgress(
+            done=done, total=total, key=rec["key"], ok=rec["ok"],
+            cached=cache,
+        ))
 
+    trace = _trace_processor(args, "sweep")
     try:
-        result = run_experiment(
-            spec,
-            workers=args.workers,
-            store=None if args.no_cache else args.cache_dir,
-            progress=report_progress,
-            backend=args.backend,
-        )
+        with _event_stream.attached(trace):
+            result = run_experiment(
+                spec,
+                workers=args.workers,
+                store=None if args.no_cache else args.cache_dir,
+                progress=report_progress,
+                backend=args.backend,
+            )
     except BackendError as exc:
         # e.g. --backend manifest together with --no-cache: a bad
         # request, not a crash.
@@ -312,10 +306,12 @@ def sweep_main(argv: list[str]) -> int:
     print(
         f"trials: {len(result.records)}  "
         f"simulated: {result.executed}  cached: {result.cached}  "
-        f"failed: {result.failed}{meter.summary()}"
+        f"failed: {result.failed}{console.summary()}"
     )
     if not args.no_cache:
         print(f"result store: {args.cache_dir} (delete to force re-runs)")
+    if trace is not None:
+        print(f"event trace: {trace.path} ({trace.lines} events)")
     for rec in result.failures():
         print(f"  FAILED {rec['key']}: {rec['error']}")
     return 0 if result.failed == 0 else 1
@@ -420,6 +416,7 @@ def build_search_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-round progress lines",
     )
+    _add_events_argument(parser)
     return parser
 
 
@@ -455,27 +452,31 @@ def search_main(argv: list[str]) -> int:
         print(f"error: {exc}")
         return 2
 
+    console = ConsoleProgressProcessor(quiet=args.quiet)
+
     def report_progress(
         round_index, attempts, budget, best_value, simulated, cached
     ) -> None:
         if args.quiet:
             return
         best = "-" if best_value is None else str(best_value)
-        print(
+        console.note(
             f"[round {round_index}] evaluated {attempts}/{budget}  "
             f"best {args.metric}={best}  "
             f"(simulated {simulated}, cached {cached})"
         )
 
+    trace = _trace_processor(args, "search")
     started = _time.monotonic()
     try:
-        result = run_search(
-            spec,
-            workers=args.workers,
-            store=None if args.no_cache else args.cache_dir,
-            progress=report_progress,
-            backend=args.backend,
-        )
+        with _event_stream.attached(trace):
+            result = run_search(
+                spec,
+                workers=args.workers,
+                store=None if args.no_cache else args.cache_dir,
+                progress=report_progress,
+                backend=args.backend,
+            )
     except ValueError as exc:
         # BackendError (e.g. the manifest backend) and SpecError (e.g.
         # a --metric the algorithm's records don't carry, only
@@ -522,6 +523,8 @@ def search_main(argv: list[str]) -> int:
             f"result store: {args.cache_dir} (re-run resumes from the "
             "cached frontier)"
         )
+    if trace is not None:
+        print(f"event trace: {trace.path} ({trace.lines} events)")
     # Same contract as sweep/worker: 0 only when every executed
     # candidate evaluation succeeded (and something was found).
     return 0 if result.best is not None and result.failed == 0 else 1
@@ -864,11 +867,11 @@ def build_worker_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-chunk progress lines",
     )
+    _add_events_argument(parser)
     return parser
 
 
 def worker_main(argv: list[str]) -> int:
-    from ..explore.uxs import UXSProvider
     from .backends import manifest as manifest_mod
 
     args = build_worker_parser().parse_args(argv)
@@ -889,13 +892,31 @@ def worker_main(argv: list[str]) -> int:
     except (ValueError, manifest_mod.ManifestError) as exc:
         print(f"error: {exc}")
         return 2
+    trace = _trace_processor(args, "worker")
+    with _event_stream.attached(trace):
+        code = _worker_run(args, spec, mdir, payload)
+    if trace is not None:
+        print(f"event trace: {trace.path} ({trace.lines} events)")
+    return code
 
+
+def _worker_run(args, spec, mdir, payload) -> int:
+    """The claim/execute loop of ``worker_main`` (events attached)."""
+    from ..explore.uxs import UXSProvider
+    from .backends import manifest as manifest_mod
+
+    emit = _event_stream.current()
     worker_id = args.worker_id or f"worker-{_os.getpid()}"
     chunks: list[list[str]] = payload["chunks"]
     by_key = {t.key: t for t in spec.trials()}
     store = ResultStore(args.cache_dir)
     provider = UXSProvider()
-    meter = _ProgressMeter()
+    # Chunk lines go through the console processor: concurrent workers
+    # of one study share the terminal's stderr, and ``note`` writes a
+    # whole line in one locked call so their output can interleave only
+    # at line boundaries, never mid-line.
+    console = ConsoleProgressProcessor(quiet=args.quiet)
+    meter = console.meter
     ok_records: dict[str, dict] = dict(store.load(spec))
     claimed = 0
     executed = 0
@@ -912,6 +933,11 @@ def worker_main(argv: list[str]) -> int:
         if chunk_id is None:
             break
         claimed += 1
+        if emit is not None:
+            emit.emit(_EvBackendChunkClaimed(
+                chunk=chunk_id, chunks=len(chunks), worker=worker_id,
+                spec_hash=payload["spec_hash"],
+            ))
         try:
             records = manifest_mod.execute_chunk(
                 payload["spec_hash"], chunks[chunk_id], by_key, provider
@@ -937,7 +963,7 @@ def worker_main(argv: list[str]) -> int:
         if not args.quiet:
             status = manifest_mod.manifest_status(mdir, payload)
             elapsed = max(_time.monotonic() - meter.started, 1e-9)
-            print(
+            console.note(
                 f"[chunk {chunk_id}] {len(records)} trial(s)  "
                 f"done {status['done']}/{status['chunks']} chunks  "
                 f"({meter.simulated / elapsed:.1f} trials/s)"
@@ -1017,3 +1043,19 @@ def merge_main(argv: list[str]) -> int:
         f"conflicting duplicate(s), {stats['skipped']} spec(s) skipped"
     )
     return 0
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro trace`` — event-trace inspection.
+# ----------------------------------------------------------------------
+
+def trace_main(argv: list[str]) -> int:
+    """Validate/replay/summarize ``--events`` JSONL traces.
+
+    Thin delegator so ``python -m repro trace`` dispatches like every
+    other engine command; the implementation lives with the event
+    machinery in :mod:`repro.events.cli`.
+    """
+    from ..events.cli import trace_main as _trace_main
+
+    return _trace_main(argv)

@@ -27,6 +27,12 @@ import json
 import os
 from typing import Callable, cast
 
+from ..events import stream as _event_stream
+from ..events.types import (
+    SweepEnd as _EvSweepEnd,
+    SweepProgress as _EvSweepProgress,
+    SweepStart as _EvSweepStart,
+)
 from .backends import BackendContext, get_backend
 from .spec import ExperimentSpec, SpecError
 from .store import ResultStore
@@ -162,11 +168,27 @@ def run_experiment(
     total = len(trials)
     cached = len(done_records)
 
+    emit = _event_stream.current()
+    if emit is not None:
+        emit.emit(_EvSweepStart(
+            spec_hash=spec.spec_hash() if spec.cacheable else "uncacheable",
+            backend=backend_name,
+            total=total,
+            cached=cached,
+        ))
+
     done = 0
     for trial in trials:
-        if trial.key in done_records and progress is not None:
+        if trial.key in done_records:
             done += 1
-            progress(done, total, done_records[trial.key], True)
+            record = done_records[trial.key]
+            if progress is not None:
+                progress(done, total, record, True)
+            if emit is not None:
+                emit.emit(_EvSweepProgress(
+                    done=done, total=total, key=record["key"],
+                    ok=record["ok"], cached=True,
+                ))
 
     try:
         if pending:
@@ -184,6 +206,11 @@ def run_experiment(
                 done += 1
                 if progress is not None:
                     progress(done, total, record, False)
+                if emit is not None:
+                    emit.emit(_EvSweepProgress(
+                        done=done, total=total, key=record["key"],
+                        ok=record["ok"], cached=False,
+                    ))
             # Backends yield one record per pending trial; anything
             # short of that (a manifest whose chunking diverged, a
             # buggy third-party backend) must fail loudly, never
@@ -223,6 +250,12 @@ def run_experiment(
                 result_store.save(spec, ok_records)
 
     ordered = sorted(done_records.values(), key=lambda r: order[r["key"]])
-    return ExperimentResult(
+    result = ExperimentResult(
         spec, ordered, executed=executed, cached=cached
     )
+    if emit is not None:
+        emit.emit(_EvSweepEnd(
+            total=total, executed=executed, cached=cached,
+            failed=result.failed,
+        ))
+    return result

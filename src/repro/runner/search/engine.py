@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING, Any, Callable, cast
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..spec import ExperimentSpec
 
+from ...events import stream as _event_stream
+from ...events.types import SearchRoundFrontier as _EvSearchRoundFrontier
 from ..backends import BackendContext, BackendError, get_backend
 from ..engine import coerce_store
 from ..spec import SpecError, TrialSpec
@@ -303,6 +305,16 @@ def run_search(
                 round_index, attempts, spec.budget, best_value,
                 counters["simulated"], counters["cached"],
             )
+        emit = _event_stream.current()
+        if emit is not None:
+            emit.emit(_EvSearchRoundFrontier(
+                round_index=round_index,
+                attempts=attempts,
+                budget=spec.budget,
+                best_value=best_value,
+                placement=placement,
+                wake=wake,
+            ))
 
     outcome = drive_search(
         strategy,

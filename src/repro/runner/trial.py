@@ -37,6 +37,8 @@ from ..core.runs import (
 from ..explore.uxs import UXSProvider
 from ..graphs import generators
 from ..graphs.port_graph import PortGraph
+from ..events import stream as _event_stream
+from ..events.types import TrialEnd as _EvTrialEnd, TrialStart as _EvTrialStart
 from ..sim.adversary import parse_wake_strategy, schedule_from_strategy
 from .spec import PLACEMENTS as spec_placement_names
 from .spec import TrialSpec, derive_seed, parse_adversary, parse_placement
@@ -565,7 +567,44 @@ def execute_trial(
     With a ``worst_of``/``best_of`` adversary the trial simulates every
     scenario draw and records the extremal one, annotating the metrics
     with the chosen draw index (``adversary_draw``) and the draw count.
+
+    When an event dispatcher is attached (docs/observability.md) the
+    execution is bracketed by :class:`TrialStart` / :class:`TrialEnd`
+    events; records are byte-identical either way.
     """
+    emit = _event_stream.current()
+    if emit is None:
+        return _execute_trial_inner(trial, provider, graph)
+    emit.emit(_trial_start_event(trial))
+    result = _execute_trial_inner(trial, provider, graph)
+    emit.emit(_trial_end_event(result))
+    return result
+
+
+def _trial_start_event(trial: TrialSpec):
+    return _EvTrialStart(
+        key=trial.key, algorithm=trial.algorithm,
+        family=trial.family, n=trial.n, seed=trial.seed,
+    )
+
+
+def _trial_end_event(result: TrialResult):
+    metrics = result.metrics
+    return _EvTrialEnd(
+        key=result.trial.key,
+        ok=result.ok,
+        error=result.error,
+        rounds=metrics.get("rounds"),
+        moves=metrics.get("moves"),
+        events=metrics.get("events"),
+    )
+
+
+def _execute_trial_inner(
+    trial: TrialSpec,
+    provider: UXSProvider | None = None,
+    graph: PortGraph | None = None,
+) -> TrialResult:
     try:
         algorithm = ALGORITHMS[trial.algorithm]
     except KeyError:

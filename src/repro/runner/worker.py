@@ -18,6 +18,7 @@ wall-clock optimization with byte-identical records.
 
 from __future__ import annotations
 
+from ..events import stream as _event_stream
 from ..explore.uxs import UXSProvider
 from ..graphs.port_graph import PortGraph
 from .spec import TrialSpec
@@ -25,6 +26,8 @@ from .trial import (
     PreparedTrial,
     TrialResult,
     _build_graph,
+    _trial_end_event,
+    _trial_start_event,
     execute_trial,
     prepare_trial,
 )
@@ -130,6 +133,7 @@ def execute_trial_batch(
     :func:`execute_trial`'s, and an ejected or completed cohort trial
     finalizes through the same validation code.
     """
+    emit = _event_stream.current()
     results: list[TrialResult | None] = [None] * len(trials)
     cohort: list[tuple[int, PreparedTrial]] = []
     if graph is not None and _COHORTS_AVAILABLE:
@@ -138,32 +142,47 @@ def execute_trial_batch(
                 prepared = prepare_trial(trial, graph, provider)
             except Exception as exc:
                 results[i] = _error_result(trial, exc)
+                if emit is not None:
+                    emit.emit(_trial_start_event(trial))
+                    emit.emit(_trial_end_event(results[i]))
                 continue
             if prepared is not None:
                 cohort.append((i, prepared))
     if len(cohort) >= 2:
         from ..sim.cohort import CohortScheduler
 
+        # Cohort members interleave at the simulation level; their
+        # TrialStart events bracket the lockstep run as a block (the
+        # per-trial SimulationStart was emitted at prepare time).
+        if emit is not None:
+            for _i, prepared in cohort:
+                emit.emit(_trial_start_event(prepared.trial))
         outcomes = CohortScheduler(
             graph, [p.simulation for _i, p in cohort]
         ).run()
         for (i, prepared), outcome in zip(cohort, outcomes):
             if outcome.error is not None:
                 results[i] = _error_result(prepared.trial, outcome.error)
-                continue
-            try:
-                metrics = prepared.finalize(outcome.result)
-            except Exception as exc:
-                results[i] = _error_result(prepared.trial, exc)
-                continue
-            results[i] = TrialResult(
-                prepared.trial, ok=True, metrics=metrics
-            )
+            else:
+                try:
+                    metrics = prepared.finalize(outcome.result)
+                except Exception as exc:
+                    results[i] = _error_result(prepared.trial, exc)
+                else:
+                    results[i] = TrialResult(
+                        prepared.trial, ok=True, metrics=metrics
+                    )
+            if emit is not None:
+                emit.emit(_trial_end_event(results[i]))
     else:
         # A cohort of one gains nothing from lockstep; run it scalar
         # (the simulation is already built).
         for i, prepared in cohort:
+            if emit is not None:
+                emit.emit(_trial_start_event(prepared.trial))
             results[i] = _finish_prepared(prepared)
+            if emit is not None:
+                emit.emit(_trial_end_event(results[i]))
     return [
         result
         if result is not None

@@ -50,6 +50,7 @@ try:
 except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None  # type: ignore[assignment]
 
+from ..events.types import CohortEject as _EvCohortEject
 from ..graphs.port_graph import PortGraph
 from .ops import SimulationError
 from .scheduler import _DONE, Simulation, SimulationResult
@@ -638,6 +639,10 @@ class CohortScheduler:
             if self._outcomes[i] is not None:
                 continue
             tag = self.ejected[i]
+            if tag is not None and sim._emit is not None:
+                # The eject path is observable: emit through the
+                # trial's own dispatcher before the scalar resume.
+                sim._emit.emit(_EvCohortEject(trial=i, reason=tag))
             try:
                 if tag != "trace":
                     # Hand-off audit: the mirror row must agree with

@@ -64,6 +64,15 @@ import heapq
 from itertools import repeat
 from typing import Callable, Iterable
 
+from ..events import stream as _event_stream
+from ..events.types import (
+    AgentMove as _EvAgentMove,
+    RoundAdvance as _EvRoundAdvance,
+    SimulationEnd as _EvSimulationEnd,
+    SimulationStart as _EvSimulationStart,
+    WalkSegment as _EvWalkSegment,
+    WatchFired as _EvWatchFired,
+)
 from ..graphs.port_graph import PortGraph
 from .agent import AgentContext
 from .ops import (
@@ -231,6 +240,12 @@ class Simulation:
         available, ``False`` disables the vectorized planner entirely
         (pure-scalar planning), and an explicit
         :class:`~repro.sim.cohort.RouteCache` is used as given.
+    events:
+        An :class:`repro.events.EventDispatcher` to emit typed events
+        to.  ``None`` (default) uses the process-global dispatcher
+        from :mod:`repro.events.stream` — which is usually absent, in
+        which case emission costs a single ``is None`` check per
+        site.  ``False`` disables emission regardless of the global.
     """
 
     def __init__(
@@ -241,6 +256,7 @@ class Simulation:
         max_round: int | None = None,
         trace: bool = False,
         route_cache=None,
+        events=None,
     ) -> None:
         self.graph = graph
         self.specs = list(specs)
@@ -307,6 +323,35 @@ class Simulation:
             self._dormant_at[s.start_node].add(idx)
             if s.wake_round is not None:
                 self._push(s.wake_round, idx)
+
+        # Typed event stream (docs/observability.md).  ``_emit`` is
+        # None on the no-processor path, so every emission site is a
+        # single attribute test.
+        self._emit = None
+        self._end_emitted = False
+        if events is not False:
+            dispatcher = (
+                events if events is not None else _event_stream.current()
+            )
+            if dispatcher is not None:
+                self.attach_events(dispatcher)
+
+    def attach_events(self, dispatcher) -> None:
+        """Attach an event dispatcher (emits :class:`SimulationStart`).
+
+        Used by ``__init__`` and by tools that obtain an
+        already-constructed simulation (e.g. via
+        :func:`repro.core.runs.prepare_gather_known`) and want its
+        event stream.
+        """
+        self._emit = dispatcher
+        dispatcher.emit(_EvSimulationStart(
+            n=self.graph.n,
+            edges=tuple(self.graph.edges()),
+            agents=tuple(
+                (s.label, s.start_node, s.wake_round) for s in self.specs
+            ),
+        ))
 
     # ------------------------------------------------------------------
     # Traditional-model capability (baselines only).
@@ -389,9 +434,18 @@ class Simulation:
             default=0,
         )
         total_moves = sum(o.moves for o in self._outcomes)
-        return SimulationResult(
+        result = SimulationResult(
             self._outcomes, self._events, final_round, total_moves
         )
+        if self._emit is not None and not self._end_emitted:
+            self._end_emitted = True
+            self._emit.emit(_EvSimulationEnd(
+                final_round=final_round,
+                events=self._events,
+                total_moves=total_moves,
+                gathered=result.gathered(),
+            ))
+        return result
 
     def step_round(self) -> None:
         """Drain and execute exactly one event-round."""
@@ -454,6 +508,8 @@ class Simulation:
             )
         if pending_moves:
             self._apply_moves(pending_moves, round_)
+        if self._emit is not None:
+            self._emit.emit(_EvRoundAdvance(round=round_, resumes=resumes))
 
     # ------------------------------------------------------------------
     # Agent resumption.
@@ -497,6 +553,13 @@ class Simulation:
                 triggered = watch_hit(watch, self._counts[self._pos[idx]])
                 if triggered:
                     self.last_step_divergence = "watch"
+                    if self._emit is not None:
+                        self._emit.emit(_EvWatchFired(
+                            round=round_,
+                            agent=idx,
+                            node=self._pos[idx],
+                            count=self._counts[self._pos[idx]],
+                        ))
                 self._unwatch(idx)
             if self._stable[idx] is not None:
                 window = self._stable[idx]
@@ -700,6 +763,13 @@ class Simulation:
                     self.move_log.append(
                         (round_ + t, walks[w][0], nodes[t], nodes[t + 1])
                     )
+        if self._emit is not None:
+            self._emit_segment(
+                walks, round_, m,
+                [tuple(plan.walkers[w][0][: m + 1]) for w in range(len(walks))],
+                [plan.walkers[w][3][m - 1] for w in range(len(walks))],
+                tuple(idx for idx, _remaining in observes),
+            )
 
     def _plan_segment(self, walks: list[tuple], round_: int):
         """Longest prefix the cohort can walk without possible divergence.
@@ -985,6 +1055,40 @@ class Simulation:
                     self.move_log.append(
                         (round_ + t, walks[w][0], route[t], route[t + 1])
                     )
+        if self._emit is not None:
+            self._emit_segment(
+                walks, round_, m,
+                [tuple(route) for route in routes],
+                [cards[m - 1] for cards in curcards], (),
+            )
+
+    def _emit_segment(
+        self, walks, round_, m, routes, final_cards, observers
+    ) -> None:
+        """Emit one :class:`WalkSegment` (plus any firing walk watch).
+
+        A walk watch that fires does so on the segment's last edge (the
+        planners truncate there); the walker observes it at the
+        segment-end resume, so the :class:`WatchFired` round is
+        ``round_ + m`` — exactly where :meth:`repro.sim.agent.Agent.walk`
+        raises ``WatchTriggered`` when replaying the history.
+        """
+        emit = self._emit
+        emit.emit(_EvWalkSegment(
+            round=round_,
+            length=m,
+            walkers=tuple(idx for idx, _h, _s, _p, _w in walks),
+            routes=tuple(routes),
+            observers=observers,
+        ))
+        for w, (idx, _head, _steps, _pos, watch) in enumerate(walks):
+            if watch is not None and watch_hit(watch, final_cards[w]):
+                emit.emit(_EvWatchFired(
+                    round=round_ + m,
+                    agent=idx,
+                    node=routes[w][m],
+                    count=final_cards[w],
+                ))
 
     # ------------------------------------------------------------------
     # Move application (end of round).
@@ -1002,6 +1106,7 @@ class Simulation:
         pending.sort()
         deltas: dict[int, int] = {}
         arrivals: set[int] = set()
+        emit = self._emit
         for idx, port in pending:
             src = self._pos[idx]
             dst, entry = graph.neighbor(src, port)
@@ -1015,6 +1120,10 @@ class Simulation:
             self._outcomes[idx].moves += 1
             if self.trace:
                 self.move_log.append((round_, idx, src, dst))
+            if emit is not None:
+                emit.emit(_EvAgentMove(
+                    round=round_, agent=idx, src=src, dst=dst
+                ))
             self._push(next_round, idx)
         # A node where arrivals exactly balanced departures shows no
         # CurCard variation: agents there notice nothing (the paper's

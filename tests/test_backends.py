@@ -593,13 +593,18 @@ class TestSweepBackendCLI:
             "sweep", "--sizes", "4,5",
             "--cache-dir", str(tmp_path),
         ]) == 0
-        out = capsys.readouterr().out
-        progress = [line for line in out.splitlines() if "trials/s" in line]
+        captured = capsys.readouterr()
+        # Progress lines render on stderr (via the console event
+        # processor); stdout keeps the table and summary.
+        progress = [
+            line for line in captured.err.splitlines()
+            if "trials/s" in line
+        ]
         assert any("eta" in line for line in progress)
         # The summary line carries throughput and elapsed time too.
         assert any(
             line.startswith("trials:") and "trials/s" in line
-            for line in out.splitlines()
+            for line in captured.out.splitlines()
         )
         # A fully-cached re-run has no simulated trials: cached lines
         # stay rate-free and the summary omits the throughput suffix.
@@ -607,6 +612,7 @@ class TestSweepBackendCLI:
             "sweep", "--sizes", "4,5",
             "--cache-dir", str(tmp_path),
         ]) == 0
-        rerun = capsys.readouterr().out
-        assert "simulated: 0" in rerun
-        assert "trials/s" not in rerun
+        rerun = capsys.readouterr()
+        assert "simulated: 0" in rerun.out
+        assert "trials/s" not in rerun.out
+        assert "trials/s" not in rerun.err

@@ -19,6 +19,7 @@ Experiments::
     python -m repro merge      # union sibling stores into one
     python -m repro manifest   # inspect work-manifest progress/claims
     python -m repro trace      # validate/replay --events JSONL traces
+    python -m repro metrics    # summarize/export/diff --metrics snapshots
 """
 
 from __future__ import annotations
@@ -106,7 +107,7 @@ _DEMOS = {
 # pulls in multiprocessing machinery the demos never need).
 _ENGINE_COMMANDS = (
     "sweep", "search", "query", "compact", "worker", "merge", "manifest",
-    "trace",
+    "trace", "metrics",
 )
 
 

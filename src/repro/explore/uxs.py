@@ -28,7 +28,45 @@ import random
 
 from ..graphs.enumerate_graphs import iter_all_port_graphs
 from ..graphs.port_graph import PortGraph
+from ..metrics import register_collector as _register_collector
 from ..sim.ops import iter_walk, uxs_walk_steps
+
+# Provider cache tallies, process-wide across all UXSProvider
+# instances: plain module ints on the hot path, published as absolute
+# totals into an attached metrics registry at snapshot time.
+_SEQ_HITS = 0
+_SEQ_MISSES = 0
+_PLAN_HITS = 0
+_PLAN_MISSES = 0
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-wide UXS cache tallies (sequence + walk-plan caches)."""
+    return {
+        "seq_hits": _SEQ_HITS,
+        "seq_misses": _SEQ_MISSES,
+        "plan_hits": _PLAN_HITS,
+        "plan_misses": _PLAN_MISSES,
+    }
+
+
+def reset_cache_stats() -> None:
+    """Zero the tallies (a forked pool worker starts its own totals)."""
+    global _SEQ_HITS, _SEQ_MISSES, _PLAN_HITS, _PLAN_MISSES
+    _SEQ_HITS = 0
+    _SEQ_MISSES = 0
+    _PLAN_HITS = 0
+    _PLAN_MISSES = 0
+
+
+def _collect_cache_stats(registry) -> None:
+    registry.counter("explore.seq_cache.hits").value = _SEQ_HITS
+    registry.counter("explore.seq_cache.misses").value = _SEQ_MISSES
+    registry.counter("explore.plan_cache.hits").value = _PLAN_HITS
+    registry.counter("explore.plan_cache.misses").value = _PLAN_MISSES
+
+
+_register_collector(_collect_cache_stats)
 
 # Exhaustively certified sequences (see tests/test_uxs.py).  The entry
 # for N covers every connected port-labelled graph with at most N
@@ -184,10 +222,13 @@ class UXSProvider:
         """The exploration sequence for graphs of size at most ``n``."""
         if n < 1:
             raise ValueError("n must be >= 1")
+        global _SEQ_HITS, _SEQ_MISSES
         key = self._source_key(n)
         cached = self._cache.get(key)
         if cached is not None:
+            _SEQ_HITS += 1
             return cached
+        _SEQ_MISSES += 1
         kind = key[0]
         if kind == "pin":
             seq = self._pins[n]
@@ -206,11 +247,15 @@ class UXSProvider:
         the returned tuple also lets the scheduler's route cache key
         chased routes by plan identity.
         """
+        global _PLAN_HITS, _PLAN_MISSES
         key = self._source_key(n)
         cached = self._plan_cache.get(key)
         if cached is None:
+            _PLAN_MISSES += 1
             cached = uxs_walk_steps(self.sequence(n))
             self._plan_cache[key] = cached
+        else:
+            _PLAN_HITS += 1
         return cached
 
     def length(self, n: int) -> int:

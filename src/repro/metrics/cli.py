@@ -1,0 +1,142 @@
+"""``python -m repro metrics`` — summarize, export and diff snapshots.
+
+Subcommands:
+
+``summary FILE [--json]``
+    Render the snapshot as the fixed-width series table (or the raw
+    canonical JSON).
+``export FILE --format json|prometheus [-o OUT]``
+    Re-emit the snapshot for machine consumption; ``prometheus`` is
+    the text exposition format a future ``serve`` endpoint will serve
+    at ``/metrics``.
+``diff BEFORE AFTER [--json]``
+    Per-series deltas between two snapshots — the bench-trend story
+    told in counters.
+
+All subcommands validate against the snapshot schema first and exit 1
+on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from . import snapshot as snap_mod
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description="Summarize, export and diff metrics snapshots "
+                    "captured with --metrics (see docs/observability.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser(
+        "summary", help="render a snapshot as a series table",
+    )
+    p_summary.add_argument("snapshot", help="snapshot JSON file")
+    p_summary.add_argument(
+        "--json", action="store_true",
+        help="emit the validated snapshot as canonical JSON",
+    )
+
+    p_export = sub.add_parser(
+        "export", help="re-emit a snapshot for machine consumption",
+    )
+    p_export.add_argument("snapshot", help="snapshot JSON file")
+    p_export.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="output format (default: json)",
+    )
+    p_export.add_argument(
+        "-o", "--output", metavar="OUT", default=None,
+        help="write here instead of stdout",
+    )
+
+    p_diff = sub.add_parser(
+        "diff", help="per-series deltas between two snapshots",
+    )
+    p_diff.add_argument("before", help="baseline snapshot JSON file")
+    p_diff.add_argument("after", help="comparison snapshot JSON file")
+    p_diff.add_argument(
+        "--json", action="store_true", help="emit the deltas as JSON",
+    )
+    return parser
+
+
+def _load(path: str) -> dict:
+    return snap_mod.load_snapshot(path)
+
+
+def metrics_main(argv: list[str]) -> int:
+    args = build_metrics_parser().parse_args(argv)
+    try:
+        if args.command == "diff":
+            before = _load(args.before)
+            after = _load(args.after)
+        else:
+            snapshot = _load(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+    if args.command == "summary":
+        if args.json:
+            print(snap_mod.to_json(snapshot), end="")
+        else:
+            print(snap_mod.format_summary(snapshot))
+            print(
+                f"{args.snapshot}: {len(snapshot['series'])} series "
+                f"(source: {snapshot.get('source')}, "
+                f"schema v{snapshot.get('version')})"
+            )
+        return 0
+
+    if args.command == "export":
+        if args.format == "prometheus":
+            body = snap_mod.to_prometheus(snapshot)
+        else:
+            body = snap_mod.to_json(snapshot)
+        if args.output:
+            Path(args.output).write_text(body, encoding="utf-8")
+            print(f"wrote {args.output} ({args.format})")
+        else:
+            print(body, end="")
+        return 0
+
+    # diff
+    rows = snap_mod.diff_snapshots(before, after)
+    if args.json:
+        print(json.dumps(rows, indent=1, sort_keys=True))
+        return 0
+    changed = 0
+    for row in rows:
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(row["labels"].items())
+        )
+        name = row["name"] + (f"{{{labels}}}" if labels else "")
+        if "only" in row:
+            changed += 1
+            print(f"  {name}: only in {row['only']}")
+        elif row["kind"] == "histogram":
+            if row["count_delta"] or row["sum_delta"]:
+                changed += 1
+                print(
+                    f"  {name}: count {row['count_before']} -> "
+                    f"{row['count_after']} ({row['count_delta']:+}), "
+                    f"sum {row['sum_delta']:+g}"
+                )
+        elif row["delta"]:
+            changed += 1
+            print(
+                f"  {name}: {row['before']} -> {row['after']} "
+                f"({row['delta']:+})"
+            )
+    print(
+        f"{args.before} -> {args.after}: {changed} of {len(rows)} "
+        "series changed"
+    )
+    return 0

@@ -1,0 +1,73 @@
+"""``MetricsEventProcessor`` — runner-level series from the event stream.
+
+An :class:`~repro.events.processors.EventProcessor` that folds PR 7's
+typed events into metric series, so any event source (a live sweep or
+a replayed JSONL trace) yields the same runner-level counters without
+touching the instrumented code paths.  Attach it like any other
+processor::
+
+    reg = Registry(source="trace")
+    with stream.attached(MetricsEventProcessor(reg)):
+        run_experiment(spec)
+
+Series (all under ``events.``, to keep them distinct from the directly
+instrumented ``runner.*`` / ``sim.*`` families):
+
+- ``events.count{type=...}`` — one counter per event type.
+- ``events.trials{status=ok|failed}`` — from ``TrialEnd``.
+- ``events.trials.cached`` — cached ``SweepProgress`` entries.
+- ``events.chunks.claimed{worker=...}`` — ``BackendChunkClaimed``.
+- ``events.search.rounds`` — ``SearchRoundFrontier``.
+- ``events.sim.moves`` / ``events.sim.segment_edges`` — per-edge moves
+  and batched segment edges from the simulation-level events.
+"""
+
+from __future__ import annotations
+
+from ..events.types import (
+    AgentMove,
+    BackendChunkClaimed,
+    Event,
+    SearchRoundFrontier,
+    SweepProgress,
+    TrialEnd,
+    WalkSegment,
+)
+from .registry import Registry
+
+
+class MetricsEventProcessor:
+    """Derives metric series from a typed event stream."""
+
+    def __init__(self, registry: Registry | None = None) -> None:
+        self.registry = registry if registry is not None else Registry(
+            source="events"
+        )
+
+    def on_event(self, event: Event) -> None:
+        reg = self.registry
+        reg.counter("events.count", type=type(event).__name__).value += 1
+        if isinstance(event, TrialEnd):
+            status = "ok" if event.ok else "failed"
+            reg.counter("events.trials", status=status).value += 1
+        elif isinstance(event, SweepProgress):
+            if event.cached:
+                reg.counter("events.trials.cached").value += 1
+        elif isinstance(event, AgentMove):
+            reg.counter("events.sim.moves").value += 1
+        elif isinstance(event, WalkSegment):
+            reg.counter("events.sim.segment_edges").value += (
+                event.length * len(event.walkers)
+            )
+        elif isinstance(event, BackendChunkClaimed):
+            reg.counter(
+                "events.chunks.claimed", worker=event.worker
+            ).value += 1
+        elif isinstance(event, SearchRoundFrontier):
+            reg.counter("events.search.rounds").value += 1
+
+    def shutdown(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,284 @@
+"""The metrics registry: named counters, gauges and log-scale histograms.
+
+The attachment contract mirrors :mod:`repro.events.stream`: a
+module-global :func:`current` registry that is ``None`` unless a scope
+attached one, so every instrumentation site in the hot layers costs a
+single ``is None`` test when metrics are off.  Metrics never feed back
+into results — they are excluded from spec hashes and record bytes
+(``tests/test_metrics.py`` asserts byte-identity of a metrics-on sweep
+against a metrics-off one).
+
+Three series kinds:
+
+``Counter``
+    Monotonic ``value`` (``inc(n)``).  Also usable *standalone*, off
+    any registry: the scheduler keeps per-simulation counters this way
+    and folds them into the attached registry once, at ``result()``.
+``Gauge``
+    Last-written ``value`` (``set(v)``).
+``Histogram``
+    Log2-bucketed distribution with exact ``count``/``sum``/``min``/
+    ``max``.  Bucket ``e`` holds values in ``[2**(e-1), 2**e)``;
+    non-positive values land in the dedicated ``0`` bucket.  The
+    bucketing is exact for arbitrarily large ints (``bit_length``, no
+    float conversion), so even the unknown-bound algorithm's
+    astronomically large quantities cannot overflow it — though by
+    convention round counts are never recorded as metric values (see
+    docs/observability.md).
+
+``Registry.timer(name)`` is a context manager observing wall seconds
+into a histogram.  Snapshots (:meth:`Registry.snapshot`) are plain
+JSON dicts; merging, export and diffing live in
+:mod:`repro.metrics.snapshot`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+SCHEMA_NAME = "repro.metrics"
+SCHEMA_VERSION = 1
+
+
+class Counter:
+    """A monotonic counter.  ``value`` is public: hot paths may use
+    ``c.value += n`` directly to skip the method call."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+def _bucket_of(value) -> int:
+    """Log2 bucket index: ``e`` covers ``[2**(e-1), 2**e)``; ``0`` is
+    the non-positive bucket."""
+    if value <= 0:
+        return 0
+    if isinstance(value, int):
+        return value.bit_length()
+    # frexp: value = m * 2**e with 0.5 <= m < 1, i.e. value in
+    # [2**(e-1), 2**e) — exactly the bucket convention.
+    return math.frexp(value)[1]
+
+
+class Histogram:
+    """Log2-scale histogram with exact count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = _bucket_of(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+
+class _Timer:
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._start = None
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._start)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+# Collectors publish process-wide absolute totals (module-level cache
+# stats in sim.agent / explore.uxs) into a registry at snapshot time,
+# so hot cache paths stay plain-int increments with no registry lookup.
+_COLLECTORS: list[Callable[["Registry"], None]] = []
+
+
+def register_collector(fn: Callable[["Registry"], None]) -> None:
+    """Register a snapshot-time collector (idempotent per function)."""
+    if fn not in _COLLECTORS:
+        _COLLECTORS.append(fn)
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class Registry:
+    """A set of named, labeled metric series plus absorbed sub-snapshots.
+
+    Series creation is locked (the pipelined backend's producer thread
+    instruments concurrently with the main thread); increments on a
+    series are not, matching the single-writer-per-series usage of
+    every instrumentation site.
+
+    ``absorb(worker, snapshot)`` folds a worker process's *cumulative*
+    snapshot in with replace-per-worker semantics: each task returning
+    from a pool carries that worker's running totals, so only the
+    latest snapshot per worker may count.  :meth:`snapshot` merges the
+    registry's own series with the absorbed ones into one payload.
+    """
+
+    def __init__(self, source: str = "repro") -> None:
+        self.source = source
+        self._series: dict[tuple, object] = {}
+        self._kinds: dict[tuple, str] = {}
+        self._absorbed: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    # -- series access -------------------------------------------------
+
+    def _get(self, kind: str, name: str, labels: dict):
+        key = _series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    series = _KINDS[kind]()
+                    self._series[key] = series
+                    self._kinds[key] = kind
+        elif self._kinds[key] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{self._kinds[key]}, not {kind}"
+            )
+        return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def timer(self, name: str, **labels) -> _Timer:
+        return _Timer(self._get("histogram", name, labels))
+
+    # -- worker sub-snapshots ------------------------------------------
+
+    def absorb(self, worker: str, snapshot: dict) -> None:
+        """Fold in a worker's cumulative snapshot (latest per worker wins)."""
+        with self._lock:
+            self._absorbed[str(worker)] = snapshot
+
+    # -- serialization -------------------------------------------------
+
+    def _own_series(self) -> list[dict]:
+        rows = []
+        with self._lock:
+            items = list(self._series.items())
+        for (name, labels), series in items:
+            kind = self._kinds[(name, labels)]
+            row: dict = {
+                "name": name,
+                "kind": kind,
+                "labels": dict(labels),
+            }
+            if kind == "histogram":
+                row.update(
+                    count=series.count,
+                    sum=series.total,
+                    min=series.min,
+                    max=series.max,
+                    buckets={str(b): c for b, c in series.buckets.items()},
+                )
+            else:
+                row["value"] = series.value
+            rows.append(row)
+        rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return rows
+
+    def snapshot(self) -> dict:
+        """One mergeable JSON payload: own series + absorbed workers."""
+        for collect in _COLLECTORS:
+            collect(self)
+        own = {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "source": self.source,
+            "series": self._own_series(),
+        }
+        with self._lock:
+            absorbed = list(self._absorbed.values())
+        if not absorbed:
+            return own
+        from .snapshot import merge_snapshots
+
+        return merge_snapshots([own] + absorbed, source=self.source)
+
+
+# ----------------------------------------------------------------------
+# Module-global attachment (mirrors repro.events.stream).
+# ----------------------------------------------------------------------
+
+_ACTIVE: Registry | None = None
+
+
+def current() -> Registry | None:
+    """The attached registry, or ``None`` — the zero-cost off switch."""
+    return _ACTIVE
+
+
+def attach(registry: Registry | None) -> Registry | None:
+    """Install ``registry`` as the process-global one; returns the
+    previous registry so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else None
+    return previous
+
+
+@contextmanager
+def attached(registry: Registry | None) -> Iterator[Registry | None]:
+    """Scope ``registry`` as :func:`current`.
+
+    ``attached(None)`` is a no-op scope yielding whatever is already
+    attached, so CLI code can wrap its run unconditionally::
+
+        with metrics.attached(reg):   # reg is None without --metrics
+            run_experiment(spec)
+    """
+    if registry is None:
+        yield _ACTIVE
+        return
+    previous = attach(registry)
+    try:
+        yield registry
+    finally:
+        attach(previous)

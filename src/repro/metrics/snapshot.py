@@ -1,0 +1,388 @@
+"""Snapshot algebra: merge, diff, validation and exporters.
+
+A snapshot is the plain-JSON payload produced by
+:meth:`repro.metrics.registry.Registry.snapshot`::
+
+    {"schema": "repro.metrics", "version": 1, "source": "...",
+     "series": [{"name": ..., "kind": ..., "labels": {...}, ...}]}
+
+Merging is the cross-process fold (one snapshot per worker process →
+one fleet-wide snapshot): counters **sum**, histograms merge
+bucket-wise with exact count/sum/min/max, gauges keep the last writer.
+This composes with the registry's replace-per-worker ``absorb``
+semantics: workers ship *cumulative* totals, the parent keeps only the
+latest snapshot per worker, and the final merge sums across distinct
+workers — never across two snapshots of the same one.
+
+Exporters: canonical JSON and the Prometheus text exposition format
+(the future ``serve`` endpoint's ``/metrics`` body).  ``diff`` renders
+the delta between two snapshots — the bench-trend story told in
+counters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .registry import SCHEMA_NAME, SCHEMA_VERSION
+
+_SERIES_KINDS = ("counter", "gauge", "histogram")
+
+
+def _key(row: dict) -> tuple:
+    return (row["name"], tuple(sorted(row.get("labels", {}).items())))
+
+
+def _sorted_series(by_key: dict[tuple, dict]) -> list[dict]:
+    return [
+        by_key[k]
+        for k in sorted(by_key, key=lambda k: (k[0], k[1]))
+    ]
+
+
+def merge_snapshots(snapshots: list[dict], source: str = "merged") -> dict:
+    """Fold worker snapshots into one (sum/bucket-merge/last-wins)."""
+    by_key: dict[tuple, dict] = {}
+    for snap in snapshots:
+        for row in snap.get("series", ()):
+            key = _key(row)
+            have = by_key.get(key)
+            if have is None:
+                merged = dict(row)
+                merged["labels"] = dict(row.get("labels", {}))
+                if row["kind"] == "histogram":
+                    merged["buckets"] = dict(row.get("buckets", {}))
+                by_key[key] = merged
+                continue
+            if have["kind"] != row["kind"]:
+                raise ValueError(
+                    f"metric {row['name']!r} is a {have['kind']} in one "
+                    f"snapshot and a {row['kind']} in another"
+                )
+            if row["kind"] == "counter":
+                have["value"] += row["value"]
+            elif row["kind"] == "gauge":
+                have["value"] = row["value"]
+            else:
+                have["count"] += row["count"]
+                have["sum"] += row["sum"]
+                for bound in ("min", "max"):
+                    mine, theirs = have.get(bound), row.get(bound)
+                    if theirs is None:
+                        continue
+                    if mine is None:
+                        have[bound] = theirs
+                    else:
+                        have[bound] = (
+                            min(mine, theirs) if bound == "min"
+                            else max(mine, theirs)
+                        )
+                buckets = have["buckets"]
+                for b, c in row.get("buckets", {}).items():
+                    buckets[b] = buckets.get(b, 0) + c
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "source": source,
+        "series": _sorted_series(by_key),
+    }
+
+
+def validate_snapshot(snapshot: dict) -> list[str]:
+    """Schema errors (empty list = valid snapshot)."""
+    errors: list[str] = []
+    if not isinstance(snapshot, dict):
+        return ["snapshot is not a JSON object"]
+    if snapshot.get("schema") != SCHEMA_NAME:
+        errors.append(
+            f"schema is {snapshot.get('schema')!r}, expected "
+            f"{SCHEMA_NAME!r}"
+        )
+    if snapshot.get("version") != SCHEMA_VERSION:
+        errors.append(
+            f"version is {snapshot.get('version')!r}, expected "
+            f"{SCHEMA_VERSION}"
+        )
+    series = snapshot.get("series")
+    if not isinstance(series, list):
+        return errors + ["'series' is missing or not a list"]
+    seen: set[tuple] = set()
+    for i, row in enumerate(series):
+        where = f"series[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing metric name")
+            continue
+        where = f"{where} ({name})"
+        kind = row.get("kind")
+        if kind not in _SERIES_KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        labels = row.get("labels", {})
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, (str, int, float, bool))
+            for k, v in labels.items()
+        ):
+            errors.append(f"{where}: malformed labels {labels!r}")
+        key = (name, tuple(sorted(labels.items())) if isinstance(labels, dict) else ())
+        if key in seen:
+            errors.append(f"{where}: duplicate series for labels {labels!r}")
+        seen.add(key)
+        if kind == "histogram":
+            for field in ("count", "sum", "buckets"):
+                if field not in row:
+                    errors.append(f"{where}: histogram missing {field!r}")
+            buckets = row.get("buckets", {})
+            if isinstance(buckets, dict):
+                total = sum(buckets.values())
+                if "count" in row and total != row["count"]:
+                    errors.append(
+                        f"{where}: bucket counts sum to {total}, "
+                        f"count says {row['count']}"
+                    )
+            else:
+                errors.append(f"{where}: buckets is not an object")
+        elif "value" not in row:
+            errors.append(f"{where}: {kind} missing 'value'")
+        elif not isinstance(row["value"], (int, float)) or isinstance(
+            row["value"], bool
+        ):
+            errors.append(
+                f"{where}: non-numeric value {row['value']!r}"
+            )
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Exporters.
+# ----------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_LABEL_RE.sub("_", k)}="{_escape(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters export as ``<name>_total``; histograms as cumulative
+    ``<name>_bucket{le=...}`` lines (upper bounds ``2**e`` from the
+    log2 buckets) plus ``_sum``/``_count``.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for row in snapshot.get("series", ()):
+        name = _prom_name(row["name"])
+        labels = row.get("labels", {})
+        kind = row["kind"]
+        if kind == "counter":
+            full = f"{name}_total"
+            if full not in typed:
+                lines.append(f"# TYPE {full} counter")
+                typed.add(full)
+            lines.append(
+                f"{full}{_prom_labels(labels)} {_prom_value(row['value'])}"
+            )
+        elif kind == "gauge":
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(
+                f"{name}{_prom_labels(labels)} {_prom_value(row['value'])}"
+            )
+        else:
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            cumulative = 0
+            for e in sorted(int(b) for b in row.get("buckets", {})):
+                cumulative += row["buckets"][str(e)]
+                # Exponents past the float range (exact big-int
+                # observations) saturate to +Inf-adjacent bounds.
+                try:
+                    bound = f"{2.0 ** e:g}"
+                except OverflowError:
+                    bound = f"2e{e}"
+                le = {"le": bound}
+                lines.append(
+                    f"{name}_bucket{_prom_labels({**labels, **le})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket"
+                f"{_prom_labels({**labels, 'le': '+Inf'})} {row['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} "
+                f"{_prom_value(row['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {row['count']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(snapshot: dict) -> str:
+    """Canonical JSON (sorted keys), one trailing newline."""
+    return json.dumps(snapshot, sort_keys=True, indent=1) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Diff.
+# ----------------------------------------------------------------------
+
+def diff_snapshots(before: dict, after: dict) -> list[dict]:
+    """Per-series deltas, sorted by name/labels.
+
+    Counters and gauges report ``before``/``after``/``delta``;
+    histograms report count and sum deltas.  Series present on only
+    one side appear with ``"only": "before" | "after"``.
+    """
+    a = {_key(r): r for r in before.get("series", ())}
+    b = {_key(r): r for r in after.get("series", ())}
+    rows = []
+    for key in sorted(set(a) | set(b), key=lambda k: (k[0], k[1])):
+        ra, rb = a.get(key), b.get(key)
+        row: dict = {
+            "name": key[0],
+            "labels": dict(key[1]),
+            "kind": (rb or ra)["kind"],
+        }
+        if ra is None or rb is None:
+            row["only"] = "before" if rb is None else "after"
+            present = ra or rb
+            if present["kind"] == "histogram":
+                row["count"] = present["count"]
+            else:
+                row["value"] = present["value"]
+        elif row["kind"] == "histogram":
+            row.update(
+                count_before=ra["count"], count_after=rb["count"],
+                count_delta=rb["count"] - ra["count"],
+                sum_delta=rb["sum"] - ra["sum"],
+            )
+        else:
+            row.update(
+                before=ra["value"], after=rb["value"],
+                delta=rb["value"] - ra["value"],
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Human summary (the sweep-end table and ``metrics summary``).
+# ----------------------------------------------------------------------
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 10 ** 7:
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_summary(snapshot: dict) -> str:
+    """A fixed-width text table of every series in the snapshot."""
+    rows = [("metric", "labels", "kind", "value / count·mean·max")]
+    for row in snapshot.get("series", ()):
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(row.get("labels", {}).items())
+        )
+        if row["kind"] == "histogram":
+            count = row["count"]
+            mean = (row["sum"] / count) if count else None
+            cell = (
+                f"n={count} mean={_fmt(mean)} "
+                f"min={_fmt(row.get('min'))} max={_fmt(row.get('max'))}"
+            )
+        else:
+            cell = _fmt(row["value"])
+        rows.append((row["name"], labels or "-", row["kind"], cell))
+    widths = [max(len(r[i]) for r in rows) for i in range(3)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                [row[j].ljust(widths[j]) for j in range(3)] + [row[3]]
+            ).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# File helpers + sidecar folding.
+# ----------------------------------------------------------------------
+
+def write_snapshot(path, snapshot: dict) -> None:
+    Path(path).write_text(to_json(snapshot), encoding="utf-8")
+
+
+def load_snapshot(path) -> dict:
+    snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    errors = validate_snapshot(snapshot)
+    if errors:
+        raise ValueError(f"{path}: {errors[0]}")
+    return snapshot
+
+
+def find_sidecars(roots) -> list[Path]:
+    """Snapshot sidecars under store / manifest roots.
+
+    Workers and the manifest backend write per-worker snapshots to
+    ``<spec-dir>/manifest/metrics/<worker>.json``; a bare
+    ``metrics/*.json`` directly under a root is also honored.
+    """
+    found: list[Path] = []
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            found.append(root)
+            continue
+        for pattern in ("metrics/*.json", "*/manifest/metrics/*.json"):
+            found.extend(sorted(root.glob(pattern)))
+    return found
+
+
+def fold_sidecars(roots, source: str = "merged") -> tuple[dict, int]:
+    """Merge every sidecar snapshot under ``roots``.
+
+    Returns ``(snapshot, count)``; the snapshot is empty-but-valid when
+    no sidecars exist.
+    """
+    snaps = [load_snapshot(p) for p in find_sidecars(roots)]
+    return merge_snapshots(snaps, source=source), len(snaps)

@@ -49,6 +49,8 @@ from typing import Iterator
 from ...events import stream as _event_stream
 from ...events.types import BackendChunkClaimed as _EvBackendChunkClaimed
 from ...explore.uxs import UXSProvider
+from ...metrics import registry as _metrics_registry
+from ...metrics import snapshot as _metrics_snapshot
 from ..spec import ExperimentSpec
 from ..trial import execute_trial
 from .base import BackendContext, BackendError
@@ -333,6 +335,23 @@ def scan_manifests(
     return out
 
 
+def write_metrics_sidecar(
+    mdir: pathlib.Path, worker_id: str, snapshot: dict
+) -> pathlib.Path:
+    """Persist one participant's metrics snapshot next to the manifest.
+
+    Sidecars live under ``<manifest>/metrics/<worker_id>.json`` — the
+    layout :func:`repro.metrics.snapshot.find_sidecars` globs for — so
+    ``python -m repro merge --metrics`` can fold every participant of
+    a multi-host sweep into one fleet-wide snapshot.
+    """
+    sidecar_dir = mdir / "metrics"
+    sidecar_dir.mkdir(parents=True, exist_ok=True)
+    path = sidecar_dir / f"{worker_id}.json"
+    _metrics_snapshot.write_snapshot(path, snapshot)
+    return path
+
+
 def execute_chunk(
     spec_hash: str,
     keys: list[str],
@@ -388,10 +407,17 @@ class ManifestBackend:
         seen: set[int] = set()
 
         emit = _event_stream.current()
+        reg = _metrics_registry.current()
         while True:
-            chunk_id = claim_next(mdir, len(chunks), worker_id)
+            if reg is None:
+                chunk_id = claim_next(mdir, len(chunks), worker_id)
+            else:
+                with reg.timer("runner.manifest.claim_seconds"):
+                    chunk_id = claim_next(mdir, len(chunks), worker_id)
             if chunk_id is None:
                 break
+            if reg is not None:
+                reg.counter("runner.manifest.chunks.claimed").value += 1
             if emit is not None:
                 emit.emit(_EvBackendChunkClaimed(
                     chunk=chunk_id,
@@ -408,6 +434,10 @@ class ManifestBackend:
             seen.add(chunk_id)
             for record in records:
                 if record["key"] in pending_keys:
+                    if reg is not None:
+                        reg.counter(
+                            "runner.backend.records", backend="manifest"
+                        ).value += 1
                     yield record
 
         # Every remaining chunk is claimed by another worker: collect
@@ -424,6 +454,10 @@ class ManifestBackend:
                     continue
                 seen.add(chunk_id)
                 progressed = True
+                if reg is not None:
+                    reg.counter(
+                        "runner.manifest.chunks.collected"
+                    ).value += 1
                 for record in records:
                     if record["key"] in pending_keys:
                         ctx.collected += 1
@@ -441,3 +475,8 @@ class ManifestBackend:
                     f"{mdir} and re-run"
                 )
             time.sleep(poll_interval)
+
+        if reg is not None:
+            # One sidecar per participant; the merge CLI folds them
+            # into a single fleet-wide snapshot.
+            write_metrics_sidecar(mdir, worker_id, reg.snapshot())

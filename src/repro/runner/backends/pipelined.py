@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import time as _time
 from typing import Iterator
 
 from ...explore.uxs import UXSProvider
+from ...metrics import registry as _metrics_registry
 from .. import worker as worker_mod
 from ..spec import TrialSpec
 from .base import BackendContext
@@ -86,12 +88,24 @@ class PipelinedBackend:
         # Same batch plan, no pool: the graph of each batch is still
         # built exactly once, so the dedup win survives workers=1 —
         # and same-graph cohort-eligible trials run in lockstep.
+        reg = _metrics_registry.current()
         provider = UXSProvider(**ctx.provider_args)
         for batch in batches:
+            if reg is not None:
+                reg.counter(
+                    "runner.backend.batches", backend="pipelined"
+                ).value += 1
+                reg.histogram("runner.backend.batch_size").observe(
+                    len(batch)
+                )
             graph = worker_mod.shared_graph(batch[0])
             for result in worker_mod.execute_trial_batch(
                 batch, provider=provider, graph=graph
             ):
+                if reg is not None:
+                    reg.counter(
+                        "runner.backend.records", backend="pipelined"
+                    ).value += 1
                 yield result.record()
 
     @staticmethod
@@ -102,6 +116,7 @@ class PipelinedBackend:
         # queue; the pool's task feeder drains it concurrently with
         # result consumption, so payload preparation overlaps
         # simulation instead of preceding it.
+        reg = _metrics_registry.current()
         prefetch = int(ctx.options.get("prefetch", 2 * ctx.workers))
         feed: queue.Queue = queue.Queue(maxsize=max(1, prefetch))
         stop = threading.Event()
@@ -120,11 +135,28 @@ class PipelinedBackend:
                     continue
             return False
 
+        def put_timed(item) -> bool:
+            # Time spent blocked on a full queue is backpressure: the
+            # pool is saturated and prefetching is ahead of it.
+            start = _time.perf_counter()
+            ok = put_guarded(item)
+            reg.histogram("runner.pipeline.queue_wait_seconds").observe(
+                _time.perf_counter() - start
+            )
+            return ok
+
+        put = put_guarded if reg is None else put_timed
+
         def produce() -> None:
             for batch in batches:
-                if not put_guarded(
-                    {"trials": [t.to_dict() for t in batch]}
-                ):
+                if reg is not None:
+                    reg.counter(
+                        "runner.backend.batches", backend="pipelined"
+                    ).value += 1
+                    reg.histogram("runner.backend.batch_size").observe(
+                        len(batch)
+                    )
+                if not put({"trials": [t.to_dict() for t in batch]}):
                     return
             put_guarded(_SENTINEL)
 
@@ -142,11 +174,22 @@ class PipelinedBackend:
             with mp.Pool(
                 processes=ctx.workers,
                 initializer=worker_mod.init_worker,
-                initargs=(ctx.provider_args, ctx.prewarm),
+                initargs=(ctx.provider_args, ctx.prewarm, reg is not None),
             ) as pool:
                 for records in pool.imap_unordered(
                     worker_mod.run_trial_batch, payloads(), chunksize=1
                 ):
+                    if reg is not None and isinstance(records, dict):
+                        # Cumulative worker snapshot: replace-per-worker
+                        # fold (see Registry.absorb), then unwrap.
+                        envelope = records["__metrics__"]
+                        reg.absorb(
+                            envelope["worker"], envelope["snapshot"]
+                        )
+                        records = records["records"]
+                        reg.counter(
+                            "runner.backend.records", backend="pipelined"
+                        ).value += len(records)
                     yield from records
         finally:
             stop.set()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import Iterator
 
+from ...metrics import registry as _metrics_registry
 from .. import worker as worker_mod
 from .base import BackendContext
 
@@ -35,13 +36,24 @@ class ProcessBackend:
     name = "process"
 
     def execute(self, ctx: BackendContext) -> Iterator[dict]:
+        reg = _metrics_registry.current()
         mp = pool_context()
         payloads = [t.to_dict() for t in ctx.pending]
         with mp.Pool(
             processes=ctx.workers,
             initializer=worker_mod.init_worker,
-            initargs=(ctx.provider_args, ctx.prewarm),
+            initargs=(ctx.provider_args, ctx.prewarm, reg is not None),
         ) as pool:
-            yield from pool.imap_unordered(
+            for result in pool.imap_unordered(
                 worker_mod.run_trial_payload, payloads, chunksize=1
-            )
+            ):
+                if reg is not None and "__metrics__" in result:
+                    # Cumulative worker snapshot: replace-per-worker
+                    # fold (see Registry.absorb), then unwrap.
+                    envelope = result["__metrics__"]
+                    reg.absorb(envelope["worker"], envelope["snapshot"])
+                    result = result["record"]
+                    reg.counter(
+                        "runner.backend.records", backend="process"
+                    ).value += 1
+                yield result

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ...explore.uxs import UXSProvider
+from ...metrics import registry as _metrics_registry
 from ..trial import execute_trial
 from .base import BackendContext
 
@@ -23,6 +24,12 @@ class SerialBackend:
     name = "serial"
 
     def execute(self, ctx: BackendContext) -> Iterator[dict]:
+        reg = _metrics_registry.current()
         provider = UXSProvider(**ctx.provider_args)
         for trial in ctx.pending:
-            yield execute_trial(trial, provider=provider).record()
+            record = execute_trial(trial, provider=provider).record()
+            if reg is not None:
+                reg.counter(
+                    "runner.backend.records", backend="serial"
+                ).value += 1
+            yield record

@@ -1,5 +1,5 @@
-"""``python -m repro sweep|search|query|compact|worker|merge|manifest``
-— engine CLI.
+"""``python -m repro
+sweep|search|query|compact|worker|merge|manifest|metrics`` — engine CLI.
 
 ``sweep`` runs a declarative trial grid with progress output (trials/s
 and ETA), prints a result table, and memoizes completed trials under
@@ -76,6 +76,8 @@ from ..events.types import (
     BackendChunkClaimed as _EvBackendChunkClaimed,
     SweepProgress as _EvSweepProgress,
 )
+from ..metrics import registry as _metrics_registry
+from ..metrics import snapshot as _metrics_snapshot
 from . import query as query_mod
 from .backends import BACKENDS, BackendError, ManifestError
 from .engine import run_experiment
@@ -208,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-trial progress lines",
     )
     _add_events_argument(parser)
+    _add_metrics_argument(parser)
     return parser
 
 
@@ -229,6 +232,35 @@ def _add_events_argument(parser: argparse.ArgumentParser) -> None:
         "--events", default=None, metavar="FILE",
         help="capture a typed JSONL event trace to FILE (inspect with "
              "'python -m repro trace validate|replay|summary FILE')",
+    )
+
+
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="collect low-overhead counters/histograms and write the "
+             "snapshot to FILE (inspect with 'python -m repro metrics "
+             "summary|export|diff'); never affects records",
+    )
+
+
+def _metrics_registry_for(args: argparse.Namespace, source: str):
+    """The ``--metrics`` registry, or ``None`` when not asked for."""
+    if not getattr(args, "metrics", None):
+        return None
+    return _metrics_registry.Registry(source=source)
+
+
+def _finish_metrics(args: argparse.Namespace, reg) -> None:
+    """Write the ``--metrics`` snapshot and print the summary table."""
+    if reg is None:
+        return
+    snapshot = reg.snapshot()
+    _metrics_snapshot.write_snapshot(args.metrics, snapshot)
+    print(_metrics_snapshot.format_summary(snapshot))
+    print(
+        f"metrics: {args.metrics} "
+        f"({len(snapshot['series'])} series)"
     )
 
 
@@ -264,8 +296,10 @@ def sweep_main(argv: list[str]) -> int:
         ))
 
     trace = _trace_processor(args, "sweep")
+    reg = _metrics_registry_for(args, "sweep")
     try:
-        with _event_stream.attached(trace):
+        with _event_stream.attached(trace), \
+                _metrics_registry.attached(reg):
             result = run_experiment(
                 spec,
                 workers=args.workers,
@@ -312,6 +346,7 @@ def sweep_main(argv: list[str]) -> int:
         print(f"result store: {args.cache_dir} (delete to force re-runs)")
     if trace is not None:
         print(f"event trace: {trace.path} ({trace.lines} events)")
+    _finish_metrics(args, reg)
     for rec in result.failures():
         print(f"  FAILED {rec['key']}: {rec['error']}")
     return 0 if result.failed == 0 else 1
@@ -417,6 +452,7 @@ def build_search_parser() -> argparse.ArgumentParser:
         help="suppress per-round progress lines",
     )
     _add_events_argument(parser)
+    _add_metrics_argument(parser)
     return parser
 
 
@@ -467,9 +503,11 @@ def search_main(argv: list[str]) -> int:
         )
 
     trace = _trace_processor(args, "search")
+    reg = _metrics_registry_for(args, "search")
     started = _time.monotonic()
     try:
-        with _event_stream.attached(trace):
+        with _event_stream.attached(trace), \
+                _metrics_registry.attached(reg):
             result = run_search(
                 spec,
                 workers=args.workers,
@@ -525,6 +563,7 @@ def search_main(argv: list[str]) -> int:
         )
     if trace is not None:
         print(f"event trace: {trace.path} ({trace.lines} events)")
+    _finish_metrics(args, reg)
     # Same contract as sweep/worker: 0 only when every executed
     # candidate evaluation succeeded (and something was found).
     return 0 if result.best is not None and result.failed == 0 else 1
@@ -868,6 +907,7 @@ def build_worker_parser() -> argparse.ArgumentParser:
         help="suppress per-chunk progress lines",
     )
     _add_events_argument(parser)
+    _add_metrics_argument(parser)
     return parser
 
 
@@ -892,21 +932,24 @@ def worker_main(argv: list[str]) -> int:
     except (ValueError, manifest_mod.ManifestError) as exc:
         print(f"error: {exc}")
         return 2
+    worker_id = args.worker_id or f"worker-{_os.getpid()}"
     trace = _trace_processor(args, "worker")
-    with _event_stream.attached(trace):
-        code = _worker_run(args, spec, mdir, payload)
+    reg = _metrics_registry_for(args, worker_id)
+    with _event_stream.attached(trace), _metrics_registry.attached(reg):
+        code = _worker_run(args, spec, mdir, payload, worker_id)
     if trace is not None:
         print(f"event trace: {trace.path} ({trace.lines} events)")
+    _finish_metrics(args, reg)
     return code
 
 
-def _worker_run(args, spec, mdir, payload) -> int:
+def _worker_run(args, spec, mdir, payload, worker_id) -> int:
     """The claim/execute loop of ``worker_main`` (events attached)."""
     from ..explore.uxs import UXSProvider
     from .backends import manifest as manifest_mod
 
     emit = _event_stream.current()
-    worker_id = args.worker_id or f"worker-{_os.getpid()}"
+    reg = _metrics_registry.current()
     chunks: list[list[str]] = payload["chunks"]
     by_key = {t.key: t for t in spec.trials()}
     store = ResultStore(args.cache_dir)
@@ -929,10 +972,20 @@ def _worker_run(args, spec, mdir, payload) -> int:
     save_interval = 5.0
     last_save = _time.monotonic()
     while args.max_chunks is None or claimed < args.max_chunks:
-        chunk_id = manifest_mod.claim_next(mdir, len(chunks), worker_id)
+        if reg is None:
+            chunk_id = manifest_mod.claim_next(
+                mdir, len(chunks), worker_id
+            )
+        else:
+            with reg.timer("runner.manifest.claim_seconds"):
+                chunk_id = manifest_mod.claim_next(
+                    mdir, len(chunks), worker_id
+                )
         if chunk_id is None:
             break
         claimed += 1
+        if reg is not None:
+            reg.counter("runner.manifest.chunks.claimed").value += 1
         if emit is not None:
             emit.emit(_EvBackendChunkClaimed(
                 chunk=chunk_id, chunks=len(chunks), worker=worker_id,
@@ -982,6 +1035,13 @@ def _worker_run(args, spec, mdir, payload) -> int:
     if ok_records:
         store.save(spec, ok_records)
     status = manifest_mod.manifest_status(mdir, payload)
+    if reg is not None:
+        # One sidecar per participant next to the manifest, so
+        # 'python -m repro merge --metrics' can fold the fleet.
+        sidecar = manifest_mod.write_metrics_sidecar(
+            mdir, worker_id, reg.snapshot()
+        )
+        print(f"metrics sidecar: {sidecar}")
     print(
         f"worker {worker_id}: claimed {claimed} chunk(s), "
         f"executed {executed} trial(s), failed {failed}; manifest "
@@ -1020,6 +1080,11 @@ def merge_main(argv: list[str]) -> int:
         help="records per destination shard (default: the store's "
              "default)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="OUT",
+        help="fold every per-worker metrics sidecar found under the "
+             "source stores into one fleet-wide snapshot at OUT",
+    )
     args = parser.parse_args(argv)
     kwargs = {}
     if args.shard_size is not None:
@@ -1042,6 +1107,22 @@ def merge_main(argv: list[str]) -> int:
         f"record(s) into {args.into}; {stats['duplicates']} "
         f"conflicting duplicate(s), {stats['skipped']} spec(s) skipped"
     )
+    if args.metrics:
+        snapshot, count = _metrics_snapshot.fold_sidecars(
+            args.sources, source="merged"
+        )
+        if count:
+            _metrics_snapshot.write_snapshot(args.metrics, snapshot)
+            print(
+                f"metrics: folded {count} sidecar snapshot(s) into "
+                f"{args.metrics}"
+            )
+        else:
+            print(
+                "warning: no metrics sidecars found under the source "
+                "stores (workers write them when run with --metrics)",
+                file=_sys.stderr,
+            )
     return 0
 
 
@@ -1059,3 +1140,19 @@ def trace_main(argv: list[str]) -> int:
     from ..events.cli import trace_main as _trace_main
 
     return _trace_main(argv)
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro metrics`` — metrics-snapshot inspection.
+# ----------------------------------------------------------------------
+
+def metrics_main(argv: list[str]) -> int:
+    """Summarize/export/diff ``--metrics`` snapshot files.
+
+    Thin delegator so ``python -m repro metrics`` dispatches like
+    every other engine command; the implementation lives with the
+    metrics machinery in :mod:`repro.metrics.cli`.
+    """
+    from ..metrics.cli import metrics_main as _metrics_main
+
+    return _metrics_main(argv)

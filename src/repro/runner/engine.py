@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Callable, cast
 
 from ..events import stream as _event_stream
@@ -33,6 +34,7 @@ from ..events.types import (
     SweepProgress as _EvSweepProgress,
     SweepStart as _EvSweepStart,
 )
+from ..metrics import registry as _metrics_registry
 from .backends import BackendContext, get_backend
 from .spec import ExperimentSpec, SpecError
 from .store import ResultStore
@@ -139,6 +141,7 @@ def run_experiment(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    sweep_start = time.perf_counter()
     backend_name = backend or spec.backend
     if backend_name is None:
         backend_name = "serial" if workers == 1 else "process"
@@ -258,4 +261,11 @@ def run_experiment(
             total=total, executed=executed, cached=cached,
             failed=result.failed,
         ))
+    reg = _metrics_registry.current()
+    if reg is not None:
+        reg.counter("runner.sweeps", backend=backend_name).value += 1
+        reg.counter("runner.trials.cached").value += cached
+        reg.histogram(
+            "runner.sweep.wall_seconds", backend=backend_name
+        ).observe(time.perf_counter() - sweep_start)
     return result

@@ -22,6 +22,8 @@ import json
 import math
 from typing import Iterable, Sequence
 
+from ..metrics import registry as _metrics_registry
+
 
 class QueryError(ValueError):
     """The query is malformed (unknown field, stat, or value)."""
@@ -326,6 +328,13 @@ class StreamAggregator:
         self.records = 0
         self.matched = 0
         self.aggregated = 0
+        # Resolved once: add() runs per record over million-trial
+        # stores, so the hot path pays one attribute check, not a
+        # registry lookup.
+        reg = _metrics_registry.current()
+        self._c_records = (
+            None if reg is None else reg.counter("runner.query.records")
+        )
         self._keep_values = bool(_PERCENTILE_STATS & set(stats))
         self._known: set[str] = set()
         self._groups: dict[tuple, dict] = {}
@@ -333,6 +342,8 @@ class StreamAggregator:
     def add(self, record: dict) -> None:
         """Fold one record into the aggregation."""
         self.records += 1
+        if self._c_records is not None:
+            self._c_records.value += 1
         self._known.update(record)
         self._known.update(record.get("metrics") or {})
         if not all(

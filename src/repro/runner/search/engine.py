@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ...events import stream as _event_stream
 from ...events.types import SearchRoundFrontier as _EvSearchRoundFrontier
+from ...metrics import registry as _metrics_registry
 from ..backends import BackendContext, BackendError, get_backend
 from ..engine import coerce_store
 from ..spec import SpecError, TrialSpec
@@ -213,6 +214,10 @@ def run_search(
     )
 
     counters = {"simulated": 0, "cached": 0, "failed": 0}
+    # _UNSET distinguishes "no incumbent yet" from a legitimate None
+    # objective value when counting frontier improvements.
+    _UNSET = object()
+    frontier_state: dict[str, Any] = {"best": _UNSET, "improved": 0}
 
     def metric_value(record: dict):
         metrics = record.get("metrics") or {}
@@ -298,6 +303,12 @@ def run_search(
             },
         }
         all_records[record["key"]] = record
+        if (
+            best_value is not None
+            and best_value != frontier_state["best"]
+        ):
+            frontier_state["best"] = best_value
+            frontier_state["improved"] += 1
         if result_store is not None:
             result_store.save(spec, all_records)
         if progress is not None:
@@ -326,6 +337,19 @@ def run_search(
 
     if result_store is not None and all_records:
         result_store.save(spec, all_records)
+
+    reg = _metrics_registry.current()
+    if reg is not None:
+        reg.counter("runner.search.evaluations").value += outcome.attempts
+        reg.counter(
+            "runner.search.simulated"
+        ).value += counters["simulated"]
+        reg.counter("runner.search.cached").value += counters["cached"]
+        reg.counter("runner.search.failed").value += counters["failed"]
+        reg.counter("runner.search.rounds").value += outcome.rounds
+        reg.counter(
+            "runner.search.frontier_improvements"
+        ).value += frontier_state["improved"]
 
     best_record = None
     if outcome.best_point is not None:

@@ -33,6 +33,7 @@ import pathlib
 import warnings
 from typing import Iterator, Sequence
 
+from ..metrics import registry as _metrics_registry
 from .spec import ExperimentSpec
 
 _FORMAT_VERSION = 2
@@ -46,6 +47,35 @@ class MergeWarning(UserWarning):
 
 def _shard_name(index: int) -> str:
     return f"shard-{index:04d}.json"
+
+
+def _read_shard(path: pathlib.Path, reg) -> dict | None:
+    """Read and parse one shard, counting scans/bytes/corruption.
+
+    Returns ``None`` for an unreadable or unparsable shard — the
+    caller skips it (its trials simply re-run) and the next
+    ``save``/``compact`` heals it.
+    """
+    try:
+        text = path.read_text()
+    except OSError:
+        if reg is not None:
+            reg.counter("store.shards.corrupt").value += 1
+        return None
+    if reg is not None:
+        reg.counter("store.shards.read").value += 1
+        reg.counter("store.bytes.read").value += len(text)
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        if reg is not None:
+            reg.counter("store.shards.corrupt").value += 1
+        return None
+    if not isinstance(payload, dict):
+        if reg is not None:
+            reg.counter("store.shards.corrupt").value += 1
+        return None
+    return payload
 
 
 def spec_from_payload(payload: dict):
@@ -140,11 +170,11 @@ class ResultStore:
         return records
 
     def _load_shards(self, directory: pathlib.Path) -> dict[str, dict]:
+        reg = _metrics_registry.current()
         records: dict[str, dict] = {}
         for path in sorted(directory.glob("shard-*.json")):
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, ValueError):
+            payload = _read_shard(path, reg)
+            if payload is None:
                 continue  # corrupt shard: its trials re-run
             if payload.get("version") != _FORMAT_VERSION:
                 continue
@@ -186,6 +216,9 @@ class ResultStore:
         """
         if spec_hash is None:
             spec_hash = spec.spec_hash()
+        reg = _metrics_registry.current()
+        if reg is not None:
+            reg.counter("store.saves").value += 1
         directory = self.dir_for(spec_hash)
         directory.mkdir(parents=True, exist_ok=True)
         keys = sorted(records)
@@ -400,11 +433,11 @@ class ResultStore:
             for key in sorted(legacy):
                 yield self._backfill_record(legacy[key])
             return
+        reg = _metrics_registry.current()
         seen: set[str] = set()
         for path in sorted(directory.glob("shard-*.json")):
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, ValueError):
+            payload = _read_shard(path, reg)
+            if payload is None:
                 continue  # corrupt shard: its trials re-run
             if payload.get("version") != _FORMAT_VERSION:
                 continue

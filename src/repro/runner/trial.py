@@ -39,6 +39,7 @@ from ..graphs import generators
 from ..graphs.port_graph import PortGraph
 from ..events import stream as _event_stream
 from ..events.types import TrialEnd as _EvTrialEnd, TrialStart as _EvTrialStart
+from ..metrics import registry as _metrics_registry
 from ..sim.adversary import parse_wake_strategy, schedule_from_strategy
 from .spec import PLACEMENTS as spec_placement_names
 from .spec import TrialSpec, derive_seed, parse_adversary, parse_placement
@@ -572,6 +573,22 @@ def execute_trial(
     execution is bracketed by :class:`TrialStart` / :class:`TrialEnd`
     events; records are byte-identical either way.
     """
+    reg = _metrics_registry.current()
+    if reg is None:
+        return _execute_trial_events(trial, provider, graph)
+    with reg.timer("runner.trial.wall_seconds"):
+        result = _execute_trial_events(trial, provider, graph)
+    status = "ok" if result.ok else "failed"
+    reg.counter("runner.trials.executed", status=status).value += 1
+    return result
+
+
+def _execute_trial_events(
+    trial: TrialSpec,
+    provider: UXSProvider | None = None,
+    graph: PortGraph | None = None,
+) -> TrialResult:
+    """The event-bracketing layer under :func:`execute_trial`."""
     emit = _event_stream.current()
     if emit is None:
         return _execute_trial_inner(trial, provider, graph)

@@ -18,8 +18,11 @@ wall-clock optimization with byte-identical records.
 
 from __future__ import annotations
 
+import os
+
 from ..events import stream as _event_stream
 from ..explore.uxs import UXSProvider
+from ..metrics import registry as _metrics_registry
 from ..graphs.port_graph import PortGraph
 from .spec import TrialSpec
 from .trial import (
@@ -49,13 +52,46 @@ _GRAPH_CACHE: dict[tuple[str, int, int], PortGraph] = {}
 _GRAPH_CACHE_CAP = 4
 
 
-def init_worker(provider_args: dict, prewarm_sizes: tuple[int, ...]) -> None:
-    """Pool initializer: build and pre-warm the per-process provider."""
+def init_worker(
+    provider_args: dict,
+    prewarm_sizes: tuple[int, ...],
+    enable_metrics: bool = False,
+) -> None:
+    """Pool initializer: build and pre-warm the per-process provider.
+
+    ``enable_metrics`` attaches a process-local metrics registry (the
+    parent's registry is not inherited across the pool boundary); task
+    results then carry the worker's *cumulative* snapshot back for the
+    parent to fold in with replace-per-worker semantics.
+    """
     global _PROVIDER, _INIT_COUNT
+    if enable_metrics:
+        # Always a fresh registry: under the fork start method the
+        # child inherits the parent's attached registry (same source,
+        # pre-fork counts), which would alias every worker onto one
+        # absorb key and double-count the parent's own series.  The
+        # collector tallies are module globals the fork copied too, so
+        # zero them — this worker reports its own totals only.
+        from ..explore import uxs as _uxs
+        from ..sim import agent as _agent
+
+        _agent.reset_intern_stats()
+        _uxs.reset_cache_stats()
+        _metrics_registry.attach(
+            _metrics_registry.Registry(source=f"pool-worker-{os.getpid()}")
+        )
     _PROVIDER = UXSProvider(**provider_args)
     _INIT_COUNT += 1
     for n in prewarm_sizes:
         _PROVIDER.sequence(n)
+
+
+def _metrics_envelope() -> dict | None:
+    """The attached registry's cumulative snapshot, or ``None``."""
+    reg = _metrics_registry.current()
+    if reg is None:
+        return None
+    return {"worker": reg.source, "snapshot": reg.snapshot()}
 
 
 def current_provider() -> UXSProvider | None:
@@ -92,13 +128,19 @@ def run_trial_payload(payload: dict) -> dict:
     """
     trial = TrialSpec.from_dict(payload)
     try:
-        return execute_trial(trial, provider=_PROVIDER).record()
+        record = execute_trial(trial, provider=_PROVIDER).record()
     except Exception as exc:  # pragma: no cover - defense in depth
-        rec = trial.to_dict()
-        rec["ok"] = False
-        rec["error"] = f"{type(exc).__name__}: {exc}"
-        rec["metrics"] = {}
-        return rec
+        record = trial.to_dict()
+        record["ok"] = False
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["metrics"] = {}
+    envelope = _metrics_envelope()
+    if envelope is None:
+        return record
+    # Metrics-enabled pool: wrap the record with the worker's running
+    # snapshot.  The default path returns the bare record dict, so the
+    # pool protocol is unchanged when metrics are off.
+    return {"__metrics__": envelope, "record": record}
 
 
 def _error_result(trial: TrialSpec, exc: BaseException) -> TrialResult:
@@ -183,6 +225,17 @@ def execute_trial_batch(
             results[i] = _finish_prepared(prepared)
             if emit is not None:
                 emit.emit(_trial_end_event(results[i]))
+    reg = _metrics_registry.current()
+    if reg is not None:
+        # Cohort members (and prepare failures) bypass execute_trial,
+        # which counts its own; count them here so the trial counters
+        # agree with serial execution regardless of the path taken.
+        for result in results:
+            if result is not None:
+                status = "ok" if result.ok else "failed"
+                reg.counter(
+                    "runner.trials.executed", status=status
+                ).value += 1
     return [
         result
         if result is not None
@@ -191,8 +244,13 @@ def execute_trial_batch(
     ]
 
 
-def run_trial_batch(payload: dict) -> list[dict]:
+def run_trial_batch(payload: dict) -> list[dict] | dict:
     """Execute a batch of trial dicts sharing one graph; never raises.
+
+    With a worker-local metrics registry attached (``init_worker``'s
+    ``enable_metrics``), the record list is wrapped as
+    ``{"__metrics__": ..., "records": [...]}``; the bare list is
+    returned otherwise, keeping the default pool protocol unchanged.
 
     The pipelined backend groups trials by ``(family, n, graph_seed)``
     and ships each group as one task, so the graph is built once per
@@ -202,6 +260,14 @@ def run_trial_batch(payload: dict) -> list[dict]:
     pure function of the trial coordinates the serial path computes,
     and the cohort ejects to scalar execution on any divergence.
     """
+    records = _run_trial_batch_records(payload)
+    envelope = _metrics_envelope()
+    if envelope is None:
+        return records
+    return {"__metrics__": envelope, "records": records}
+
+
+def _run_trial_batch_records(payload: dict) -> list[dict]:
     records: list[dict] = []
     trials = [TrialSpec.from_dict(p) for p in payload["trials"]]
     graph = shared_graph(trials[0]) if trials else None

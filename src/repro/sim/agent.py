@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generator
 
+from ..metrics import register_collector as _register_collector
 from .ops import (
     DECLARE,
     MOVE,
@@ -44,17 +45,46 @@ AgentGen = Generator[tuple, Observation, object]
 _PLAN_INTERN: OrderedDict[tuple, tuple] = OrderedDict()
 _PLAN_INTERN_CAP = 4096
 
+# Hit/miss tallies: plain module ints on the hot path, published into
+# an attached metrics registry as absolute process totals at snapshot
+# time (see the collector at the bottom of this module).
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
 
 def intern_plan(steps: tuple) -> tuple:
     """The canonical tuple equal to ``steps`` (inserted if new)."""
+    global _INTERN_HITS, _INTERN_MISSES
     hit = _PLAN_INTERN.get(steps)
     if hit is not None:
+        _INTERN_HITS += 1
         _PLAN_INTERN.move_to_end(steps)
         return hit
+    _INTERN_MISSES += 1
     _PLAN_INTERN[steps] = steps
     if len(_PLAN_INTERN) > _PLAN_INTERN_CAP:
         _PLAN_INTERN.popitem(last=False)
     return steps
+
+
+def intern_stats() -> tuple[int, int]:
+    """``(hits, misses)`` of the walk-plan interner, process-wide."""
+    return _INTERN_HITS, _INTERN_MISSES
+
+
+def reset_intern_stats() -> None:
+    """Zero the tallies (a forked pool worker starts its own totals)."""
+    global _INTERN_HITS, _INTERN_MISSES
+    _INTERN_HITS = 0
+    _INTERN_MISSES = 0
+
+
+def _collect_intern_stats(registry) -> None:
+    registry.counter("sim.plan_intern.hits").value = _INTERN_HITS
+    registry.counter("sim.plan_intern.misses").value = _INTERN_MISSES
+
+
+_register_collector(_collect_intern_stats)
 
 
 class WatchTriggered(Exception):

@@ -52,6 +52,7 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
 
 from ..events.types import CohortEject as _EvCohortEject
 from ..graphs.port_graph import PortGraph
+from ..metrics import registry as _metrics_registry
 from .ops import SimulationError
 from .scheduler import _DONE, Simulation, SimulationResult
 
@@ -555,6 +556,7 @@ class CohortScheduler:
         self.events = np.zeros(k, dtype=object)
         self.ejected: list[str | None] = [None] * k
         self._outcomes: list[CohortOutcome | None] = [None] * k
+        self._mx = _metrics_registry.current()
         for i, sim in enumerate(sims):
             for a, spec in enumerate(sim.specs):
                 self.wake_rounds[i, a] = spec.wake_round
@@ -599,6 +601,7 @@ class CohortScheduler:
                 # Per-edge move logs are exactly what the vector path
                 # does not track: straight to the scalar scheduler.
                 self.ejected[i] = "trace"
+        lockstep_rounds = 0
         while True:
             live = [
                 i for i in range(k)
@@ -606,6 +609,7 @@ class CohortScheduler:
             ]
             if not live:
                 break
+            lockstep_rounds += 1
             for i in live:
                 self.next_rounds[i] = sims[i].next_event_round()
             # An empty heap with live agents is a deadlock; step those
@@ -617,6 +621,16 @@ class CohortScheduler:
             for i in due:
                 self._step(i)
         self._finish_ejected()
+        if self._mx is not None:
+            # One flush per cohort; eject causes are a bounded label
+            # set (the divergence tags), so cardinality stays small.
+            mx = self._mx
+            mx.counter("sim.cohort.runs").value += 1
+            mx.histogram("sim.cohort.size").observe(k)
+            mx.counter("sim.cohort.rounds").value += lockstep_rounds
+            for tag in self.ejected:
+                if tag is not None:
+                    mx.counter("sim.cohort.ejects", reason=tag).value += 1
         return [out for out in self._outcomes if True]  # type: ignore[misc]
 
     def _step(self, i: int) -> None:

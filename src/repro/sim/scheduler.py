@@ -65,6 +65,7 @@ from itertools import repeat
 from typing import Callable, Iterable
 
 from ..events import stream as _event_stream
+from ..metrics import registry as _metrics_registry
 from ..events.types import (
     AgentMove as _EvAgentMove,
     RoundAdvance as _EvRoundAdvance,
@@ -303,9 +304,16 @@ class Simulation:
         self._active = 0  # agents not DONE (dormant agents count)
         # Fast-path diagnostics (not part of SimulationResult): how
         # many walk segments ran as single events, and how many edges
-        # they covered in total.
-        self.segments = 0
-        self.segment_edges = 0
+        # they covered in total.  Kept as standalone per-simulation
+        # counters (the public ``segments`` / ``segment_edges``
+        # attributes are thin views) and folded into the attached
+        # metrics registry once, at ``result()`` — never per segment,
+        # so the hot path stays registry-free.
+        self._c_segments = _metrics_registry.Counter()
+        self._c_segment_edges = _metrics_registry.Counter()
+        self._c_watch_fires = _metrics_registry.Counter()
+        self._mx = _metrics_registry.current()
+        self._metrics_flushed = False
         # Vectorized planner, resolved lazily on the first walk round
         # (importing cohort / building the route cache costs nothing on
         # walk-free runs).
@@ -398,8 +406,13 @@ class Simulation:
         :meth:`step_round` calls with ``run()``; the loop simply
         continues from the current state.
         """
-        while self._active > 0:
-            self.step_round()
+        if self._mx is None:
+            while self._active > 0:
+                self.step_round()
+            return self.result()
+        with self._mx.timer("sim.wall_seconds"):
+            while self._active > 0:
+                self.step_round()
         return self.result()
 
     def next_event_round(self) -> int | None:
@@ -423,6 +436,27 @@ class Simulation:
         """True once every agent has terminated."""
         return self._active == 0
 
+    # Back-compat thin views over the standalone fast-path counters
+    # (migrated to metrics counters; see __init__).
+
+    @property
+    def segments(self) -> int:
+        """Walk segments executed as single scheduler events."""
+        return self._c_segments.value
+
+    @segments.setter
+    def segments(self, value: int) -> None:
+        self._c_segments.value = value
+
+    @property
+    def segment_edges(self) -> int:
+        """Total edges covered by batched walk segments."""
+        return self._c_segment_edges.value
+
+    @segment_edges.setter
+    def segment_edges(self, value: int) -> None:
+        self._c_segment_edges.value = value
+
     def result(self) -> SimulationResult:
         """The aggregate outcome; only valid once :attr:`finished`."""
         if self._active > 0:
@@ -445,6 +479,20 @@ class Simulation:
                 total_moves=total_moves,
                 gathered=result.gathered(),
             ))
+        if self._mx is not None and not self._metrics_flushed:
+            # One aggregated flush per simulation: the per-event hot
+            # path never touches the registry.  Round counts are
+            # deliberately not recorded (exact big ints; see
+            # docs/observability.md).
+            self._metrics_flushed = True
+            mx = self._mx
+            mx.counter("sim.runs").value += 1
+            mx.counter("sim.events").value += self._events
+            mx.counter("sim.walk.segments").value += self._c_segments.value
+            mx.counter("sim.walk.segment_edges").value += (
+                self._c_segment_edges.value
+            )
+            mx.counter("sim.watch.fires").value += self._c_watch_fires.value
         return result
 
     def step_round(self) -> None:
@@ -553,6 +601,7 @@ class Simulation:
                 triggered = watch_hit(watch, self._counts[self._pos[idx]])
                 if triggered:
                     self.last_step_divergence = "watch"
+                    self._c_watch_fires.value += 1
                     if self._emit is not None:
                         self._emit.emit(_EvWatchFired(
                             round=round_,
@@ -728,13 +777,14 @@ class Simulation:
         m = plan.m
         end_round = round_ + m
         obs_rounds = range(round_ + 1, end_round + 1)
-        self.segments += 1
-        self.segment_edges += m * len(walks)
+        self._c_segments.value += 1
+        self._c_segment_edges.value += m * len(walks)
         if plan.watch_fired:
             # The segment's last edge fires a walk watch: the walk
             # helper raises WatchTriggered at the resume and the
             # agent's op stream leaves the planned route — eject.
             self.last_step_divergence = "watch"
+            self._c_watch_fires.value += 1
         for w, (idx, _head, _steps, _pos, _watch) in enumerate(walks):
             nodes, ents, degs, cards = plan.walkers[w]
             counts[nodes[0]] -= 1
@@ -986,8 +1036,8 @@ class Simulation:
         last_change = self._last_change
         end_round = round_ + m
         obs_rounds = range(round_ + 1, end_round + 1)
-        self.segments += 1
-        self.segment_edges += m * len(walks)
+        self._c_segments.value += 1
+        self._c_segment_edges.value += m * len(walks)
         for w, (idx, _head, _steps, _pos, _watch) in enumerate(walks):
             route = routes[w]
             ents = entries[w]

@@ -37,7 +37,7 @@ from repro.events import (
 )
 from repro.events import stream as event_stream
 from repro.events.processors import ConsoleProgressProcessor
-from repro.events.replay import load_trace, round_trip
+from repro.events.replay import extract_scenes, load_trace, round_trip
 from repro.events.schema import validate_payload, validate_trace
 from repro.graphs import ring
 from repro.sim import AgentSpec, Simulation
@@ -430,3 +430,105 @@ class TestRunnerByteIdentity:
         kinds = {type(e).__name__ for e in events}
         assert {"SweepStart", "TrialStart", "SimulationStart",
                 "TrialEnd", "SweepEnd"} <= kinds
+
+
+class TestSceneExtraction:
+    """``extract_scenes`` on traces with cohort and watch events."""
+
+    def gather_payloads(self):
+        _report, events = run_collected(
+            run_gather_known, ring(6, seed=42), [5, 9, 12], 8
+        )
+        return events, [to_payload(e) for e in events]
+
+    def test_midsegment_watch_lands_on_expanded_frame(self):
+        # A watch firing *inside* a batched walk targets a round that
+        # has no AgentMove row of its own — its frame exists only
+        # because WalkSegment routes expand to per-edge moves.  The
+        # watch must attach to that expanded frame.
+        payloads = [
+            to_payload(
+                SimulationStart(
+                    n=4,
+                    edges=((0, 0, 1, 1), (1, 0, 2, 1), (2, 0, 3, 1)),
+                    agents=((1, 0, None), (2, 3, None)),
+                )
+            ),
+            to_payload(
+                WalkSegment(
+                    round=5, length=3, walkers=(0,),
+                    routes=((0, 1, 2, 3),), observers=(),
+                )
+            ),
+            to_payload(WatchFired(round=6, agent=1, node=2, count=2)),
+            to_payload(
+                SimulationEnd(
+                    final_round=8, events=4, total_moves=3,
+                    gathered=True,
+                )
+            ),
+        ]
+        (scene,) = extract_scenes(payloads)
+        rounds = [f["round"] for f in scene["frames"]]
+        assert rounds == ["5", "6", "7"]
+        mid = scene["frames"][1]
+        assert mid["moves"] == [[0, 1, 2]]
+        assert mid["watches"] == [[1, 2]]
+        assert scene["frames"][0]["watches"] == []
+        assert scene["final_round"] == "8"
+
+    def test_watch_on_unknown_round_is_dropped(self):
+        # A watch whose round has no frame (nothing moved then) cannot
+        # attach anywhere; it is silently skipped, not crashed on.
+        # Seeded gather runs produce exactly this: the watch fires on
+        # the arrival round *after* a segment's last departure row.
+        events, payloads = self.gather_payloads()
+        fired = [e for e in events if isinstance(e, WatchFired)]
+        assert fired
+        (scene,) = extract_scenes(payloads, max_frames=10**9)
+        assert not scene["truncated"]
+        rounds = {f["round"] for f in scene["frames"]}
+        stray = [e for e in fired if str(e.round) not in rounds]
+        assert stray  # this trace's watch fires on a still round
+        assert sum(len(f["watches"]) for f in scene["frames"]) == len(
+            fired
+        ) - len(stray)
+
+    def test_cohort_eject_trace_builds_scalar_identical_scene(self):
+        # CohortEject is a recognized sim event but expands to no
+        # moves: a cohort member's trace renders the same scene as the
+        # scalar run of the same scenario.
+        pytest.importorskip("numpy")
+        from test_cohort import build_sim, watch_fire_scenario
+
+        from repro.sim.cohort import run_cohort
+
+        graph = ring(6)
+        collectors = [ListProcessor() for _ in range(3)]
+        sims = [
+            build_sim(
+                graph, watch_fire_scenario(graph),
+                events=EventDispatcher([c]),
+            )
+            for c in collectors
+        ]
+        outcomes = run_cohort(graph, sims)
+        assert all(o.ejected == "watch" for o in outcomes)
+
+        scalar_collector = ListProcessor()
+        scalar = build_sim(
+            graph, watch_fire_scenario(graph),
+            events=EventDispatcher([scalar_collector]),
+        )
+        scalar.run()
+        scalar.result()
+        (scalar_scene,) = extract_scenes(
+            [to_payload(e) for e in scalar_collector.events]
+        )
+
+        for collector in collectors:
+            payloads = [to_payload(e) for e in collector.events]
+            assert any(p["type"] == "CohortEject" for p in payloads)
+            (scene,) = extract_scenes(payloads)
+            assert scene == scalar_scene
+            assert scene["frames"]  # the scenario does move agents

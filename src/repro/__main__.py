@@ -20,6 +20,7 @@ Experiments::
     python -m repro manifest   # inspect work-manifest progress/claims
     python -m repro trace      # validate/replay --events JSONL traces
     python -m repro metrics    # summarize/export/diff --metrics snapshots
+    python -m repro corpus     # export/replay worst-case scenario corpora
 """
 
 from __future__ import annotations
@@ -107,7 +108,7 @@ _DEMOS = {
 # pulls in multiprocessing machinery the demos never need).
 _ENGINE_COMMANDS = (
     "sweep", "search", "query", "compact", "worker", "merge", "manifest",
-    "trace", "metrics",
+    "trace", "metrics", "corpus",
 )
 
 

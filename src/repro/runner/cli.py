@@ -1,5 +1,6 @@
 """``python -m repro
-sweep|search|query|compact|worker|merge|manifest|metrics`` — engine CLI.
+sweep|search|query|compact|worker|merge|manifest|metrics|corpus`` —
+engine CLI.
 
 ``sweep`` runs a declarative trial grid with progress output (trials/s
 and ETA), prints a result table, and memoizes completed trials under
@@ -50,12 +51,21 @@ their own stores; merge unions those stores into one canonical store
 
 ``manifest status`` reports every manifest's chunk progress (done /
 in-flight / pending) and the age of each in-flight claim, so a crashed
-worker's stale claim is easy to spot and delete.
+worker's stale claim is easy to spot — and ``worker --steal`` reclaims
+it automatically once it exceeds the claim TTL.
+
+``corpus`` persists search-discovered worst-case scenarios as a
+committed regression grid and replays it (see docs/ci.md)::
+
+    python -m repro corpus export --cache-dir .repro-cache \\
+        --out benchmarks/corpus/gather-ring.json --top 2
+    python -m repro corpus replay --corpus-dir benchmarks/corpus
 
 Sweep, search and worker exit status is 0 when every executed trial
 succeeded, 1 otherwise (failed trials are reported, never crash the
 run).  Query, compact, merge and manifest exit 0 on success and 2 on a
-malformed request.
+malformed request; corpus replay exits 1 on any regression and 2 on a
+malformed corpus.
 """
 
 from __future__ import annotations
@@ -448,6 +458,21 @@ def build_search_parser() -> argparse.ArgumentParser:
         help="disable persistence (the search cannot resume)",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint sidecar in the store "
+             "(falls back to plain cache replay if none exists)",
+    )
+    parser.add_argument(
+        "--stop-after-rounds", type=int, default=None, metavar="R",
+        help="stop after R total search rounds (a deterministic "
+             "interruption point; resume later with --resume)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="R",
+        help="persist the resume checkpoint every R rounds "
+             "(default: 1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-round progress lines",
     )
@@ -464,6 +489,17 @@ def search_main(argv: list[str]) -> int:
     try:
         if args.workers < 1:
             raise ValueError("--workers must be >= 1")
+        if args.resume and args.no_cache:
+            raise ValueError(
+                "--resume needs the result store (drop --no-cache)"
+            )
+        if (
+            args.stop_after_rounds is not None
+            and args.stop_after_rounds < 1
+        ):
+            raise ValueError("--stop-after-rounds must be >= 1")
+        if args.checkpoint_every < 1:
+            raise ValueError("--checkpoint-every must be >= 1")
         spec = SearchSpec(
             algorithm=args.algorithm,
             family=args.family,
@@ -514,6 +550,9 @@ def search_main(argv: list[str]) -> int:
                 store=None if args.no_cache else args.cache_dir,
                 progress=report_progress,
                 backend=args.backend,
+                resume=args.resume,
+                checkpoint_every=args.checkpoint_every,
+                max_rounds=args.stop_after_rounds,
             )
     except ValueError as exc:
         # BackendError (e.g. the manifest backend) and SpecError (e.g.
@@ -893,14 +932,33 @@ def build_worker_parser() -> argparse.ArgumentParser:
         help="name recorded in claim files (default: worker-<pid>)",
     )
     parser.add_argument(
-        "--chunk-size", type=int, default=16, metavar="N",
+        "--chunk-size", default="auto", metavar="N|auto",
         help="trials per manifest chunk, applied when this worker "
-             "creates the manifest (default: 16)",
+             "creates the manifest; 'auto' sizes chunks from the "
+             "spec's per-trial cost estimate, refined by any metrics "
+             "sidecars under the manifest root (default: auto)",
     )
     parser.add_argument(
         "--max-chunks", type=int, default=None, metavar="N",
         help="stop after claiming N chunks (default: run until no "
              "chunk is claimable)",
+    )
+    parser.add_argument(
+        "--steal", action="store_true",
+        help="take over chunks whose claims are older than "
+             "--claim-ttl (a preempted/crashed worker's), and keep "
+             "polling until every chunk has a result instead of "
+             "exiting while foreign claims are in flight",
+    )
+    parser.add_argument(
+        "--claim-ttl", type=float, default=None, metavar="SECONDS",
+        help="age at which an in-flight claim counts as abandoned "
+             "(default: 300; only meaningful with --steal)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="how often a --steal worker re-checks in-flight foreign "
+             "claims (default: 0.5)",
     )
     parser.add_argument(
         "--quiet", action="store_true",
@@ -916,14 +974,30 @@ def worker_main(argv: list[str]) -> int:
 
     args = build_worker_parser().parse_args(argv)
     try:
-        if args.chunk_size < 1:
-            raise ValueError("--chunk-size must be >= 1")
+        if args.chunk_size == "auto":
+            chunk_size = None  # plan from the spec's cost estimate
+        else:
+            try:
+                chunk_size = int(args.chunk_size)
+            except ValueError:
+                raise ValueError(
+                    "--chunk-size must be an integer or 'auto': "
+                    f"{args.chunk_size!r}"
+                ) from None
+            if chunk_size < 1:
+                raise ValueError("--chunk-size must be >= 1")
         if args.max_chunks is not None and args.max_chunks < 1:
             raise ValueError("--max-chunks must be >= 1")
+        if args.claim_ttl is not None and not args.steal:
+            raise ValueError("--claim-ttl only applies with --steal")
+        if args.claim_ttl is not None and args.claim_ttl < 0:
+            raise ValueError("--claim-ttl must be >= 0")
+        if args.poll_interval <= 0:
+            raise ValueError("--poll-interval must be > 0")
         spec = _spec_from_args(args)
         manifest_root = args.manifest_dir or args.cache_dir
         mdir, payload = manifest_mod.ensure_manifest(
-            manifest_root, spec, chunk_size=args.chunk_size
+            manifest_root, spec, chunk_size=chunk_size
         )
         # Chunks that previously captured a failure become claimable
         # again: failures are retried, never replayed (the same
@@ -962,8 +1036,16 @@ def _worker_run(args, spec, mdir, payload, worker_id) -> int:
     meter = console.meter
     ok_records: dict[str, dict] = dict(store.load(spec))
     claimed = 0
+    stolen = 0
     executed = 0
     failed = 0
+    steal_ttl = None
+    if args.steal:
+        steal_ttl = (
+            manifest_mod.DEFAULT_CLAIM_TTL
+            if args.claim_ttl is None
+            else args.claim_ttl
+        )
     # Saving re-serializes every accumulated shard, so doing it after
     # *every* chunk turns a long sweep quadratic; throttle to one save
     # per interval (a crash re-runs at most a few seconds of chunks,
@@ -971,21 +1053,57 @@ def _worker_run(args, spec, mdir, payload, worker_id) -> int:
     # sweep below).
     save_interval = 5.0
     last_save = _time.monotonic()
+    # A --steal worker only gives up when unfinished chunks stop
+    # making progress for far longer than any claim could stay both
+    # live and un-stealable (claims are stealable once past the TTL,
+    # so a healthy fleet always progresses eventually).
+    idle_timeout = (steal_ttl or 0.0) + 600.0
+    idle_since = _time.monotonic()
+    last_unfinished = len(chunks)
     while args.max_chunks is None or claimed < args.max_chunks:
         if reg is None:
-            chunk_id = manifest_mod.claim_next(
-                mdir, len(chunks), worker_id
+            claim = manifest_mod.claim_next(
+                mdir, len(chunks), worker_id, steal_ttl=steal_ttl
             )
         else:
             with reg.timer("runner.manifest.claim_seconds"):
-                chunk_id = manifest_mod.claim_next(
-                    mdir, len(chunks), worker_id
+                claim = manifest_mod.claim_next(
+                    mdir, len(chunks), worker_id, steal_ttl=steal_ttl
                 )
-        if chunk_id is None:
-            break
+        if claim is None:
+            if not args.steal:
+                break
+            # Nothing claimable, but the sweep may not be finished:
+            # foreign claims are in flight.  Wait for their results to
+            # land — or for their claims to age past the TTL, at which
+            # point the next claim_next above steals them.
+            unfinished = sum(
+                1 for i in range(len(chunks))
+                if manifest_mod.read_chunk_result(mdir, i) is None
+            )
+            if unfinished == 0:
+                break
+            if unfinished < last_unfinished:
+                last_unfinished = unfinished
+                idle_since = _time.monotonic()
+            elif _time.monotonic() - idle_since > idle_timeout:
+                print(
+                    f"error: {unfinished} chunk(s) still in flight "
+                    f"made no progress for {idle_timeout:.0f}s; "
+                    "their claims are being refreshed elsewhere or "
+                    "the shared filesystem is stuck"
+                )
+                return 1
+            _time.sleep(args.poll_interval)
+            continue
+        chunk_id, token, was_stolen = claim
         claimed += 1
+        stolen += 1 if was_stolen else 0
+        idle_since = _time.monotonic()
         if reg is not None:
             reg.counter("runner.manifest.chunks.claimed").value += 1
+            if was_stolen:
+                reg.counter("runner.manifest.chunks.stolen").value += 1
         if emit is not None:
             emit.emit(_EvBackendChunkClaimed(
                 chunk=chunk_id, chunks=len(chunks), worker=worker_id,
@@ -999,7 +1117,7 @@ def _worker_run(args, spec, mdir, payload, worker_id) -> int:
             print(f"error: {exc}")
             return 2
         manifest_mod.write_chunk_result(
-            mdir, chunk_id, payload["spec_hash"], records
+            mdir, chunk_id, payload["spec_hash"], records, token=token
         )
         executed += len(records)
         failed += sum(1 for r in records if not r["ok"])
@@ -1016,8 +1134,9 @@ def _worker_run(args, spec, mdir, payload, worker_id) -> int:
         if not args.quiet:
             status = manifest_mod.manifest_status(mdir, payload)
             elapsed = max(_time.monotonic() - meter.started, 1e-9)
+            taken = " (stolen)" if was_stolen else ""
             console.note(
-                f"[chunk {chunk_id}] {len(records)} trial(s)  "
+                f"[chunk {chunk_id}]{taken} {len(records)} trial(s)  "
                 f"done {status['done']}/{status['chunks']} chunks  "
                 f"({meter.simulated / elapsed:.1f} trials/s)"
             )
@@ -1043,8 +1162,9 @@ def _worker_run(args, spec, mdir, payload, worker_id) -> int:
         )
         print(f"metrics sidecar: {sidecar}")
     print(
-        f"worker {worker_id}: claimed {claimed} chunk(s), "
-        f"executed {executed} trial(s), failed {failed}; manifest "
+        f"worker {worker_id}: claimed {claimed} chunk(s) "
+        f"({stolen} stolen), executed {executed} trial(s), "
+        f"failed {failed}; manifest "
         f"{status['done']}/{status['chunks']} chunks done"
     )
     print(f"result store: {args.cache_dir}")
@@ -1156,3 +1276,19 @@ def metrics_main(argv: list[str]) -> int:
     from ..metrics.cli import metrics_main as _metrics_main
 
     return _metrics_main(argv)
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro corpus`` — worst-case scenario corpora.
+# ----------------------------------------------------------------------
+
+def corpus_main(argv: list[str]) -> int:
+    """Export/replay committed worst-case scenario corpora.
+
+    Thin delegator so ``python -m repro corpus`` dispatches like every
+    other engine command; the implementation lives in
+    :mod:`repro.runner.corpus`.
+    """
+    from .corpus import corpus_main as _corpus_main
+
+    return _corpus_main(argv)

@@ -42,6 +42,7 @@ from ..engine import coerce_store
 from ..spec import SpecError, TrialSpec
 from ..store import ResultStore
 from ..trial import _build_graph, resolve_scenario
+from . import checkpoint as checkpoint_mod
 from .space import ScenarioPoint, ScenarioSpace
 from .spec import SearchSpec
 from .strategies import drive_search, make_strategy
@@ -108,6 +109,9 @@ def run_search(
     provider_args: dict | None = None,
     backend: str | None = None,
     backend_options: dict | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    max_rounds: int | None = None,
 ) -> SearchResult:
     """Run (or resume) an adaptive scenario search.
 
@@ -115,7 +119,23 @@ def run_search(
     ``manifest`` backend is rejected (an adaptive search is inherently
     sequential across rounds — its within-round batches parallelize
     through ``process``/``pipelined`` instead).
+
+    With a store, every ``checkpoint_every``-th round boundary also
+    persists a resumable checkpoint sidecar (strategy state + driver
+    counters, see :mod:`repro.runner.search.checkpoint`) under the
+    spec-hash directory.  ``resume=True`` restores it and continues
+    the trajectory mid-stream instead of replaying the finished prefix
+    out of the eval cache; with no (or a stale) checkpoint it degrades
+    to exactly that replay.  ``max_rounds`` stops the loop after that
+    many total rounds — a deterministic interruption point for
+    preemption drills and incremental deep runs.  Interrupted,
+    resumed, replayed and uninterrupted runs all leave byte-identical
+    store directories.
     """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    if max_rounds is not None and max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
     if workers < 1:
         raise ValueError("workers must be >= 1")
     backend_name = backend
@@ -219,6 +239,20 @@ def run_search(
     _UNSET = object()
     frontier_state: dict[str, Any] = {"best": _UNSET, "improved": 0}
 
+    # Resume from a checkpoint sidecar: restore the strategy's full
+    # proposal state and the driver counters, so the loop continues
+    # mid-trajectory instead of replaying the finished prefix out of
+    # the eval cache.  A missing/stale checkpoint degrades to exactly
+    # that replay (start stays None).
+    start: dict | None = None
+    if resume and result_store is not None:
+        ckpt = checkpoint_mod.load_checkpoint(result_store, spec)
+        if ckpt is not None:
+            start = checkpoint_mod.restore(ckpt, strategy)
+            # The restored incumbent was already counted as an
+            # improvement by the interrupted invocation.
+            frontier_state["best"] = start["best_value"]
+
     def metric_value(record: dict):
         metrics = record.get("metrics") or {}
         if spec.metric not in metrics:
@@ -311,6 +345,19 @@ def run_search(
             frontier_state["improved"] += 1
         if result_store is not None:
             result_store.save(spec, all_records)
+            # Checkpoint after the records land: a kill between the
+            # two writes resumes one round back and replays the extra
+            # records out of the eval cache — never the reverse, where
+            # a checkpoint would claim rounds whose records are gone.
+            if round_index % checkpoint_every == 0:
+                checkpoint_mod.write_checkpoint(
+                    result_store,
+                    spec,
+                    checkpoint_mod.build_checkpoint(
+                        spec, strategy, attempts, round_index,
+                        best_point, best_value,
+                    ),
+                )
         if progress is not None:
             progress(
                 round_index, attempts, spec.budget, best_value,
@@ -333,10 +380,24 @@ def run_search(
         spec.budget,
         maximize=maximize,
         on_round=on_round,
+        start=start,
+        max_rounds=max_rounds,
     )
 
-    if result_store is not None and all_records:
-        result_store.save(spec, all_records)
+    if result_store is not None:
+        if all_records:
+            result_store.save(spec, all_records)
+        if outcome.rounds or start is not None:
+            # Final round boundary — also covers checkpoint_every > 1
+            # runs whose last round missed the periodic write.
+            checkpoint_mod.write_checkpoint(
+                result_store,
+                spec,
+                checkpoint_mod.build_checkpoint(
+                    spec, strategy, outcome.attempts, outcome.rounds,
+                    outcome.best_point, outcome.best_value,
+                ),
+            )
 
     reg = _metrics_registry.current()
     if reg is not None:

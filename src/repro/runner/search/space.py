@@ -63,6 +63,34 @@ class ScenarioPoint:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ScenarioPoint(nodes={self.nodes}, wake={self.wake})"
 
+    def to_json(self) -> dict:
+        """JSON-safe form (checkpoint sidecars round-trip points)."""
+        return {
+            "nodes": None if self.nodes is None else list(self.nodes),
+            "wake": None if self.wake is None else list(self.wake),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ScenarioPoint":
+        nodes = payload.get("nodes")
+        wake = payload.get("wake")
+        return cls(
+            None if nodes is None else tuple(int(v) for v in nodes),
+            None if wake is None else tuple(
+                None if d is None else int(d) for d in wake
+            ),
+        )
+
+
+def point_to_json(point: "ScenarioPoint | None") -> dict | None:
+    """``None``-tolerant :meth:`ScenarioPoint.to_json`."""
+    return None if point is None else point.to_json()
+
+
+def point_from_json(payload: dict | None) -> "ScenarioPoint | None":
+    """``None``-tolerant :meth:`ScenarioPoint.from_json`."""
+    return None if payload is None else ScenarioPoint.from_json(payload)
+
 
 class ScenarioSpace:
     """Bounds and operators for one search's scenario points.

@@ -44,7 +44,12 @@ import random
 from typing import Any, Callable, Sequence
 
 from ..spec import SpecError
-from .space import ScenarioPoint, ScenarioSpace
+from .space import (
+    ScenarioPoint,
+    ScenarioSpace,
+    point_from_json,
+    point_to_json,
+)
 
 # A stream maps a draw index to the seeded scenario sample the
 # ``worst_of`` adversary would evaluate for the same draw — strategies
@@ -201,6 +206,55 @@ class _Strategy:
     def _frontier(self) -> dict:
         return {}
 
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of everything proposal order depends on.
+
+        Restoring it with :meth:`load_state` makes the strategy
+        propose the exact sequence an uninterrupted run would have
+        proposed from this moment — the property the checkpointed
+        search engine's byte-identity contract rests on.  Values must
+        survive a JSON round trip unchanged (ints, floats, strings,
+        ``None``), which every objective metric already guarantees.
+        """
+        rng_state = self.rng.getstate()
+        return {
+            "strategy": self.name,
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "seen": sorted(self._seen),
+            "values": [
+                [sig, self._values[sig]] for sig in sorted(self._values)
+            ],
+            "incumbent": point_to_json(self.incumbent),
+            "incumbent_value": self.incumbent_value,
+            "stream_i": self._stream_index(),
+            "extra": self._state_extra(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same strategy only)."""
+        if state.get("strategy") != self.name:
+            raise SpecError(
+                f"checkpoint belongs to strategy "
+                f"{state.get('strategy')!r}, not {self.name!r}"
+            )
+        rng = state["rng"]
+        self.rng.setstate((rng[0], tuple(rng[1]), rng[2]))
+        self._seen = set(state["seen"])
+        self._values = {sig: value for sig, value in state["values"]}
+        self.incumbent = point_from_json(state["incumbent"])
+        self.incumbent_value = state["incumbent_value"]
+        self._stream_i = int(state["stream_i"])
+        self._load_extra(state.get("extra") or {})
+
+    def _state_extra(self) -> dict:
+        """Subclass hook: private state beyond the shared bookkeeping."""
+        return {}
+
+    def _load_extra(self, extra: dict) -> None:
+        pass
+
 
 class SampleStrategy(_Strategy):
     """Blind seeded sampling — ``worst_of:<k>`` as a search strategy."""
@@ -306,6 +360,22 @@ class HillClimbStrategy(_Strategy):
             ),
         }
 
+    def _state_extra(self) -> dict:
+        return {
+            "current": point_to_json(self._current),
+            "current_value": self._current_value,
+            "stalls": self._stalls,
+            "restarts": self._restarts,
+            "awaiting_restart": self._awaiting_restart,
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        self._current = point_from_json(extra["current"])
+        self._current_value = extra["current_value"]
+        self._stalls = int(extra["stalls"])
+        self._restarts = int(extra["restarts"])
+        self._awaiting_restart = bool(extra["awaiting_restart"])
+
 
 class HalvingStrategy(_Strategy):
     """Successive halving over wake-delay budgets."""
@@ -402,6 +472,26 @@ class HalvingStrategy(_Strategy):
             ),
             "queued": len(self._queue),
         }
+
+    def _state_extra(self) -> dict:
+        return {
+            "rungs": self._rungs,
+            "rung": self._rung,
+            "queue": [point_to_json(p) for p in self._queue],
+            "rung_results": [
+                [point_to_json(p), v] for p, v in self._rung_results
+            ],
+            "pending": self._pending,
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        self._rungs = int(extra["rungs"])
+        self._rung = int(extra["rung"])
+        self._queue = [point_from_json(p) for p in extra["queue"]]
+        self._rung_results = [
+            (point_from_json(p), v) for p, v in extra["rung_results"]
+        ]
+        self._pending = int(extra["pending"])
 
 
 class BisectStrategy(_Strategy):
@@ -569,6 +659,40 @@ class BisectStrategy(_Strategy):
             ),
         }
 
+    def _state_extra(self) -> dict:
+        return {
+            "current": point_to_json(self._current),
+            "pass": self._pass,
+            "coords": [list(c) for c in self._coords],
+            "coord_i": self._coord_i,
+            "interval": (
+                None if self._interval is None else list(self._interval)
+            ),
+            "trio": [point_to_json(p) for p in self._trio],
+            "trio_values": [
+                [sig, self._trio_values[sig]]
+                for sig in sorted(self._trio_values)
+            ],
+            "awaiting_start": self._awaiting_start,
+        }
+
+    def _load_extra(self, extra: dict) -> None:
+        self._current = point_from_json(extra["current"])
+        self._pass = int(extra["pass"])
+        self._coords = [
+            (str(kind), int(agent)) for kind, agent in extra["coords"]
+        ]
+        self._coord_i = int(extra["coord_i"])
+        interval = extra["interval"]
+        self._interval = (
+            None if interval is None else (int(interval[0]), int(interval[1]))
+        )
+        self._trio = [point_from_json(p) for p in extra["trio"]]
+        self._trio_values = {
+            sig: value for sig, value in extra["trio_values"]
+        }
+        self._awaiting_start = bool(extra["awaiting_start"])
+
 
 STRATEGIES: dict[str, type[_Strategy]] = {
     "sample": SampleStrategy,
@@ -607,6 +731,8 @@ def drive_search(
     budget: int,
     maximize: bool = True,
     on_round: Callable | None = None,
+    start: dict | None = None,
+    max_rounds: int | None = None,
 ) -> SearchOutcome:
     """The generic search loop: propose, evaluate, observe, repeat.
 
@@ -616,12 +742,27 @@ def drive_search(
     terminates.  ``on_round(round_index, results, best_point,
     best_value, attempts)`` fires after each observed batch (the
     engine's persistence/progress hook).
+
+    ``start`` resumes mid-trajectory from a checkpoint: a dict with
+    ``attempts``, ``rounds``, ``best_point``, ``best_value`` — the
+    loop continues exactly where those counters stopped (the caller
+    restores the *strategy's* state separately).  ``max_rounds`` stops
+    after that many *total* rounds — a deterministic interruption
+    point (preemption drills, incremental deep searches); the search
+    is simply unfinished, and a resumed run continues it.
     """
     best_point: ScenarioPoint | None = None
     best_value: Any = None
     attempts = 0
     rounds = 0
+    if start is not None:
+        best_point = start.get("best_point")
+        best_value = start.get("best_value")
+        attempts = int(start.get("attempts", 0))
+        rounds = int(start.get("rounds", 0))
     while attempts < budget:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
         batch = strategy.propose(budget - attempts)
         batch = batch[: budget - attempts]
         if not batch:

@@ -39,6 +39,9 @@ from .spec import ExperimentSpec
 _FORMAT_VERSION = 2
 _LEGACY_VERSION = 1
 _DEFAULT_SHARD_SIZE = 256
+# Kept in sync with repro.runner.search.checkpoint.CHECKPOINT_NAME
+# (importing it here would invert the store <- search layering).
+_CHECKPOINT_NAME = "search-checkpoint.json"
 
 
 class MergeWarning(UserWarning):
@@ -125,6 +128,22 @@ class ResultStore:
     def legacy_path_for(self, spec: ExperimentSpec | str) -> pathlib.Path:
         """The v1 single-file location of ``spec`` (or a spec hash)."""
         return self.root / f"{self._hash_of(spec)}.json"
+
+    def sidecar_path(
+        self, spec: ExperimentSpec | str, name: str
+    ) -> pathlib.Path:
+        """A named sidecar file inside the spec's store directory.
+
+        Sidecars (e.g. the search engine's resumable checkpoint) live
+        next to the shards but outside the shard namespace —
+        :meth:`save` only prunes ``shard-*.json`` files and
+        :meth:`compact` rewrites shards in place, so sidecars survive
+        both.  The directory is created on demand; whether the file
+        exists is the caller's business.
+        """
+        directory = self.dir_for(spec)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory / name
 
     # ------------------------------------------------------------------
     # Load.
@@ -503,7 +522,11 @@ class ResultStore:
         * legacy v1 single-file sources are read and land as v2
           shards — merging *is* the migration;
         * this store's own records participate as the base layer, so
-          merging is incremental and idempotent.
+          merging is incremental and idempotent;
+        * a search spec's ``search-checkpoint.json`` sidecar rides
+          along — the source with the furthest frontier (most rounds,
+          then attempts) wins, so a resume from the merged store
+          continues from the most-advanced worker's state.
 
         Specs whose sidecar is unreadable in every source cannot be
         re-saved (no canonical spec dict) and are skipped with a
@@ -517,7 +540,7 @@ class ResultStore:
             for entry in store.list_specs():
                 spec_hash = entry["spec_hash"]
                 bucket = union.setdefault(
-                    spec_hash, {"spec": None, "records": {}}
+                    spec_hash, {"spec": None, "records": {}, "ckpt": None}
                 )
                 if bucket["spec"] is None:
                     bucket["spec"] = entry["spec"]
@@ -530,6 +553,20 @@ class ResultStore:
                     ):
                         disagreements += 1
                     records[key] = record
+                # Search checkpoints ride along: keep the furthest
+                # frontier so resuming from the merged store continues
+                # where the most-advanced source stopped.  (Complete
+                # runs write identical bytes, so a merge of finished
+                # stores stays byte-canonical.)
+                ckpt_path = store.dir_for(spec_hash) / _CHECKPOINT_NAME
+                try:
+                    raw = ckpt_path.read_bytes()
+                    payload = json.loads(raw)
+                    rank = (payload["rounds"], payload["attempts"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue
+                if bucket["ckpt"] is None or rank > bucket["ckpt"][0]:
+                    bucket["ckpt"] = (rank, raw)
             return disagreements
 
         ingest(self, warn_duplicates=False)  # base layer: own records
@@ -563,6 +600,10 @@ class ResultStore:
                 )
                 continue
             self.save(spec, bucket["records"], spec_hash=spec_hash)
+            if bucket["ckpt"] is not None:
+                self.sidecar_path(spec_hash, _CHECKPOINT_NAME).write_bytes(
+                    bucket["ckpt"][1]
+                )
             merged_specs += 1
             merged_records += len(bucket["records"])
         return {

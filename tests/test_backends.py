@@ -616,3 +616,209 @@ class TestSweepBackendCLI:
         assert "simulated: 0" in rerun.out
         assert "trials/s" not in rerun.out
         assert "trials/s" not in rerun.err
+
+
+class TestClaimTakeover:
+    def _age(self, mdir, chunk_id, seconds):
+        path = mdir / "claims" / f"chunk-{chunk_id:04d}.claim"
+        past = path.stat().st_mtime - seconds
+        os.utime(path, (past, past))
+
+    def test_fresh_claim_is_not_stealable(self, tmp_path):
+        spec = small_spec()
+        mdir, _ = manifest_mod.ensure_manifest(tmp_path, spec)
+        assert manifest_mod.claim_chunk(mdir, 0, "alice")
+        assert manifest_mod.steal_claim(mdir, 0, "bob", ttl=300) is None
+
+    def test_expired_claim_is_taken_over_with_bumped_generation(
+        self, tmp_path
+    ):
+        spec = small_spec()
+        mdir, _ = manifest_mod.ensure_manifest(tmp_path, spec)
+        assert manifest_mod.claim_chunk(mdir, 0, "alice") == "alice#0"
+        self._age(mdir, 0, seconds=60)
+        token = manifest_mod.steal_claim(mdir, 0, "bob", ttl=5)
+        assert token == "bob#1"
+        claim = manifest_mod.read_claim(mdir, 0)
+        assert claim["worker"] == "bob"
+        assert claim["generation"] == 1
+        # A third worker can dethrone the thief once *its* claim ages.
+        self._age(mdir, 0, seconds=60)
+        assert manifest_mod.steal_claim(mdir, 0, "carol", ttl=5) == "carol#2"
+
+    def test_skewed_claim_is_never_stolen(self, tmp_path):
+        # A claim stamped by a clock running ahead of ours has a
+        # negative raw age; the PR 6 clamp makes its age 0, so even a
+        # zero TTL cannot justify a takeover.
+        spec = small_spec()
+        mdir, _ = manifest_mod.ensure_manifest(tmp_path, spec)
+        assert manifest_mod.claim_chunk(mdir, 0, "alice")
+        path = mdir / "claims" / "chunk-0000.claim"
+        future = path.stat().st_mtime + 3600
+        os.utime(path, (future, future))
+        assert manifest_mod.steal_claim(mdir, 0, "bob", ttl=0) is None
+
+    def test_dethroned_workers_late_write_is_discarded(self, tmp_path):
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(tmp_path, spec)
+        spec_hash = payload["spec_hash"]
+        records = [{"key": "k", "ok": True, "metrics": {}}]
+        token_a = manifest_mod.claim_chunk(mdir, 0, "alice")
+        self._age(mdir, 0, seconds=60)
+        token_b = manifest_mod.steal_claim(mdir, 0, "bob", ttl=5)
+        # Alice (presumed dead) wakes up and writes under her old
+        # token: the result must read as absent, not double-merge.
+        manifest_mod.write_chunk_result(
+            mdir, 0, spec_hash, records, token=token_a
+        )
+        assert manifest_mod.read_chunk_result(mdir, 0) is None
+        # Bob's write under the live token is honored.
+        manifest_mod.write_chunk_result(
+            mdir, 0, spec_hash, records, token=token_b
+        )
+        assert manifest_mod.read_chunk_result(mdir, 0) == records
+
+    def test_tokenless_results_stay_valid(self, tmp_path):
+        # Pre-takeover manifests (and engine-internal execution) write
+        # results without tokens; they must never be invalidated.
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(tmp_path, spec)
+        records = [{"key": "k", "ok": True, "metrics": {}}]
+        manifest_mod.claim_chunk(mdir, 0, "alice")
+        manifest_mod.write_chunk_result(
+            mdir, 0, payload["spec_hash"], records
+        )
+        assert manifest_mod.read_chunk_result(mdir, 0) == records
+
+    def test_claim_next_steals_only_with_ttl(self, tmp_path):
+        spec = small_spec()
+        mdir, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=1
+        )
+        n = len(payload["chunks"])
+        for chunk_id in range(n):
+            assert manifest_mod.claim_chunk(mdir, chunk_id, "ghost")
+            self._age(mdir, chunk_id, seconds=60)
+        assert manifest_mod.claim_next(mdir, n, "bob") is None
+        claim = manifest_mod.claim_next(mdir, n, "bob", steal_ttl=5)
+        assert claim == (0, "bob#1", True)
+
+    def test_worker_steal_cli_finishes_and_matches_serial(self, tmp_path):
+        # Worker A claims one chunk and "crashes" before executing the
+        # rest (simulated by --max-chunks); a ghost claim pins another
+        # chunk.  Worker B with --steal must drain everything and the
+        # merged store must byte-equal a serial sweep.
+        shared = tmp_path / "shared"
+        spec_args = ["--sizes", "4,5", "--seeds", "0,1"]
+        assert main([
+            "worker", *spec_args,
+            "--manifest-dir", str(shared),
+            "--cache-dir", str(tmp_path / "store-a"),
+            "--worker-id", "A", "--chunk-size", "1",
+            "--max-chunks", "1", "--quiet",
+        ]) == 0
+        spec = ExperimentSpec(
+            algorithm="gather_known", family="ring", sizes=(4, 5),
+            label_sets=((1, 2),), seeds=(0, 1),
+        )
+        mdir = manifest_mod.manifest_dir(shared, spec.spec_hash())
+        stuck = None
+        for chunk_id in range(4):
+            if manifest_mod.claim_chunk(mdir, chunk_id, "ghost"):
+                stuck = chunk_id
+                break
+        assert stuck is not None
+        self._age(mdir, stuck, seconds=60)
+        assert main([
+            "worker", *spec_args,
+            "--manifest-dir", str(shared),
+            "--cache-dir", str(tmp_path / "store-b"),
+            "--worker-id", "B", "--chunk-size", "1",
+            "--steal", "--claim-ttl", "5", "--poll-interval", "0.05",
+            "--quiet",
+        ]) == 0
+        assert main([
+            "merge", "--into", str(tmp_path / "merged"),
+            str(tmp_path / "store-a"), str(tmp_path / "store-b"),
+        ]) == 0
+        assert main([
+            "sweep", *spec_args, "--quiet",
+            "--cache-dir", str(tmp_path / "reference"),
+        ]) == 0
+        merged = {
+            p.relative_to(tmp_path / "merged"): p.read_bytes()
+            for p in sorted((tmp_path / "merged").rglob("*.json"))
+        }
+        reference = {
+            p.relative_to(tmp_path / "reference"): p.read_bytes()
+            for p in sorted((tmp_path / "reference").rglob("*.json"))
+        }
+        assert merged == reference and merged
+
+    def test_worker_claim_ttl_without_steal_exit_2(self, capsys):
+        assert main([
+            "worker", "--sizes", "4", "--claim-ttl", "5",
+            "--manifest-dir", "unused",
+        ]) == 2
+        assert "--steal" in capsys.readouterr().out
+
+    def test_worker_bad_chunk_size_word_exit_2(self, capsys):
+        assert main([
+            "worker", "--sizes", "4", "--chunk-size", "many",
+            "--manifest-dir", "unused",
+        ]) == 2
+        assert "auto" in capsys.readouterr().out
+
+
+class TestChunkPlanning:
+    def test_cost_estimate_orders_by_size_and_weights_unknown(self):
+        trials = small_spec(sizes=(4, 5)).trials()
+        costs = [manifest_mod.estimate_trial_cost(t) for t in trials]
+        assert costs == sorted(costs)
+        unknown = small_spec(
+            algorithm="gather_unknown", sizes=(4,)
+        ).trials()[0]
+        known = trials[0]
+        assert manifest_mod.estimate_trial_cost(unknown) == (
+            manifest_mod.estimate_trial_cost(known) * 512
+        )
+
+    def test_heuristic_planning_clamps_to_min_chunks(self):
+        # Cheap small-graph trials would fit hundreds per chunk; the
+        # planner keeps at least _AUTO_CHUNK_MIN_CHUNKS chunks so a
+        # preempted fleet can redistribute.
+        spec = small_spec(sizes=(4, 5), seeds=tuple(range(8)))
+        total = len(spec.trials())
+        size = manifest_mod.plan_chunk_size(spec)
+        assert size == total // manifest_mod._AUTO_CHUNK_MIN_CHUNKS
+
+    def test_heuristic_planning_shrinks_for_expensive_algorithms(self):
+        spec = small_spec(
+            algorithm="gather_unknown", sizes=(4, 5),
+            seeds=tuple(range(8)),
+        )
+        assert manifest_mod.plan_chunk_size(spec) == 1
+
+    def test_measured_seconds_refine_chunk_size(self, tmp_path):
+        from repro.metrics.registry import Registry
+
+        spec = small_spec(sizes=(4, 5), seeds=tuple(range(20)))
+        reg = Registry(source="worker-A")
+        for _ in range(4):
+            reg.histogram("runner.trial.wall_seconds").observe(10.0)
+        sidecar_dir = tmp_path / spec.spec_hash() / "manifest" / "metrics"
+        sidecar_dir.mkdir(parents=True)
+        (sidecar_dir / "A.json").write_text(
+            json.dumps(reg.snapshot())
+        )
+        # 30s target / 10s measured mean -> 3 trials per chunk.
+        assert manifest_mod.plan_chunk_size(spec, tmp_path) == 3
+        # Without the sidecar the heuristic would have said min-chunks.
+        assert manifest_mod.plan_chunk_size(spec) == 10
+
+    def test_ensure_manifest_auto_sizes_chunks(self, tmp_path):
+        spec = small_spec(sizes=(4, 5), seeds=tuple(range(8)))
+        _, payload = manifest_mod.ensure_manifest(
+            tmp_path, spec, chunk_size=None
+        )
+        assert payload["chunk_size"] == manifest_mod.plan_chunk_size(spec)

@@ -1,0 +1,219 @@
+"""Tests for the worst-case scenario corpus (export + replay).
+
+The corpus turns search-discovered adversarial scenarios into a
+committed regression grid: ``export`` distils a result store's search
+records into self-contained trial payloads with expected metrics, and
+``replay`` re-executes them — deterministically, so a clean replay
+reproduces the committed metrics exactly and any divergence is
+classified (regression / changed / error) with a matching exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.runner import corpus as corpus_mod
+from repro.runner.search import SearchSpec, run_search
+from repro.runner.store import ResultStore
+
+
+def run_small_search(root, **overrides) -> SearchSpec:
+    base = dict(
+        algorithm="gather_known",
+        family="ring",
+        n=5,
+        labels=(1, 2),
+        seed=0,
+        strategy="hill_climb",
+        budget=10,
+        max_delay=6,
+        batch=4,
+    )
+    base.update(overrides)
+    spec = SearchSpec(**base)
+    run_search(spec, store=root)
+    return spec
+
+
+class TestExport:
+    def test_exports_top_scenarios_per_search(self, tmp_path):
+        store_dir = tmp_path / "store"
+        spec = run_small_search(store_dir)
+        store = ResultStore(store_dir)
+        entries = corpus_mod.export_entries(store, top=2)
+        assert len(entries) == 2
+        values = [e["expected"]["rounds"] for e in entries]
+        # Top-k by the search's own metric: nothing in the store beats
+        # the exported values.
+        best = max(
+            rec["metrics"]["rounds"]
+            for rec in store.load(spec).values()
+            if rec.get("kind") == "eval"
+        )
+        assert max(values) == best
+        for entry in entries:
+            assert entry["provenance"]["spec_hash"] == spec.spec_hash()
+            assert entry["provenance"]["metric"] == "rounds"
+            assert entry["trial"]["adversary"] == "fixed"
+            # Fully resolved: explicit graph seed and scenario axes.
+            assert isinstance(entry["trial"]["graph_seed"], int)
+            assert entry["trial"]["placement"].startswith("nodes:")
+            assert entry["trial"]["wake_schedule"].startswith("explicit:")
+
+    def test_spec_prefix_filters_and_validates(self, tmp_path):
+        store_dir = tmp_path / "store"
+        spec = run_small_search(store_dir)
+        store = ResultStore(store_dir)
+        entries = corpus_mod.export_entries(
+            store, spec_prefix=spec.spec_hash()[:8], top=1
+        )
+        assert len(entries) == 1
+        with pytest.raises(corpus_mod.CorpusError, match="no cached"):
+            corpus_mod.export_entries(store, spec_prefix="ffffffff")
+
+    def test_sweep_specs_are_not_exported(self, tmp_path):
+        assert main([
+            "sweep", "--sizes", "4", "--quiet",
+            "--cache-dir", str(tmp_path / "store"),
+        ]) == 0
+        store = ResultStore(tmp_path / "store")
+        assert corpus_mod.export_entries(store) == []
+
+    def test_export_cli_round_trips(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        run_small_search(store_dir)
+        out = tmp_path / "corpus" / "small.json"
+        assert main([
+            "corpus", "export", "--cache-dir", str(store_dir),
+            "--out", str(out), "--top", "1",
+        ]) == 0
+        assert "wrote 1 scenario(s)" in capsys.readouterr().out
+        payload = corpus_mod.load_corpus(out)
+        assert payload["name"] == "small"
+        assert payload["schema"] == corpus_mod.CORPUS_SCHEMA
+
+    def test_export_cli_empty_store_exit_2(self, tmp_path, capsys):
+        assert main([
+            "corpus", "export", "--cache-dir", str(tmp_path / "none"),
+            "--out", str(tmp_path / "c.json"),
+        ]) == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestReplay:
+    def _corpus(self, tmp_path) -> pathlib.Path:
+        store_dir = tmp_path / "store"
+        run_small_search(store_dir)
+        out = tmp_path / "corpus" / "small.json"
+        assert main([
+            "corpus", "export", "--cache-dir", str(store_dir),
+            "--out", str(out), "--top", "2",
+        ]) == 0
+        return out
+
+    def test_clean_replay_is_ok_exit_0(self, tmp_path, capsys):
+        out = self._corpus(tmp_path)
+        assert main(["corpus", "replay", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "2 ok, 0 regression(s)" in printed
+
+    def test_corpus_dir_scan(self, tmp_path, capsys):
+        out = self._corpus(tmp_path)
+        assert main([
+            "corpus", "replay", "--corpus-dir", str(out.parent),
+        ]) == 0
+        assert "2 ok" in capsys.readouterr().out
+
+    def test_worsened_metric_is_a_regression_exit_1(
+        self, tmp_path, capsys
+    ):
+        out = self._corpus(tmp_path)
+        payload = json.loads(out.read_text())
+        payload["entries"][0]["expected"]["rounds"] -= 1
+        out.write_text(json.dumps(payload))
+        assert main(["corpus", "replay", str(out)]) == 1
+        printed = capsys.readouterr().out
+        assert "1 regression(s)" in printed
+        assert "worsened" in printed
+
+    def test_improved_metric_is_changed_not_regression(
+        self, tmp_path, capsys
+    ):
+        out = self._corpus(tmp_path)
+        payload = json.loads(out.read_text())
+        payload["entries"][0]["expected"]["rounds"] += 1
+        out.write_text(json.dumps(payload))
+        assert main(["corpus", "replay", str(out)]) == 1
+        printed = capsys.readouterr().out
+        assert "0 regression(s), 1 changed" in printed
+
+    def test_unrunnable_trial_is_an_error(self, tmp_path, capsys):
+        out = self._corpus(tmp_path)
+        payload = json.loads(out.read_text())
+        payload["entries"][0]["trial"]["n"] = 2  # infeasible ring
+        out.write_text(json.dumps(payload))
+        assert main(["corpus", "replay", str(out)]) == 1
+        assert "error(s)" in capsys.readouterr().out
+
+    def test_update_rewrites_expectations(self, tmp_path, capsys):
+        out = self._corpus(tmp_path)
+        payload = json.loads(out.read_text())
+        original = payload["entries"][0]["expected"]["rounds"]
+        payload["entries"][0]["expected"]["rounds"] = original + 5
+        out.write_text(json.dumps(payload))
+        assert main(["corpus", "replay", str(out), "--update"]) == 0
+        assert "rewrote 1 expectation(s)" in capsys.readouterr().out
+        rewritten = corpus_mod.load_corpus(out)
+        assert rewritten["entries"][0]["expected"]["rounds"] == original
+        # The updated corpus replays clean.
+        assert main(["corpus", "replay", str(out)]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        out = self._corpus(tmp_path)
+        capsys.readouterr()  # drain the export chatter
+        assert main(["corpus", "replay", str(out), "--json"]) == 0
+        stdout = capsys.readouterr().out
+        report = json.loads(stdout.splitlines()[0])
+        assert report["corpus"] == "small"
+        assert {e["status"] for e in report["entries"]} == {"ok"}
+
+    def test_malformed_corpus_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert main(["corpus", "replay", str(bad)]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_missing_corpus_dir_exit_2(self, tmp_path, capsys):
+        assert main([
+            "corpus", "replay", "--corpus-dir", str(tmp_path / "none"),
+        ]) == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestCommittedCorpus:
+    CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / (
+        "benchmarks/corpus"
+    )
+
+    def test_committed_files_validate(self):
+        files = corpus_mod.corpus_files(self.CORPUS_DIR)
+        assert files, "benchmarks/corpus must ship at least one corpus"
+        ids = []
+        for path in files:
+            payload = corpus_mod.load_corpus(path)
+            assert payload["entries"], f"{path} has no entries"
+            ids.extend(e["id"] for e in payload["entries"])
+        assert len(ids) == len(set(ids)), "duplicate scenario ids"
+
+    def test_committed_corpus_covers_multiple_algorithms(self):
+        algorithms = set()
+        for path in corpus_mod.corpus_files(self.CORPUS_DIR):
+            payload = corpus_mod.load_corpus(path)
+            algorithms.update(
+                e["trial"]["algorithm"] for e in payload["entries"]
+            )
+        assert len(algorithms) >= 2

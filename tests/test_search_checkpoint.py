@@ -1,0 +1,263 @@
+"""Kill/resume coverage for the search checkpoint sidecar.
+
+The contract under test: a search interrupted at any round boundary
+and later resumed with ``--resume`` leaves a store byte-identical to
+an uninterrupted run — for every strategy, because each strategy's
+full proposal state (RNG, seen-set, private phase state) round-trips
+through the checkpoint.  A missing or stale checkpoint must degrade
+to plain cache replay, never to a diverged trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.runner.search import (
+    STRATEGIES,
+    SearchSpec,
+    make_strategy,
+    run_search,
+)
+from repro.runner.search import checkpoint as checkpoint_mod
+from repro.runner.search.space import ScenarioSpace
+from repro.runner.store import ResultStore
+
+
+def search_spec(**overrides) -> SearchSpec:
+    base = dict(
+        algorithm="gather_known",
+        family="ring",
+        n=5,
+        labels=(1, 2),
+        seed=0,
+        strategy="hill_climb",
+        budget=12,
+        max_delay=6,
+        batch=4,
+    )
+    base.update(overrides)
+    return SearchSpec(**base)
+
+
+def store_bytes(root):
+    return {
+        p.relative_to(root): p.read_bytes()
+        for p in sorted(root.rglob("*.json"))
+    }
+
+
+class TestInterruptResume:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_resumed_store_byte_equals_uninterrupted(
+        self, tmp_path, strategy
+    ):
+        spec = search_spec(strategy=strategy)
+        interrupted = tmp_path / "interrupted"
+        full = tmp_path / "full"
+        partial = run_search(spec, store=interrupted, max_rounds=1)
+        assert partial.rounds == 1
+        resumed = run_search(spec, store=interrupted, resume=True)
+        reference = run_search(spec, store=full)
+        assert resumed.rounds == reference.rounds
+        assert resumed.best_value == reference.best_value
+        # The resumed run continued mid-trajectory: it re-simulated
+        # nothing from the finished prefix.
+        assert resumed.simulated + partial.simulated == reference.simulated
+        assert store_bytes(interrupted) == store_bytes(full)
+        assert store_bytes(interrupted)  # non-empty store
+
+    def test_interruption_at_every_boundary(self, tmp_path):
+        # Stop after 1, 2, 3... rounds; each resume must converge to
+        # the same bytes.
+        spec = search_spec()
+        reference = tmp_path / "reference"
+        run_search(spec, store=reference)
+        for stop in (1, 2):
+            target = tmp_path / f"stop-{stop}"
+            run_search(spec, store=target, max_rounds=stop)
+            run_search(spec, store=target, resume=True)
+            assert store_bytes(target) == store_bytes(reference)
+
+    def test_resume_without_checkpoint_degrades_to_replay(self, tmp_path):
+        spec = search_spec()
+        root = tmp_path / "store"
+        first = run_search(spec, store=root)
+        store = ResultStore(root)
+        assert checkpoint_mod.clear_checkpoint(store, spec)
+        again = run_search(spec, store=root, resume=True)
+        assert again.simulated == 0  # pure cache replay
+        assert again.best_value == first.best_value
+        # The replay rewrites the checkpoint byte-identically.
+        reference = tmp_path / "reference"
+        run_search(spec, store=reference)
+        assert store_bytes(root) == store_bytes(reference)
+
+    def test_checkpoint_every_skips_intermediate_rounds(self, tmp_path):
+        spec = search_spec()
+        sparse = tmp_path / "sparse"
+        dense = tmp_path / "dense"
+        run_search(spec, store=sparse, checkpoint_every=100)
+        run_search(spec, store=dense)
+        # The final checkpoint always lands, so the stores still agree.
+        assert store_bytes(sparse) == store_bytes(dense)
+
+    def test_bad_arguments_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            run_search(search_spec(), store=tmp_path, checkpoint_every=0)
+        with pytest.raises(ValueError, match="max_rounds"):
+            run_search(search_spec(), store=tmp_path, max_rounds=0)
+
+
+class TestCheckpointFile:
+    def test_sidecar_lives_outside_the_shard_namespace(self, tmp_path):
+        spec = search_spec()
+        run_search(spec, store=tmp_path)
+        store = ResultStore(tmp_path)
+        path = store.dir_for(spec) / checkpoint_mod.CHECKPOINT_NAME
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == checkpoint_mod.CHECKPOINT_VERSION
+        assert payload["spec_hash"] == spec.spec_hash()
+        # Compaction rewrites shards but must not touch the sidecar.
+        before = path.read_bytes()
+        assert main(["compact", "--cache-dir", str(tmp_path)]) == 0
+        assert path.read_bytes() == before
+
+    def test_checkpoint_excludes_execution_counters(self, tmp_path):
+        # The checkpoint is a pure function of the trajectory: a
+        # cache-replay run (simulated=0) and a fresh run (cached=0)
+        # must write identical bytes, or cross-store diffs would fail.
+        spec = search_spec()
+        run_search(spec, store=tmp_path)
+        store = ResultStore(tmp_path)
+        payload = checkpoint_mod.load_checkpoint(store, spec)
+        assert payload is not None
+        for counter in ("simulated", "cached", "failed"):
+            assert counter not in payload
+
+    def test_stale_version_is_ignored(self, tmp_path):
+        spec = search_spec()
+        run_search(spec, store=tmp_path)
+        store = ResultStore(tmp_path)
+        path = store.dir_for(spec) / checkpoint_mod.CHECKPOINT_NAME
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        assert checkpoint_mod.load_checkpoint(store, spec) is None
+
+    def test_foreign_spec_hash_is_ignored(self, tmp_path):
+        spec = search_spec()
+        run_search(spec, store=tmp_path)
+        store = ResultStore(tmp_path)
+        path = store.dir_for(spec) / checkpoint_mod.CHECKPOINT_NAME
+        payload = json.loads(path.read_text())
+        payload["spec_hash"] = "0" * 16
+        path.write_text(json.dumps(payload))
+        assert checkpoint_mod.load_checkpoint(store, spec) is None
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        spec = search_spec()
+        run_search(spec, store=tmp_path)
+        store = ResultStore(tmp_path)
+        path = store.dir_for(spec) / checkpoint_mod.CHECKPOINT_NAME
+        path.write_text("{not json")
+        assert checkpoint_mod.load_checkpoint(store, spec) is None
+        # And a resume with a corrupt checkpoint replays cleanly.
+        result = run_search(spec, store=tmp_path, resume=True)
+        assert result.simulated == 0
+
+
+class TestStrategyStateRoundTrip:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_state_dict_restores_identically(self, tmp_path, strategy):
+        # Drive one round, snapshot, restore into a fresh strategy:
+        # both must propose the identical next batch.
+        spec = search_spec(strategy=strategy)
+        run_search(spec, store=tmp_path, max_rounds=1)
+        store = ResultStore(tmp_path)
+        payload = checkpoint_mod.load_checkpoint(store, spec)
+        assert payload is not None
+
+        def fresh():
+            space = ScenarioSpace(
+                n=spec.n, team=spec.team, max_delay=spec.max_delay,
+                dormant_pct=spec.dormant_pct,
+            )
+            return make_strategy(
+                spec.strategy, space, seed=spec.strategy_seed(),
+                budget=spec.budget, maximize=True,
+                options={"batch": spec.batch},
+            )
+
+        a, b = fresh(), fresh()
+        checkpoint_mod.restore(payload, a)
+        checkpoint_mod.restore(payload, b)
+        assert a.state_dict() == b.state_dict() == payload["strategy"]
+        assert [
+            a.space.signature(p) for p in a.propose(spec.budget)
+        ] == [
+            b.space.signature(p) for p in b.propose(spec.budget)
+        ]
+
+    def test_merge_keeps_the_furthest_checkpoint(self, tmp_path):
+        # Fleet recipe: a partial store (interrupted search) merged
+        # with a complete one must carry the complete checkpoint, so a
+        # resume from the merged store has nothing left to do.
+        spec = search_spec()
+        partial = tmp_path / "partial"
+        full = tmp_path / "full"
+        run_search(spec, store=partial, max_rounds=1)
+        run_search(spec, store=full)
+        merged = tmp_path / "merged"
+        assert main([
+            "merge", "--into", str(merged), str(partial), str(full)
+        ]) == 0
+        a = checkpoint_mod.load_checkpoint(ResultStore(merged), spec)
+        b = checkpoint_mod.load_checkpoint(ResultStore(full), spec)
+        assert a == b
+        after = run_search(spec, store=merged, resume=True)
+        assert after.simulated == 0
+
+    def test_mismatched_strategy_name_rejected(self, tmp_path):
+        spec = search_spec(strategy="hill_climb")
+        run_search(spec, store=tmp_path, max_rounds=1)
+        store = ResultStore(tmp_path)
+        payload = checkpoint_mod.load_checkpoint(store, spec)
+        space = ScenarioSpace(n=spec.n, team=spec.team)
+        other = make_strategy(
+            "sample", space, seed=0, budget=4, maximize=True,
+        )
+        with pytest.raises(ValueError, match="hill_climb"):
+            other.load_state(payload["strategy"])
+
+
+class TestSearchResumeCLI:
+    ARGS = [
+        "search", "--size", "5", "--labels", "1,2", "--seed", "0",
+        "--strategy", "hill_climb", "--budget", "12", "--batch", "4",
+        "--max-delay", "6", "--quiet",
+    ]
+
+    def test_stop_then_resume_matches_uninterrupted(self, tmp_path):
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        assert main(
+            self.ARGS + ["--cache-dir", a, "--stop-after-rounds", "1"]
+        ) == 0
+        assert main(self.ARGS + ["--cache-dir", a, "--resume"]) == 0
+        assert main(self.ARGS + ["--cache-dir", b]) == 0
+        assert store_bytes(tmp_path / "a") == store_bytes(tmp_path / "b")
+
+    def test_resume_with_no_cache_exit_2(self, capsys):
+        assert main(self.ARGS + ["--resume", "--no-cache"]) == 2
+        assert "--no-cache" in capsys.readouterr().out
+
+    def test_bad_round_flags_exit_2(self, capsys):
+        assert main(self.ARGS + ["--stop-after-rounds", "0"]) == 2
+        assert main(self.ARGS + ["--checkpoint-every", "0"]) == 2
+        out = capsys.readouterr().out
+        assert "--stop-after-rounds" in out
+        assert "--checkpoint-every" in out

@@ -20,7 +20,7 @@ from ..explore.uxs import UXSProvider
 from ..graphs.port_graph import PortGraph
 from ..sim.agent import AgentContext, declare, move, wait
 from ..sim.scheduler import AgentSpec, Simulation
-from .talking import TalkingReport, _OracleHandle, require_simultaneous
+from .talking import TalkingReport, _OracleHandle, resolve_wake_rounds
 
 
 def _pseudo_step(leader: int, round_: int, seed: int, degree: int) -> int | None:
@@ -52,43 +52,58 @@ def run_random_walk_gather(
     """Randomized-walk gathering in the talking model.
 
     Same idealizations as :func:`repro.baselines.talking.
-    run_talking_gather` (known team size, simultaneous wake-up —
-    non-simultaneous ``wake_rounds`` are rejected).
+    run_talking_gather` (known team size; staggered concrete wake
+    schedules idle until the last wake round, ``None`` entries are
+    rejected).
     """
     if start_nodes is None:
         start_nodes = list(range(len(labels)))
     if len(labels) < 2 or len(labels) > graph.n:
         raise ValueError("need 2..n agents")
-    require_simultaneous(wake_rounds, len(labels))
+    wakes = resolve_wake_rounds(wake_rounds, len(labels))
+    last_wake = max(wakes)
     uxs = provider if provider is not None else UXSProvider()
     uxs.verify_for_graph(n_bound, graph)
     team_size = len(labels)
     oracle = _OracleHandle()
     t_explo = uxs.explo_duration(n_bound)
 
-    def program(ctx: AgentContext):
-        yield from explo(ctx, uxs, n_bound)
-        yield from wait(ctx, t_explo)
-        # From here local time is even (t_explo = 2L) and every
-        # iteration consumes exactly 2 rounds: all groups step on even
-        # rounds and stand still on odd rounds, so a meeting observed
-        # at an even round is stable and merges before anyone moves.
-        while True:
-            group = oracle.labels_here(ctx.label)
-            if len(group) == team_size:
-                yield from declare(ctx, min(group))
-            port = _pseudo_step(
-                min(group), ctx.local_time(), seed, ctx.degree()
-            )
-            if port is None:
-                yield from wait(ctx, 2)
-            else:
-                yield from move(ctx, port)
-                yield from wait(ctx, 1)
+    def make_program(wake: int, delay: int):
+        def program(ctx: AgentContext):
+            if delay:
+                yield from wait(ctx, delay)
+            yield from explo(ctx, uxs, n_bound)
+            yield from wait(ctx, t_explo)
+            # Every agent reaches this point at the same global round
+            # (last_wake + 2 * t_explo) and each iteration consumes
+            # exactly 2 rounds: all groups step together and stand
+            # still together, so a meeting observed at a step round is
+            # stable and merges before anyone moves.  The walk hash is
+            # keyed by *global* time (local + wake) so merged members
+            # with different wake rounds still compute identical moves.
+            while True:
+                group = oracle.labels_here(ctx.label)
+                if len(group) == team_size:
+                    yield from declare(ctx, min(group))
+                port = _pseudo_step(
+                    min(group), ctx.local_time() + wake, seed,
+                    ctx.degree(),
+                )
+                if port is None:
+                    yield from wait(ctx, 2)
+                else:
+                    yield from move(ctx, port)
+                    yield from wait(ctx, 1)
+
+        return program
 
     specs = [
-        AgentSpec(label, node, program, wake_round=0)
-        for label, node in zip(labels, start_nodes)
+        AgentSpec(
+            label, node,
+            make_program(wake, last_wake - wake),
+            wake_round=wake,
+        )
+        for label, node, wake in zip(labels, start_nodes, wakes)
     ]
     sim = Simulation(graph, specs, max_events=max_events)
     oracle.sim = sim

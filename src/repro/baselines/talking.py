@@ -72,6 +72,8 @@ def _talking_program(
     params: KnownBoundParameters,
     team_size: int,
     oracle: _OracleHandle,
+    wake: int = 0,
+    delay: int = 0,
 ):
     provider = params.provider
     n_bound = params.n_bound
@@ -80,6 +82,14 @@ def _talking_program(
     block = 6 * t_explo
 
     def program(ctx: AgentContext):
+        # Staggered wake-up: hold until the last teammate's wake round
+        # (``delay = last_wake - wake``), so the protocol proper starts
+        # simultaneously for the whole team.  The TZ/walk block grid is
+        # anchored at *global* round 0 — ``ctx.local_time() + wake`` —
+        # which makes every group compare the same stream position
+        # regardless of when its members woke.
+        if delay:
+            yield from wait(ctx, delay)
         # Wake everyone, then let the late risers finish their tour.
         # The tours here and inside tz() are walk plans: merged groups
         # walk them in lockstep as joint scheduler segments, truncated
@@ -95,11 +105,11 @@ def _talking_program(
             stream = transformed_label(min(group))
             c = ctx.curcard()
             try:
-                # Align to the global block grid (everyone woke in
-                # round 0), then run one TZ block anchored at the
-                # global block index: all groups compare the same
-                # stream position, so distinct minima force a meeting.
-                misaligned = ctx.local_time() % block
+                # Align to the global block grid, then run one TZ
+                # block anchored at the global block index: all groups
+                # compare the same stream position, so distinct minima
+                # force a meeting.
+                misaligned = (ctx.local_time() + wake) % block
                 if misaligned:
                     yield from wait(ctx, block - misaligned, ("gt", c))
                 yield from tz(
@@ -109,7 +119,7 @@ def _talking_program(
                     stream,
                     block,
                     watch=("gt", c),
-                    block_offset=ctx.local_time() // block,
+                    block_offset=(ctx.local_time() + wake) // block,
                 )
                 # Block over with no meeting: re-read the group (a
                 # merge elsewhere may have changed other groups).
@@ -121,27 +131,34 @@ def _talking_program(
     return program
 
 
-def require_simultaneous(
+def resolve_wake_rounds(
     wake_rounds: list[int | None] | None, team_size: int
-) -> None:
-    """Reject any non-simultaneous wake schedule.
+) -> list[int]:
+    """Normalize a wake schedule for the talking baselines.
 
-    The talking baselines align their TZ/walk blocks to a global round
-    grid, which is only sound when the whole team wakes in round 0 —
-    the idealization that makes them *lower* bounds.  Accepting the
-    parameter (and failing loudly) lets the experiment engine sweep
-    baselines over the same scenario matrix as the paper's algorithms:
-    infeasible combinations become captured failure records.
+    The baselines handle arbitrary *concrete* wake rounds — each agent
+    idles until the last teammate wakes, then the whole team starts
+    the protocol simultaneously (still an idealization: agents are
+    told when that is, which the paper's weak model must pay for).
+    Only ``None`` entries are rejected: a woken-by-visit agent has no
+    concrete wake round to delay to.  Infeasible combinations become
+    captured failure records in scenario sweeps.
     """
     if wake_rounds is None:
-        return
+        return [0] * team_size
     if len(wake_rounds) != team_size:
         raise ValueError("labels and wake_rounds must align")
-    if any(w != 0 for w in wake_rounds):
-        raise ValueError(
-            "the talking baselines assume simultaneous wake-up "
-            f"(all wake rounds 0), got {wake_rounds}"
-        )
+    resolved: list[int] = []
+    for w in wake_rounds:
+        if w is None:
+            raise ValueError(
+                "the talking baselines need concrete wake rounds "
+                f"(no dormant/None entries), got {wake_rounds}"
+            )
+        if w < 0:
+            raise ValueError(f"wake rounds must be >= 0, got {w}")
+        resolved.append(int(w))
+    return resolved
 
 
 def run_talking_gather(
@@ -153,23 +170,35 @@ def run_talking_gather(
     provider: UXSProvider | None = None,
     max_events: int | None = 100_000_000,
 ) -> TalkingReport:
-    """Run the talking-model baseline (simultaneous wake-up).
+    """Run the talking-model baseline.
 
-    Returns a :class:`TalkingReport`; the declaration round is the
-    quantity the silence-overhead experiment compares against.
+    Arbitrary concrete wake schedules are supported: each agent idles
+    until the last teammate's wake round, then the team runs the
+    simultaneous protocol (``None`` entries are rejected — see
+    :func:`resolve_wake_rounds`).  Returns a :class:`TalkingReport`;
+    the declaration round is the quantity the silence-overhead
+    experiment compares against.
     """
     if start_nodes is None:
         start_nodes = list(range(len(labels)))
     if len(labels) < 2 or len(labels) > graph.n:
         raise ValueError("need 2..n agents")
-    require_simultaneous(wake_rounds, len(labels))
+    wakes = resolve_wake_rounds(wake_rounds, len(labels))
+    last_wake = max(wakes)
     params = KnownBoundParameters(n_bound, provider)
     params.provider.verify_for_graph(n_bound, graph)
     oracle = _OracleHandle()
-    program = _talking_program(params, len(labels), oracle)
     specs = [
-        AgentSpec(label, node, program, wake_round=0)
-        for label, node in zip(labels, start_nodes)
+        AgentSpec(
+            label,
+            node,
+            _talking_program(
+                params, len(labels), oracle,
+                wake=wake, delay=last_wake - wake,
+            ),
+            wake_round=wake,
+        )
+        for label, node, wake in zip(labels, start_nodes, wakes)
     ]
     sim = Simulation(graph, specs, max_events=max_events)
     oracle.sim = sim

@@ -124,8 +124,17 @@ def prepare_gather_known(
     wake_rounds: list[int | None] | None = None,
     provider: UXSProvider | None = None,
     max_events: int | None = 300_000_000,
+    faults=None,
+    dynamics=None,
+    horizon: int | None = None,
 ) -> PreparedRun:
-    """Assemble a ``GatherKnownUpperBound`` run without executing it."""
+    """Assemble a ``GatherKnownUpperBound`` run without executing it.
+
+    ``faults`` / ``dynamics`` / ``horizon`` are forwarded to
+    :class:`~repro.sim.scheduler.Simulation` unchanged; faulted runs
+    bypass :meth:`PreparedRun.run` (whose ``GatherReport`` validation
+    assumes everyone gathers) and inspect the raw result instead.
+    """
     start_nodes, wake_rounds = _resolve_placement(
         graph, labels, start_nodes, wake_rounds
     )
@@ -137,7 +146,14 @@ def prepare_gather_known(
         AgentSpec(label, node, program, wake)
         for label, node, wake in zip(labels, start_nodes, wake_rounds)
     ]
-    sim = Simulation(graph, specs, max_events=max_events)
+    sim = Simulation(
+        graph,
+        specs,
+        max_events=max_events,
+        faults=faults,
+        dynamics=dynamics,
+        horizon=horizon,
+    )
     labels = list(labels)
     return PreparedRun(sim, lambda result: GatherReport(result, labels))
 
@@ -374,6 +390,9 @@ def prepare_gather_unknown(
     omega=None,
     provider: UXSProvider | None = None,
     max_events: int | None = 50_000_000,
+    faults=None,
+    dynamics=None,
+    horizon: int | None = None,
 ) -> PreparedRun:
     """Assemble a ``GatherUnknownUpperBound`` run without executing it."""
     start_nodes, wake_rounds, sched, true_index = _prepare_unknown(
@@ -384,7 +403,14 @@ def prepare_gather_unknown(
         AgentSpec(label, node, program, wake)
         for label, node, wake in zip(labels, start_nodes, wake_rounds)
     ]
-    sim = Simulation(graph, specs, max_events=max_events)
+    sim = Simulation(
+        graph,
+        specs,
+        max_events=max_events,
+        faults=faults,
+        dynamics=dynamics,
+        horizon=horizon,
+    )
     labels = list(labels)
     return PreparedRun(
         sim,

@@ -115,11 +115,43 @@ class WatchFired(Event):
 @dataclass(frozen=True, slots=True)
 class CohortEject(Event):
     """The lockstep cohort executor ejected trial ``trial`` to the
-    scalar scheduler; ``reason`` is the divergence tag
-    (``watch`` / ``dormant-wake`` / ``walk-fallback`` / ``trace``)."""
+    scalar scheduler; ``reason`` is the divergence tag (``watch`` /
+    ``dormant-wake`` / ``walk-fallback`` / ``trace`` / ``fault`` /
+    ``dynamics``)."""
 
     trial: int
     reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(Event):
+    """The fault adversary crashed agent ``agent`` (label ``label``).
+
+    Emitted at the start of the fault round, before any resume of that
+    round: the agent never acts in ``round`` and stops occupying
+    ``node`` (its last position) from ``round`` on.
+    """
+
+    round: int
+    agent: int
+    label: int
+    node: int
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeBlocked(Event):
+    """The dynamic-edge adversary blocked a move in ``round``.
+
+    Agent ``agent`` tried to leave ``node`` through ``port``; the move
+    cost the round but not the edge — the agent retries the same port
+    in ``round + 1`` (possibly blocked again).  Emitted in the round's
+    move-application phase, before the closing :class:`RoundAdvance`.
+    """
+
+    round: int
+    agent: int
+    node: int
+    port: int
 
 
 # --------------------------------------------------------------------
@@ -222,6 +254,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         WalkSegment,
         WatchFired,
         CohortEject,
+        FaultInjected,
+        EdgeBlocked,
         TrialStart,
         TrialEnd,
         SweepStart,

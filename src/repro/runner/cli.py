@@ -162,6 +162,17 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
              "worst_of:<k>, best_of:<k> (default: fixed)",
     )
     parser.add_argument(
+        "--faults", default="none", metavar="F,F,...",
+        help="crash-fault strategies, ','-separated: none, "
+             "crash:<label>@<round>[+...], crash-random:<k>:<max_round> "
+             "(default: none)",
+    )
+    parser.add_argument(
+        "--dynamics", default="none", metavar="D,D,...",
+        help="dynamic-edge strategies, ','-separated: none, "
+             "ring-sweep[:<period>], ring-random (default: none)",
+    )
+    parser.add_argument(
         "--fixed-graph-seed", action="store_true",
         help="pass replicate seeds to the generator verbatim instead "
              "of deriving a per-trial seed",
@@ -187,6 +198,8 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         placements=_parse_str_list(args.placement),
         wake_schedules=_parse_str_list(args.wake),
         adversaries=_parse_str_list(args.adversary),
+        faults=_parse_str_list(args.faults),
+        dynamics=_parse_str_list(args.dynamics),
         graph_seed_mode="fixed" if args.fixed_graph_seed else "derived",
     )
 
@@ -336,10 +349,17 @@ def sweep_main(argv: list[str]) -> int:
     )
     for rec in result.records:
         metrics = rec["metrics"]
+        scenario = f"{rec['placement']}/{rec['wake_schedule']}/{rec['adversary']}"
+        # Robustness axes show only when in play, keeping plain sweeps'
+        # output unchanged.
+        if rec.get("faults", "none") != "none":
+            scenario += f"/{rec['faults']}"
+        if rec.get("dynamics", "none") != "none":
+            scenario += f"/{rec['dynamics']}"
         table.add_row(
             rec["n"],
             "-".join(str(v) for v in rec["labels"]),
-            f"{rec['placement']}/{rec['wake_schedule']}/{rec['adversary']}",
+            scenario,
             rec["seed"],
             "ok" if rec["ok"] else "FAILED",
             metrics.get("rounds", "-"),
@@ -436,6 +456,19 @@ def build_search_parser() -> argparse.ArgumentParser:
         help="dormancy percentage of sampled scenarios (default: 25)",
     )
     parser.add_argument(
+        "--faults", default="none", metavar="STRATEGY",
+        help="crash-fault axis: 'crash-random:<k>:<max_round>' makes "
+             "the crash schedule a searched scenario coordinate; a "
+             "fixed 'crash:<label>@<round>+...' applies to every "
+             "candidate (default: none)",
+    )
+    parser.add_argument(
+        "--dynamics", default="none", metavar="STRATEGY",
+        help="edge-liveness adversary applied to every candidate: "
+             "'ring-sweep[:<period>]' or 'ring-random' "
+             "(default: none)",
+    )
+    parser.add_argument(
         "--batch", type=int, default=8, metavar="B",
         help="candidate evaluations per search round (default: 8)",
     )
@@ -518,6 +551,8 @@ def search_main(argv: list[str]) -> int:
             metric=args.metric,
             max_delay=args.max_delay,
             dormant_pct=args.dormant_pct,
+            faults=args.faults,
+            dynamics=args.dynamics,
             batch=args.batch,
         )
     except ValueError as exc:  # SpecError is a ValueError
@@ -572,20 +607,28 @@ def search_main(argv: list[str]) -> int:
     for rec in result.records:
         if rec.get("kind") != "round":
             continue
+        scenario = f"{rec['placement']} / {rec['wake_schedule']}"
+        if "faults" in rec:
+            scenario += f" / {rec['faults']}"
         table.add_row(
             rec["search_round"],
             query_mod.format_value(
                 rec["metrics"].get(f"best_{args.metric}")
             ),
-            f"{rec['placement']} / {rec['wake_schedule']}",
+            scenario,
         )
     table.emit()
     if result.best is not None:
+        best_scenario = (
+            f"{result.best['placement']} / "
+            f"{result.best['wake_schedule']}"
+        )
+        if result.best.get("faults", "none") != "none":
+            best_scenario += f" / {result.best['faults']}"
         print(
             f"worst case found: {args.metric}="
             f"{query_mod.format_value(result.best_value)}  "
-            f"scenario {result.best['placement']} / "
-            f"{result.best['wake_schedule']}"
+            f"scenario {best_scenario}"
         )
     else:
         print("no successful scenario evaluation")
@@ -717,7 +760,8 @@ def build_query_parser() -> argparse.ArgumentParser:
         "--where", action="append", default=[], metavar="FIELD=VALUE",
         help="filter clause (repeatable); fields are record axes "
              "(n, family, wake_schedule, placement, adversary, "
-             "seed, ...) or metrics (rounds, moves, events, ...); "
+             "faults, dynamics, seed, ...) or metrics (rounds, moves, "
+             "events, survivors_gathered, crashed_labels, ...); "
              "note the store only ever holds successful trials "
              "(failures re-run instead of being cached)",
     )

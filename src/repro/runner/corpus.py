@@ -19,11 +19,20 @@ reproduces the committed metrics byte-for-byte — and classifies each:
 
 * ``ok`` — all expected metrics reproduced exactly;
 * ``regression`` — the provenance metric moved *in the adversary's
-  objective direction* (the committed worst case got worse);
+  objective direction* (the committed worst case got worse), or a
+  robustness field drifted (``survivors_gathered``,
+  ``crashed_labels``, ``partial_groups``, ``timed_out``: a faulted
+  entry whose survivors no longer gather, or whose crash schedule
+  resolves differently, is a correctness break even when the round
+  count looks fine);
 * ``changed`` — metrics differ but the primary metric did not worsen
-  (e.g. an intended algorithm improvement — re-export with
-  ``--update`` after reviewing);
+  and no robustness field drifted (e.g. an intended algorithm
+  improvement — re-export with ``--update`` after reviewing);
 * ``error`` — the trial failed or no longer carries the metric.
+
+Faulted entries carry their ``faults``/``dynamics`` axes inside the
+trial payload (``TrialSpec.from_dict`` restores them) and echo the
+search's fault strategy in the provenance block.
 
 The committed corpus lives under ``benchmarks/corpus/*.json``; CI
 replays it on every push (see ``docs/ci.md``).
@@ -45,11 +54,24 @@ CORPUS_VERSION = 1
 DEFAULT_CORPUS_DIR = "benchmarks/corpus"
 
 # The trial-identity fields a corpus entry persists — exactly
-# TrialSpec.to_dict()'s keys, lifted from the stored eval record.
+# TrialSpec.to_dict()'s always-present keys, lifted from the stored
+# eval record.
 _TRIAL_FIELDS = (
     "key", "algorithm", "family", "n", "n_bound", "labels", "messages",
     "seed", "graph_seed", "placement", "wake_schedule", "adversary",
     "algorithm_params",
+)
+
+# Conditionally-emitted trial axes (present in records only when
+# non-default); lifted when present, never required by validation.
+_OPTIONAL_TRIAL_FIELDS = ("faults", "dynamics")
+
+# Robustness metrics whose drift on replay is a regression outright —
+# a survivors-gathered flip or a different resolved crash schedule is
+# a correctness break regardless of the primary metric's direction.
+_ROBUSTNESS_FIELDS = (
+    "survivors_gathered", "crashed_labels", "partial_groups",
+    "timed_out",
 )
 
 
@@ -173,17 +195,25 @@ def export_entries(
             reverse=(objective == "worst"),
         )
         for rec in records[:top]:
+            trial = {f: rec[f] for f in _TRIAL_FIELDS}
+            for f in _OPTIONAL_TRIAL_FIELDS:
+                if f in rec:
+                    trial[f] = rec[f]
+            provenance = {
+                "spec_hash": spec_hash,
+                "strategy": payload["strategy"],
+                "budget": payload["budget"],
+                "objective": objective,
+                "metric": metric,
+            }
+            for f in _OPTIONAL_TRIAL_FIELDS:
+                if payload.get(f, "none") != "none":
+                    provenance[f] = payload[f]
             entries.append({
                 "id": rec["key"],
-                "trial": {f: rec[f] for f in _TRIAL_FIELDS},
+                "trial": trial,
                 "expected": dict(rec["metrics"]),
-                "provenance": {
-                    "spec_hash": spec_hash,
-                    "strategy": payload["strategy"],
-                    "budget": payload["budget"],
-                    "objective": objective,
-                    "metric": metric,
-                },
+                "provenance": provenance,
             })
     if spec_prefix is not None and not matched:
         raise CorpusError(
@@ -256,6 +286,21 @@ def replay_entry(entry: dict) -> dict:
             "detail": (
                 f"{metric} worsened: {expected_primary!r} -> "
                 f"{actual.get(metric)!r} (objective {objective})"
+            ),
+        }
+    drifted = [
+        f for f in _ROBUSTNESS_FIELDS
+        if f in expected and expected.get(f) != actual.get(f)
+    ]
+    if drifted:
+        return {
+            **base, "status": "regression",
+            "detail": (
+                "robustness drift: "
+                + ", ".join(
+                    f"{f} {expected.get(f)!r} -> {actual.get(f)!r}"
+                    for f in drifted
+                )
             ),
         }
     diff_keys = sorted(

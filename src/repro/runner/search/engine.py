@@ -41,7 +41,8 @@ from ..backends import BackendContext, BackendError, get_backend
 from ..engine import coerce_store
 from ..spec import SpecError, TrialSpec
 from ..store import ResultStore
-from ..trial import _build_graph, resolve_scenario
+from ...sim.faults import parse_fault_strategy
+from ..trial import _build_graph, _resolve_trial_faults, resolve_scenario
 from . import checkpoint as checkpoint_mod
 from .space import ScenarioPoint, ScenarioSpace
 from .spec import SearchSpec
@@ -96,9 +97,19 @@ class SearchResult:
         )
 
 
-def _record_signature(record: dict) -> str:
-    """The scenario signature of a stored eval record."""
-    return f"{record['placement']}|{record['wake_schedule']}"
+def _record_signature(record: dict, faults_searched: bool = False) -> str:
+    """The scenario signature of a stored eval record.
+
+    Must mirror :meth:`ScenarioSpace.signature` exactly: the fault
+    segment appears only when the crash schedule is a *searched*
+    coordinate (every candidate then carries its own ``crash:...``
+    trial axis).  A fixed fault/dynamics axis is shared by all
+    candidates and already separated by the spec hash.
+    """
+    sig = f"{record['placement']}|{record['wake_schedule']}"
+    if faults_searched:
+        sig += f"|{record.get('faults', 'none')}"
+    return sig
 
 
 def run_search(
@@ -168,8 +179,17 @@ def run_search(
         placement="random",
         wake_schedule=f"random:{spec.max_delay}:{spec.dormant_pct}",
         adversary="fixed",
+        faults=spec.faults,
+        dynamics=spec.dynamics,
     )
     graph = _build_graph(stream_trial)
+    faults_searched = spec.faults.partition(":")[0] == "crash-random"
+    fault_k = 0
+    max_fault_round = 0
+    if faults_searched:
+        _f_kind, fault_k, max_fault_round = parse_fault_strategy(
+            spec.faults
+        )
     space = ScenarioSpace(
         n=graph.n,
         team=spec.team,
@@ -177,15 +197,29 @@ def run_search(
         dormant_pct=spec.dormant_pct,
         search_placement=True,
         search_wake=True,
+        search_faults=faults_searched,
+        fault_labels=spec.labels,
+        fault_k=fault_k,
+        max_fault_round=max_fault_round,
     )
 
     def stream(draw: int) -> ScenarioPoint:
         nodes, wake = resolve_scenario(stream_trial, graph, draw)
-        return space.from_resolved(nodes, wake)
+        faults = (
+            _resolve_trial_faults(stream_trial, wake, draw)
+            if faults_searched
+            else None
+        )
+        return space.from_resolved(nodes, wake, faults)
 
     def make_trial(point: ScenarioPoint) -> TrialSpec:
-        placement, wake = space.encode(point)
+        placement, wake, faults = space.encode(point)
         assert placement is not None and wake is not None
+        # A searched crash schedule is pinned into the candidate's own
+        # ``faults`` axis (a concrete ``crash:...`` string), so its
+        # record — like the ``nodes:``/``explicit:`` scenario axes —
+        # replays deterministically from the trial spec alone.
+        trial_faults = faults if faults is not None else spec.faults
         parts = [
             spec.algorithm,
             spec.family,
@@ -196,6 +230,10 @@ def run_search(
             parts.append("msg=" + ",".join(spec.messages))
         parts.append(f"place={placement}")
         parts.append(f"wake={wake}")
+        if trial_faults != "none":
+            parts.append(f"faults={trial_faults}")
+        if spec.dynamics != "none":
+            parts.append(f"dyn={spec.dynamics}")
         parts.append(f"seed={spec.seed}")
         return TrialSpec(
             key="/".join(parts),
@@ -210,6 +248,8 @@ def run_search(
             placement=placement,
             wake_schedule=wake,
             adversary="fixed",
+            faults=trial_faults,
+            dynamics=spec.dynamics,
         )
 
     # Resume: previously evaluated candidates are served from the
@@ -220,7 +260,9 @@ def run_search(
         for key, record in result_store.load(spec).items():
             all_records[key] = record
             if record.get("kind") == "eval":
-                eval_cache[_record_signature(record)] = record
+                eval_cache[
+                    _record_signature(record, faults_searched)
+                ] = record
 
     maximize = spec.objective == "worst"
     strategy = make_strategy(
@@ -301,7 +343,7 @@ def run_search(
                     counters["failed"] += 1
                     continue  # failures re-run next time, as always
                 record["kind"] = "eval"
-                sig = _record_signature(record)
+                sig = _record_signature(record, faults_searched)
                 eval_cache[sig] = record
                 all_records[record["key"]] = record
                 values[i] = metric_value(record)
@@ -310,10 +352,10 @@ def run_search(
     def on_round(
         round_index: int, results, best_point, best_value, attempts
     ) -> None:
-        placement, wake = (
+        placement, wake, best_faults = (
             space.encode(best_point)
             if best_point is not None
-            else (None, None)
+            else (None, None, None)
         )
         record = {
             "key": f"round/{round_index:04d}",
@@ -336,6 +378,8 @@ def run_search(
                 "evaluated_round": len(results),
             },
         }
+        if faults_searched:
+            record["faults"] = best_faults or "-"
         all_records[record["key"]] = record
         if (
             best_value is not None

@@ -30,54 +30,75 @@ from typing import Sequence
 
 from ..spec import SpecError, format_placement_nodes
 from ...sim.adversary import format_explicit_wake
+from ...sim.faults import format_crash_faults
 
 
 class ScenarioPoint:
-    """One concrete scenario: start nodes + wake delays.
+    """One concrete scenario: start nodes + wake delays + crash faults.
 
     Immutable plain data.  A component the space does not search is
     ``None`` here and resolves to the trial's own (fixed) component at
-    evaluation time.
+    evaluation time.  ``faults`` — concrete ``(label, round)`` crash
+    pairs — exists only in fault-searching spaces; elsewhere it stays
+    ``None`` and every serialized form is unchanged from before fault
+    injection existed.
     """
 
-    __slots__ = ("nodes", "wake")
+    __slots__ = ("nodes", "wake", "faults")
 
     def __init__(
         self,
         nodes: tuple[int, ...] | None,
         wake: tuple[int | None, ...] | None,
+        faults: tuple[tuple[int, int], ...] | None = None,
     ) -> None:
         self.nodes = nodes
         self.wake = wake
+        self.faults = faults
 
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, ScenarioPoint)
             and self.nodes == other.nodes
             and self.wake == other.wake
+            and self.faults == other.faults
         )
 
     def __hash__(self) -> int:
-        return hash((self.nodes, self.wake))
+        return hash((self.nodes, self.wake, self.faults))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"ScenarioPoint(nodes={self.nodes}, wake={self.wake})"
+        return (
+            f"ScenarioPoint(nodes={self.nodes}, wake={self.wake}, "
+            f"faults={self.faults})"
+        )
 
     def to_json(self) -> dict:
-        """JSON-safe form (checkpoint sidecars round-trip points)."""
-        return {
+        """JSON-safe form (checkpoint sidecars round-trip points).
+
+        ``faults`` is emitted only when present, so sidecars of
+        fault-free searches keep their historical bytes.
+        """
+        out = {
             "nodes": None if self.nodes is None else list(self.nodes),
             "wake": None if self.wake is None else list(self.wake),
         }
+        if self.faults is not None:
+            out["faults"] = [list(pair) for pair in self.faults]
+        return out
 
     @classmethod
     def from_json(cls, payload: dict) -> "ScenarioPoint":
         nodes = payload.get("nodes")
         wake = payload.get("wake")
+        faults = payload.get("faults")
         return cls(
             None if nodes is None else tuple(int(v) for v in nodes),
             None if wake is None else tuple(
                 None if d is None else int(d) for d in wake
+            ),
+            None if faults is None else tuple(
+                (int(label), int(round_)) for label, round_ in faults
             ),
         )
 
@@ -106,9 +127,14 @@ class ScenarioSpace:
     dormant_pct:
         Percentage chance a sampled agent is dormant (0 disables
         dormancy everywhere, including mutations).
-    search_placement / search_wake:
+    search_placement / search_wake / search_faults:
         Whether the adversary controls that component.  At least one
         must be searchable.
+    fault_labels / fault_k / max_fault_round:
+        The crash-fault sub-space (``search_faults`` only): the team's
+        labels, how many victims each schedule crashes, and the latest
+        allowed crash round — matching a ``crash-random:<k>:<max>``
+        trial axis.
     """
 
     def __init__(
@@ -119,6 +145,10 @@ class ScenarioSpace:
         dormant_pct: int = 25,
         search_placement: bool = True,
         search_wake: bool = True,
+        search_faults: bool = False,
+        fault_labels: Sequence[int] = (),
+        fault_k: int = 0,
+        max_fault_round: int = 0,
     ) -> None:
         if team < 1:
             raise SpecError("team must be >= 1")
@@ -130,16 +160,29 @@ class ScenarioSpace:
             raise SpecError("max_delay must be non-negative")
         if not 0 <= dormant_pct <= 100:
             raise SpecError("dormant_pct must be 0..100")
-        if not (search_placement or search_wake):
+        if not (search_placement or search_wake or search_faults):
             raise SpecError(
                 "a scenario space must search at least one component"
             )
+        if search_faults:
+            fault_labels = tuple(int(v) for v in fault_labels)
+            if not 1 <= fault_k <= len(fault_labels):
+                raise SpecError(
+                    f"fault_k must be 1..{len(fault_labels)} "
+                    f"(one victim per label at most), got {fault_k}"
+                )
+            if max_fault_round < 0:
+                raise SpecError("max_fault_round must be non-negative")
         self.n = n
         self.team = team
         self.max_delay = max_delay
         self.dormant_pct = dormant_pct
         self.search_placement = search_placement
         self.search_wake = search_wake
+        self.search_faults = search_faults
+        self.fault_labels = tuple(fault_labels)
+        self.fault_k = fault_k
+        self.max_fault_round = max_fault_round
 
     # ------------------------------------------------------------------
     # Canonical form.
@@ -167,6 +210,16 @@ class ScenarioSpace:
             ]
         return tuple(entries)
 
+    def normalize_faults(
+        self, faults: Sequence[Sequence[int]]
+    ) -> tuple[tuple[int, int], ...]:
+        """Clamp crash rounds to the budget; canonical sort order."""
+        pairs = [
+            (int(label), max(0, min(int(round_), self.max_fault_round)))
+            for label, round_ in faults
+        ]
+        return tuple(sorted(pairs, key=lambda p: (p[1], p[0])))
+
     def canonical(self, point: ScenarioPoint) -> ScenarioPoint:
         """Normalize a point into the space (bounds + wake shift)."""
         nodes = point.nodes
@@ -175,12 +228,16 @@ class ScenarioSpace:
         wake = point.wake
         if wake is not None:
             wake = self.normalize_wake(wake)
-        return ScenarioPoint(nodes, wake)
+        faults = point.faults
+        if faults is not None:
+            faults = self.normalize_faults(faults)
+        return ScenarioPoint(nodes, wake, faults)
 
     def from_resolved(
         self,
         start_nodes: Sequence[int] | None,
         wake_rounds: Sequence[int | None],
+        faults: Sequence[Sequence[int]] | None = None,
     ) -> ScenarioPoint:
         """A point from a ``resolve_scenario`` result.
 
@@ -198,14 +255,22 @@ class ScenarioSpace:
             if self.search_wake
             else None
         )
-        return ScenarioPoint(nodes, wake)
+        crash = (
+            self.normalize_faults(faults)
+            if self.search_faults and faults is not None
+            else None
+        )
+        return ScenarioPoint(nodes, wake, crash)
 
     # ------------------------------------------------------------------
     # Encoding: points -> declarative axis strings.
     # ------------------------------------------------------------------
 
-    def encode(self, point: ScenarioPoint) -> tuple[str | None, str | None]:
-        """``(placement_str, wake_str)``; ``None`` for unsearched parts."""
+    def encode(
+        self, point: ScenarioPoint
+    ) -> tuple[str | None, str | None, str | None]:
+        """``(placement_str, wake_str, faults_str)``; ``None`` for
+        unsearched parts."""
         placement = (
             None
             if point.nodes is None
@@ -216,12 +281,24 @@ class ScenarioSpace:
             if point.wake is None
             else format_explicit_wake(point.wake)
         )
-        return placement, wake
+        faults = (
+            None
+            if point.faults is None
+            else format_crash_faults(point.faults)
+        )
+        return placement, wake, faults
 
     def signature(self, point: ScenarioPoint) -> str:
-        """Stable identity string (dedup key, frontier/record field)."""
-        placement, wake = self.encode(point)
-        return f"{placement or '-'}|{wake or '-'}"
+        """Stable identity string (dedup key, frontier/record field).
+
+        The faults segment appears only in fault-searching spaces, so
+        signatures of fault-free searches keep their historical form.
+        """
+        placement, wake, faults = self.encode(point)
+        base = f"{placement or '-'}|{wake or '-'}"
+        if faults is None:
+            return base
+        return f"{base}|{faults}"
 
     # ------------------------------------------------------------------
     # Operators.
@@ -248,7 +325,14 @@ class ScenarioSpace:
                 else:
                     entries.append(rng.randint(0, budget))
             wake = self.normalize_wake(entries)
-        return ScenarioPoint(nodes, wake)
+        faults: tuple[tuple[int, int], ...] | None = None
+        if self.search_faults:
+            victims = rng.sample(list(self.fault_labels), self.fault_k)
+            faults = self.normalize_faults(
+                (label, rng.randint(0, self.max_fault_round))
+                for label in victims
+            )
+        return ScenarioPoint(nodes, wake, faults)
 
     def mutate(
         self, point: ScenarioPoint, rng: random.Random
@@ -259,6 +343,8 @@ class ScenarioSpace:
             moves.append("place")
         if self.search_wake:
             moves.append("wake")
+        if self.search_faults:
+            moves.append("fault")
         move = moves[0] if len(moves) == 1 else rng.choice(moves)
         if move == "place":
             nodes = list(point.nodes or ())
@@ -269,7 +355,31 @@ class ScenarioSpace:
             else:
                 other = rng.randrange(self.team)
                 nodes[agent], nodes[other] = nodes[other], nodes[agent]
-            return self.canonical(ScenarioPoint(tuple(nodes), point.wake))
+            return self.canonical(
+                ScenarioPoint(tuple(nodes), point.wake, point.faults)
+            )
+        if move == "fault":
+            pairs = list(point.faults or ())
+            i = rng.randrange(len(pairs)) if pairs else 0
+            spare = [
+                label for label in self.fault_labels
+                if label not in {lab for lab, _r in pairs}
+            ]
+            if pairs and spare and rng.random() < 0.5:
+                # Swap one victim for a survivor, keeping its round.
+                label, round_ = pairs[i]
+                pairs[i] = (rng.choice(spare), round_)
+            elif pairs:
+                # Nudge one victim's crash round.
+                label, round_ = pairs[i]
+                step = rng.choice((1, max(1, self.max_fault_round // 4)))
+                pairs[i] = (
+                    label,
+                    round_ + (step if rng.random() < 0.5 else -step),
+                )
+            return self.canonical(
+                ScenarioPoint(point.nodes, point.wake, tuple(pairs))
+            )
         wake = list(point.wake or ())
         agent = rng.randrange(self.team)
         if (
@@ -285,7 +395,9 @@ class ScenarioSpace:
             step = rng.choice((1, max(1, self.max_delay // 4)))
             wake[agent] = wake[agent] + (step if rng.random() < 0.5
                                          else -step)
-        return self.canonical(ScenarioPoint(point.nodes, tuple(wake)))
+        return self.canonical(
+            ScenarioPoint(point.nodes, tuple(wake), point.faults)
+        )
 
     def scale_delays(
         self, point: ScenarioPoint, factor: int, budget: int
@@ -298,7 +410,9 @@ class ScenarioSpace:
             None if d is None else min(d * factor, budget, self.max_delay)
             for d in point.wake
         )
-        return self.canonical(ScenarioPoint(point.nodes, wake))
+        return self.canonical(
+            ScenarioPoint(point.nodes, wake, point.faults)
+        )
 
     def with_delay(
         self, point: ScenarioPoint, agent: int, delay: int
@@ -306,7 +420,9 @@ class ScenarioSpace:
         """Set one agent's wake delay (bisection's wake coordinate)."""
         wake = list(point.wake or ())
         wake[agent] = delay
-        return self.canonical(ScenarioPoint(point.nodes, tuple(wake)))
+        return self.canonical(
+            ScenarioPoint(point.nodes, tuple(wake), point.faults)
+        )
 
     def with_node(
         self, point: ScenarioPoint, agent: int, node: int
@@ -320,4 +436,6 @@ class ScenarioSpace:
             nodes[agent], nodes[other] = nodes[other], nodes[agent]
         else:
             nodes[agent] = node
-        return self.canonical(ScenarioPoint(tuple(nodes), point.wake))
+        return self.canonical(
+            ScenarioPoint(tuple(nodes), point.wake, point.faults)
+        )

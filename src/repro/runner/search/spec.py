@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import hashlib
 
+from ...sim.faults import parse_dynamics_strategy, parse_fault_strategy
 from ..spec import (
+    FAULTABLE_ALGORITHMS,
     SpecError,
     _canonical_json,
     derive_seed,
@@ -55,6 +57,13 @@ class SearchSpec:
     max_delay / dormant_pct:
         Wake-delay bound and dormancy percentage of the scenario
         space.
+    faults / dynamics:
+        Robustness axes (:mod:`repro.sim.faults`).  A ``crash-random``
+        fault strategy makes the crash schedule a *searched* scenario
+        coordinate — candidates carry concrete ``crash:<label>@<round>``
+        schedules and the strategy mutates them like placements; a
+        fixed ``crash:`` schedule or a ``dynamics`` strategy applies
+        unchanged to every candidate.
     batch:
         Proposal batch size per round (part of the identity: it
         changes which candidates are evaluated).
@@ -78,6 +87,8 @@ class SearchSpec:
         metric: str = "rounds",
         max_delay: int = 16,
         dormant_pct: int = 25,
+        faults: str = "none",
+        dynamics: str = "none",
         batch: int = 8,
         strategy_options: dict | None = None,
     ) -> None:
@@ -136,6 +147,29 @@ class SearchSpec:
         self.metric = str(metric)
         self.max_delay = int(max_delay)
         self.dormant_pct = int(dormant_pct)
+        faults = str(faults)
+        dynamics = str(dynamics)
+        try:
+            parsed_faults = parse_fault_strategy(faults)
+            parse_dynamics_strategy(dynamics)
+        except ValueError as exc:
+            raise SpecError(str(exc)) from None
+        if (faults != "none" or dynamics != "none") and (
+            algorithm not in FAULTABLE_ALGORITHMS
+        ):
+            raise SpecError(
+                f"faults/dynamics require one of {FAULTABLE_ALGORITHMS}, "
+                f"got algorithm {algorithm!r}"
+            )
+        if parsed_faults[0] == "crash-random" and (
+            parsed_faults[1] >= len(labels)
+        ):
+            raise SpecError(
+                f"crash-random must leave a survivor: k={parsed_faults[1]} "
+                f"with a team of {len(labels)}"
+            )
+        self.faults = faults
+        self.dynamics = dynamics
         self.batch = int(batch)
         self.strategy_options = dict(strategy_options or {})
 
@@ -145,7 +179,7 @@ class SearchSpec:
 
     def to_dict(self) -> dict:
         """Canonical declarative form (``spec.json`` sidecar payload)."""
-        return {
+        out = {
             "kind": "search",
             "algorithm": self.algorithm,
             "family": self.family,
@@ -165,6 +199,13 @@ class SearchSpec:
             "batch": self.batch,
             "strategy_options": dict(self.strategy_options),
         }
+        # Emitted only when in play, so pre-existing search spec hashes
+        # (and their cached trajectories) are untouched.
+        if self.faults != "none":
+            out["faults"] = self.faults
+        if self.dynamics != "none":
+            out["dynamics"] = self.dynamics
+        return out
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SearchSpec":
@@ -186,6 +227,8 @@ class SearchSpec:
             metric=payload.get("metric", "rounds"),
             max_delay=payload.get("max_delay", 16),
             dormant_pct=payload.get("dormant_pct", 25),
+            faults=payload.get("faults", "none"),
+            dynamics=payload.get("dynamics", "none"),
             batch=payload.get("batch", 8),
             strategy_options=payload.get("strategy_options"),
         )

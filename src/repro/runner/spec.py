@@ -36,8 +36,13 @@ import json
 from typing import Callable, Sequence
 
 from ..sim.adversary import parse_wake_strategy
+from ..sim.faults import parse_dynamics_strategy, parse_fault_strategy
 
 PLACEMENTS = ("default", "spread", "random", "eccentric")
+# Algorithms whose trial runner understands faulted/dynamic scenarios
+# (graceful degradation needs the gather declaration semantics; the
+# chatty baselines have no notion of a surviving subset).
+FAULTABLE_ALGORITHMS = ("gather_known", "gather_unknown")
 _SEED_MODES = ("derived", "fixed")
 _ADVERSARY_KINDS = ("fixed", "worst_of", "best_of", "adaptive")
 
@@ -183,6 +188,8 @@ class TrialSpec:
         "placement",
         "wake_schedule",
         "adversary",
+        "faults",
+        "dynamics",
         "algorithm_params",
         "graph_factory",
     )
@@ -201,6 +208,8 @@ class TrialSpec:
         placement: str,
         wake_schedule: str = "simultaneous",
         adversary: str = "fixed",
+        faults: str = "none",
+        dynamics: str = "none",
         algorithm_params: dict | None = None,
         graph_factory: Callable | None = None,
     ) -> None:
@@ -216,12 +225,19 @@ class TrialSpec:
         self.placement = placement
         self.wake_schedule = wake_schedule
         self.adversary = adversary
+        self.faults = faults
+        self.dynamics = dynamics
         self.algorithm_params = dict(algorithm_params or {})
         self.graph_factory = graph_factory
 
     def to_dict(self) -> dict:
-        """Picklable/JSON form (drops the factory escape hatch)."""
-        return {
+        """Picklable/JSON form (drops the factory escape hatch).
+
+        The robustness axes serialize only away from their defaults, so
+        every record writable before fault injection existed is still
+        emitted byte-for-byte.
+        """
+        out = {
             "key": self.key,
             "algorithm": self.algorithm,
             "family": self.family,
@@ -236,6 +252,11 @@ class TrialSpec:
             "adversary": self.adversary,
             "algorithm_params": dict(self.algorithm_params),
         }
+        if self.faults != "none":
+            out["faults"] = self.faults
+        if self.dynamics != "none":
+            out["dynamics"] = self.dynamics
+        return out
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TrialSpec":
@@ -255,6 +276,8 @@ class TrialSpec:
             # engine; the defaults reproduce the old behavior exactly.
             wake_schedule=payload.get("wake_schedule", "simultaneous"),
             adversary=payload.get("adversary", "fixed"),
+            faults=payload.get("faults", "none"),
+            dynamics=payload.get("dynamics", "none"),
             algorithm_params=payload.get("algorithm_params"),
         )
 
@@ -316,6 +339,17 @@ class ExperimentSpec:
         adversary evaluates ``k`` seed-derived scenario draws of the
         random wake/placement components and records the slowest /
         fastest outcome).
+    faults:
+        Crash-fault strategies, one trial axis (see
+        :mod:`repro.sim.faults`): ``"none"``,
+        ``"crash:<label>@<round>[+...]"`` or
+        ``"crash-random:<k>:<max_round>"``.  Restricted to the gather
+        algorithms; ``crash-random`` resolves from the trial's derived
+        scenario seed.
+    dynamics:
+        Dynamic-edge strategies, one trial axis: ``"none"``,
+        ``"ring-sweep[:<period>]"`` or ``"ring-random"`` (at most one
+        blocked edge per round — 1-interval-connected on rings).
     algorithm_params:
         Extra keyword knobs for the algorithm runner (e.g. ``{"seed":
         0}`` to pin the random-walk baseline's walk seed).  Part of the
@@ -347,6 +381,8 @@ class ExperimentSpec:
         placements: Sequence[str] | None = None,
         wake_schedules: Sequence[str] = ("simultaneous",),
         adversaries: Sequence[str] = ("fixed",),
+        faults: Sequence[str] = ("none",),
+        dynamics: Sequence[str] = ("none",),
         graph_seed_mode: str = "derived",
         algorithm_params: dict | None = None,
         graph_factory: Callable | None = None,
@@ -387,6 +423,8 @@ class ExperimentSpec:
         placements = tuple(str(p) for p in placements)
         wake_schedules = tuple(str(w) for w in wake_schedules)
         adversaries = tuple(str(a) for a in adversaries)
+        faults = tuple(str(f) for f in faults)
+        dynamics = tuple(str(d) for d in dynamics)
         require_unique("sizes", sizes)
         require_unique("label_sets", label_sets)
         if message_sets is not None:
@@ -421,6 +459,37 @@ class ExperimentSpec:
             raise SpecError("adversaries must be non-empty")
         for a in adversaries:
             parse_adversary(a)
+        if not faults:
+            raise SpecError("faults must be non-empty")
+        if not dynamics:
+            raise SpecError("dynamics must be non-empty")
+        require_unique("faults", faults)
+        require_unique("dynamics", dynamics)
+        for f in faults:
+            try:
+                parsed = parse_fault_strategy(f)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+            if parsed[0] == "crash-random" and parsed[1] >= min(
+                len(ls) for ls in label_sets
+            ):
+                raise SpecError(
+                    f"crash-random victim count {parsed[1]} leaves no "
+                    f"survivor for the smallest team "
+                    f"({min(len(ls) for ls in label_sets)} agents)"
+                )
+        for d in dynamics:
+            try:
+                parse_dynamics_strategy(d)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+        if (faults != ("none",) or dynamics != ("none",)) and (
+            algorithm not in FAULTABLE_ALGORITHMS
+        ):
+            raise SpecError(
+                f"faults/dynamics axes require one of "
+                f"{FAULTABLE_ALGORITHMS}, got {algorithm!r}"
+            )
         if graph_seed_mode not in _SEED_MODES:
             raise SpecError(f"graph_seed_mode must be one of {_SEED_MODES}")
         if backend is not None:
@@ -444,6 +513,8 @@ class ExperimentSpec:
         self.placements = placements
         self.wake_schedules = wake_schedules
         self.adversaries = adversaries
+        self.faults = faults
+        self.dynamics = dynamics
         self.graph_seed_mode = graph_seed_mode
         self.algorithm_params = dict(algorithm_params or {})
         self.graph_factory = graph_factory
@@ -512,6 +583,10 @@ class ExperimentSpec:
             out["wake_schedules"] = list(self.wake_schedules)
         if self.adversaries != ("fixed",):
             out["adversaries"] = list(self.adversaries)
+        if self.faults != ("none",):
+            out["faults"] = list(self.faults)
+        if self.dynamics != ("none",):
+            out["dynamics"] = list(self.dynamics)
         return out
 
     @classmethod
@@ -535,6 +610,8 @@ class ExperimentSpec:
             placements=placements,
             wake_schedules=payload.get("wake_schedules", ("simultaneous",)),
             adversaries=payload.get("adversaries", ("fixed",)),
+            faults=payload.get("faults", ("none",)),
+            dynamics=payload.get("dynamics", ("none",)),
             graph_seed_mode=payload.get("graph_seed_mode", "derived"),
             algorithm_params=payload.get("algorithm_params"),
         )
@@ -568,14 +645,17 @@ class ExperimentSpec:
                     for placement in self.placements:
                         for wake in self.wake_schedules:
                             for adversary in self.adversaries:
-                                for seed in self.seeds:
-                                    out.append(
-                                        self._make_trial(
-                                            n, labels, messages,
-                                            placement, wake,
-                                            adversary, seed,
-                                        )
-                                    )
+                                for faults in self.faults:
+                                    for dyn in self.dynamics:
+                                        for seed in self.seeds:
+                                            out.append(
+                                                self._make_trial(
+                                                    n, labels, messages,
+                                                    placement, wake,
+                                                    adversary, faults,
+                                                    dyn, seed,
+                                                )
+                                            )
         return out
 
     def _make_trial(
@@ -586,22 +666,27 @@ class ExperimentSpec:
         placement: str,
         wake: str,
         adversary: str,
+        faults: str,
+        dynamics: str,
         seed: int,
     ) -> TrialSpec:
         key = self._trial_key(
-            n, labels, messages, placement, wake, adversary, seed
+            n, labels, messages, placement, wake, adversary,
+            faults, dynamics, seed,
         )
         if self.graph_seed_mode == "fixed":
             graph_seed = seed
         else:
             # Derived from the scenario-free key: trials that differ
-            # only in placement/wake/adversary run on the *same* port
-            # labeling, so scenario comparisons never conflate the
-            # adversary's schedule with graph variation (and default
-            # scenarios keep their historical graph seeds).
+            # only in placement/wake/adversary/faults/dynamics run on
+            # the *same* port labeling, so scenario comparisons never
+            # conflate the adversary's schedule with graph variation
+            # (and default scenarios keep their historical graph seeds).
             graph_key = "/".join(
                 part for part in key.split("/")
-                if not part.startswith(("place=", "wake=", "adv="))
+                if not part.startswith(
+                    ("place=", "wake=", "adv=", "faults=", "dyn=")
+                )
             )
             graph_seed = derive_seed(seed, graph_key)
         return TrialSpec(
@@ -617,6 +702,8 @@ class ExperimentSpec:
             placement=placement,
             wake_schedule=wake,
             adversary=adversary,
+            faults=faults,
+            dynamics=dynamics,
             algorithm_params=self.algorithm_params,
             graph_factory=self.graph_factory,
         )
@@ -629,6 +716,8 @@ class ExperimentSpec:
         placement: str,
         wake: str,
         adversary: str,
+        faults: str,
+        dynamics: str,
         seed: int,
     ) -> str:
         parts = [
@@ -652,6 +741,10 @@ class ExperimentSpec:
             parts.append(f"wake={wake}")
         if len(self.adversaries) > 1 and adversary != "fixed":
             parts.append(f"adv={adversary}")
+        if len(self.faults) > 1 and faults != "none":
+            parts.append(f"faults={faults}")
+        if len(self.dynamics) > 1 and dynamics != "none":
+            parts.append(f"dyn={dynamics}")
         parts.append(f"seed={seed}")
         return "/".join(parts)
 

@@ -26,6 +26,8 @@ import random
 from typing import Callable
 
 from ..baselines import run_random_walk_gather, run_talking_gather
+from ..core.parameters import KnownBoundParameters
+from ..core.gather_known import smallest_label_length
 from ..core.runs import (
     prepare_gather_known,
     prepare_gather_unknown,
@@ -41,6 +43,13 @@ from ..events import stream as _event_stream
 from ..events.types import TrialEnd as _EvTrialEnd, TrialStart as _EvTrialStart
 from ..metrics import registry as _metrics_registry
 from ..sim.adversary import parse_wake_strategy, schedule_from_strategy
+from ..sim.faults import (
+    ensure_round0_survivor,
+    format_crash_faults,
+    make_dynamics,
+    parse_fault_strategy,
+    resolve_fault_schedule,
+)
 from .spec import PLACEMENTS as spec_placement_names
 from .spec import TrialSpec, derive_seed, parse_adversary, parse_placement
 
@@ -259,6 +268,8 @@ def _scenario_is_randomized(trial: TrialSpec) -> bool:
     return (
         trial.placement == "random"
         or trial.wake_schedule.partition(":")[0] == "random"
+        or trial.faults.partition(":")[0] == "crash-random"
+        or trial.dynamics == "ring-random"
     )
 
 
@@ -425,6 +436,189 @@ ALGORITHMS: dict[str, Callable] = {
 }
 
 
+# ----------------------------------------------------------------------
+# Fault injection (docs/experiments.md, "Faults & dynamics").
+#
+# A trial with a non-default ``faults`` / ``dynamics`` axis bypasses the
+# ``run_*`` front-ends: their reports validate that *everyone* gathered,
+# which is exactly what a crashed agent prevents.  Faulted trials build
+# through the ``prepare_*`` front-ends instead and read the raw
+# :class:`~repro.sim.scheduler.SimulationResult`, recording the
+# graceful-degradation quantities (``survivors_gathered``,
+# ``partial_groups``, ``crashed_labels``, ``timed_out``).
+# ----------------------------------------------------------------------
+
+def _trial_is_faulted(trial: TrialSpec) -> bool:
+    return trial.faults != "none" or trial.dynamics != "none"
+
+
+def _resolve_trial_faults(
+    trial: TrialSpec,
+    wake_rounds: list[int | None],
+    draw: int,
+) -> tuple[tuple[int, int], ...]:
+    """Resolve the trial's fault axis into concrete ``(label, round)``s.
+
+    ``crash-random`` consumes a seed derived like placement/wake seeds
+    (minus the ``adv=`` segment), so draw 0 of every adversary kind
+    crashes the same agents.  Resolution always re-establishes the
+    round-0 waker guarantee (:func:`ensure_round0_survivor`) so a
+    ``random`` wake schedule's contract survives fault injection.
+    """
+    if trial.faults == "none":
+        return ()
+    faults = resolve_fault_schedule(
+        trial.faults,
+        trial.labels,
+        seed=_scenario_seed(trial, "faults", draw),
+    )
+    return ensure_round0_survivor(faults, trial.labels, wake_rounds)
+
+
+def _fault_horizon(
+    trial: TrialSpec,
+    wake_rounds: list[int | None],
+    provider: UXSProvider | None,
+) -> int | None:
+    """Graceful-degradation round horizon for a faulted trial.
+
+    ``gather_known`` is time-bounded by Theorem 3.1, so twice that
+    envelope (plus the wake offset) cleanly separates "still running"
+    from "survivors can never gather".  ``gather_unknown`` has no such
+    closed form; it relies on its own budget errors, which the faulted
+    runner converts into structured outcomes.  Overridable per trial
+    via ``algorithm_params["horizon"]``.
+    """
+    horizon = trial.algorithm_params.get("horizon")
+    if horizon is not None:
+        return int(horizon)
+    if trial.algorithm != "gather_known":
+        return None
+    bound = KnownBoundParameters(trial.n_bound, provider).total_time_bound(
+        smallest_label_length(list(trial.labels))
+    )
+    max_wake = max((w for w in wake_rounds if w is not None), default=0)
+    return 2 * bound + max_wake
+
+
+def _faulted_metrics(
+    trial: TrialSpec,
+    graph: PortGraph,
+    result,
+    faults_pairs: tuple[tuple[int, int], ...],
+    horizon: int | None,
+    protocol_error: str | None = None,
+) -> dict:
+    """Flatten a faulted run's raw result into the robustness record."""
+    rounds = result.final_round
+    if result.timed_out and horizon is not None:
+        rounds = horizon
+    metrics = {
+        "rounds": rounds,
+        "moves": result.total_moves,
+        "events": result.events,
+        "edges": graph.num_edges(),
+        "faults": format_crash_faults(faults_pairs),
+        "dynamics": trial.dynamics,
+        "crashed_labels": [label for label in result.crashed_labels],
+        "survivors_gathered": result.survivors_gathered(),
+        "partial_groups": list(result.partial_groups()),
+        "timed_out": result.timed_out,
+    }
+    if protocol_error is not None:
+        metrics["protocol_error"] = protocol_error
+    return metrics
+
+
+def _prepare_faulted(
+    trial: TrialSpec,
+    graph: PortGraph,
+    provider: UXSProvider | None,
+    start_nodes: list[int] | None,
+    wake_rounds: list[int | None],
+    faults_pairs: tuple[tuple[int, int], ...],
+    draw: int,
+) -> "PreparedTrial":
+    """Build a faulted trial's simulation, ready to run or cohort."""
+    dynamics = None
+    if trial.dynamics != "none":
+        dynamics = make_dynamics(
+            trial.dynamics,
+            graph,
+            seed=_scenario_seed(trial, "dynamics", draw),
+        )
+    horizon = _fault_horizon(trial, wake_rounds, provider)
+    if trial.algorithm == "gather_known":
+        prepared = prepare_gather_known(
+            graph,
+            list(trial.labels),
+            trial.n_bound,
+            start_nodes=start_nodes,
+            wake_rounds=wake_rounds,
+            provider=provider,
+            faults=faults_pairs or None,
+            dynamics=dynamics,
+            horizon=horizon,
+        )
+    elif trial.algorithm == "gather_unknown":
+        prepared = prepare_gather_unknown(
+            graph,
+            list(trial.labels),
+            start_nodes=start_nodes,
+            wake_rounds=wake_rounds,
+            provider=provider,
+            faults=faults_pairs or None,
+            dynamics=dynamics,
+            horizon=horizon,
+        )
+    else:
+        raise TrialError(
+            f"faults/dynamics are not supported for "
+            f"{trial.algorithm!r} trials"
+        )
+    return PreparedTrial(
+        trial, graph, prepared, None,
+        fault_ctx=(tuple(faults_pairs), horizon),
+    )
+
+
+def _run_faulted(
+    trial: TrialSpec,
+    graph: PortGraph,
+    provider: UXSProvider | None,
+    start_nodes: list[int] | None,
+    wake_rounds: list[int | None],
+    draw: int,
+    faults_pairs: tuple[tuple[int, int], ...] | None = None,
+) -> dict:
+    """Execute one faulted/dynamic scenario into robustness metrics.
+
+    A protocol error (phase-budget overruns under blocked edges, wait
+    budgets starved by a crashed teammate, deadlocks past the horizon's
+    reach) is a *finding*, not a failure: the run is finalized
+    gracefully and recorded ``ok`` with a ``protocol_error`` note, so a
+    robustness sweep can query how often the paper's algorithm survives
+    its model being broken.
+    """
+    if faults_pairs is None:
+        faults_pairs = _resolve_trial_faults(trial, wake_rounds, draw)
+    else:
+        faults_pairs = ensure_round0_survivor(
+            faults_pairs, trial.labels, wake_rounds
+        )
+    prepared = _prepare_faulted(
+        trial, graph, provider, start_nodes, wake_rounds, faults_pairs, draw
+    )
+    try:
+        result = prepared.simulation.run()
+    except Exception as exc:
+        metrics = prepared.finalize_error(exc)
+        if metrics is None:
+            raise
+        return metrics
+    return prepared.finalize(result)
+
+
 def _simulate_scenario(
     trial: TrialSpec,
     graph: PortGraph,
@@ -433,6 +627,10 @@ def _simulate_scenario(
     draw: int,
 ) -> dict:
     start_nodes, wake_rounds = resolve_scenario(trial, graph, draw)
+    if _trial_is_faulted(trial):
+        return _run_faulted(
+            trial, graph, provider, start_nodes, wake_rounds, draw
+        )
     return algorithm(trial, graph, provider, start_nodes, wake_rounds)
 
 
@@ -463,14 +661,27 @@ def _run_adaptive_adversary(
     from .search.strategies import drive_search, make_strategy
 
     strategy_name = trial.adversary.split(":")[1]
+    faulted = _trial_is_faulted(trial)
     base_nodes, base_wake = resolve_scenario(trial, graph, 0)
-    base_metrics = algorithm(trial, graph, provider, base_nodes, base_wake)
+    if faulted:
+        base_faults = _resolve_trial_faults(trial, base_wake, 0)
+        base_metrics = _run_faulted(
+            trial, graph, provider, base_nodes, base_wake, 0,
+            faults_pairs=base_faults,
+        )
+    else:
+        base_faults = None
+        base_metrics = algorithm(
+            trial, graph, provider, base_nodes, base_wake
+        )
     evaluated = 1
     chosen = base_metrics
     chosen_scenario: dict[str, str] = {
         "placement": trial.placement,
         "wake": trial.wake_schedule,
     }
+    if faulted:
+        chosen_scenario["faults"] = trial.faults
     if budget > 1 and _scenario_is_randomized(trial):
         wake_kind, wake_args = parse_wake_strategy(trial.wake_schedule)
         search_wake = wake_kind == "random"
@@ -480,6 +691,13 @@ def _run_adaptive_adversary(
         dormant_pct = (
             wake_args[1] if search_wake and len(wake_args) > 1 else 25
         )
+        search_faults = trial.faults.partition(":")[0] == "crash-random"
+        fault_k = 0
+        max_fault_round = 0
+        if search_faults:
+            _kind, fault_k, max_fault_round = parse_fault_strategy(
+                trial.faults
+            )
         space = ScenarioSpace(
             n=graph.n,
             team=len(trial.labels),
@@ -487,11 +705,20 @@ def _run_adaptive_adversary(
             dormant_pct=dormant_pct,
             search_placement=trial.placement == "random",
             search_wake=search_wake,
+            search_faults=search_faults,
+            fault_labels=trial.labels,
+            fault_k=fault_k,
+            max_fault_round=max_fault_round,
         )
 
         def stream(draw: int):
             nodes, wake = resolve_scenario(trial, graph, draw)
-            return space.from_resolved(nodes, wake)
+            faults = (
+                _resolve_trial_faults(trial, wake, draw)
+                if search_faults
+                else None
+            )
+            return space.from_resolved(nodes, wake, faults)
 
         strategy = make_strategy(
             strategy_name,
@@ -502,7 +729,10 @@ def _run_adaptive_adversary(
             stream=stream,
         )
         metrics_by_sig: dict[str, dict] = {}
-        base_point = space.from_resolved(base_nodes, base_wake)
+        base_point = space.from_resolved(
+            base_nodes, base_wake,
+            base_faults if search_faults else None,
+        )
         strategy.prime(base_point, base_metrics["rounds"])
         metrics_by_sig[space.signature(base_point)] = base_metrics
 
@@ -519,7 +749,18 @@ def _run_adaptive_adversary(
                     if point.wake is not None
                     else base_wake
                 )
-                metrics = algorithm(trial, graph, provider, nodes, wake)
+                if faulted:
+                    pairs = (
+                        point.faults
+                        if point.faults is not None
+                        else base_faults
+                    )
+                    metrics = _run_faulted(
+                        trial, graph, provider, nodes, wake, 0,
+                        faults_pairs=pairs,
+                    )
+                else:
+                    metrics = algorithm(trial, graph, provider, nodes, wake)
                 metrics_by_sig[space.signature(point)] = metrics
                 values.append(metrics["rounds"])
             return values
@@ -535,11 +776,13 @@ def _run_adaptive_adversary(
         ):
             signature = space.signature(outcome.best_point)
             chosen = metrics_by_sig[signature]
-            placement, wake = space.encode(outcome.best_point)
+            placement, wake, faults_str = space.encode(outcome.best_point)
             chosen_scenario = {
                 "placement": placement or trial.placement,
                 "wake": wake or trial.wake_schedule,
             }
+            if faulted:
+                chosen_scenario["faults"] = faults_str or trial.faults
     metrics = dict(chosen)
     metrics["adversary_draws"] = budget
     metrics["adversary_evaluated"] = evaluated
@@ -684,14 +927,18 @@ class PreparedTrial:
     the metrics dict :func:`execute_trial` would have recorded.
     """
 
-    __slots__ = ("trial", "graph", "prepared", "_metrics_fn")
+    __slots__ = ("trial", "graph", "prepared", "_metrics_fn", "_fault_ctx")
 
     def __init__(self, trial: TrialSpec, graph: PortGraph,
-                 prepared, metrics_fn) -> None:
+                 prepared, metrics_fn, fault_ctx=None) -> None:
         self.trial = trial
         self.graph = graph
         self.prepared = prepared
         self._metrics_fn = metrics_fn
+        # (faults_pairs, horizon) for faulted trials; None otherwise.
+        # Faulted trials skip report validation (crashed agents never
+        # declare) and flatten the raw result instead.
+        self._fault_ctx = fault_ctx
 
     @property
     def simulation(self):
@@ -699,8 +946,35 @@ class PreparedTrial:
 
     def finalize(self, sim_result) -> dict:
         """Validate a result into the trial's canonical metrics dict."""
+        if self._fault_ctx is not None:
+            faults_pairs, horizon = self._fault_ctx
+            return _faulted_metrics(
+                self.trial, self.graph, sim_result, faults_pairs, horizon
+            )
         report = self.prepared.finalize(sim_result)
         return self._metrics_fn(report, self.graph)
+
+    def finalize_error(self, exc: BaseException) -> dict | None:
+        """Convert a faulted trial's protocol error into ``ok`` metrics.
+
+        Returns ``None`` when the error is a genuine failure — an
+        unfaulted trial, or anything that is not a ``RuntimeError`` —
+        and the caller should record it as one.  Otherwise the
+        simulation is finalized gracefully (every live agent ends
+        undeclared at its current node) and the metrics carry the
+        error text as ``protocol_error``; ``timed_out`` stays false
+        because the run ended by the error, not the horizon.
+        """
+        if self._fault_ctx is None or not isinstance(exc, RuntimeError):
+            return None
+        faults_pairs, horizon = self._fault_ctx
+        sim = self.prepared.simulation
+        sim._graceful_stop()
+        sim.timed_out = False
+        return _faulted_metrics(
+            self.trial, self.graph, sim.result(), faults_pairs, horizon,
+            protocol_error=f"{type(exc).__name__}: {exc}",
+        )
 
 
 def prepare_trial(
@@ -725,6 +999,16 @@ def prepare_trial(
     if kind != "fixed":
         return None
     start_nodes, wake_rounds = resolve_scenario(trial, graph, 0)
+    if _trial_is_faulted(trial):
+        # Faulted trials cohort too: the lockstep scheduler ejects a
+        # trial at its first crash or blocked edge, and the scalar
+        # finish plus ``finalize``/``finalize_error`` reproduce the
+        # serial path's records byte-for-byte.
+        faults_pairs = _resolve_trial_faults(trial, wake_rounds, 0)
+        return _prepare_faulted(
+            trial, graph, provider, start_nodes, wake_rounds,
+            faults_pairs, 0,
+        )
     if trial.algorithm == "gather_known":
         prepared = prepare_gather_known(
             graph,

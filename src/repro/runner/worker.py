@@ -155,7 +155,12 @@ def _finish_prepared(prepared: PreparedTrial) -> TrialResult:
     try:
         metrics = prepared.finalize(prepared.simulation.run())
     except Exception as exc:
-        return _error_result(prepared.trial, exc)
+        # Faulted trials convert protocol errors into graceful-stop
+        # metrics (exactly as the serial path does); anything else is
+        # a genuine failure record.
+        metrics = prepared.finalize_error(exc)
+        if metrics is None:
+            return _error_result(prepared.trial, exc)
     return TrialResult(prepared.trial, ok=True, metrics=metrics)
 
 
@@ -204,7 +209,15 @@ def execute_trial_batch(
         ).run()
         for (i, prepared), outcome in zip(cohort, outcomes):
             if outcome.error is not None:
-                results[i] = _error_result(prepared.trial, outcome.error)
+                metrics = prepared.finalize_error(outcome.error)
+                if metrics is None:
+                    results[i] = _error_result(
+                        prepared.trial, outcome.error
+                    )
+                else:
+                    results[i] = TrialResult(
+                        prepared.trial, ok=True, metrics=metrics
+                    )
             else:
                 try:
                     metrics = prepared.finalize(outcome.result)

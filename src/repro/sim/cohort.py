@@ -365,6 +365,22 @@ def plan_segment(
         gap = (sim.max_events - sim._events) // cohort + 1
         if gap < m:
             m = gap
+    if sim._dynamics is not None:
+        # Cached routes know nothing about per-round edge liveness;
+        # dynamic-edge trials run per-step (and the cohort ejects them
+        # up front, like trace mode).
+        return None
+    if sim._fault_queue is not None:
+        # A crash is processed at the *start* of its round (unlike
+        # moves, which commit at the end), so any arrival card planned
+        # for the fault round would go stale the moment the crash hit.
+        # End the segment strictly before it; the per-step machinery
+        # then observes the crash with live counts.
+        fault = sim._next_fault_round()
+        if fault is not None:
+            gap = fault - round_ - 1
+            if gap < m:
+                m = gap
     if m < 2:
         return None
     pos_of = sim._pos
@@ -525,7 +541,10 @@ class CohortScheduler:
     frontier — the minimum next-event round across live trials — one
     event-round at a time.  Ejection rules (divergence from the vector
     path): a fired watch, a walk-segment fallback, a dormant wake-up,
-    trace mode, or any raised error.  An ejected trial's mirror row is
+    trace mode, an injected crash fault, a blocked dynamic edge, or any
+    raised error.  A crash updates occupancy before the mirror refresh
+    and a blocked move changes no state at all, so the hand-off audit
+    holds for both.  An ejected trial's mirror row is
     verified against ``export_state()``, re-imported through
     ``import_state()``, and the trial finishes on the scalar path —
     the same object, so results are byte-identical by construction

@@ -1,0 +1,297 @@
+"""Fault and dynamic-edge adversaries: crash schedules and edge liveness.
+
+Two new scenario axes make failures first-class, deterministic and
+searchable:
+
+* **Crash faults** — a fault strategy string resolves (together with a
+  trial seed) into a concrete schedule of ``(label, round)`` crashes.
+  The scheduler removes a crashed agent at the start of its fault
+  round: it never acts in that round and — unlike a *declared* agent —
+  it stops occupying its node, so surviving watchers observe the
+  departure.
+
+* **Dynamic edges** — a per-round edge-liveness adversary consulted at
+  every traversal.  The built-in schedules block at most one edge per
+  round, which keeps a ring 1-interval-connected in the sense of
+  Di Luna et al., "Gathering in Dynamic Rings".  A blocked move costs
+  the round but not the edge: the agent retries the same port next
+  round without re-entering its program.
+
+Strategy strings
+----------------
+
+``faults`` axis:
+
+* ``none`` — no crashes.
+* ``crash:<label>@<round>`` — crash agent ``label`` at ``round``;
+  several crashes join with ``+`` (``crash:2@10+5@3``).
+* ``crash-random:<k>:<max_round>`` — crash ``k`` seed-deterministically
+  chosen agents at uniform rounds in ``[0, max_round]``.
+
+``dynamics`` axis:
+
+* ``none`` — static graph.
+* ``ring-sweep[:<period>]`` — block edge ``(round // period) % E``,
+  sweeping deterministically through the edge list.
+* ``ring-random`` — block one hash-chosen edge per round (stateless:
+  the blocked edge for any round is derived from the seed alone).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence
+
+FAULT_STRATEGIES = ("none", "crash", "crash-random")
+DYNAMICS_STRATEGIES = ("none", "ring-sweep", "ring-random")
+
+
+def parse_fault_strategy(strategy: str) -> tuple:
+    """Parse a fault strategy string into a structured tuple.
+
+    Returns ``("none",)``, ``("crash", ((label, round), ...))`` or
+    ``("crash-random", k, max_round)``.  Raises :class:`ValueError` on
+    malformed input.
+    """
+    if strategy == "none":
+        return ("none",)
+    kind, _, rest = strategy.partition(":")
+    if kind == "crash":
+        if not rest:
+            raise ValueError("crash strategy needs '<label>@<round>' pairs")
+        pairs = []
+        for part in rest.split("+"):
+            label_s, sep, round_s = part.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"malformed crash entry {part!r} (want '<label>@<round>')"
+                )
+            try:
+                label, fround = int(label_s), int(round_s)
+            except ValueError:
+                raise ValueError(
+                    f"malformed crash entry {part!r} (want '<label>@<round>')"
+                ) from None
+            if label <= 0:
+                raise ValueError(f"crash labels must be positive, got {label}")
+            if fround < 0:
+                raise ValueError(f"crash rounds must be >= 0, got {fround}")
+            pairs.append((label, fround))
+        labels = [label for label, _ in pairs]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate crash labels in {strategy!r}")
+        return ("crash", tuple(pairs))
+    if kind == "crash-random":
+        args = rest.split(":") if rest else []
+        if len(args) != 2:
+            raise ValueError(
+                f"crash-random needs '<k>:<max_round>', got {strategy!r}"
+            )
+        try:
+            k, max_round = int(args[0]), int(args[1])
+        except ValueError:
+            raise ValueError(
+                f"crash-random needs integer '<k>:<max_round>', got {strategy!r}"
+            ) from None
+        if k <= 0:
+            raise ValueError(f"crash-random needs k >= 1, got {k}")
+        if max_round < 0:
+            raise ValueError(
+                f"crash-random needs max_round >= 0, got {max_round}"
+            )
+        return ("crash-random", k, max_round)
+    raise ValueError(
+        f"unknown fault strategy {strategy!r} "
+        f"(known kinds: {', '.join(FAULT_STRATEGIES)})"
+    )
+
+
+def format_crash_faults(pairs: Sequence[tuple[int, int]]) -> str:
+    """Format concrete crashes back into a ``crash:...`` strategy string."""
+    if not pairs:
+        return "none"
+    return "crash:" + "+".join(f"{label}@{round_}" for label, round_ in pairs)
+
+
+def resolve_fault_schedule(
+    strategy: str,
+    labels: Sequence[int],
+    seed: int = 0,
+) -> tuple[tuple[int, int], ...]:
+    """Resolve a fault strategy into concrete ``(label, round)`` crashes.
+
+    Explicit ``crash:`` schedules are validated against ``labels``;
+    ``crash-random`` samples ``k`` distinct labels (in ``labels`` order,
+    so resolution is placement-independent) with uniform crash rounds in
+    ``[0, max_round]``.  The result is sorted by ``(round, label)``.
+    """
+    parsed = parse_fault_strategy(strategy)
+    if parsed[0] == "none":
+        return ()
+    if parsed[0] == "crash":
+        pairs = parsed[1]
+        unknown = [label for label, _ in pairs if label not in labels]
+        if unknown:
+            raise ValueError(
+                f"crash targets unknown agent label(s) {unknown} "
+                f"(team labels: {list(labels)})"
+            )
+        return tuple(sorted(pairs, key=lambda p: (p[1], p[0])))
+    _, k, max_round = parsed
+    if k > len(labels):
+        raise ValueError(
+            f"crash-random wants {k} victims but the team has "
+            f"{len(labels)} agents"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(list(labels), k)
+    pairs = [(label, rng.randrange(max_round + 1)) for label in victims]
+    return tuple(sorted(pairs, key=lambda p: (p[1], p[0])))
+
+
+def ensure_round0_survivor(
+    faults: Sequence[tuple[int, int]],
+    labels: Sequence[int],
+    wake_rounds: Sequence[int | None],
+) -> tuple[tuple[int, int], ...]:
+    """Restore the "at least one agent wakes at round 0" guarantee.
+
+    :func:`~repro.sim.adversary.random_schedule` guarantees a round-0
+    waker — but fault resolution is independent, so every round-0 waker
+    can be scheduled to crash *at* round 0, leaving no agent that ever
+    acts.  When that happens, the smallest-label round-0 crash of a
+    round-0 waker is postponed to round 1, so that agent acts for one
+    round before dying.  All other schedules pass through unchanged.
+    """
+    faults = tuple(faults)
+    wakers0 = {
+        label
+        for label, wake in zip(labels, wake_rounds)
+        if wake == 0
+    }
+    if not wakers0:
+        return faults
+    crashed0 = {label for label, round_ in faults if round_ == 0}
+    if wakers0 - crashed0:
+        return faults
+    bump = min(label for label in crashed0 if label in wakers0)
+    fixed = tuple(
+        (label, 1 if label == bump and round_ == 0 else round_)
+        for label, round_ in faults
+    )
+    return tuple(sorted(fixed, key=lambda p: (p[1], p[0])))
+
+
+def parse_dynamics_strategy(strategy: str) -> tuple:
+    """Parse a dynamics strategy string into a structured tuple.
+
+    Returns ``("none",)``, ``("ring-sweep", period)`` or
+    ``("ring-random",)``.  Raises :class:`ValueError` on malformed input.
+    """
+    if strategy == "none":
+        return ("none",)
+    kind, _, rest = strategy.partition(":")
+    if kind == "ring-sweep":
+        if not rest:
+            return ("ring-sweep", 1)
+        try:
+            period = int(rest)
+        except ValueError:
+            raise ValueError(
+                f"ring-sweep period must be an integer, got {strategy!r}"
+            ) from None
+        if period <= 0:
+            raise ValueError(f"ring-sweep period must be >= 1, got {period}")
+        return ("ring-sweep", period)
+    if kind == "ring-random":
+        if rest:
+            raise ValueError(f"ring-random takes no arguments, got {strategy!r}")
+        return ("ring-random",)
+    raise ValueError(
+        f"unknown dynamics strategy {strategy!r} "
+        f"(known kinds: {', '.join(DYNAMICS_STRATEGIES)})"
+    )
+
+
+class EdgeDynamics:
+    """Per-round edge liveness: at most one blocked edge per round.
+
+    Subclasses implement :meth:`blocked_edge`; :meth:`blocked` answers
+    the scheduler's per-traversal question in O(1) via a precomputed
+    ``(node, port) -> edge index`` map.  Blocking one edge per round
+    keeps every connected graph that stays connected after any single
+    edge removal (rings in particular) 1-interval connected.
+    """
+
+    __slots__ = ("num_edges", "_edge_index")
+
+    def __init__(self, graph) -> None:
+        index: dict[tuple[int, int], int] = {}
+        count = 0
+        for count, (u, pu, v, pv) in enumerate(graph.edges(), start=1):
+            index[(u, pu)] = count - 1
+            index[(v, pv)] = count - 1
+        if count == 0:
+            raise ValueError("dynamics need a graph with at least one edge")
+        self._edge_index = index
+        self.num_edges = count
+
+    def blocked_edge(self, round_: int) -> int:
+        """Index (into the graph's edge list) blocked during ``round_``."""
+        raise NotImplementedError
+
+    def blocked(self, node: int, port: int, round_: int) -> bool:
+        """Whether traversing ``port`` at ``node`` is blocked in ``round_``."""
+        return self._edge_index[(node, port)] == self.blocked_edge(round_)
+
+
+class SweepDynamics(EdgeDynamics):
+    """Blocks edge ``(round // period) % E``: a deterministic sweep."""
+
+    __slots__ = ("period",)
+
+    def __init__(self, graph, period: int = 1) -> None:
+        super().__init__(graph)
+        self.period = period
+
+    def blocked_edge(self, round_: int) -> int:
+        return (round_ // self.period) % self.num_edges
+
+
+class HashDynamics(EdgeDynamics):
+    """Blocks one seed-derived pseudo-random edge per round.
+
+    Stateless by construction — the blocked edge of round ``r`` is a
+    pure function of ``(seed, r)`` — so replays, segment planning and
+    the reference scheduler all see the same schedule without sharing
+    any RNG state.
+    """
+
+    __slots__ = ("seed", "_cache")
+
+    def __init__(self, graph, seed: int = 0) -> None:
+        super().__init__(graph)
+        self.seed = seed
+        self._cache: tuple[int, int] = (-1, 0)
+
+    def blocked_edge(self, round_: int) -> int:
+        cached_round, cached_edge = self._cache
+        if cached_round == round_:
+            return cached_edge
+        digest = hashlib.blake2b(
+            f"{self.seed}:{round_}".encode(), digest_size=8
+        ).digest()
+        edge = int.from_bytes(digest, "big") % self.num_edges
+        self._cache = (round_, edge)
+        return edge
+
+
+def make_dynamics(strategy: str, graph, seed: int = 0) -> EdgeDynamics | None:
+    """Build the :class:`EdgeDynamics` for a strategy (``None`` for none)."""
+    parsed = parse_dynamics_strategy(strategy)
+    if parsed[0] == "none":
+        return None
+    if parsed[0] == "ring-sweep":
+        return SweepDynamics(graph, period=parsed[1])
+    return HashDynamics(graph, seed=seed)

@@ -32,7 +32,13 @@ Semantics implemented (the documented contract of ``scheduler.py``):
   ``R >= last_change + D - 1`` where ``last_change`` is the latest
   round in which the node's cardinality changed (0 if never);
 * a dormant agent wakes in the round after an agent arrives at its
-  node.
+  node;
+* a crash fault removes its agent at the start of the fault round
+  (before wake-ups and resumes; occupancy gone from that round on);
+* a dynamics-blocked move costs the round but not the edge (one event
+  per retry round, no program re-entry);
+* the graceful ``horizon`` finalizes all live agents undeclared when
+  the next event would fall after it (``timed_out=True``).
 
 Being O(rounds), the reference is only usable where clocks stay small;
 the differential suite keeps waits and walks short.
@@ -78,6 +84,7 @@ class _RefAgent:
         "watch",
         "stable_window",
         "entry_port",
+        "retry_port",
         "outcome",
     )
 
@@ -101,16 +108,20 @@ class _RefAgent:
         self.watch = None
         self.stable_window: int | None = None
         self.entry_port: int | None = None
+        self.retry_port: int | None = None
         self.outcome = AgentOutcome(label, node)
 
 
 class ReferenceSimulation:
     """Round-by-round reference implementation.
 
-    Parameters mirror :class:`~repro.sim.scheduler.Simulation`;
-    ``horizon`` bounds the number of simulated rounds (a safety rail
-    for the oracle itself, raised as :class:`SimulationError`, distinct
-    from the model's ``max_round`` budget).
+    Parameters mirror :class:`~repro.sim.scheduler.Simulation` —
+    ``faults``, ``dynamics`` and the graceful ``horizon`` included, so
+    the differential suite covers faulted runs bit for bit.
+    ``oracle_rounds`` bounds the number of simulated rounds (a safety
+    rail for the oracle itself, raised as :class:`SimulationError`,
+    distinct from both the model's ``max_round`` budget and the
+    graceful ``horizon``).
     """
 
     def __init__(
@@ -120,7 +131,10 @@ class ReferenceSimulation:
         max_events: int | None = None,
         max_round: int | None = None,
         trace: bool = False,
-        horizon: int = 500_000,
+        oracle_rounds: int = 500_000,
+        faults=None,
+        dynamics=None,
+        horizon: int | None = None,
     ) -> None:
         self.graph = graph
         self.specs = list(specs)
@@ -139,19 +153,44 @@ class ReferenceSimulation:
         self.max_events = max_events
         self.max_round = max_round
         self.trace = trace
+        self.oracle_rounds = oracle_rounds
         self.horizon = horizon
+        self.dynamics = dynamics
+        self.timed_out = False
         self.move_log: list[tuple[int, int, int, int]] = []
         self.agents = [
             _RefAgent(i, s.label, s.start_node, s.program, s.wake_round)
             for i, s in enumerate(self.specs)
         ]
+        label_index = {a.label: a.index for a in self.agents}
+        queue: list[tuple[int, int]] = []
+        for label, fround in faults or ():
+            fidx = label_index.get(label)
+            if fidx is None:
+                raise SimulationError(
+                    f"fault targets unknown agent label {label!r}"
+                )
+            if fround < 0:
+                raise SimulationError(
+                    f"fault rounds must be >= 0, got {fround}"
+                )
+            queue.append((fround, fidx))
+        queue.sort()
+        self._faults = queue
+        self._fault_i = 0
         self.last_change = [0] * graph.n
         self._events = 0
 
     # -- helpers -------------------------------------------------------
 
     def _count(self, node: int) -> int:
-        return sum(1 for a in self.agents if a.node == node)
+        # A crashed agent stops occupying its node (a declared one
+        # keeps occupying it — the fast scheduler's distinction).
+        return sum(
+            1
+            for a in self.agents
+            if a.node == node and not a.outcome.crashed
+        )
 
     def _obs(self, agent: _RefAgent, round_: int, triggered: bool) -> Observation:
         obs = Observation(
@@ -264,38 +303,101 @@ class ReferenceSimulation:
             return round_ >= threshold, False
         return False, False
 
+    # -- fault injection ----------------------------------------------
+
+    def _next_fault_round(self) -> int | None:
+        """Round of the earliest pending fault with a live target."""
+        for fround, idx in self._faults[self._fault_i:]:
+            if self.agents[idx].state != "done":
+                return fround
+        return None
+
+    def _apply_faults(self, round_: int) -> None:
+        """Crash every agent whose fault falls due at ``round_``.
+
+        Applied before wake-ups and resumes: a crashed agent never
+        acts in its fault round, and its occupancy disappears from
+        ``round_`` on (``_count`` skips crashed agents), so watchers
+        and stability windows see the departure this very round.
+        """
+        faults = self._faults
+        while self._fault_i < len(faults) and faults[self._fault_i][0] <= round_:
+            _, idx = faults[self._fault_i]
+            self._fault_i += 1
+            agent = self.agents[idx]
+            if agent.state == "done":
+                continue
+            agent.state = "done"
+            agent.gen = None
+            agent.watch = None
+            agent.stable_window = None
+            agent.retry_port = None
+            out = agent.outcome
+            out.finish_round = round_
+            out.finish_node = agent.node
+            out.declared = False
+            out.crashed = True
+            self.last_change[agent.node] = round_
+
+    def _graceful_stop(self) -> None:
+        """Finalize every live agent undeclared: the horizon expired."""
+        self.timed_out = True
+        for agent in self.agents:
+            if agent.state == "done":
+                continue
+            agent.state = "done"
+            agent.gen = None
+            agent.watch = None
+            agent.stable_window = None
+            agent.retry_port = None
+            out = agent.outcome
+            out.finish_round = None
+            out.finish_node = agent.node
+            out.declared = False
+
     # -- main loop -----------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Execute until every agent terminates."""
-        for round_ in range(self.horizon + 1):
+        for round_ in range(self.oracle_rounds + 1):
             if all(a.state == "done" for a in self.agents):
                 break
-            # Deadlock: only unwakeable dormant agents remain.
-            if all(
+            fault_round = self._next_fault_round() if self._faults else None
+            # Deadlock: only unwakeable dormant agents remain and no
+            # pending fault can still remove one of them (the fast
+            # scheduler jumps straight to such a fault's round).
+            if fault_round is None and all(
                 a.state == "done"
                 or (a.state == "dormant" and a.wake_round is None)
                 for a in self.agents
             ):
+                if self.horizon is not None:
+                    self._graceful_stop()
+                    break
                 active = sum(1 for a in self.agents if a.state != "done")
                 raise DeadlockError(
                     f"{active} agent(s) can never run again "
                     "(dormant and unvisited, or waiting forever)"
                 )
-            # 1. adversary wake-ups scheduled for this round.
-            for agent in self.agents:
-                if agent.state == "dormant" and agent.wake_round == round_:
-                    self._start(agent, round_)
-            # Round budget: mirrors the fast scheduler's check on the
-            # next scheduled event before anything in it runs.
-            due_now = any(
-                self._due(a, round_)[0]
-                for a in self.agents
-                if a.state not in ("done", "dormant")
-            ) or any(
-                a.state == "dormant" and a.wake_round == round_
-                for a in self.agents
+            # Graceful horizon and round budget: mirror the fast
+            # scheduler's checks on the next scheduled event — wake-up,
+            # resume, retry or crash — before anything in it runs.
+            due_now = (
+                fault_round == round_
+                or any(a.state == "retry" for a in self.agents)
+                or any(
+                    self._due(a, round_)[0]
+                    for a in self.agents
+                    if a.state not in ("done", "dormant")
+                )
+                or any(
+                    a.state == "dormant" and a.wake_round == round_
+                    for a in self.agents
+                )
             )
+            if self.horizon is not None and due_now and round_ > self.horizon:
+                self._graceful_stop()
+                break
             if (
                 self.max_round is not None
                 and round_ > self.max_round
@@ -304,12 +406,34 @@ class ReferenceSimulation:
                 raise BudgetExceededError(
                     f"round budget exceeded: next event at round {round_}"
                 )
+            # 0. crash faults land before anything else in the round.
+            if self._faults:
+                self._apply_faults(round_)
+            # 1. adversary wake-ups scheduled for this round.
+            for agent in self.agents:
+                if agent.state == "dormant" and agent.wake_round == round_:
+                    self._start(agent, round_)
             # 2. resume every due agent; chained ops (e.g. a stability
             # wait that is already satisfied) may come due within the
             # same round, so iterate to a fixpoint.  Counts do not
             # change mid-round (moves apply at the end), so resumption
-            # order is immaterial.
+            # order is immaterial.  Dynamics-blocked movers go first:
+            # they retry their port verbatim — one event, no program
+            # re-entry, no observation.
             moves: list[tuple[_RefAgent, int]] = []
+            for agent in self.agents:
+                if agent.state == "retry":
+                    self._events += 1
+                    if (
+                        self.max_events is not None
+                        and self._events > self.max_events
+                    ):
+                        raise BudgetExceededError(
+                            f"event budget exceeded at round {round_}"
+                        )
+                    moves.append((agent, agent.retry_port))
+                    agent.retry_port = None
+                    agent.state = "moving"
             advances = 0
             progress = True
             while progress:
@@ -336,6 +460,15 @@ class ReferenceSimulation:
             arrivals: set[int] = set()
             for agent, port in moves:
                 src = agent.node
+                if self.dynamics is not None and self.dynamics.blocked(
+                    src, port, round_
+                ):
+                    # A blocked move costs the round but not the edge:
+                    # the agent stays (no occupancy change, nothing to
+                    # observe) and retries the same port next round.
+                    agent.state = "retry"
+                    agent.retry_port = port
+                    continue
                 dst, entry = self.graph.neighbor(src, port)
                 agent.node = dst
                 agent.entry_port = entry
@@ -354,7 +487,7 @@ class ReferenceSimulation:
                     agent.wake_round = round_ + 1
         else:
             raise SimulationError(
-                f"reference horizon of {self.horizon} rounds exhausted "
+                f"reference horizon of {self.oracle_rounds} rounds exhausted "
                 "before all agents terminated"
             )
         outcomes = [a.outcome for a in self.agents]
@@ -364,5 +497,10 @@ class ReferenceSimulation:
         )
         total_moves = sum(o.moves for o in outcomes)
         return SimulationResult(
-            outcomes, self._events, final_round, total_moves
+            outcomes,
+            self._events,
+            final_round,
+            total_moves,
+            crashed_labels=tuple(o.label for o in outcomes if o.crashed),
+            timed_out=self.timed_out,
         )

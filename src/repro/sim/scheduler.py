@@ -56,6 +56,19 @@ cohort could act:
 
 The ``events`` counter stays bit-for-bit compatible with the per-step
 model: a segment of ``m`` edges counts ``m`` (virtual) resumes.
+
+Fault injection
+---------------
+Crash faults, dynamic edges and the graceful round horizon (see
+:mod:`repro.sim.faults` and docs/experiments.md) hang off three
+constructor parameters that default to ``None``; every hot-path site
+they touch costs a single ``is None`` test, keeping unfaulted runs —
+and their records, traces and metrics — byte-identical to a build
+without the feature.  A crash is processed at the *start* of its
+round, before adversary wake-ups and resumes; a dynamics-blocked move
+costs the round but not the edge (the agent retries the port next
+round, one event per retry); when the horizon expires the run ends
+with every live agent finalized undeclared and ``timed_out=True``.
 """
 
 from __future__ import annotations
@@ -68,6 +81,8 @@ from ..events import stream as _event_stream
 from ..metrics import registry as _metrics_registry
 from ..events.types import (
     AgentMove as _EvAgentMove,
+    EdgeBlocked as _EvEdgeBlocked,
+    FaultInjected as _EvFaultInjected,
     RoundAdvance as _EvRoundAdvance,
     SimulationEnd as _EvSimulationEnd,
     SimulationStart as _EvSimulationStart,
@@ -147,6 +162,7 @@ class AgentOutcome:
         "finish_node",
         "payload",
         "declared",
+        "crashed",
         "moves",
     )
 
@@ -158,11 +174,13 @@ class AgentOutcome:
         self.finish_node: int | None = None
         self.payload: object = None
         self.declared = False
+        self.crashed = False
         self.moves = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"AgentOutcome(label={self.label}, declared={self.declared}, "
+            f"crashed={self.crashed}, "
             f"finish_round={self.finish_round}, node={self.finish_node}, "
             f"moves={self.moves})"
         )
@@ -171,7 +189,14 @@ class AgentOutcome:
 class SimulationResult:
     """Aggregate outcome of a run."""
 
-    __slots__ = ("outcomes", "events", "final_round", "total_moves")
+    __slots__ = (
+        "outcomes",
+        "events",
+        "final_round",
+        "total_moves",
+        "crashed_labels",
+        "timed_out",
+    )
 
     def __init__(
         self,
@@ -179,11 +204,19 @@ class SimulationResult:
         events: int,
         final_round: int,
         total_moves: int,
+        crashed_labels: tuple[int, ...] = (),
+        timed_out: bool = False,
     ) -> None:
         self.outcomes = outcomes
         self.events = events
         self.final_round = final_round
         self.total_moves = total_moves
+        # Robustness fields (fault injection; docs/experiments.md):
+        # labels crashed by the fault adversary, in spec order, and
+        # whether the run ended by round-horizon expiry rather than by
+        # every agent terminating on its own.
+        self.crashed_labels = crashed_labels
+        self.timed_out = timed_out
 
     def gathered(self) -> bool:
         """Did every agent declare at the same node in the same round?"""
@@ -208,6 +241,34 @@ class SimulationResult:
     def payloads(self) -> list[object]:
         """Per-agent final payloads in spec order."""
         return [o.payload for o in self.outcomes]
+
+    def survivors_gathered(self) -> bool:
+        """Did every *non-crashed* agent declare at one node, one round?
+
+        The graceful-degradation criterion: a run whose survivors
+        gathered is a success of the remainder even though
+        :meth:`gathered` is false (crashed agents never declare).
+        """
+        survivors = [o for o in self.outcomes if not o.crashed]
+        if not survivors or not all(o.declared for o in survivors):
+            return False
+        rounds = {o.finish_round for o in survivors}
+        nodes = {o.finish_node for o in survivors}
+        return len(rounds) == 1 and len(nodes) == 1
+
+    def partial_groups(self) -> tuple[int, ...]:
+        """Sizes of the final co-location groups of surviving agents.
+
+        Group sizes are reported largest-first; a fully gathered
+        remainder is ``(len(survivors),)``.  Agents that never got a
+        final position (impossible today) are skipped defensively.
+        """
+        groups: dict[int, int] = {}
+        for o in self.outcomes:
+            if o.crashed or o.finish_node is None:
+                continue
+            groups[o.finish_node] = groups.get(o.finish_node, 0) + 1
+        return tuple(sorted(groups.values(), reverse=True))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -247,6 +308,25 @@ class Simulation:
         from :mod:`repro.events.stream` — which is usually absent, in
         which case emission costs a single ``is None`` check per
         site.  ``False`` disables emission regardless of the global.
+    faults:
+        Crash-fault schedule: an iterable of ``(label, round)`` pairs
+        (see :mod:`repro.sim.faults`).  The agent is removed at the
+        *start* of its fault round — it never acts in that round, and
+        unlike a declared agent it stops occupying its node, so
+        watchers observe the departure.  ``None`` (default) disables
+        fault handling entirely (zero hot-path cost).
+    dynamics:
+        An :class:`repro.sim.faults.EdgeDynamics` consulted at every
+        edge traversal.  A blocked move costs the round but not the
+        edge: the agent retries the same port next round (one event
+        per retry round) without re-entering its program.  ``None``
+        (default) keeps the graph static.
+    horizon:
+        Graceful-degradation round horizon: when the next event would
+        fall after this round — or no agent can ever run again — the
+        run ends with every live agent finalized undeclared and
+        ``timed_out=True`` on the result, instead of raising.  ``None``
+        (default) keeps the strict deadlock / budget behavior.
     """
 
     def __init__(
@@ -258,6 +338,9 @@ class Simulation:
         trace: bool = False,
         route_cache=None,
         events=None,
+        faults=None,
+        dynamics=None,
+        horizon: int | None = None,
     ) -> None:
         self.graph = graph
         self.specs = list(specs)
@@ -286,6 +369,7 @@ class Simulation:
         self._epoch = [0] * k
         self._entry_port: list[int | None] = [None] * k
         self._watch: list = [None] * k  # active wait-watch, if any
+        self._wait_until: list = [None] * k  # watched wait's expiry round
         self._stable: list[int | None] = [None] * k  # wait_stable window
         self._walk_trace: list = [None] * k  # pending fast-path segment
         self._label_index = {s.label: i for i, s in enumerate(self.specs)}
@@ -297,6 +381,39 @@ class Simulation:
         self._last_change = [0] * graph.n
         self._dormant_at: list[set[int]] = [set() for _ in range(graph.n)]
         self._watchers: list[set[int]] = [set() for _ in range(graph.n)]
+
+        # Fault injection (docs/experiments.md, "Faults & dynamics").
+        # All three stay None on unfaulted runs so the hot path pays at
+        # most one ``is None`` test per site.
+        self.horizon = horizon
+        self.timed_out = False
+        self._dynamics = dynamics
+        self._retry_move: list[int | None] | None = (
+            [None] * k if dynamics is not None else None
+        )
+        self._c_faults = _metrics_registry.Counter()
+        self._c_edges_blocked = _metrics_registry.Counter()
+        if faults:
+            queue: list[tuple[int, int]] = []
+            for label, fround in faults:
+                fidx = self._label_index.get(label)
+                if fidx is None:
+                    raise SimulationError(
+                        f"fault targets unknown agent label {label!r}"
+                    )
+                if fround < 0:
+                    raise SimulationError(
+                        f"fault rounds must be >= 0, got {fround}"
+                    )
+                queue.append((fround, fidx))
+            queue.sort()
+            self._fault_queue: list[tuple[int, int]] | None = queue
+            self._fault_i = 0
+            self._crashed: list[bool] | None = [False] * k
+        else:
+            self._fault_queue = None
+            self._fault_i = 0
+            self._crashed = None
 
         self._heap: list[tuple[int, int, int, int]] = []
         self._seq = 0
@@ -323,7 +440,8 @@ class Simulation:
         self._planner_resolved = False
         # Set by step_round() when the round did something the lockstep
         # vector path cannot express (see repro.sim.cohort): "watch",
-        # "dormant-wake" or "walk-fallback"; None otherwise.
+        # "dormant-wake", "walk-fallback", "fault" or "dynamics"; None
+        # otherwise.
         self.last_step_divergence: str | None = None
 
         for idx, s in enumerate(self.specs):
@@ -420,15 +538,40 @@ class Simulation:
 
         Drops stale heads (superseded epochs, finished agents) so the
         round budget and deadlock checks see the next *real* event,
-        exactly as the reference oracle derives it.
+        exactly as the reference oracle derives it.  A pending crash
+        fault targeting a live agent is an event too: time jumps to
+        the fault round even when every survivor waits past it.
         """
         heap = self._heap
+        head: int | None = None
         while heap:
             _, _, i0, ep0 = heap[0]
             if ep0 != self._epoch[i0] or self._state[i0] == _DONE:
                 heapq.heappop(heap)
             else:
-                return heap[0][0]
+                head = heap[0][0]
+                break
+        if self._fault_queue is not None:
+            fault = self._next_fault_round()
+            if fault is not None and (head is None or fault < head):
+                return fault
+        return head
+
+    def _next_fault_round(self) -> int | None:
+        """Round of the earliest pending fault with a live target.
+
+        Entries whose target already terminated are skipped for good
+        (termination is final), so repeated calls stay cheap.
+        """
+        queue = self._fault_queue
+        i = self._fault_i
+        while i < len(queue):
+            round_, idx = queue[i]
+            if self._state[idx] != _DONE:
+                self._fault_i = i
+                return round_
+            i += 1
+        self._fault_i = i
         return None
 
     @property
@@ -468,8 +611,18 @@ class Simulation:
             default=0,
         )
         total_moves = sum(o.moves for o in self._outcomes)
+        crashed_labels = (
+            tuple(o.label for o in self._outcomes if o.crashed)
+            if self._crashed is not None
+            else ()
+        )
         result = SimulationResult(
-            self._outcomes, self._events, final_round, total_moves
+            self._outcomes,
+            self._events,
+            final_round,
+            total_moves,
+            crashed_labels=crashed_labels,
+            timed_out=self.timed_out,
         )
         if self._emit is not None and not self._end_emitted:
             self._end_emitted = True
@@ -493,6 +646,16 @@ class Simulation:
                 self._c_segment_edges.value
             )
             mx.counter("sim.watch.fires").value += self._c_watch_fires.value
+            if self._c_faults.value:
+                mx.counter("sim.faults.injected").value += (
+                    self._c_faults.value
+                )
+            if self.timed_out:
+                mx.counter("sim.faults.timeouts").value += 1
+            if self._c_edges_blocked.value:
+                mx.counter("sim.edges.blocked").value += (
+                    self._c_edges_blocked.value
+                )
         return result
 
     def step_round(self) -> None:
@@ -501,17 +664,26 @@ class Simulation:
         heap = self._heap
         round_ = self.next_event_round()
         if round_ is None:
+            if self.horizon is not None:
+                self._graceful_stop()
+                return
             raise DeadlockError(
                 f"{self._active} agent(s) can never run again "
                 "(dormant and unvisited, or waiting forever)"
             )
+        if self.horizon is not None and round_ > self.horizon:
+            self._graceful_stop()
+            return
         if self.max_round is not None and round_ > self.max_round:
             raise BudgetExceededError(
                 f"round budget exceeded: next event at round {round_}"
             )
+        if self._fault_queue is not None:
+            self._apply_faults(round_)
         pending_moves: list[tuple[int, int]] = []  # (idx, port)
         pending_walks: list[tuple] = []  # (idx, head, steps, pos, watch)
         pending_observes: list[tuple[int, int]] = []  # (idx, remaining)
+        retries = self._retry_move
         resumes = 0
         while heap and heap[0][0] == round_:
             _, _, idx, epoch = heapq.heappop(heap)
@@ -523,11 +695,36 @@ class Simulation:
                     f"agent resumed too often in round {round_}; "
                     "non-advancing program?"
                 )
+            if (
+                self._state[idx] != _DORMANT
+                and self._watch[idx] is not None
+                and self._stable[idx] is None
+                and not watch_hit(
+                    self._watch[idx], self._counts[self._pos[idx]]
+                )
+                and round_ < self._wait_until[idx]
+            ):
+                # Early arrival notification whose condition a
+                # start-of-round crash revoked before this resume: the
+                # watched wait is still running.  Re-arm its original
+                # expiry (a later occupancy change can still
+                # reschedule it earlier) and charge no event — the
+                # agent never acts.  Only faults open this window:
+                # ordinary departures commit at round end, after every
+                # resume of the round.
+                self._push(self._wait_until[idx], idx)
+                continue
             self._events += 1
             if self.max_events is not None and self._events > self.max_events:
                 raise BudgetExceededError(
                     f"event budget exceeded at round {round_}"
                 )
+            if retries is not None and retries[idx] is not None:
+                # A dynamics-blocked move retries verbatim: the agent's
+                # program is not re-entered and observes nothing.
+                pending_moves.append((idx, retries[idx]))
+                retries[idx] = None
+                continue
             op = self._resume(idx, round_)
             if op is None:
                 continue  # agent terminated
@@ -669,6 +866,105 @@ class Simulation:
         self._gens[idx] = None
 
     # ------------------------------------------------------------------
+    # Fault injection and graceful degradation.
+    # ------------------------------------------------------------------
+
+    def _apply_faults(self, round_: int) -> None:
+        """Crash every agent whose fault falls due at ``round_``.
+
+        Runs before any resume of the round: a crashed agent never
+        acts in its fault round.  Entries targeting already-terminated
+        agents are skipped (their crash never happens).
+        """
+        queue = self._fault_queue
+        while self._fault_i < len(queue) and queue[self._fault_i][0] <= round_:
+            _, idx = queue[self._fault_i]
+            self._fault_i += 1
+            if self._state[idx] == _DONE:
+                continue
+            self._crash(idx, round_)
+
+    def _crash(self, idx: int, round_: int) -> None:
+        """Remove agent ``idx`` at the start of ``round_``.
+
+        Unlike a *declared* agent — which keeps occupying its node —
+        a crashed agent's occupancy is removed at its fault round, so
+        co-located watchers observe the departure exactly as they would
+        a move away: firing watches and stability windows reschedule
+        precisely as :meth:`_apply_moves` would on an occupancy change.
+        A dormant agent can crash too (it simply never wakes); dormant
+        *neighbors* are not woken — a crash is a departure, not a visit.
+        """
+        self.last_step_divergence = "fault"
+        self._c_faults.value += 1
+        node = self._pos[idx]
+        self._state[idx] = _DONE
+        self._active -= 1
+        self._crashed[idx] = True
+        out = self._outcomes[idx]
+        out.finish_round = round_
+        out.finish_node = node
+        out.declared = False
+        out.crashed = True
+        self._unwatch(idx)
+        self._watchers[node].discard(idx)
+        self._stable[idx] = None
+        self._dormant_at[node].discard(idx)
+        self._gens[idx] = None
+        self._walk_trace[idx] = None
+        if self._retry_move is not None:
+            self._retry_move[idx] = None
+        self._counts[node] -= 1
+        self._last_change[node] = round_
+        if self._watchers[node]:
+            new_count = self._counts[node]
+            for widx in list(self._watchers[node]):
+                watch = self._watch[widx]
+                if watch is not None:
+                    if watch_hit(watch, new_count):
+                        self._reschedule(round_, widx)
+                elif self._stable[widx] is not None:
+                    self._reschedule(
+                        round_ + self._stable[widx] - 1, widx
+                    )
+        if self._emit is not None:
+            self._emit.emit(_EvFaultInjected(
+                round=round_,
+                agent=idx,
+                label=self.specs[idx].label,
+                node=node,
+            ))
+
+    def _graceful_stop(self) -> None:
+        """Finalize every live agent undeclared: the horizon expired.
+
+        Fault-aware termination: survivors that can no longer gather
+        (a crash removed a teammate, or dynamics starved them) end
+        with a structured partial outcome — ``finish_round=None``,
+        final position recorded — instead of running out their event
+        budget.  Also reached when no agent can ever run again, which
+        without a horizon would be a :class:`DeadlockError`.
+        """
+        self.timed_out = True
+        for idx in range(len(self.specs)):
+            if self._state[idx] == _DONE:
+                continue
+            self._state[idx] = _DONE
+            self._active -= 1
+            node = self._pos[idx]
+            out = self._outcomes[idx]
+            out.finish_round = None
+            out.finish_node = node
+            out.declared = False
+            self._unwatch(idx)
+            self._watchers[node].discard(idx)
+            self._stable[idx] = None
+            self._dormant_at[node].discard(idx)
+            self._gens[idx] = None
+            self._walk_trace[idx] = None
+        self._heap.clear()
+
+    # ------------------------------------------------------------------
     # Op handlers.
     # ------------------------------------------------------------------
 
@@ -678,6 +974,7 @@ class Simulation:
         self._push(round_ + duration, idx)
         if watch is not None:
             self._watch[idx] = watch
+            self._wait_until[idx] = round_ + duration
             self._watchers[self._pos[idx]].add(idx)
 
     def _begin_wait_stable(self, idx: int, round_: int, window) -> None:
@@ -704,6 +1001,11 @@ class Simulation:
         """Bind the vectorized planner and route cache, if available."""
         self._planner_resolved = True
         if self._route_cache_opt is False:
+            return
+        if self._dynamics is not None:
+            # Cached routes know nothing about per-round edge liveness;
+            # dynamic-edge runs plan scalar segments (which truncate
+            # before any blocked edge) instead.
             return
         try:
             from . import cohort
@@ -862,6 +1164,17 @@ class Simulation:
             m = min(
                 m, (self.max_events - self._events) // len(walks) + 1
             )
+        if self._fault_queue is not None:
+            # No segment may reach a fault round: a crash is processed
+            # at the *start* of its round (unlike moves, which commit
+            # at the end), so planned arrival cards would go stale the
+            # moment the segment's last observation landed on it.  End
+            # strictly before, so every walker is back in the ordinary
+            # machinery when the crash hits (a crashed walker vanishes
+            # mid-walk; survivors replan around the hole).
+            fault = self._next_fault_round()
+            if fault is not None:
+                m = min(m, fault - round_ - 1)
         if m < 2:
             return None
         # A departure from a watched start node must notify the
@@ -869,6 +1182,12 @@ class Simulation:
         for idx, _head, _steps, _pos, _watch in walks:
             if watchers[self._pos[idx]]:
                 return None
+        dyn = self._dynamics
+        if dyn is not None:
+            # A blocked head edge goes through the per-edge retry path.
+            for idx, head, _steps, _pos, _watch in walks:
+                if dyn.blocked(self._pos[idx], head, round_):
+                    return None
         # Walkers leave their start nodes in the first round; every
         # other agent (waiting, finished, dormant) is static for the
         # whole segment.  Taking the walkers out of ``_counts`` while
@@ -910,6 +1229,9 @@ class Simulation:
                         port = step
                     else:
                         port = (entry + ~step) % degree
+                    if dyn is not None and dyn.blocked(node, port, round_ + t):
+                        m = t  # stop before the blocked edge: the
+                        break  # walker retries it through _apply_moves
                     node, entry = ports[port]
                 if m < 2:
                     return None
@@ -1157,8 +1479,22 @@ class Simulation:
         deltas: dict[int, int] = {}
         arrivals: set[int] = set()
         emit = self._emit
+        dyn = self._dynamics
         for idx, port in pending:
             src = self._pos[idx]
+            if dyn is not None and dyn.blocked(src, port, round_):
+                # A blocked move costs the round but not the edge: the
+                # agent stays put (no occupancy change, nothing to
+                # observe) and retries the same port next round.
+                self.last_step_divergence = "dynamics"
+                self._c_edges_blocked.value += 1
+                self._retry_move[idx] = port
+                if emit is not None:
+                    emit.emit(_EvEdgeBlocked(
+                        round=round_, agent=idx, node=src, port=port
+                    ))
+                self._push(next_round, idx)
+                continue
             dst, entry = graph.neighbor(src, port)
             counts[src] -= 1
             counts[dst] += 1
@@ -1261,8 +1597,12 @@ class Simulation:
         if any(not isinstance(p, int) or p < 0 or p >= n for p in pos):
             raise SimulationError("imported position out of range")
         derived = [0] * n
-        for p in pos:
-            derived[p] += 1
+        crashed = self._crashed
+        for i, p in enumerate(pos):
+            # A crashed agent's last position is recorded but no longer
+            # occupied (unlike a declared agent's).
+            if crashed is None or not crashed[i]:
+                derived[p] += 1
         if derived != counts:
             raise SimulationError(
                 "imported counts are inconsistent with imported positions"

@@ -29,6 +29,7 @@ from repro.sim.cohort import (
 )
 from repro.sim.reference import ReferenceSimulation
 from test_differential import (
+    _AllBlockedRound,
     covering_tour,
     random_script,
     scripted_program,
@@ -242,6 +243,85 @@ class TestEjectionRules:
             assert outcome.ejected is None
             assert outcome.error is None
             assert_matches_reference(sim, outcome, graph, scenario)
+
+
+class TestFaultEjection:
+    """Crash faults and dynamic edges leave lockstep via the scalar
+    hand-off: the mirror row is audited against the scalar state at
+    ejection (a mismatch surfaces as :class:`CohortDesyncError`), and
+    the finished record must match the naive reference byte-for-byte."""
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_crash_fault_ejects(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = quiet_scenario(graph)
+        fault_kwargs = {"faults": [(2, 4)]}
+        sims = [
+            build_sim(graph, scenario, **fault_kwargs) for _ in range(3)
+        ]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            # The pending crash bounds the walker's segment; on some
+            # graphs the shortened plan is unsegmentable and degrades
+            # to per-step execution ("walk-fallback") before the crash
+            # round itself diverges ("fault").
+            assert outcome.ejected in ("fault", "walk-fallback")
+            # The hand-off audit held: a mirror/scalar mismatch would
+            # have surfaced as a CohortDesyncError in outcome.error.
+            assert outcome.error is None
+            assert outcome.result.crashed_labels == (2,)
+            assert_matches_reference(
+                sim, outcome, graph, scenario, **fault_kwargs
+            )
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_blocked_edge_ejects(self, graph_name):
+        graph = GRAPHS[graph_name]
+        scenario = quiet_scenario(graph)
+        # Block every edge during round 1: the tour walker's move that
+        # round is guaranteed to hit a blocked edge and retry.
+        sims = [
+            build_sim(
+                graph, scenario, dynamics=_AllBlockedRound(graph, 1)
+            )
+            for _ in range(3)
+        ]
+        outcomes = run_cohort(graph, sims)
+        for sim, outcome in zip(sims, outcomes):
+            # Dynamic-edge trials run their walks per-step, so the
+            # divergence surfaces either at the blocked traversal
+            # ("dynamics") or already at the unsegmentable plan
+            # ("walk-fallback") — both leave lockstep.
+            assert outcome.ejected in ("dynamics", "walk-fallback")
+            assert outcome.error is None
+            assert_matches_reference(
+                sim, outcome, graph, scenario,
+                dynamics=_AllBlockedRound(graph, 1),
+            )
+
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_mixed_faulted_and_quiet_cohort(self, graph_name):
+        """Faulted members eject; unfaulted batch-mates stay in
+        lockstep to completion, unperturbed by the hand-off."""
+        graph = GRAPHS[graph_name]
+        scenario = quiet_scenario(graph)
+        faulted = [
+            build_sim(graph, scenario, faults=[(2, r)]) for r in (3, 6)
+        ]
+        quiet = [build_sim(graph, scenario) for _ in range(2)]
+        outcomes = run_cohort(graph, faulted + quiet)
+        for sim, outcome in zip(faulted, outcomes[:2]):
+            assert outcome.ejected in ("fault", "walk-fallback")
+            assert outcome.error is None
+            assert outcome.result.crashed_labels == (2,)
+        for sim, outcome in zip(quiet, outcomes[2:]):
+            assert outcome.ejected is None
+            assert outcome.error is None
+            assert_matches_reference(sim, outcome, graph, scenario)
+        for sim, outcome, r in zip(faulted, outcomes[:2], (3, 6)):
+            assert_matches_reference(
+                sim, outcome, graph, scenario, faults=[(2, r)]
+            )
 
 
 class TestCohortRandomized:

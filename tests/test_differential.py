@@ -34,6 +34,7 @@ from repro.graphs import (
 )
 from repro.sim import AgentSpec, Simulation, WatchTriggered
 from repro.sim.agent import move, observe, wait, wait_stable, walk
+from repro.sim.faults import EdgeDynamics, make_dynamics
 from repro.sim.reference import ReferenceSimulation
 
 GRAPHS = {
@@ -144,12 +145,16 @@ def run_both(
     starts=None,
     max_events=None,
     max_round=None,
+    faults=None,
+    dynamics=None,
+    horizon=None,
 ):
     """Run the same scenario on both schedulers (trace mode).
 
-    Returns ``(fast_sim, fast_outcome), (ref_sim, ref_outcome)`` where
-    each outcome is either a :class:`SimulationResult` or the raised
-    exception.
+    ``dynamics`` is a factory ``graph -> EdgeDynamics`` so each
+    scheduler gets its own instance.  Returns ``(fast_sim,
+    fast_outcome), (ref_sim, ref_outcome)`` where each outcome is
+    either a :class:`SimulationResult` or the raised exception.
     """
     fast = Simulation(
         graph,
@@ -157,6 +162,9 @@ def run_both(
         max_events=max_events,
         max_round=max_round,
         trace=True,
+        faults=faults,
+        dynamics=None if dynamics is None else dynamics(graph),
+        horizon=horizon,
     )
     try:
         fast_out = fast.run()
@@ -168,6 +176,9 @@ def run_both(
         max_events=max_events,
         max_round=max_round,
         trace=True,
+        faults=faults,
+        dynamics=None if dynamics is None else dynamics(graph),
+        horizon=horizon,
     )
     try:
         ref_out = ref.run()
@@ -187,6 +198,8 @@ def assert_equivalent(fast_pair, ref_pair):
     assert fast_out.events == ref_out.events
     assert fast_out.final_round == ref_out.final_round
     assert fast_out.total_moves == ref_out.total_moves
+    assert fast_out.crashed_labels == ref_out.crashed_labels
+    assert fast_out.timed_out == ref_out.timed_out
     for out, exp in zip(fast_out.outcomes, ref_out.outcomes):
         assert out.label == exp.label
         assert out.start_node == exp.start_node
@@ -196,6 +209,7 @@ def assert_equivalent(fast_pair, ref_pair):
         assert out.payload == exp.payload, "observation logs diverged"
         assert out.declared == exp.declared
         assert out.moves == exp.moves
+        assert out.crashed == exp.crashed
     assert fast.move_log == ref.move_log
 
 
@@ -500,6 +514,153 @@ class TestSeededRandomizedSuite:
         assert_equivalent(
             *run_both(graph, scripts, [0, 0, rng.randrange(0, 5)])
         )
+
+
+class _AllBlockedRound(EdgeDynamics):
+    """Blocks *every* edge during one specific round (and nothing
+    else): the harshest liveness round a dynamics adversary can deal,
+    where every attempted move must burn the round and retry."""
+
+    __slots__ = ("block_round",)
+
+    def __init__(self, graph, block_round: int) -> None:
+        super().__init__(graph)
+        self.block_round = block_round
+
+    def blocked_edge(self, round_: int) -> int:  # pragma: no cover
+        return -1
+
+    def blocked(self, node: int, port: int, round_: int) -> bool:
+        return round_ == self.block_round
+
+
+class TestFaultedDifferential:
+    """Crash faults and dynamic edges agree byte-for-byte between the
+    event-compressed scheduler and the naive reference, on the same
+    ring / torus / random-regular families as the unfaulted suite."""
+
+    FAMILIES = ("ring6", "torus33", "regular8")
+
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    def test_crash_before_wake(self, graph_name):
+        """An agent crashed before its wake round never acts — and a
+        dormant victim crashed before any visit is simply removed."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("walk", tour, None), ("wait", 4, None)],
+            [("move", 0, None), ("wait", 6, None)],
+            [("stable", 3), ("move", 1, None)],
+        ]
+        # Agent 2 wakes at round 9 but crashes at 4; agent 3 is
+        # dormant and crashes before the tour reaches it.
+        assert_equivalent(*run_both(
+            graph, scripts, [0, 9, None],
+            faults=[(2, 4), (3, 1)],
+        ))
+
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    @pytest.mark.parametrize("crash_round", [3, 7, 12])
+    def test_crash_mid_walk_segment(self, graph_name, crash_round):
+        """Crashing a walker mid-plan truncates its batched segment at
+        exactly the fault round on both schedulers."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("walk", tour + tour, None)],
+            [("wait", 2, None), ("walk", tour, ("gt", 1))],
+        ]
+        assert_equivalent(*run_both(
+            graph, scripts, [0, 0],
+            faults=[(1, crash_round)],
+        ))
+
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    def test_crash_of_last_mover(self, graph_name):
+        """Crashing the only still-active agent must end the run
+        identically (no survivor left to advance the round clock)."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("wait", 3, None)],
+            [("wait", 5, None)],
+            [("walk", tour + tour + tour, None)],
+        ]
+        assert_equivalent(*run_both(
+            graph, scripts, [0, 0, 0],
+            faults=[(3, 20)],
+            horizon=500,
+        ))
+
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    def test_fully_blocked_round(self, graph_name):
+        """A round in which every edge is blocked: all movers burn the
+        round and retry, watchers see no arrivals, and both schedulers
+        place every delayed move identically."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("walk", tour, None), ("wait", 3, None)],
+            [("move", 0, None), ("move", 1, ("gt", 1)), ("wait", 4, None)],
+            [("wait", 2, ("gt", 1)), ("move", 1, None)],
+        ]
+        assert_equivalent(*run_both(
+            graph, scripts, [0, 0, 2],
+            dynamics=lambda g: _AllBlockedRound(g, block_round=3),
+        ))
+
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    @pytest.mark.parametrize("strategy", ["ring-sweep:2", "ring-random"])
+    def test_builtin_dynamics_schedules(self, graph_name, strategy):
+        """The shipped sweep/hash adversaries agree across schedulers
+        (the hash schedule is stateless, so both instances see the
+        identical blocked-edge sequence)."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("walk", tour + tour, None)],
+            [("stable", 3), ("move", 1, None), ("wait", 5, None)],
+            [("wait", 4, ("gt", 1)), ("move", 0, None)],
+        ]
+        assert_equivalent(*run_both(
+            graph, scripts, [0, 0, None],
+            dynamics=lambda g: make_dynamics(strategy, g, seed=13),
+        ))
+
+    @pytest.mark.parametrize("graph_name", FAMILIES)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_faulted_programs_agree(self, graph_name, seed):
+        """Seeded random scripts with seeded crash schedules (and, on
+        odd seeds, hash dynamics): the fault-handling differential
+        analogue of the main randomized suite."""
+        graph = EXTENDED_GRAPHS[graph_name]
+        min_degree = min(graph.degree(v) for v in graph.nodes())
+        rng = random.Random(f"faults/{graph_name}/{seed}")
+        tour = tuple(covering_tour(graph))
+        scripts = [
+            [("walk", tour, rng.choice(WATCHES))]
+            + random_script(rng, min_degree, max_ops=4)
+        ]
+        agents = rng.randrange(2, min(5, graph.n) + 1)
+        for _ in range(agents - 1):
+            scripts.append(random_script(rng, min_degree))
+        wakes = [0] + [
+            rng.choice([None, 0, rng.randrange(1, 7)])
+            for _ in range(agents - 1)
+        ]
+        victims = rng.sample(range(1, agents + 1), rng.randrange(1, agents))
+        faults = sorted(
+            (label, rng.randrange(0, 25)) for label in victims
+        )
+        dynamics = (
+            (lambda g: make_dynamics("ring-random", g, seed=seed))
+            if seed % 2
+            else None
+        )
+        assert_equivalent(*run_both(
+            graph, scripts, wakes,
+            faults=faults, dynamics=dynamics, horizon=400,
+        ))
 
 
 @settings(max_examples=120, deadline=None)

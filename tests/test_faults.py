@@ -1,0 +1,380 @@
+"""Fault injection: strategy parsing, resolution, dynamics, spec axes.
+
+Unit coverage for :mod:`repro.sim.faults` plus the layers that thread
+the ``faults`` / ``dynamics`` axes through the experiment engine: the
+trial layer's robustness metrics, the byte-identity guarantee that
+unfaulted records never change shape, the scenario-space fault
+coordinate the adaptive adversary searches, and the regression test
+for the round-0 waker guarantee under fault resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import ring
+from repro.runner.search.space import ScenarioPoint, ScenarioSpace
+from repro.runner.spec import ExperimentSpec, SpecError, TrialSpec
+from repro.runner.search.spec import SearchSpec
+from repro.runner.trial import execute_trial
+from repro.sim.faults import (
+    HashDynamics,
+    SweepDynamics,
+    ensure_round0_survivor,
+    format_crash_faults,
+    make_dynamics,
+    parse_dynamics_strategy,
+    parse_fault_strategy,
+    resolve_fault_schedule,
+)
+
+
+class TestParsing:
+    def test_none(self):
+        assert parse_fault_strategy("none") == ("none",)
+        assert parse_dynamics_strategy("none") == ("none",)
+
+    def test_crash_pairs(self):
+        assert parse_fault_strategy("crash:2@10") == ("crash", ((2, 10),))
+        assert parse_fault_strategy("crash:2@10+5@3") == (
+            "crash", ((2, 10), (5, 3)),
+        )
+
+    def test_crash_random(self):
+        assert parse_fault_strategy("crash-random:2:40") == (
+            "crash-random", 2, 40,
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "crash", "crash:", "crash:2", "crash:2@", "crash:x@3",
+        "crash:2@-1", "crash:0@3", "crash:2@3+2@5",
+        "crash-random", "crash-random:2", "crash-random:0:5",
+        "crash-random:2:-1", "crash-random:a:b", "explode:1",
+    ])
+    def test_malformed_faults_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_strategy(bad)
+
+    def test_dynamics_strategies(self):
+        assert parse_dynamics_strategy("ring-sweep") == ("ring-sweep", 1)
+        assert parse_dynamics_strategy("ring-sweep:7") == ("ring-sweep", 7)
+        assert parse_dynamics_strategy("ring-random") == ("ring-random",)
+
+    @pytest.mark.parametrize("bad", [
+        "ring-sweep:0", "ring-sweep:x", "ring-random:3", "melt",
+    ])
+    def test_malformed_dynamics_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_dynamics_strategy(bad)
+
+    def test_format_round_trip(self):
+        pairs = ((3, 1), (1, 4))
+        assert parse_fault_strategy(format_crash_faults(pairs)) == (
+            "crash", pairs,
+        )
+        assert format_crash_faults(()) == "none"
+
+
+class TestResolution:
+    def test_explicit_sorted_by_round_then_label(self):
+        assert resolve_fault_schedule("crash:5@3+2@10+3@3", [2, 3, 5]) == (
+            (3, 3), (5, 3), (2, 10),
+        )
+
+    def test_explicit_unknown_label_rejected(self):
+        with pytest.raises(ValueError, match="unknown agent label"):
+            resolve_fault_schedule("crash:9@3", [1, 2])
+
+    def test_random_is_seed_deterministic(self):
+        a = resolve_fault_schedule("crash-random:2:30", [1, 2, 3], seed=7)
+        b = resolve_fault_schedule("crash-random:2:30", [1, 2, 3], seed=7)
+        assert a == b
+        assert len(a) == 2
+        assert all(0 <= r <= 30 for _l, r in a)
+        assert {l for l, _r in a} <= {1, 2, 3}
+
+    def test_random_varies_with_seed(self):
+        draws = {
+            resolve_fault_schedule("crash-random:1:50", [1, 2, 3], seed=s)
+            for s in range(12)
+        }
+        assert len(draws) > 1
+
+    def test_random_too_many_victims_rejected(self):
+        with pytest.raises(ValueError, match="victims"):
+            resolve_fault_schedule("crash-random:4:5", [1, 2])
+
+
+class TestRound0Survivor:
+    """Regression: :func:`repro.sim.adversary.random_schedule`'s
+    round-0 waker guarantee must survive independent fault resolution
+    (the bug: every round-0 waker crashed at round 0, so no agent ever
+    acted and the run deadlocked before its first event)."""
+
+    def test_all_round0_wakers_crashing_bumps_smallest(self):
+        faults = ((1, 0), (2, 0))
+        fixed = ensure_round0_survivor(faults, [1, 2, 3], [0, 0, 5])
+        assert fixed == ((2, 0), (1, 1))
+
+    def test_surviving_round0_waker_passes_through(self):
+        faults = ((1, 0), (3, 2))
+        assert ensure_round0_survivor(
+            faults, [1, 2, 3], [0, 0, 5]
+        ) == faults
+
+    def test_no_round0_wakers_passes_through(self):
+        faults = ((1, 0),)
+        assert ensure_round0_survivor(
+            faults, [1, 2], [3, None]
+        ) == faults
+
+    def test_dormant_crashers_do_not_count_as_wakers(self):
+        # Label 2 is dormant; only label 1 wakes at round 0 and it
+        # crashes at 0 -> bumped to 1.
+        faults = ((1, 0),)
+        assert ensure_round0_survivor(
+            faults, [1, 2], [0, None]
+        ) == ((1, 1),)
+
+    def test_trial_with_hostile_schedule_still_runs(self):
+        """End-to-end: crash the sole round-0 waker at round 0 under a
+        random wake schedule; the bumped schedule must let the run
+        produce a record instead of deadlocking."""
+        trial = TrialSpec(
+            key="t/fault-bump",
+            algorithm="gather_known",
+            family="ring",
+            n=6,
+            n_bound=6,
+            labels=(1, 2),
+            messages=None,
+            seed=0,
+            graph_seed=1,
+            placement="default",
+            wake_schedule="explicit:0-4",
+            faults="crash:1@0+2@0",
+        )
+        result = execute_trial(trial)
+        assert result.ok, result.error
+        # Label 2 crashes at 0 (it only wakes at 4 anyway); label 1 is
+        # the round-0 waker, so its crash is postponed to round 1.
+        assert result.metrics["crashed_labels"] == [1, 2]
+        assert result.metrics["faults"] == "crash:2@0+1@1"
+
+
+class TestDynamicsClasses:
+    def test_sweep_cycles_edges(self):
+        graph = ring(5)
+        dyn = SweepDynamics(graph, period=2)
+        seq = [dyn.blocked_edge(r) for r in range(10)]
+        assert seq == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+    def test_hash_is_a_pure_function_of_seed_and_round(self):
+        graph = ring(6)
+        a = HashDynamics(graph, seed=3)
+        b = HashDynamics(graph, seed=3)
+        assert [a.blocked_edge(r) for r in range(50)] == [
+            b.blocked_edge(r) for r in range(50)
+        ]
+        c = HashDynamics(graph, seed=4)
+        assert [a.blocked_edge(r) for r in range(50)] != [
+            c.blocked_edge(r) for r in range(50)
+        ]
+
+    def test_blocked_maps_both_endpoints(self):
+        graph = ring(4)
+        dyn = SweepDynamics(graph, period=1)
+        u, pu, v, pv = next(iter(graph.edges()))
+        assert dyn.blocked(u, pu, 0)
+        assert dyn.blocked(v, pv, 0)
+        assert not dyn.blocked(u, pu, 1)
+
+    def test_make_dynamics(self):
+        graph = ring(5)
+        assert make_dynamics("none", graph) is None
+        assert isinstance(make_dynamics("ring-sweep:3", graph), SweepDynamics)
+        assert isinstance(make_dynamics("ring-random", graph), HashDynamics)
+
+
+class TestSpecAxes:
+    def test_trial_spec_round_trips_fault_axes(self):
+        trial = TrialSpec(
+            key="t/x", algorithm="gather_known", family="ring", n=6,
+            n_bound=6, labels=(1, 2), messages=None, seed=0,
+            graph_seed=1, placement="default",
+            faults="crash:1@3", dynamics="ring-sweep:2",
+        )
+        payload = trial.to_dict()
+        assert payload["faults"] == "crash:1@3"
+        assert payload["dynamics"] == "ring-sweep:2"
+        back = TrialSpec.from_dict(payload)
+        assert back.faults == "crash:1@3"
+        assert back.dynamics == "ring-sweep:2"
+
+    def test_unfaulted_trial_dict_has_no_fault_keys(self):
+        """Byte-identity: default axes never appear in records."""
+        trial = TrialSpec(
+            key="t/x", algorithm="gather_known", family="ring", n=6,
+            n_bound=6, labels=(1, 2), messages=None, seed=0,
+            graph_seed=1, placement="default",
+        )
+        payload = trial.to_dict()
+        assert "faults" not in payload
+        assert "dynamics" not in payload
+
+    def test_experiment_spec_gates_faultable_algorithms(self):
+        with pytest.raises(SpecError, match="faults/dynamics"):
+            ExperimentSpec(
+                algorithm="talking", sizes=(6,), label_sets=((1, 2),),
+                faults=("crash:1@3",),
+            )
+
+    def test_experiment_spec_requires_a_survivor(self):
+        with pytest.raises(SpecError, match="survivor"):
+            ExperimentSpec(
+                algorithm="gather_known", sizes=(6,),
+                label_sets=((1, 2),), faults=("crash-random:2:9",),
+            )
+
+    def test_experiment_spec_dict_omits_default_axes(self):
+        spec = ExperimentSpec(
+            algorithm="gather_known", sizes=(6,), label_sets=((1, 2),),
+        )
+        payload = spec.to_dict()
+        assert "faults" not in payload
+        assert "dynamics" not in payload
+
+    def test_search_spec_round_trips_fault_axes(self):
+        spec = SearchSpec(
+            algorithm="gather_known", n=8, labels=(1, 2, 3),
+            faults="crash-random:1:6", dynamics="ring-sweep:3",
+        )
+        back = SearchSpec.from_dict(spec.to_dict())
+        assert back.faults == "crash-random:1:6"
+        assert back.dynamics == "ring-sweep:3"
+        assert back.spec_hash() == spec.spec_hash()
+
+    def test_search_spec_requires_a_survivor(self):
+        with pytest.raises(SpecError, match="survivor"):
+            SearchSpec(
+                algorithm="gather_known", n=6, labels=(1, 2),
+                faults="crash-random:2:9",
+            )
+
+    def test_unfaulted_search_spec_hash_unchanged(self):
+        """Adding the axes must not invalidate existing search caches."""
+        spec = SearchSpec(algorithm="gather_known", n=6, labels=(1, 2))
+        payload = spec.to_dict()
+        assert "faults" not in payload
+        assert "dynamics" not in payload
+
+
+class TestTrialRobustnessMetrics:
+    def _trial(self, **kwargs):
+        base = dict(
+            key="t/faulted", algorithm="gather_known", family="ring",
+            n=6, n_bound=6, labels=(1, 2, 3), messages=None, seed=0,
+            graph_seed=1, placement="default",
+        )
+        base.update(kwargs)
+        return TrialSpec(**base)
+
+    def test_crash_metrics(self):
+        result = execute_trial(self._trial(faults="crash:2@5"))
+        assert result.ok, result.error
+        m = result.metrics
+        assert m["faults"] == "crash:2@5"
+        assert m["dynamics"] == "none"
+        assert m["crashed_labels"] == [2]
+        assert m["survivors_gathered"] is True
+        assert m["timed_out"] is False
+        assert "protocol_error" not in m
+
+    def test_unfaulted_record_shape_unchanged(self):
+        """Byte-identity: the unfaulted path must not grow robustness
+        fields (stores and event streams stay identical to the seed)."""
+        record = execute_trial(self._trial(key="t/plain")).record()
+        assert "faults" not in record
+        assert "dynamics" not in record
+        for field in (
+            "crashed_labels", "survivors_gathered", "partial_groups",
+            "timed_out",
+        ):
+            assert field not in record["metrics"]
+
+    def test_crash_random_is_deterministic_per_trial(self):
+        a = execute_trial(self._trial(faults="crash-random:1:9"))
+        b = execute_trial(self._trial(faults="crash-random:1:9"))
+        assert a.ok and b.ok
+        assert a.metrics == b.metrics
+        assert a.metrics["faults"].startswith("crash:")
+
+    def test_dynamics_protocol_error_degrades_gracefully(self):
+        """A liveness adversary that breaks the protocol's schedule
+        must yield an ok record with a structured protocol_error, not
+        a failure."""
+        result = execute_trial(self._trial(
+            key="t/dyn", labels=(1, 2), dynamics="ring-sweep",
+        ))
+        assert result.ok, result.error
+        m = result.metrics
+        assert m["dynamics"] == "ring-sweep"
+        assert m["survivors_gathered"] is False
+        assert "protocol_error" in m
+        assert sum(m["partial_groups"]) == 2
+
+
+class TestScenarioSpaceFaults:
+    def _space(self):
+        return ScenarioSpace(
+            n=8, team=3, max_delay=10, dormant_pct=0,
+            search_placement=True, search_wake=True,
+            search_faults=True, fault_labels=(1, 2, 3),
+            fault_k=1, max_fault_round=12,
+        )
+
+    def test_random_point_samples_faults_in_bounds(self):
+        import random
+
+        space = self._space()
+        rng = random.Random(5)
+        for _ in range(20):
+            point = space.random_point(rng)
+            assert point.faults is not None
+            assert len(point.faults) == 1
+            (label, round_), = point.faults
+            assert label in (1, 2, 3)
+            assert 0 <= round_ <= 12
+
+    def test_mutation_preserves_victim_count_and_bounds(self):
+        import random
+
+        space = self._space()
+        rng = random.Random(9)
+        point = space.random_point(rng)
+        for _ in range(60):
+            point = space.mutate(point, rng)
+            assert len(point.faults) == 1
+            (label, round_), = point.faults
+            assert label in (1, 2, 3)
+            assert 0 <= round_ <= 12
+
+    def test_signature_carries_faults_only_when_searched(self):
+        searched = self._space()
+        point = ScenarioPoint((0, 2, 4), (0, 1, 2), ((2, 5),))
+        assert searched.signature(point).endswith("|crash:2@5")
+        fixed = ScenarioSpace(
+            n=8, team=3, max_delay=10, dormant_pct=0,
+            search_placement=True, search_wake=True,
+        )
+        plain = ScenarioPoint((0, 2, 4), (0, 1, 2), None)
+        assert "crash" not in fixed.signature(plain)
+
+    def test_point_json_round_trip(self):
+        point = ScenarioPoint((0, 2, 4), (0, 1, 2), ((2, 5), (1, 7)))
+        back = ScenarioPoint.from_json(point.to_json())
+        assert back == point
+        plain = ScenarioPoint((0, 2, 4), (0, 1, 2), None)
+        payload = plain.to_json()
+        assert "faults" not in payload
+        assert ScenarioPoint.from_json(payload) == plain

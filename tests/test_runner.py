@@ -191,12 +191,12 @@ class TestCaching:
         assert second.cached == 1
 
     def test_all_failed_sweep_persists_nothing(self, tmp_path):
-        # Every trial fails (talking rejects staggered wake); writing
+        # Every trial fails (talking rejects dormant agents); writing
         # a store would only fabricate an empty directory that later
         # confuses `repro query`.
         spec = small_spec(
             algorithm="talking", sizes=(4,),
-            wake_schedules=("staggered:2",),
+            wake_schedules=("single_awake",),
         )
         result = run_experiment(spec, workers=1, store=tmp_path)
         assert result.failed == len(result.records) == 1
@@ -623,14 +623,27 @@ class TestScenarioAxes:
         assert modern["wake_schedules"] == ["staggered:2"]
         assert "placement" in modern and "adversaries" not in modern
 
-    def test_baselines_reject_non_simultaneous_as_failures(self):
+    def test_baselines_accept_staggered_reject_dormant(self):
+        # Wake-schedule-aware baselines: staggered schedules now run
+        # (idling to the last wake round); only dormant (None) entries
+        # remain captured failures.
         spec = small_spec(
             algorithm="talking", sizes=(4,),
-            wake_schedules=("simultaneous", "staggered:3"),
+            wake_schedules=(
+                "simultaneous", "staggered:3", "single_awake",
+            ),
         )
         result = run_experiment(spec, workers=1)
         assert result.failed == 1
-        assert "simultaneous" in result.failures()[0]["error"]
+        failure = result.failures()[0]
+        assert failure["wake_schedule"] == "single_awake"
+        assert "concrete wake rounds" in failure["error"]
+        ok = {
+            r["wake_schedule"]: r["metrics"]["rounds"]
+            for r in result.records if r["ok"]
+        }
+        assert set(ok) == {"simultaneous", "staggered:3"}
+        assert all(v > 0 for v in ok.values())
 
     def test_gather_unknown_runs_on_edge_family(self):
         spec = ExperimentSpec(
